@@ -1,0 +1,396 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table and figure (run `go test -bench=.` or, for the formatted
+// series, `go run ./cmd/benchfig -exp all`):
+//
+//	BenchmarkTable1Rules        — Table 1: the rule engine itself
+//	BenchmarkTable2Corpora      — Table 2: corpus construction at the
+//	                              default parameters (reports the realized
+//	                              composition as custom metrics)
+//	BenchmarkFigure3Helmet      — Figure 3: helmet sweep, RBM vs BWM
+//	BenchmarkFigure4Flag        — Figure 4: flag sweep, RBM vs BWM
+//	BenchmarkAblation*          — DESIGN.md ablations (widening share,
+//	                              ops/image, instantiation baseline,
+//	                              precomputed bounds cache)
+//	BenchmarkExtension*         — DESIGN.md extensions (pruned k-NN,
+//	                              R-tree probe, BIC signatures)
+//
+// plus micro-benchmarks for the substrates (histogram extraction,
+// instantiation, BOUNDS walks, the page store and the R-tree).
+package mmdb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	mmdb "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/rules"
+	"repro/internal/store"
+
+	"repro/internal/colorspace"
+)
+
+// benchCorpus caches corpora across benchmark runs.
+var benchCorpora = map[string]*bench.Corpus{}
+
+func corpusFor(b *testing.B, cfg bench.Config) *bench.Corpus {
+	b.Helper()
+	if c, ok := benchCorpora[cfg.Name]; ok {
+		return c
+	}
+	c, err := bench.BuildCorpus(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCorpora[cfg.Name] = c
+	return c
+}
+
+// benchFigure runs one figure's sweep as sub-benchmarks: for each sequence
+// percentage, the full query workload under RBM and BWM.
+func benchFigure(b *testing.B, cfg bench.Config) {
+	corpus := corpusFor(b, cfg)
+	total := cfg.Total()
+	for _, pct := range []int{20, 40, 60, 78} {
+		n := pct * total / 100
+		if n > cfg.Edited {
+			n = cfg.Edited
+		}
+		db, err := corpus.BuildDBAt(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []core.Mode{core.ModeRBM, core.ModeBWM} {
+			b.Run(fmt.Sprintf("seqPct=%d/%s", pct, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				var ops int
+				for i := 0; i < b.N; i++ {
+					_, tot, err := corpus.RunWorkload(db, mode)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ops = tot.OpsEvaluated
+				}
+				b.ReportMetric(float64(ops), "rule-evals/workload")
+			})
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkFigure3Helmet regenerates Figure 3 (helmet data set).
+func BenchmarkFigure3Helmet(b *testing.B) { benchFigure(b, bench.HelmetConfig()) }
+
+// BenchmarkFigure4Flag regenerates Figure 4 (flag data set).
+func BenchmarkFigure4Flag(b *testing.B) { benchFigure(b, bench.FlagConfig()) }
+
+// BenchmarkTable1Rules measures the Table 1 rule engine: one BOUNDS walk
+// over a representative sequence per iteration.
+func BenchmarkTable1Rules(b *testing.B) {
+	q := colorspace.NewUniformRGB(4)
+	img := dataset.Flags(1, 48, 32, 1)[0].Img
+	hist := histogram.Extract(img, q)
+	engine := rules.NewEngine(q, imaging.RGB{}, nil)
+	aug := dataset.NewAugmenter(dataset.AugmentConfig{PerBase: 1, OpsPerImage: 6, Seed: 2})
+	seq := aug.ScriptsFor(1, img, nil)[0]
+	bin := q.Bin(dataset.Red)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.BoundsForBin(hist, img.W, img.H, seq.Ops, bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(seq.Ops)), "ops/walk")
+}
+
+// BenchmarkTable2Corpora measures construction of the two default corpora
+// and reports the realized Table 2 composition.
+func BenchmarkTable2Corpora(b *testing.B) {
+	for _, cfg := range []bench.Config{bench.HelmetConfig(), bench.FlagConfig()} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			var st core.DBStats
+			for i := 0; i < b.N; i++ {
+				corpus, err := bench.BuildCorpus(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				db, err := corpus.BuildDBAt(cfg.Edited)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err = db.Stats()
+				if err != nil {
+					b.Fatal(err)
+				}
+				db.Close()
+			}
+			b.ReportMetric(float64(st.Catalog.Images), "images")
+			b.ReportMetric(float64(st.Catalog.WideningOnly), "widening-only")
+			b.ReportMetric(float64(st.Catalog.NonWidening), "non-widening")
+			b.ReportMetric(st.Catalog.AvgOpsPerEdited, "avg-ops")
+		})
+	}
+}
+
+// BenchmarkAblationWidening sweeps the non-widening share (ablation A).
+func BenchmarkAblationWidening(b *testing.B) {
+	cfg := bench.FlagConfig()
+	cfg.Queries = 30
+	for _, frac := range []float64{0, 0.5, 1} {
+		c := cfg
+		c.NonWidening = int(frac * float64(cfg.Edited))
+		c.Name = fmt.Sprintf("flag-bench-nw%.0f", frac*100)
+		corpus := corpusFor(b, c)
+		db, err := corpus.BuildDBAt(c.Edited)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nonWidening=%.0f%%", frac*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := corpus.RunWorkload(db, core.ModeBWM); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		db.Close()
+	}
+}
+
+// BenchmarkAblationOpsPerImage sweeps sequence length (ablation B).
+func BenchmarkAblationOpsPerImage(b *testing.B) {
+	cfg := bench.FlagConfig()
+	cfg.Queries = 30
+	for _, ops := range []int{2, 6, 12} {
+		c := cfg
+		c.OpsPerImage = ops
+		c.Name = fmt.Sprintf("flag-bench-ops%d", ops)
+		corpus := corpusFor(b, c)
+		db, err := corpus.BuildDBAt(c.Edited)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := corpus.RunWorkload(db, core.ModeBWM); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		db.Close()
+	}
+}
+
+// BenchmarkAblationInstantiate compares all execution modes (ablation C) —
+// the instantiation ground truth versus the bound-based methods.
+func BenchmarkAblationInstantiate(b *testing.B) {
+	cfg := bench.HelmetConfig()
+	cfg.Queries = 10
+	corpus := corpusFor(b, cfg)
+	db, err := corpus.BuildDBAt(cfg.Edited)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for _, mode := range []core.Mode{core.ModeInstantiate, core.ModeRBM, core.ModeBWM, core.ModeBWMIndexed} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := corpus.RunWorkload(db, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionKNN measures k-NN with bound pruning (extension D).
+func BenchmarkExtensionKNN(b *testing.B) {
+	cfg := bench.HelmetConfig()
+	corpus := corpusFor(b, cfg)
+	db, err := corpus.BuildDBAt(cfg.Edited)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	probe := dataset.Helmets(1, cfg.ImgW, cfg.ImgH, 99)[0].Img
+	target := histogram.Extract(probe, colorspace.NewUniformRGB(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pruned int
+	for i := 0; i < b.N; i++ {
+		_, st, err := db.KNN(query.KNN{Target: target, K: 5, Metric: query.MetricL1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pruned = st.EditedPruned
+	}
+	b.ReportMetric(float64(pruned), "edited-pruned")
+}
+
+// BenchmarkExtensionRTree compares the BWM base probe strategies
+// (extension E).
+func BenchmarkExtensionRTree(b *testing.B) {
+	cfg := bench.FlagConfig()
+	cfg.Queries = 30
+	cfg.Name = "flag-bench-rtree"
+	corpus := corpusFor(b, cfg)
+	db, err := corpus.BuildDBAt(cfg.Edited)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for _, mode := range []core.Mode{core.ModeBWM, core.ModeBWMIndexed} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := corpus.RunWorkload(db, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkHistogramExtract(b *testing.B) {
+	img := dataset.Flags(1, 128, 96, 1)[0].Img
+	q := colorspace.NewUniformRGB(4)
+	b.SetBytes(int64(3 * img.Size()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		histogram.Extract(img, q)
+	}
+}
+
+func BenchmarkInstantiateSequence(b *testing.B) {
+	img := dataset.Flags(1, 64, 48, 1)[0].Img
+	aug := dataset.NewAugmenter(dataset.AugmentConfig{PerBase: 1, OpsPerImage: 5, Seed: 3})
+	seq := aug.ScriptsFor(1, img, nil)[0]
+	env := &editops.Env{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := editops.Apply(img, seq.Ops, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorePutGet(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.esidb")
+	st, err := store.Create(path, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	blob := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(blob)
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := st.Put(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTreeInsertQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := rtree.New(8, 16)
+	point := func() []float64 {
+		p := make([]float64, 8)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		return p
+	}
+	for i := 0; i < 2000; i++ {
+		tr.InsertPoint(point(), uint64(i+1))
+	}
+	q := point()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.NearestK(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertImage(b *testing.B) {
+	db, err := mmdb.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	img := dataset.Helmets(1, 64, 48, 1)[0].Img
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.InsertImage("x", img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionBIC measures BIC signature extraction + search
+// (extension F).
+func BenchmarkExtensionBIC(b *testing.B) {
+	cfg := bench.HelmetConfig()
+	corpus := corpusFor(b, cfg)
+	db, err := corpus.BuildDBAt(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	idx, err := db.BICIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := dataset.Helmets(1, cfg.ImgW, cfg.ImgH, 77)[0].Img
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.SearchImage(probe, 5)
+	}
+}
+
+// BenchmarkAblationCachedBounds compares the warmed bounds cache against
+// the rule-walking modes (ablation G).
+func BenchmarkAblationCachedBounds(b *testing.B) {
+	cfg := bench.FlagConfig()
+	cfg.Queries = 30
+	cfg.Name = "flag-bench-cache"
+	corpus := corpusFor(b, cfg)
+	db, err := corpus.BuildDBAt(cfg.Edited)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.WarmBoundsCache(); err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.ModeRBM, core.ModeBWM, core.ModeCachedBounds} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := corpus.RunWorkload(db, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

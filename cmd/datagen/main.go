@@ -1,0 +1,106 @@
+// Command datagen writes the synthetic evaluation data sets to disk as PPM
+// (or PNG) files for inspection, and can emit the corresponding editing
+// scripts in the text format.
+//
+// Usage:
+//
+//	datagen -kind flag -n 20 -out ./flags
+//	datagen -kind helmet -n 10 -w 96 -h 72 -format png -out ./helmets
+//	datagen -kind roadsign -n 8 -scripts 3 -out ./signs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/imaging"
+)
+
+func main() {
+	kind := flag.String("kind", "flag", "flag | helmet | roadsign")
+	n := flag.Int("n", 10, "number of images")
+	w := flag.Int("w", 64, "image width")
+	h := flag.Int("h", 48, "image height")
+	seed := flag.Int64("seed", 1, "generation seed")
+	format := flag.String("format", "ppm", "ppm | png")
+	scripts := flag.Int("scripts", 0, "editing scripts to emit per image")
+	nonW := flag.Float64("nonwidening", 0.2, "non-widening fraction for scripts")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if err := run(*kind, *n, *w, *h, *seed, *format, *scripts, *nonW, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n, w, h int, seed int64, format string, scripts int, nonW float64, out string) error {
+	var images []dataset.NamedImage
+	switch kind {
+	case "flag":
+		images = dataset.Flags(n, w, h, seed)
+	case "helmet":
+		images = dataset.Helmets(n, w, h, seed)
+	case "roadsign":
+		images = dataset.RoadSigns(n, w, h, seed)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, img := range images {
+		path := filepath.Join(out, img.Name+"."+format)
+		switch format {
+		case "ppm":
+			if err := imaging.WritePPMFile(path, img.Img); err != nil {
+				return err
+			}
+		case "png":
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := imaging.EncodePNG(f, img.Img); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+		fmt.Println(path)
+	}
+	if scripts <= 0 {
+		return nil
+	}
+	aug := dataset.NewAugmenter(dataset.AugmentConfig{
+		PerBase: scripts, OpsPerImage: 4, NonWideningFrac: nonW, Seed: seed + 1,
+	})
+	allBases := make([]uint64, n)
+	for i := range allBases {
+		allBases[i] = uint64(i + 1)
+	}
+	for i, img := range images {
+		others := make([]uint64, 0, n-1)
+		for j, id := range allBases {
+			if j != i {
+				others = append(others, id)
+			}
+		}
+		for si, seq := range aug.ScriptsFor(uint64(i+1), img.Img, others) {
+			path := filepath.Join(out, fmt.Sprintf("%s-edit-%d.esq", img.Name, si))
+			if err := os.WriteFile(path, []byte(editops.FormatText(seq)), 0o644); err != nil {
+				return err
+			}
+			fmt.Println(path)
+		}
+	}
+	return nil
+}

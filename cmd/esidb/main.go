@@ -1,0 +1,624 @@
+// Command esidb is the database CLI: create and inspect databases, insert
+// rasters, augment them with edited versions, store hand-written edit
+// scripts, run color range queries and similarity searches, and export any
+// object (instantiating edited images on demand).
+//
+// Usage:
+//
+//	esidb create  -db file
+//	esidb insert  -db file -name label image.(ppm|png)
+//	esidb edit    -db file -name label script.txt
+//	esidb augment -db file -id N [-per 3] [-ops 4] [-nonwidening 0.2] [-seed 1]
+//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate] [-bases] "at least 25% blue"
+//	              (compound: "at least 20% red and at most 10% blue")
+//	esidb similar -db file [-k 5] [-metric l1|l2|intersection] probe.(ppm|png)
+//	esidb delete  -db file -id N
+//	esidb export  -db file -id N -o out.(ppm|png)
+//	esidb show    -db file -id N
+//	esidb ls      -db file
+//	esidb compact -db file
+//	esidb stats   -db file
+//	esidb serve   -db file [-addr :8765]
+//	esidb colors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	mmdb "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "create":
+		err = cmdCreate(args)
+	case "insert":
+		err = cmdInsert(args)
+	case "edit":
+		err = cmdEdit(args)
+	case "augment":
+		err = cmdAugment(args)
+	case "query":
+		err = cmdQuery(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "similar":
+		err = cmdSimilar(args)
+	case "delete":
+		err = cmdDelete(args)
+	case "export":
+		err = cmdExport(args)
+	case "show":
+		err = cmdShow(args)
+	case "ls":
+		err = cmdLs(args)
+	case "dump":
+		err = cmdDump(args)
+	case "load":
+		err = cmdLoad(args)
+	case "compact":
+		err = cmdCompact(args)
+	case "fsck":
+		err = cmdFsck(args)
+	case "stats":
+		err = cmdStats(args)
+	case "serve":
+		err = cmdServe(args)
+	case "colors":
+		err = cmdColors()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "esidb: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esidb %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `esidb — edit-sequence image database CLI
+
+commands:
+  create   create an empty database file
+  insert   insert a raster image (PPM or PNG)
+  edit     insert an edited image from a text script
+  augment  generate and insert edited versions of a base image
+  query    run a color range query ("at least 25% blue")
+  explain  show a query's plan (BWM skips vs rule walks) without running it
+  similar  query by example (k nearest neighbors)
+  delete   remove an object (edited first, then unreferenced binaries)
+  export   materialize an object to a PPM/PNG file
+  show     print one object's details
+  ls       list all objects
+  dump     export all objects to a portable directory (PPM + scripts)
+  load     import a dump directory (ids remapped)
+  compact  rewrite the database file, reclaiming deleted space
+  fsck     verify the database file's structural integrity
+  stats    print database statistics
+  serve    expose the database over HTTP
+  colors   list the query color vocabulary`)
+}
+
+func openDB(path string) (*mmdb.DB, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -db flag")
+	}
+	return mmdb.Open(mmdb.WithPath(path))
+}
+
+func readImage(path string) (*mmdb.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".png":
+		return mmdb.DecodePNG(f)
+	default:
+		return mmdb.DecodePPM(f)
+	}
+}
+
+func writeImage(path string, img *mmdb.Image) error {
+	if strings.ToLower(filepath.Ext(path)) == ".png" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := mmdb.EncodePNG(f, img); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return mmdb.WritePPMFile(path, img)
+}
+
+func cmdCreate(args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	quant := fs.String("quantizer", "", "color quantizer (rgb4, hsv18x3x3, luv4x6, ...)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("missing -db flag")
+	}
+	opts := []mmdb.Option{mmdb.WithPath(*path)}
+	if *quant != "" {
+		opts = append(opts, mmdb.WithQuantizerName(*quant))
+	}
+	db, err := mmdb.Open(opts...)
+	if err != nil {
+		return err
+	}
+	if err := db.Sync(); err != nil {
+		db.Close()
+		return err
+	}
+	fmt.Printf("created %s (quantizer %s)\n", *path, db.Quantizer().Name())
+	return db.Close()
+}
+
+func cmdInsert(args []string) error {
+	fs := flag.NewFlagSet("insert", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	name := fs.String("name", "", "object label")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one image file")
+	}
+	img, err := readImage(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	id, err := db.InsertImage(*name, img)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inserted %s as id %d (%dx%d)\n", *name, id, img.W, img.H)
+	return nil
+}
+
+func cmdEdit(args []string) error {
+	fs := flag.NewFlagSet("edit", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	name := fs.String("name", "edited", "object label")
+	optimize := fs.Bool("optimize", false, "optimize the script before storing")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one script file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	seq, err := mmdb.ParseSequence(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if *optimize {
+		before := len(seq.Ops)
+		seq, err = db.OptimizeSequence(seq)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized script: %d -> %d ops\n", before, len(seq.Ops))
+	}
+	id, err := db.InsertEdited(*name, seq)
+	if err != nil {
+		return err
+	}
+	obj, err := db.Get(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inserted edited image %d (base %d, %d ops, widening=%v)\n",
+		id, seq.BaseID, len(seq.Ops), obj.Widening)
+	return nil
+}
+
+func cmdAugment(args []string) error {
+	fs := flag.NewFlagSet("augment", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	id := fs.Uint64("id", 0, "base image id")
+	per := fs.Int("per", 3, "edited versions to generate")
+	ops := fs.Int("ops", 4, "average operations per version")
+	nonW := fs.Float64("nonwidening", 0, "fraction containing a non-widening op")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ids, err := db.Augment(*id, mmdb.AugmentOptions{
+		PerBase: *per, OpsPerImage: *ops, NonWideningFrac: *nonW, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("augmented base %d with %d edited versions: %v\n", *id, len(ids), ids)
+	return nil
+}
+
+func parseMode(s string) (mmdb.Mode, error) {
+	switch s {
+	case "bwm", "":
+		return mmdb.ModeBWM, nil
+	case "rbm":
+		return mmdb.ModeRBM, nil
+	case "bwm-indexed":
+		return mmdb.ModeBWMIndexed, nil
+	case "instantiate":
+		return mmdb.ModeInstantiate, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate")
+	bases := fs.Bool("bases", false, "also return the base image of each edited match")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("missing query text")
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	res, err := db.QueryCompound(strings.Join(fs.Args(), " "), mode)
+	if err != nil {
+		return err
+	}
+	ids := res.IDs
+	if *bases {
+		ids = db.ExpandToBases(ids)
+	}
+	for _, id := range ids {
+		obj, err := db.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d  %-8s %s\n", id, obj.Kind, obj.Name)
+	}
+	fmt.Printf("%d matches (%d rule evaluations, %d edited skipped)\n",
+		len(ids), res.Stats.OpsEvaluated, res.Stats.EditedSkipped)
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("missing query text")
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	plan, err := db.Explain(strings.Join(fs.Args(), " "))
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan)
+	return nil
+}
+
+func cmdSimilar(args []string) error {
+	fs := flag.NewFlagSet("similar", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	k := fs.Int("k", 5, "number of neighbors")
+	metricStr := fs.String("metric", "l1", "l1 | l2 | intersection")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one probe image")
+	}
+	var metric mmdb.Metric
+	switch *metricStr {
+	case "l1":
+		metric = mmdb.MetricL1
+	case "l2":
+		metric = mmdb.MetricL2
+	case "intersection":
+		metric = mmdb.MetricIntersection
+	default:
+		return fmt.Errorf("unknown metric %q", *metricStr)
+	}
+	probe, err := readImage(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	matches, st, err := db.QueryByExample(probe, *k, metric)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		obj, err := db.Get(m.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d  %-8s %-24s dist=%.4f\n", m.ID, obj.Kind, obj.Name, m.Dist)
+	}
+	fmt.Printf("(%d edited pruned without instantiation, %d instantiated)\n",
+		st.EditedPruned, st.EditedInstantiated)
+	return nil
+}
+
+func cmdDelete(args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	id := fs.Uint64("id", 0, "object id")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.Delete(*id); err != nil {
+		return err
+	}
+	fmt.Printf("deleted object %d\n", *id)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	id := fs.Uint64("id", 0, "object id")
+	out := fs.String("o", "out.ppm", "output file (.ppm or .png)")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	img, err := db.Image(*id)
+	if err != nil {
+		return err
+	}
+	if err := writeImage(*out, img); err != nil {
+		return err
+	}
+	fmt.Printf("exported object %d (%dx%d) to %s\n", *id, img.W, img.H, *out)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	id := fs.Uint64("id", 0, "object id")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	obj, err := db.Get(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("id:   %d\nkind: %s\nname: %s\n", obj.ID, obj.Kind, obj.Name)
+	if obj.Kind == mmdb.KindBinary {
+		fmt.Printf("dims: %dx%d\n", obj.W, obj.H)
+		fmt.Printf("edited versions: %v\n", db.EditedOf(obj.ID))
+		return nil
+	}
+	fmt.Printf("widening-only: %v\nscript:\n%s", obj.Widening, mmdb.FormatSequence(obj.Seq))
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for _, id := range append(db.Binaries(), db.EditedIDs()...) {
+		obj, err := db.Get(id)
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if obj.Kind == mmdb.KindBinary {
+			extra = fmt.Sprintf("%dx%d", obj.W, obj.H)
+		} else {
+			extra = fmt.Sprintf("base=%d ops=%d widening=%v", obj.Seq.BaseID, len(obj.Seq.Ops), obj.Widening)
+		}
+		fmt.Printf("%6d  %-8s %-24s %s\n", id, obj.Kind, obj.Name, extra)
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	out := fs.String("out", "", "output directory")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("missing -out flag")
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.DumpTo(*out); err != nil {
+		return err
+	}
+	nb, ne := len(db.Binaries()), len(db.EditedIDs())
+	fmt.Printf("dumped %d binary + %d edited objects to %s\n", nb, ne, *out)
+	return nil
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	in := fs.String("in", "", "dump directory")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("missing -in flag")
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	n, err := db.LoadFrom(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d objects from %s\n", n, *in)
+	return nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	before, err := os.Stat(*path)
+	if err != nil {
+		return err
+	}
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.Compact(); err != nil {
+		return err
+	}
+	after, err := os.Stat(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d -> %d bytes\n", *path, before.Size(), after.Size())
+	return nil
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	res, err := db.CheckStore()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pages: %d (%d free)\nlive cells: %d (%d bytes)\ndead slots: %d\n",
+		res.Pages, res.FreePages, res.LiveCells, res.UsedBytes, res.DeadSlots)
+	if !res.Ok() {
+		for _, p := range res.Problems {
+			fmt.Printf("PROBLEM: %s\n", p)
+		}
+		return fmt.Errorf("%d problems found", len(res.Problems))
+	}
+	fmt.Println("clean")
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	st, err := db.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("images:        %d (%d binary, %d edited)\n",
+		st.Catalog.Images, st.Catalog.Binaries, st.Catalog.Edited)
+	fmt.Printf("edited split:  %d widening-only, %d non-widening (avg %.2f ops)\n",
+		st.Catalog.WideningOnly, st.Catalog.NonWidening, st.Catalog.AvgOpsPerEdited)
+	fmt.Printf("bwm structure: %d clusters, %d clustered, %d unclassified\n",
+		st.BWMClusters, st.BWMClustered, st.BWMUnclassified)
+	if st.Persistent {
+		fmt.Printf("store:         %d pages of %d bytes (%d free), %d file bytes\n",
+			st.Store.Pages, st.Store.PageSize, st.Store.FreePages, st.Store.FileBytes)
+	}
+	binB, edB, err := db.StorageFootprint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("footprint:     %d raster bytes, %d sequence bytes\n", binB, edB)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	addr := fs.String("addr", ":8765", "listen address")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Printf("serving %s on %s\n", *path, *addr)
+	handler := server.New(db).WithLogger(log.New(os.Stderr, "esidb ", log.LstdFlags))
+	return http.ListenAndServe(*addr, handler)
+}
+
+func cmdColors() error {
+	for _, name := range mmdb.ColorNames() {
+		c, _ := mmdb.LookupColor(name)
+		fmt.Printf("%-10s %s\n", name, c)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package mmdb
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/editops"
+	"repro/internal/imaging"
+)
+
+// Dump/Load: portable interchange for whole databases. A dump directory
+// holds one binary PPM per raster, one text script (.esq) per edited image
+// and a manifest recording ids, names and files. Loading into another
+// database remaps object ids (including Merge targets inside scripts)
+// through the manifest, so dumps round-trip between databases with
+// different id spaces.
+
+const manifestName = "manifest.tsv"
+
+// DumpTo writes every object into dir (created if needed): rasters as
+// binary PPM, edited images as text scripts, plus manifest.tsv.
+func (db *DB) DumpTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, manifestName))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(mf)
+	fmt.Fprintf(w, "# kind\tid\tname\tfile\n")
+
+	for _, id := range db.Binaries() {
+		obj, err := db.Get(id)
+		if err != nil {
+			mf.Close()
+			return err
+		}
+		img, err := db.Image(id)
+		if err != nil {
+			mf.Close()
+			return err
+		}
+		file := fmt.Sprintf("%06d.ppm", id)
+		if err := imaging.WritePPMFile(filepath.Join(dir, file), img); err != nil {
+			mf.Close()
+			return err
+		}
+		fmt.Fprintf(w, "binary\t%d\t%s\t%s\n", id, sanitizeName(obj.Name), file)
+	}
+	for _, id := range db.EditedIDs() {
+		obj, err := db.Get(id)
+		if err != nil {
+			mf.Close()
+			return err
+		}
+		file := fmt.Sprintf("%06d.esq", id)
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(FormatSequence(obj.Seq)), 0o644); err != nil {
+			mf.Close()
+			return err
+		}
+		fmt.Fprintf(w, "edited\t%d\t%s\t%s\n", id, sanitizeName(obj.Name), file)
+	}
+	if err := w.Flush(); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
+}
+
+// LoadFrom inserts a dump directory's objects into the database, remapping
+// ids; it returns the number of objects loaded. Binary images load before
+// edited images, and scripts' base and Merge-target references are
+// rewritten through the manifest's id mapping.
+func (db *DB) LoadFrom(dir string) (int, error) {
+	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	defer mf.Close()
+
+	type entry struct {
+		kind, name, file string
+		oldID            uint64
+	}
+	var binaries, edited []entry
+	sc := bufio.NewScanner(mf)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return 0, fmt.Errorf("mmdb: manifest line %d: want 4 fields, got %d", lineNo, len(parts))
+		}
+		oldID, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("mmdb: manifest line %d: id %q: %v", lineNo, parts[1], err)
+		}
+		e := entry{kind: parts[0], oldID: oldID, name: parts[2], file: parts[3]}
+		switch e.kind {
+		case "binary":
+			binaries = append(binaries, e)
+		case "edited":
+			edited = append(edited, e)
+		default:
+			return 0, fmt.Errorf("mmdb: manifest line %d: unknown kind %q", lineNo, e.kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+
+	idMap := make(map[uint64]uint64, len(binaries))
+	loaded := 0
+	for _, e := range binaries {
+		img, err := imaging.ReadPPMFile(filepath.Join(dir, e.file))
+		if err != nil {
+			return loaded, fmt.Errorf("mmdb: load %s: %w", e.file, err)
+		}
+		newID, err := db.InsertImage(e.name, img)
+		if err != nil {
+			return loaded, err
+		}
+		idMap[e.oldID] = newID
+		loaded++
+	}
+	for _, e := range edited {
+		f, err := os.Open(filepath.Join(dir, e.file))
+		if err != nil {
+			return loaded, err
+		}
+		seq, err := ParseSequence(f)
+		f.Close()
+		if err != nil {
+			return loaded, fmt.Errorf("mmdb: load %s: %w", e.file, err)
+		}
+		remapped, err := remapSequence(seq, idMap)
+		if err != nil {
+			return loaded, fmt.Errorf("mmdb: load %s: %w", e.file, err)
+		}
+		if _, err := db.InsertEdited(e.name, remapped); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// remapSequence rewrites the base reference and every Merge target through
+// the id mapping.
+func remapSequence(seq *Sequence, idMap map[uint64]uint64) (*Sequence, error) {
+	newBase, ok := idMap[seq.BaseID]
+	if !ok {
+		return nil, fmt.Errorf("base %d not in manifest", seq.BaseID)
+	}
+	out := &Sequence{BaseID: newBase, Ops: make([]Op, len(seq.Ops))}
+	for i, op := range seq.Ops {
+		if m, isMerge := op.(editops.Merge); isMerge && m.Target != NullTarget {
+			newTarget, ok := idMap[m.Target]
+			if !ok {
+				return nil, fmt.Errorf("merge target %d not in manifest", m.Target)
+			}
+			m.Target = newTarget
+			out.Ops[i] = m
+			continue
+		}
+		out.Ops[i] = op
+	}
+	return out, nil
+}
+
+// sanitizeName keeps manifest fields single-line and tab-free.
+func sanitizeName(s string) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	s = strings.ReplaceAll(s, "\n", " ")
+	if s == "" {
+		s = "unnamed"
+	}
+	return s
+}

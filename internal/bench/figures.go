@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// SweepPoint is one x-axis point of Figure 3/4: the database at a given
+// percentage of images stored as editing operations, timed under RBM
+// ("w/out data structure") and BWM ("with data structure").
+type SweepPoint struct {
+	// SeqPct is the percentage of the corpus stored as editing operations.
+	SeqPct float64
+	// SeqCount is the number of sequence-stored images.
+	SeqCount int
+	// RBM and BWM are the workload wall times.
+	RBM, BWM time.Duration
+	// RBMOps and BWMOps count operation-rule evaluations.
+	RBMOps, BWMOps int
+	// ReductionPct is (RBM−BWM)/RBM·100 on wall time.
+	ReductionPct float64
+}
+
+// FigureResult is a complete figure: the sweep points and the average
+// reduction the paper headlines (33.07% for helmets, 22.08% for flags).
+type FigureResult struct {
+	Config          Config
+	Points          []SweepPoint
+	AvgReductionPct float64
+}
+
+// RunFigure regenerates Figure 3 (helmet config) or Figure 4 (flag
+// config): for each sweep point it builds the database with that share of
+// images stored as sequences and times the query workload under both
+// methods.
+func RunFigure(cfg Config) (*FigureResult, error) {
+	corpus, err := BuildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunFigureOn(corpus, defaultSweep(cfg))
+}
+
+// defaultSweep returns sequence counts approximating 10%..max of the total
+// corpus in 10-point steps.
+func defaultSweep(cfg Config) []int {
+	total := cfg.Total()
+	var out []int
+	for pct := 10; pct <= 90; pct += 10 {
+		n := pct * total / 100
+		if n > cfg.Edited {
+			break
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != cfg.Edited {
+		out = append(out, cfg.Edited)
+	}
+	return out
+}
+
+// RunFigureOn runs the sweep at explicit sequence counts.
+func RunFigureOn(corpus *Corpus, seqCounts []int) (*FigureResult, error) {
+	res := &FigureResult{Config: corpus.Config}
+	var sumRed float64
+	for _, n := range seqCounts {
+		db, err := corpus.BuildDBAt(n)
+		if err != nil {
+			return nil, err
+		}
+		rbmTime, bwmTime, rbmTot, bwmTot, err := corpus.timePair(db)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.Close()
+		p := SweepPoint{
+			SeqPct:   100 * float64(n) / float64(corpus.Config.Total()),
+			SeqCount: n,
+			RBM:      rbmTime,
+			BWM:      bwmTime,
+			RBMOps:   rbmTot.OpsEvaluated,
+			BWMOps:   bwmTot.OpsEvaluated,
+		}
+		if rbmTime > 0 {
+			p.ReductionPct = 100 * float64(rbmTime-bwmTime) / float64(rbmTime)
+		}
+		res.Points = append(res.Points, p)
+		sumRed += p.ReductionPct
+	}
+	if len(res.Points) > 0 {
+		res.AvgReductionPct = sumRed / float64(len(res.Points))
+	}
+	return res, nil
+}
+
+// Print writes the figure as the series behind the paper's plot.
+func (r *FigureResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Range Query Time (%s Data Set) — time vs %% images stored as editing operations\n", r.Config.Name)
+	fmt.Fprintf(w, "%8s %10s %14s %14s %12s %12s %10s\n",
+		"seq%", "seqCount", "RBM(w/out DS)", "BWM(with DS)", "RBM ops", "BWM ops", "reduction")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%7.1f%% %10d %14s %14s %12d %12d %9.2f%%\n",
+			p.SeqPct, p.SeqCount, p.RBM.Round(time.Microsecond), p.BWM.Round(time.Microsecond),
+			p.RBMOps, p.BWMOps, p.ReductionPct)
+	}
+	fmt.Fprintf(w, "average reduction: %.2f%% (paper: helmets 33.07%%, flags 22.08%%)\n", r.AvgReductionPct)
+}
+
+// SummaryResult pairs the two figures' headline numbers.
+type SummaryResult struct {
+	Helmet, Flag *FigureResult
+}
+
+// RunSummary runs both default figures and returns the headline averages.
+func RunSummary() (*SummaryResult, error) {
+	helmet, err := RunFigure(HelmetConfig())
+	if err != nil {
+		return nil, err
+	}
+	flag, err := RunFigure(FlagConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &SummaryResult{Helmet: helmet, Flag: flag}, nil
+}
+
+// Print writes the paper-vs-measured headline comparison.
+func (s *SummaryResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %18s %18s\n", "data set", "paper reduction", "measured reduction")
+	fmt.Fprintf(w, "%-10s %17.2f%% %17.2f%%\n", "helmet", 33.07, s.Helmet.AvgReductionPct)
+	fmt.Fprintf(w, "%-10s %17.2f%% %17.2f%%\n", "flag", 22.08, s.Flag.AvgReductionPct)
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rules"
+)
+
+// WriteTable1 prints the behavioural reproduction of the paper's Table 1:
+// the per-operation bound-adjustment rules and their widening
+// classification, as implemented by internal/rules.
+func WriteTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — rules for adjusting bounds on pixels in histogram bin HB")
+	fmt.Fprintf(w, "%-8s %-32s %-38s %-38s %-16s %-9s\n",
+		"op", "condition", "minimum in HB", "maximum in HB", "total pixels", "widening")
+	for _, r := range rules.Table1() {
+		fmt.Fprintf(w, "%-8s %-32s %-38s %-38s %-16s %-9v\n",
+			r.Operation, r.Condition, r.MinEffect, r.MaxEffect, r.TotalEff, r.Widening)
+	}
+}
+
+// Table2Row is one realized data-set parameter row, mirroring the paper's
+// Table 2 (default values of parameters used in the evaluation).
+type Table2Row struct {
+	Description string
+	Helmet      float64
+	Flag        float64
+}
+
+// RunTable2 builds both default corpora at full sequence storage and
+// reports the realized parameters.
+func RunTable2() ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, 6)
+	type facts struct {
+		total, binaries, edited int
+		avgOps                  float64
+		widening, nonWidening   int
+	}
+	collect := func(cfg Config) (facts, error) {
+		corpus, err := BuildCorpus(cfg)
+		if err != nil {
+			return facts{}, err
+		}
+		db, err := corpus.BuildDBAt(cfg.Edited)
+		if err != nil {
+			return facts{}, err
+		}
+		defer db.Close()
+		st, err := db.Stats()
+		if err != nil {
+			return facts{}, err
+		}
+		return facts{
+			total:       st.Catalog.Images,
+			binaries:    st.Catalog.Binaries,
+			edited:      st.Catalog.Edited,
+			avgOps:      st.Catalog.AvgOpsPerEdited,
+			widening:    st.Catalog.WideningOnly,
+			nonWidening: st.Catalog.NonWidening,
+		}, nil
+	}
+	h, err := collect(HelmetConfig())
+	if err != nil {
+		return nil, err
+	}
+	f, err := collect(FlagConfig())
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows,
+		Table2Row{"Number of images in database", float64(h.total), float64(f.total)},
+		Table2Row{"Number of binary images in database", float64(h.binaries), float64(f.binaries)},
+		Table2Row{"Number of edited images in database", float64(h.edited), float64(f.edited)},
+		Table2Row{"Average number of operations within an edited image", h.avgOps, f.avgOps},
+		Table2Row{"Number of edited images that contain only operations with bound-widening rules", float64(h.widening), float64(f.widening)},
+		Table2Row{"Number of edited images that have an operation whose rule is not bound-widening", float64(h.nonWidening), float64(f.nonWidening)},
+	)
+	return rows, nil
+}
+
+// WriteTable2 prints the realized Table 2.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2 — default values of parameters used in performance evaluation")
+	fmt.Fprintf(w, "%-82s %8s %8s\n", "Description", "Helmet", "Flag")
+	for _, r := range rows {
+		if r.Helmet == float64(int(r.Helmet)) && r.Flag == float64(int(r.Flag)) {
+			fmt.Fprintf(w, "%-82s %8d %8d\n", r.Description, int(r.Helmet), int(r.Flag))
+		} else {
+			fmt.Fprintf(w, "%-82s %8.2f %8.2f\n", r.Description, r.Helmet, r.Flag)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package bwm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+	"repro/internal/query"
+	"repro/internal/rbm"
+	"repro/internal/rules"
+)
+
+var (
+	q4    = colorspace.NewUniformRGB(4)
+	red   = imaging.RGB{R: 200, G: 0, B: 0}
+	green = imaging.RGB{R: 0, G: 200, B: 0}
+	blue  = imaging.RGB{R: 0, G: 0, B: 200}
+)
+
+func TestIndexInsertBinaryKeepsSorted(t *testing.T) {
+	x := NewIndex()
+	for _, id := range []uint64{5, 1, 9, 3} {
+		x.InsertBinary(id)
+	}
+	x.InsertBinary(5) // duplicate is a no-op
+	main, _ := x.snapshot()
+	want := []uint64{1, 3, 5, 9}
+	if len(main) != len(want) {
+		t.Fatalf("clusters %d", len(main))
+	}
+	for i, c := range main {
+		if c.baseID != want[i] {
+			t.Fatalf("cluster order %v", main)
+		}
+	}
+}
+
+func TestIndexInsertEditedRouting(t *testing.T) {
+	x := NewIndex()
+	x.InsertBinary(1)
+	x.InsertEdited(10, 1, true)
+	x.InsertEdited(11, 1, false)
+	x.InsertEdited(12, 999, true) // unknown base → unclassified for safety
+	clusters, clustered, unclassified := x.Sizes()
+	if clusters != 1 || clustered != 1 || unclassified != 2 {
+		t.Fatalf("sizes %d/%d/%d", clusters, clustered, unclassified)
+	}
+}
+
+// buildRandomDB creates a catalog + engine + index populated with synthetic
+// images and random edit sequences, mirroring what internal/core does, so
+// the equivalence test runs at the data-structure level too.
+func buildRandomDB(t *testing.T, seed int64, nBinary, nEdited int) (*catalog.Catalog, *rules.Engine, *Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cat := catalog.New()
+	idx := NewIndex()
+	palette := []imaging.RGB{red, green, blue, {R: 255, G: 255, B: 255}, {}}
+
+	var binIDs []uint64
+	var dims = map[uint64][2]int{}
+	for i := 0; i < nBinary; i++ {
+		w, h := 4+rng.Intn(8), 4+rng.Intn(8)
+		img := imaging.New(w, h)
+		for j := range img.Pix {
+			img.Pix[j] = palette[rng.Intn(len(palette))]
+		}
+		id, err := cat.AddBinary("bin", w, h, histogram.Extract(img, q4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.InsertBinary(id)
+		binIDs = append(binIDs, id)
+		dims[id] = [2]int{w, h}
+	}
+	for i := 0; i < nEdited; i++ {
+		baseID := binIDs[rng.Intn(len(binIDs))]
+		d := dims[baseID]
+		var ops []editops.Op
+		n := 1 + rng.Intn(5)
+		for len(ops) < n {
+			switch rng.Intn(5) {
+			case 0:
+				x0, y0 := rng.Intn(d[0]), rng.Intn(d[1])
+				ops = append(ops, editops.Define{Region: imaging.R(x0, y0, x0+1+rng.Intn(d[0]), y0+1+rng.Intn(d[1]))})
+			case 1:
+				ops = append(ops, editops.Modify{Old: palette[rng.Intn(len(palette))], New: palette[rng.Intn(len(palette))]})
+			case 2:
+				ops = append(ops, editops.Combine{Weights: [9]float64{1, 1, 1, 1, 1, 1, 1, 1, 1}})
+			case 3:
+				ops = append(ops, editops.Mutate{M: [9]float64{1, 0, float64(rng.Intn(5) - 2), 0, 1, float64(rng.Intn(5) - 2), 0, 0, 1}})
+			case 4:
+				if rng.Intn(2) == 0 {
+					ops = append(ops, editops.Merge{Target: editops.NullTarget})
+				} else {
+					ops = append(ops, editops.Merge{Target: binIDs[rng.Intn(len(binIDs))], XP: rng.Intn(6), YP: rng.Intn(6)})
+				}
+			}
+		}
+		widening := rules.SequenceIsWideningFor(ops, d[0], d[1])
+		id, err := cat.AddEdited("ed", &editops.Sequence{BaseID: baseID, Ops: ops}, widening)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.InsertEdited(id, baseID, widening)
+	}
+	return cat, rules.NewEngine(q4, imaging.RGB{}, cat), idx
+}
+
+// TestBWMEqualsRBM is the correctness claim of the paper's §4: BWM produces
+// the same query results as RBM while avoiding rule applications. Random
+// databases, random queries.
+func TestBWMEqualsRBM(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cat, engine, idx := buildRandomDB(t, seed, 6, 40)
+		r := rbm.New(cat, engine)
+		b := New(cat, engine, idx)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for trial := 0; trial < 60; trial++ {
+			lo := rng.Float64()
+			hi := lo + (1-lo)*rng.Float64()
+			q := query.Range{Bin: rng.Intn(q4.Bins()), PctMin: lo, PctMax: hi}
+			rres, err := r.Range(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bres, err := b.Range(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rres.IDs) != len(bres.IDs) {
+				t.Fatalf("seed %d trial %d: RBM %v != BWM %v", seed, trial, rres.IDs, bres.IDs)
+			}
+			for i := range rres.IDs {
+				if rres.IDs[i] != bres.IDs[i] {
+					t.Fatalf("seed %d trial %d: RBM %v != BWM %v", seed, trial, rres.IDs, bres.IDs)
+				}
+			}
+			// BWM must never apply MORE rules than RBM.
+			if bres.Stats.OpsEvaluated > rres.Stats.OpsEvaluated {
+				t.Fatalf("seed %d trial %d: BWM evaluated %d ops, RBM %d",
+					seed, trial, bres.Stats.OpsEvaluated, rres.Stats.OpsEvaluated)
+			}
+		}
+	}
+}
+
+// TestBWMSkipsRulesWhenBaseMatches pins the mechanism: with a base that
+// satisfies the query, cluster members are admitted with zero rule
+// evaluations.
+func TestBWMSkipsRulesWhenBaseMatches(t *testing.T) {
+	cat := catalog.New()
+	idx := NewIndex()
+	img := imaging.NewFilled(10, 10, red)
+	baseID, _ := cat.AddBinary("b", 10, 10, histogram.Extract(img, q4))
+	idx.InsertBinary(baseID)
+	for i := 0; i < 5; i++ {
+		seq := &editops.Sequence{BaseID: baseID, Ops: []editops.Op{
+			editops.Modify{Old: red, New: green},
+		}}
+		id, err := cat.AddEdited("e", seq, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.InsertEdited(id, baseID, true)
+	}
+	engine := rules.NewEngine(q4, imaging.RGB{}, cat)
+	p := New(cat, engine, idx)
+	res, err := p.Range(query.Range{Bin: q4.Bin(red), PctMin: 0.5, PctMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 6 {
+		t.Fatalf("returned %d ids", len(res.IDs))
+	}
+	if res.Stats.OpsEvaluated != 0 || res.Stats.EditedSkipped != 5 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+}
+
+// TestBWMWalksRulesWhenBaseFails pins the other branch: base misses the
+// query, so each cluster member takes the rule walk (Fig. 2 step 4.3).
+func TestBWMWalksRulesWhenBaseFails(t *testing.T) {
+	cat := catalog.New()
+	idx := NewIndex()
+	img := imaging.NewFilled(10, 10, blue)
+	baseID, _ := cat.AddBinary("b", 10, 10, histogram.Extract(img, q4))
+	idx.InsertBinary(baseID)
+	seq := &editops.Sequence{BaseID: baseID, Ops: []editops.Op{
+		editops.Modify{Old: blue, New: red},
+	}}
+	id, _ := cat.AddEdited("e", seq, true)
+	idx.InsertEdited(id, baseID, true)
+
+	engine := rules.NewEngine(q4, imaging.RGB{}, cat)
+	p := New(cat, engine, idx)
+	res, err := p.Range(query.Range{Bin: q4.Bin(red), PctMin: 0.5, PctMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The edited image may be fully red → returned; the base is not.
+	if len(res.IDs) != 1 || res.IDs[0] != id {
+		t.Fatalf("ids %v", res.IDs)
+	}
+	if res.Stats.EditedWalked != 1 || res.Stats.OpsEvaluated != 1 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+}
+
+func TestBWMValidatesQuery(t *testing.T) {
+	cat, engine, idx := buildRandomDB(t, 1, 2, 2)
+	p := New(cat, engine, idx)
+	if _, err := p.Range(query.Range{Bin: -1}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestIndexDeleteEdited(t *testing.T) {
+	x := NewIndex()
+	x.InsertBinary(1)
+	x.InsertEdited(10, 1, true)
+	x.InsertEdited(11, 1, false)
+	x.DeleteEdited(10, 1)
+	x.DeleteEdited(11, 1)
+	x.DeleteEdited(99, 1) // absent: no-op
+	_, clustered, unclassified := x.Sizes()
+	if clustered != 0 || unclassified != 0 {
+		t.Fatalf("sizes after delete: %d %d", clustered, unclassified)
+	}
+}
+
+func TestIndexDeleteBinary(t *testing.T) {
+	x := NewIndex()
+	for _, id := range []uint64{3, 1, 2} {
+		x.InsertBinary(id)
+	}
+	x.DeleteBinary(2)
+	x.DeleteBinary(9) // absent: no-op
+	main, _ := x.snapshot()
+	if len(main) != 2 || main[0].baseID != 1 || main[1].baseID != 3 {
+		t.Fatalf("clusters after delete: %v", main)
+	}
+	// Position map stays consistent: inserts still route correctly.
+	x.InsertEdited(30, 3, true)
+	_, clustered, _ := x.Sizes()
+	if clustered != 1 {
+		t.Fatalf("clustered = %d", clustered)
+	}
+}
+
+func TestIndexDeleteBinaryWithMembersPanics(t *testing.T) {
+	x := NewIndex()
+	x.InsertBinary(1)
+	x.InsertEdited(10, 1, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deleting populated cluster did not panic")
+		}
+	}()
+	x.DeleteBinary(1)
+}

@@ -1,0 +1,255 @@
+// Package client is a Go client for the ESIDB HTTP API (internal/server):
+// remote tools insert rasters and scripts, run range/compound queries and
+// similarity searches, and administer the database without linking the
+// engine. Wire formats match the server exactly and are covered by tests
+// that run both ends in-process.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	mmdb "repro"
+)
+
+// Client talks to one ESIDB server.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8765"). httpClient may be nil for http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Object is the wire form of a catalog entry.
+type Object struct {
+	ID       uint64 `json:"id"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	W        int    `json:"width,omitempty"`
+	H        int    `json:"height,omitempty"`
+	BaseID   uint64 `json:"base_id,omitempty"`
+	Ops      int    `json:"ops,omitempty"`
+	Widening *bool  `json:"widening,omitempty"`
+	Script   string `json:"script,omitempty"`
+}
+
+// QueryResult is the wire form of a range-query answer.
+type QueryResult struct {
+	IDs     []uint64 `json:"ids"`
+	Objects []Object `json:"objects"`
+	Stats   struct {
+		BinariesChecked int `json:"binaries_checked"`
+		EditedWalked    int `json:"edited_walked"`
+		OpsEvaluated    int `json:"ops_evaluated"`
+		EditedSkipped   int `json:"edited_skipped"`
+	} `json:"stats"`
+}
+
+// Match is one similarity-search result.
+type Match struct {
+	ID   uint64  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// APIError carries a non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequest(method, c.baseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var msg struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(raw, &msg) != nil || msg.Error == "" {
+			msg.Error = strings.TrimSpace(string(raw))
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// InsertImage uploads a raster (as binary PPM) and returns the new object.
+func (c *Client) InsertImage(name string, img *mmdb.Image) (*Object, error) {
+	var buf bytes.Buffer
+	if err := mmdb.EncodePPM(&buf, img); err != nil {
+		return nil, err
+	}
+	var obj Object
+	err := c.do("POST", "/objects?name="+url.QueryEscape(name), &buf, "image/x-portable-pixmap", &obj)
+	if err != nil {
+		return nil, err
+	}
+	return &obj, nil
+}
+
+// InsertSequence uploads an edited image's text script.
+func (c *Client) InsertSequence(name string, seq *mmdb.Sequence) (*Object, error) {
+	var obj Object
+	err := c.do("POST", "/sequences?name="+url.QueryEscape(name),
+		strings.NewReader(mmdb.FormatSequence(seq)), "text/plain", &obj)
+	if err != nil {
+		return nil, err
+	}
+	return &obj, nil
+}
+
+// List returns every object's metadata.
+func (c *Client) List() ([]Object, error) {
+	var out []Object
+	if err := c.do("GET", "/objects", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Get returns one object's metadata (including the script for edited
+// images).
+func (c *Client) Get(id uint64) (*Object, error) {
+	var obj Object
+	if err := c.do("GET", fmt.Sprintf("/objects/%d", id), nil, "", &obj); err != nil {
+		return nil, err
+	}
+	return &obj, nil
+}
+
+// Image downloads an object's raster, instantiating edited images
+// server-side.
+func (c *Client) Image(id uint64) (*mmdb.Image, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/objects/%d/image", c.baseURL, id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &APIError{Status: resp.StatusCode, Message: string(raw)}
+	}
+	return mmdb.DecodePPM(resp.Body)
+}
+
+// Augment asks the server to generate edited versions of a base image.
+func (c *Client) Augment(baseID uint64, opts mmdb.AugmentOptions) ([]uint64, error) {
+	q := url.Values{}
+	if opts.PerBase > 0 {
+		q.Set("per", strconv.Itoa(opts.PerBase))
+	}
+	if opts.OpsPerImage > 0 {
+		q.Set("ops", strconv.Itoa(opts.OpsPerImage))
+	}
+	if opts.NonWideningFrac > 0 {
+		q.Set("nonwidening", strconv.FormatFloat(opts.NonWideningFrac, 'f', -1, 64))
+	}
+	q.Set("seed", strconv.FormatInt(opts.Seed, 10))
+	var out struct {
+		Edited []uint64 `json:"edited"`
+	}
+	err := c.do("POST", fmt.Sprintf("/objects/%d/augment?%s", baseID, q.Encode()), nil, "", &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Edited, nil
+}
+
+// Delete removes an object.
+func (c *Client) Delete(id uint64) error {
+	return c.do("DELETE", fmt.Sprintf("/objects/%d", id), nil, "", nil)
+}
+
+// Query runs a textual (possibly compound) range query. mode may be empty
+// for BWM; expandBases adds each match's base image.
+func (c *Client) Query(text, mode string, expandBases bool) (*QueryResult, error) {
+	q := url.Values{}
+	q.Set("q", text)
+	if mode != "" {
+		q.Set("mode", mode)
+	}
+	if expandBases {
+		q.Set("bases", "1")
+	}
+	var out QueryResult
+	if err := c.do("GET", "/query?"+q.Encode(), nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explain fetches a query's plan without running it.
+func (c *Client) Explain(text string) (*mmdb.Plan, error) {
+	var out mmdb.Plan
+	if err := c.do("GET", "/explain?q="+url.QueryEscape(text), nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Similar uploads a probe image and returns its k nearest neighbors.
+// metric may be empty for L1.
+func (c *Client) Similar(probe *mmdb.Image, k int, metric string) ([]Match, error) {
+	var buf bytes.Buffer
+	if err := mmdb.EncodePPM(&buf, probe); err != nil {
+		return nil, err
+	}
+	q := url.Values{}
+	q.Set("k", strconv.Itoa(k))
+	if metric != "" {
+		q.Set("metric", metric)
+	}
+	var out struct {
+		Matches []Match `json:"matches"`
+	}
+	err := c.do("POST", "/similar?"+q.Encode(), &buf, "image/x-portable-pixmap", &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Matches, nil
+}
+
+// Stats returns the server's database statistics.
+func (c *Client) Stats() (*mmdb.Stats, error) {
+	var out mmdb.Stats
+	if err := c.do("GET", "/stats", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compact asks the server to rewrite its store file.
+func (c *Client) Compact() error {
+	return c.do("POST", "/compact", nil, "", nil)
+}

@@ -1,0 +1,121 @@
+// Package colorspace provides color-model conversions (RGB, HSV, CIE Luv)
+// and the uniform quantizers that map pixels to color-histogram bins. The
+// paper extracts histograms over a uniformly quantized color model (RGB, HSV
+// or Luv, §3.1); this package supplies all three so the histogram layer is
+// model-agnostic.
+package colorspace
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+)
+
+// HSV holds a hue-saturation-value triple with H ∈ [0,360), S,V ∈ [0,1].
+type HSV struct {
+	H, S, V float64
+}
+
+// Luv holds a CIE 1976 L*u*v* triple computed against the D65 white point.
+type Luv struct {
+	L, U, V float64
+}
+
+// RGBToHSV converts a 24-bit RGB color to HSV.
+func RGBToHSV(c imaging.RGB) HSV {
+	r := float64(c.R) / 255
+	g := float64(c.G) / 255
+	b := float64(c.B) / 255
+	maxc := math.Max(r, math.Max(g, b))
+	minc := math.Min(r, math.Min(g, b))
+	v := maxc
+	d := maxc - minc
+	var s float64
+	if maxc > 0 {
+		s = d / maxc
+	}
+	var h float64
+	switch {
+	case d == 0:
+		h = 0
+	case maxc == r:
+		h = 60 * math.Mod((g-b)/d, 6)
+	case maxc == g:
+		h = 60 * ((b-r)/d + 2)
+	default:
+		h = 60 * ((r-g)/d + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	return HSV{H: h, S: s, V: v}
+}
+
+// HSVToRGB converts an HSV color back to 24-bit RGB.
+func HSVToRGB(c HSV) imaging.RGB {
+	h := math.Mod(c.H, 360)
+	if h < 0 {
+		h += 360
+	}
+	cc := c.V * c.S
+	x := cc * (1 - math.Abs(math.Mod(h/60, 2)-1))
+	m := c.V - cc
+	var r, g, b float64
+	switch {
+	case h < 60:
+		r, g, b = cc, x, 0
+	case h < 120:
+		r, g, b = x, cc, 0
+	case h < 180:
+		r, g, b = 0, cc, x
+	case h < 240:
+		r, g, b = 0, x, cc
+	case h < 300:
+		r, g, b = x, 0, cc
+	default:
+		r, g, b = cc, 0, x
+	}
+	round := func(v float64) uint8 { return uint8(math.Round((v + m) * 255)) }
+	return imaging.RGB{R: round(r), G: round(g), B: round(b)}
+}
+
+// D65 reference white in XYZ, normalized to Y=100.
+const (
+	whiteX = 95.047
+	whiteY = 100.0
+	whiteZ = 108.883
+)
+
+// RGBToLuv converts sRGB to CIE L*u*v* via linearized RGB and XYZ.
+func RGBToLuv(c imaging.RGB) Luv {
+	lin := func(v uint8) float64 {
+		f := float64(v) / 255
+		if f <= 0.04045 {
+			return f / 12.92
+		}
+		return math.Pow((f+0.055)/1.055, 2.4)
+	}
+	r, g, b := lin(c.R), lin(c.G), lin(c.B)
+	// sRGB D65 matrix, scaled so Y of white is 100.
+	x := (0.4124564*r + 0.3575761*g + 0.1804375*b) * 100
+	y := (0.2126729*r + 0.7151522*g + 0.0721750*b) * 100
+	z := (0.0193339*r + 0.1191920*g + 0.9503041*b) * 100
+
+	yr := y / whiteY
+	var l float64
+	if yr > 216.0/24389.0 {
+		l = 116*math.Cbrt(yr) - 16
+	} else {
+		l = 24389.0 / 27.0 * yr
+	}
+	denom := x + 15*y + 3*z
+	var up, vp float64
+	if denom > 0 {
+		up = 4 * x / denom
+		vp = 9 * y / denom
+	}
+	denomW := whiteX + 15*whiteY + 3*whiteZ
+	upW := 4 * whiteX / denomW
+	vpW := 9 * whiteY / denomW
+	return Luv{L: l, U: 13 * l * (up - upW), V: 13 * l * (vp - vpW)}
+}

@@ -1,0 +1,187 @@
+package colorspace
+
+import (
+	"fmt"
+
+	"repro/internal/imaging"
+)
+
+// Quantizer maps a pixel color to a histogram bin index in [0, Bins()).
+// Implementations must be pure functions of the color: the same color always
+// maps to the same bin. This is what lets the rule engine reason about
+// Modify(old→new) symbolically, without looking at any pixels.
+type Quantizer interface {
+	// Bins returns the number of bins, i.e. the histogram dimensionality.
+	Bins() int
+	// Bin returns the bin index for a color.
+	Bin(c imaging.RGB) int
+	// Name returns a short identifier used when persisting a database, so a
+	// reopened database can verify it was built with the same quantizer.
+	Name() string
+}
+
+// UniformRGB quantizes each RGB channel uniformly into n divisions, giving
+// n³ bins. This is the "uniformly quantizing the space of a color model"
+// scheme from §3.1 of the paper.
+type UniformRGB struct {
+	divs int
+}
+
+// NewUniformRGB returns a UniformRGB quantizer with n divisions per channel.
+// It panics unless 1 ≤ n ≤ 256.
+func NewUniformRGB(n int) UniformRGB {
+	if n < 1 || n > 256 {
+		panic(fmt.Sprintf("colorspace: divisions %d out of [1,256]", n))
+	}
+	return UniformRGB{divs: n}
+}
+
+// Bins returns n³.
+func (q UniformRGB) Bins() int { return q.divs * q.divs * q.divs }
+
+// Bin maps the color to its (r, g, b) cell, row-major in r, g, b order.
+func (q UniformRGB) Bin(c imaging.RGB) int {
+	n := q.divs
+	r := int(c.R) * n / 256
+	g := int(c.G) * n / 256
+	b := int(c.B) * n / 256
+	return (r*n+g)*n + b
+}
+
+// Name identifies the quantizer and its parameterization.
+func (q UniformRGB) Name() string { return fmt.Sprintf("rgb%d", q.divs) }
+
+// BinCenter returns a representative color for a bin: the center of its RGB
+// cell. Useful for rendering query results and for the named-color table.
+func (q UniformRGB) BinCenter(bin int) imaging.RGB {
+	n := q.divs
+	b := bin % n
+	g := (bin / n) % n
+	r := bin / (n * n)
+	center := func(i int) uint8 {
+		lo := i * 256 / n
+		hi := (i+1)*256/n - 1
+		return uint8((lo + hi) / 2)
+	}
+	return imaging.RGB{R: center(r), G: center(g), B: center(b)}
+}
+
+// UniformHSV quantizes hue into hDivs sectors and saturation/value into
+// sDivs and vDivs levels, giving hDivs·sDivs·vDivs bins. HSV quantization is
+// the common alternative cited in §3.1; hue-heavy splits (e.g. 18×3×3) keep
+// perceptually similar colors together better than RGB cells.
+type UniformHSV struct {
+	hDivs, sDivs, vDivs int
+}
+
+// NewUniformHSV returns a UniformHSV quantizer. All division counts must be
+// ≥ 1; it panics otherwise.
+func NewUniformHSV(hDivs, sDivs, vDivs int) UniformHSV {
+	if hDivs < 1 || sDivs < 1 || vDivs < 1 {
+		panic(fmt.Sprintf("colorspace: invalid HSV divisions %d/%d/%d", hDivs, sDivs, vDivs))
+	}
+	return UniformHSV{hDivs: hDivs, sDivs: sDivs, vDivs: vDivs}
+}
+
+// Bins returns hDivs·sDivs·vDivs.
+func (q UniformHSV) Bins() int { return q.hDivs * q.sDivs * q.vDivs }
+
+// Bin maps the color through RGB→HSV and uniform cell assignment.
+func (q UniformHSV) Bin(c imaging.RGB) int {
+	hsv := RGBToHSV(c)
+	h := int(hsv.H / 360 * float64(q.hDivs))
+	if h >= q.hDivs {
+		h = q.hDivs - 1
+	}
+	s := int(hsv.S * float64(q.sDivs))
+	if s >= q.sDivs {
+		s = q.sDivs - 1
+	}
+	v := int(hsv.V * float64(q.vDivs))
+	if v >= q.vDivs {
+		v = q.vDivs - 1
+	}
+	return (h*q.sDivs+s)*q.vDivs + v
+}
+
+// Name identifies the quantizer and its parameterization.
+func (q UniformHSV) Name() string {
+	return fmt.Sprintf("hsv%dx%dx%d", q.hDivs, q.sDivs, q.vDivs)
+}
+
+// ParseQuantizer reconstructs a quantizer from its Name() string. It is the
+// inverse used when reopening a persisted database.
+func ParseQuantizer(name string) (Quantizer, error) {
+	var n, h, s, v int
+	if cnt, err := fmt.Sscanf(name, "rgb%d", &n); err == nil && cnt == 1 {
+		if n < 1 || n > 256 {
+			return nil, fmt.Errorf("colorspace: quantizer %q: divisions out of range", name)
+		}
+		return NewUniformRGB(n), nil
+	}
+	if cnt, err := fmt.Sscanf(name, "hsv%dx%dx%d", &h, &s, &v); err == nil && cnt == 3 {
+		if h < 1 || s < 1 || v < 1 {
+			return nil, fmt.Errorf("colorspace: quantizer %q: divisions out of range", name)
+		}
+		return NewUniformHSV(h, s, v), nil
+	}
+	var l, uv int
+	if cnt, err := fmt.Sscanf(name, "luv%dx%d", &l, &uv); err == nil && cnt == 2 {
+		if l < 1 || uv < 1 {
+			return nil, fmt.Errorf("colorspace: quantizer %q: divisions out of range", name)
+		}
+		return NewUniformLuv(l, uv), nil
+	}
+	return nil, fmt.Errorf("colorspace: unknown quantizer %q", name)
+}
+
+// UniformLuv quantizes CIE L*u*v* uniformly: L* into lDivs levels over
+// [0,100] and u*,v* into uvDivs levels over [-100,180] (covering sRGB's
+// gamut). Luv is the third color model the paper's §3.1 names; its
+// perceptual uniformity makes equal-sized cells closer to equal perceived
+// color differences than RGB cells.
+type UniformLuv struct {
+	lDivs, uvDivs int
+}
+
+// Luv axis ranges covering the sRGB gamut.
+const (
+	luvLMax  = 100.0
+	luvUVMin = -100.0
+	luvUVMax = 180.0
+)
+
+// NewUniformLuv returns a UniformLuv quantizer. Division counts must be
+// ≥ 1; it panics otherwise.
+func NewUniformLuv(lDivs, uvDivs int) UniformLuv {
+	if lDivs < 1 || uvDivs < 1 {
+		panic(fmt.Sprintf("colorspace: invalid Luv divisions %d/%d", lDivs, uvDivs))
+	}
+	return UniformLuv{lDivs: lDivs, uvDivs: uvDivs}
+}
+
+// Bins returns lDivs·uvDivs².
+func (q UniformLuv) Bins() int { return q.lDivs * q.uvDivs * q.uvDivs }
+
+// Bin maps the color through RGB→Luv and uniform cell assignment, clamping
+// out-of-range coordinates into the edge cells.
+func (q UniformLuv) Bin(c imaging.RGB) int {
+	luv := RGBToLuv(c)
+	cell := func(v, lo, hi float64, divs int) int {
+		i := int((v - lo) / (hi - lo) * float64(divs))
+		if i < 0 {
+			i = 0
+		}
+		if i >= divs {
+			i = divs - 1
+		}
+		return i
+	}
+	l := cell(luv.L, 0, luvLMax, q.lDivs)
+	u := cell(luv.U, luvUVMin, luvUVMax, q.uvDivs)
+	v := cell(luv.V, luvUVMin, luvUVMax, q.uvDivs)
+	return (l*q.uvDivs+u)*q.uvDivs + v
+}
+
+// Name identifies the quantizer and its parameterization.
+func (q UniformLuv) Name() string { return fmt.Sprintf("luv%dx%d", q.lDivs, q.uvDivs) }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+	"repro/internal/rbm"
+	"repro/internal/rules"
+	"sort"
+)
+
+// Bounds cache — ablation G. The paper's methods re-walk each edited
+// image's operation rules on every query. The opposite end of the design
+// space precomputes the full per-bin bounds vector once per edited image
+// (at first use) and answers every subsequent query with one interval test.
+// The price is memory (bins × edited images) and staleness management; the
+// paper's BWM avoids both while recovering most of the win for
+// widening-only images. ModeCachedBounds makes the tradeoff measurable.
+
+// boundsCache lazily materializes per-image bounds vectors.
+type boundsCache struct {
+	mu sync.RWMutex
+	m  map[uint64][]rules.Bounds
+}
+
+func newBoundsCache() *boundsCache {
+	return &boundsCache{m: make(map[uint64][]rules.Bounds)}
+}
+
+func (c *boundsCache) get(id uint64) ([]rules.Bounds, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.m[id]
+	return b, ok
+}
+
+func (c *boundsCache) put(id uint64, b []rules.Bounds) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[id] = b
+}
+
+func (c *boundsCache) drop(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, id)
+}
+
+// size returns (entries, approximate bytes).
+func (c *boundsCache) size() (int, int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var bytes int64
+	for _, v := range c.m {
+		bytes += int64(len(v)) * 24 // three ints per bin
+	}
+	return len(c.m), bytes
+}
+
+// cachedBoundsFor returns the edited image's full bounds vector, computing
+// and caching it on first use.
+func (db *DB) cachedBoundsFor(obj *catalog.Object) ([]rules.Bounds, error) {
+	if b, ok := db.bcache.get(obj.ID); ok {
+		return b, nil
+	}
+	base, err := db.cat.Binary(obj.Seq.BaseID)
+	if err != nil {
+		return nil, err
+	}
+	b, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+	if err != nil {
+		return nil, err
+	}
+	db.bcache.put(obj.ID, b)
+	return b, nil
+}
+
+// rangeCached answers a range query from the bounds cache: exact histogram
+// tests for binary images, one interval test per edited image. Results are
+// identical to RBM/BWM (the cached vectors are the same BOUNDS values).
+func (db *DB) rangeCached(q query.Range) (*rbm.Result, error) {
+	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	res := &rbm.Result{}
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BinariesChecked++
+		if q.MatchesExact(obj.Hist) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		b, err := db.cachedBoundsFor(obj)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue // base deleted mid-query
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b[q.Bin].Overlaps(q.PctMin, q.PctMax) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// BoundsCacheStats reports the cache's occupancy: entries and approximate
+// resident bytes — the space side of the ablation-G tradeoff.
+func (db *DB) BoundsCacheStats() (entries int, bytes int64) {
+	return db.bcache.size()
+}
+
+// WarmBoundsCache materializes the bounds vector of every edited image.
+func (db *DB) WarmBoundsCache() error {
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if err != nil {
+			return err
+		}
+		if _, err := db.cachedBoundsFor(obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}

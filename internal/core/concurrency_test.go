@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/query"
+)
+
+// TestConcurrentQueriesDuringInserts exercises the documented concurrency
+// contract: queries may run from many goroutines while one writer inserts.
+// Run with -race to verify.
+func TestConcurrentQueriesDuringInserts(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 4, 2, 0.2, 101)
+	queries, err := dataset.RangeWorkload(dataset.WorkloadConfig{Queries: 25, Seed: 6}, db.Quantizer())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// One writer: keeps inserting bases and edits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flags := dataset.Flags(30, 16, 12, 9)
+		for i, f := range flags {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, err := db.InsertImage(f.Name, f.Img)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seq := &editops.Sequence{BaseID: id, Ops: []editops.Op{
+				editops.Modify{Old: dataset.Red, New: dataset.Blue},
+			}}
+			if _, err := db.InsertEdited(f.Name+"-e", seq); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = i
+		}
+	}()
+
+	// Several readers: every mode, every query, repeatedly.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				for _, q := range queries {
+					for _, mode := range []Mode{ModeBWM, ModeRBM, ModeBWMIndexed} {
+						if _, err := db.RangeQuery(q, mode); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	// One deleter: removes some of the pre-populated edited images while
+	// queries run (exercises the copy-on-write paths in the BWM index).
+	preEdited := db.EditedIDs()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, id := range preEdited {
+			if i%2 == 0 {
+				if err := db.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// One k-NN reader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		probe := dataset.Flags(1, 16, 12, 2)[0].Img
+		for rep := 0; rep < 10; rep++ {
+			target := histogram.Extract(probe, db.Quantizer())
+			if _, _, err := db.KNN(query.KNN{Target: target, K: 3, Metric: query.MetricL1}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+
+	// The database is still consistent afterwards.
+	for _, q := range queries {
+		a, err := db.RangeQuery(q, ModeRBM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := db.RangeQuery(q, ModeBWM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(a.IDs, b.IDs) {
+			t.Fatalf("modes disagree after concurrent phase")
+		}
+	}
+}

@@ -1,0 +1,629 @@
+// Package core implements the augmented multimedia database itself: a DB
+// that stores binary images conventionally and edited images as operation
+// sequences, keeps the BWM data structure and an R-tree signature index
+// maintained on insert, answers color range queries in several execution
+// modes (BWM, RBM, indexed BWM, instantiation ground truth), answers k-NN
+// similarity queries with bound-based pruning, and persists everything
+// through the page store.
+//
+// Concurrency model: any number of readers (queries) run concurrently with
+// one writer (insert/delete/compact). Queries see a consistent snapshot of
+// the id lists taken at their start; objects deleted mid-query are silently
+// skipped, and objects inserted mid-query may or may not be visible —
+// read-committed semantics, per-object atomicity.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bwm"
+	"repro/internal/catalog"
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+	"repro/internal/query"
+	"repro/internal/rbm"
+	"repro/internal/rtree"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// Mode selects the range-query execution strategy.
+type Mode uint8
+
+const (
+	// ModeBWM uses the paper's Bound-Widening Method (the default).
+	ModeBWM Mode = iota
+	// ModeRBM uses the Rule-Based Method baseline (§3).
+	ModeRBM
+	// ModeBWMIndexed is ModeBWM with the base-satisfaction probe served by
+	// the R-tree signature index instead of a catalog scan (extension E).
+	ModeBWMIndexed
+	// ModeInstantiate materializes every edited image and matches exact
+	// histograms — the expensive ground truth the paper's methods avoid
+	// (ablation C). Unlike the bound-based modes it returns no false
+	// positives.
+	ModeInstantiate
+	// ModeCachedBounds answers from precomputed per-bin bounds vectors —
+	// the memory-heavy end of the design space (ablation G). Results are
+	// identical to RBM/BWM.
+	ModeCachedBounds
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBWM:
+		return "bwm"
+	case ModeRBM:
+		return "rbm"
+	case ModeBWMIndexed:
+		return "bwm-indexed"
+	case ModeInstantiate:
+		return "instantiate"
+	case ModeCachedBounds:
+		return "cached-bounds"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config configures a database.
+type Config struct {
+	// Quantizer maps colors to histogram bins; nil means UniformRGB(4)
+	// (64 bins).
+	Quantizer colorspace.Quantizer
+	// Background is the fill color for Mutate vacancies and Merge gaps.
+	Background imaging.RGB
+	// Path persists the database to a store file; empty means in-memory.
+	Path string
+	// Store tunes the page store when Path is set.
+	Store store.Options
+	// RTreeFanout is the signature index node capacity; 0 means 16.
+	RTreeFanout int
+}
+
+// DB is the augmented image database. All methods are safe for concurrent
+// use.
+type DB struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	cat     *catalog.Catalog
+	engine  *rules.Engine
+	idx     *bwm.Index
+	rbmProc *rbm.Processor
+	bwmProc *bwm.Processor
+	sig     *rtree.Tree
+
+	st         *store.Store // nil when in-memory
+	rasters    map[uint64]*imaging.Image
+	rasterRecs map[uint64]store.RecordID
+	bcache     *boundsCache
+
+	closed bool
+}
+
+// Open creates or opens a database. With an empty Path the database lives
+// in memory; otherwise the store file is created if absent and reloaded if
+// present. A nil cfg.Quantizer means "use the default (uniform RGB, 64
+// bins) for new databases, adopt whatever the store was built with for
+// existing ones"; an explicitly configured quantizer must match the store's
+// (ErrIncompatible otherwise).
+func Open(cfg Config) (*DB, error) {
+	defaulted := cfg.Quantizer == nil
+	if defaulted {
+		cfg.Quantizer = colorspace.NewUniformRGB(4)
+	}
+	if cfg.RTreeFanout == 0 {
+		cfg.RTreeFanout = 16
+	}
+	db := newDB(cfg)
+	if cfg.Path == "" {
+		return db, nil
+	}
+	st, err := openOrCreate(cfg.Path, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	db.st = st
+	err = db.load()
+	if defaulted {
+		var mismatch *quantizerMismatchError
+		if errors.As(err, &mismatch) {
+			// Adopt the stored quantizer: rebuild the empty in-memory
+			// structures around it and reload.
+			q, perr := colorspace.ParseQuantizer(mismatch.stored)
+			if perr != nil {
+				st.Close()
+				return nil, fmt.Errorf("%w: %v", ErrIncompatible, perr)
+			}
+			cfg.Quantizer = q
+			db = newDB(cfg)
+			db.st = st
+			err = db.load()
+		}
+	}
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// newDB builds the in-memory structures for a resolved configuration.
+func newDB(cfg Config) *DB {
+	db := &DB{
+		cfg:        cfg,
+		cat:        catalog.New(),
+		idx:        bwm.NewIndex(),
+		rasters:    make(map[uint64]*imaging.Image),
+		rasterRecs: make(map[uint64]store.RecordID),
+		bcache:     newBoundsCache(),
+		sig:        rtree.New(cfg.Quantizer.Bins(), cfg.RTreeFanout),
+	}
+	db.engine = rules.NewEngine(cfg.Quantizer, cfg.Background, db.cat)
+	db.rbmProc = rbm.New(db.cat, db.engine)
+	db.bwmProc = bwm.New(db.cat, db.engine, db.idx)
+	return db
+}
+
+// Quantizer returns the configured quantizer.
+func (db *DB) Quantizer() colorspace.Quantizer { return db.cfg.Quantizer }
+
+// Background returns the configured background color.
+func (db *DB) Background() imaging.RGB { return db.cfg.Background }
+
+// Close persists the catalog (when backed by a store) and releases the
+// file. The DB is unusable afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.st == nil {
+		return nil
+	}
+	if err := db.persistCatalogLocked(); err != nil {
+		db.st.Close()
+		return err
+	}
+	return db.st.Close()
+}
+
+// Sync persists the catalog and fsyncs the store. A no-op in memory mode.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return store.ErrClosed
+	}
+	if db.st == nil {
+		return nil
+	}
+	if err := db.persistCatalogLocked(); err != nil {
+		return err
+	}
+	return db.st.Sync()
+}
+
+// InsertImage stores a binary image: the raster goes to the blob store (or
+// the in-memory map), the histogram is extracted into the catalog, the BWM
+// Main Component gains a cluster and the signature index a point.
+func (db *DB) InsertImage(name string, img *imaging.Image) (uint64, error) {
+	if img == nil || img.Size() == 0 {
+		return 0, errors.New("core: cannot insert an empty image")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, store.ErrClosed
+	}
+	hist := histogram.Extract(img, db.cfg.Quantizer)
+	id, err := db.cat.AddBinary(name, img.W, img.H, hist)
+	if err != nil {
+		return 0, err
+	}
+	db.rasters[id] = img.Clone()
+	if db.st != nil {
+		rec, err := db.putRaster(img)
+		if err != nil {
+			return 0, err
+		}
+		db.rasterRecs[id] = rec
+	}
+	db.idx.InsertBinary(id)
+	if err := db.sig.InsertPoint(hist.Normalized(), id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// InsertEdited stores an edited image as its sequence. The base and all
+// Merge targets must already be inserted binary images. The sequence is
+// classified (widening or not) and routed into the BWM structure per the
+// paper's Fig. 1.
+func (db *DB) InsertEdited(name string, seq *editops.Sequence) (uint64, error) {
+	if seq == nil {
+		return 0, errors.New("core: nil sequence")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, store.ErrClosed
+	}
+	base, err := db.cat.Binary(seq.BaseID)
+	if err != nil {
+		return 0, err
+	}
+	widening := rules.SequenceIsWideningFor(seq.Ops, base.W, base.H)
+	id, err := db.cat.AddEdited(name, seq.Clone(), widening)
+	if err != nil {
+		return 0, err
+	}
+	db.idx.InsertEdited(id, seq.BaseID, widening)
+	return id, nil
+}
+
+// AppendOps extends a stored edited image's sequence with more operations
+// — the editing-session update path. The sequence is re-classified from
+// scratch, the image re-routed between the BWM components if its
+// classification changed, and its cached bounds dropped.
+func (db *DB) AppendOps(id uint64, ops []editops.Op) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return store.ErrClosed
+	}
+	obj, err := db.cat.Edited(id)
+	if err != nil {
+		return err
+	}
+	base, err := db.cat.Binary(obj.Seq.BaseID)
+	if err != nil {
+		return err
+	}
+	newSeq := obj.Seq.Clone()
+	newSeq.Ops = append(newSeq.Ops, ops...)
+	oldWidening := obj.Widening
+	widening := rules.SequenceIsWideningFor(newSeq.Ops, base.W, base.H)
+	if err := db.cat.UpdateEdited(id, newSeq, widening); err != nil {
+		return err
+	}
+	if widening != oldWidening {
+		db.idx.DeleteEdited(id, newSeq.BaseID)
+		db.idx.InsertEdited(id, newSeq.BaseID, widening)
+	}
+	db.bcache.drop(id)
+	return nil
+}
+
+// Delete removes an object. Edited images are always deletable; a binary
+// image is deletable only once no edited image references it as base or
+// Merge target (catalog.ErrInUse otherwise). For persistent databases the
+// raster record is reclaimed immediately; the catalog record shrinks at the
+// next Sync/Close.
+func (db *DB) Delete(id uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return store.ErrClosed
+	}
+	obj, err := db.cat.Get(id)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.Delete(id); err != nil {
+		return err
+	}
+	switch obj.Kind {
+	case catalog.KindBinary:
+		db.idx.DeleteBinary(id)
+		if _, err := db.sig.Delete(rtree.Point(obj.Hist.Normalized()), id); err != nil {
+			return err
+		}
+		delete(db.rasters, id)
+		if rec, ok := db.rasterRecs[id]; ok {
+			delete(db.rasterRecs, id)
+			if err := db.st.Delete(rec); err != nil && !errors.Is(err, store.ErrNotFound) {
+				return err
+			}
+		}
+	case catalog.KindEdited:
+		db.idx.DeleteEdited(id, obj.Seq.BaseID)
+		db.bcache.drop(id)
+	}
+	return nil
+}
+
+// Get returns an object's catalog entry.
+func (db *DB) Get(id uint64) (*catalog.Object, error) { return db.cat.Get(id) }
+
+// Binaries returns the binary image ids in insertion order.
+func (db *DB) Binaries() []uint64 { return db.cat.Binaries() }
+
+// EditedIDs returns the edited image ids in insertion order.
+func (db *DB) EditedIDs() []uint64 { return db.cat.EditedIDs() }
+
+// EditedOf returns the edited images derived from a base image.
+func (db *DB) EditedOf(baseID uint64) []uint64 { return db.cat.EditedOf(baseID) }
+
+// binaryRaster returns a binary image's pixels, reading through the store
+// when not cached. Callers must not mutate the result.
+func (db *DB) binaryRaster(id uint64) (*imaging.Image, error) {
+	db.mu.RLock()
+	img, ok := db.rasters[id]
+	rec, hasRec := db.rasterRecs[id]
+	db.mu.RUnlock()
+	if ok {
+		return img, nil
+	}
+	if !hasRec || db.st == nil {
+		return nil, fmt.Errorf("core: raster for image %d: %w", id, catalog.ErrNotFound)
+	}
+	img, err := db.getRaster(rec)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.rasters[id] = img
+	db.mu.Unlock()
+	return img, nil
+}
+
+// env returns the instantiation environment bound to this database.
+func (db *DB) env() *editops.Env {
+	return &editops.Env{Background: db.cfg.Background, ResolveImage: db.binaryRaster}
+}
+
+// Image materializes any object: binary images come from the raster store,
+// edited images are instantiated by executing their sequence.
+func (db *DB) Image(id uint64) (*imaging.Image, error) {
+	obj, err := db.cat.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if obj.Kind == catalog.KindBinary {
+		img, err := db.binaryRaster(id)
+		if err != nil {
+			return nil, err
+		}
+		return img.Clone(), nil
+	}
+	return editops.ApplySequence(obj.Seq, db.env())
+}
+
+// Bounds computes the rule-engine bounds of an edited image for one bin —
+// the primitive the paper's query processing is built on, exposed for
+// inspection tools.
+func (db *DB) Bounds(id uint64, bin int) (rules.Bounds, error) {
+	obj, err := db.cat.Edited(id)
+	if err != nil {
+		return rules.Bounds{}, err
+	}
+	base, err := db.cat.Binary(obj.Seq.BaseID)
+	if err != nil {
+		return rules.Bounds{}, err
+	}
+	return db.engine.BoundsForBin(base.Hist, base.W, base.H, obj.Seq.Ops, bin)
+}
+
+// RangeQuery answers a color range query in the given execution mode.
+func (db *DB) RangeQuery(q query.Range, mode Mode) (*rbm.Result, error) {
+	switch mode {
+	case ModeBWM:
+		return db.bwmProc.Range(q)
+	case ModeRBM:
+		return db.rbmProc.Range(q)
+	case ModeBWMIndexed:
+		return db.rangeIndexed(q)
+	case ModeInstantiate:
+		return db.rangeInstantiate(q)
+	case ModeCachedBounds:
+		return db.rangeCached(q)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
+	}
+}
+
+// RangeQueryText parses a textual range query ("at least 25% blue") and
+// executes it.
+func (db *DB) RangeQueryText(text string, mode Mode) (*rbm.Result, error) {
+	q, err := query.ParseRange(text, db.cfg.Quantizer)
+	if err != nil {
+		return nil, err
+	}
+	return db.RangeQuery(q, mode)
+}
+
+// rangeInstantiate is the ground-truth baseline: every edited image is
+// materialized and matched exactly.
+func (db *DB) rangeInstantiate(q query.Range) (*rbm.Result, error) {
+	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	res := &rbm.Result{}
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BinariesChecked++
+		if q.MatchesExact(obj.Hist) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	env := db.env()
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		img, err := editops.ApplySequence(obj.Seq, env)
+		if err != nil {
+			return nil, fmt.Errorf("core: instantiate %d: %w", id, err)
+		}
+		res.Stats.EditedWalked++
+		if img.Size() == 0 {
+			continue
+		}
+		if q.MatchesExact(histogram.Extract(img, db.cfg.Quantizer)) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// rangeIndexed runs the BWM algorithm but finds query-satisfying bases via
+// an R-tree window probe on the queried bin instead of scanning all base
+// histograms. Results are identical to ModeBWM.
+func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
+	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	bins := db.cfg.Quantizer.Bins()
+	min := make([]float64, bins)
+	max := make([]float64, bins)
+	for i := range max {
+		max[i] = 1
+	}
+	min[q.Bin] = q.PctMin
+	max[q.Bin] = q.PctMax
+	window, err := rtree.NewRect(min, max)
+	if err != nil {
+		return nil, err
+	}
+	// The R-tree is not internally synchronized; writers mutate it under
+	// db.mu, so index reads take the read lock.
+	db.mu.RLock()
+	hits, err := db.sig.SearchIntersect(window)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	satisfied := make(map[uint64]bool, len(hits))
+	for _, id := range hits {
+		satisfied[id] = true
+	}
+	res := &rbm.Result{}
+	res.Stats.BinariesChecked = len(hits) // index probe replaced the scan
+	for _, baseID := range db.cat.Binaries() {
+		if satisfied[baseID] {
+			res.IDs = append(res.IDs, baseID)
+		}
+		for _, eid := range db.cat.EditedOf(baseID) {
+			obj, err := db.cat.Edited(eid)
+			if errors.Is(err, catalog.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if obj.Widening && satisfied[baseID] {
+				res.IDs = append(res.IDs, eid)
+				res.Stats.EditedSkipped++
+				continue
+			}
+			ok, err := db.rbmProc.CheckEdited(eid, q, &res.Stats)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.IDs = append(res.IDs, eid)
+			}
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// CompoundQuery evaluates a multi-predicate query: each term runs in the
+// given mode, then the id sets are intersected (And) or unioned (Or).
+// Per-term statistics accumulate into the result's Stats. Because every
+// term's set is mode-equivalent (BWM ≡ RBM), the combined sets are too.
+func (db *DB) CompoundQuery(c query.Compound, mode Mode) (*rbm.Result, error) {
+	if err := c.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	res := &rbm.Result{}
+	var acc map[uint64]bool
+	for _, term := range c.Terms {
+		tr, err := db.RangeQuery(term, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BinariesChecked += tr.Stats.BinariesChecked
+		res.Stats.EditedWalked += tr.Stats.EditedWalked
+		res.Stats.OpsEvaluated += tr.Stats.OpsEvaluated
+		res.Stats.EditedSkipped += tr.Stats.EditedSkipped
+		cur := make(map[uint64]bool, len(tr.IDs))
+		for _, id := range tr.IDs {
+			cur[id] = true
+		}
+		switch {
+		case acc == nil:
+			acc = cur
+		case c.Conn == query.And:
+			for id := range acc {
+				if !cur[id] {
+					delete(acc, id)
+				}
+			}
+		default: // Or
+			for id := range cur {
+				acc[id] = true
+			}
+		}
+	}
+	res.IDs = make([]uint64, 0, len(acc))
+	for id := range acc {
+		res.IDs = append(res.IDs, id)
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// CompoundQueryText parses and evaluates a textual compound query
+// ("at least 20% red and at most 10% blue").
+func (db *DB) CompoundQueryText(text string, mode Mode) (*rbm.Result, error) {
+	c, err := query.ParseCompound(text, db.cfg.Quantizer)
+	if err != nil {
+		return nil, err
+	}
+	return db.CompoundQuery(c, mode)
+}
+
+// ExpandToBases augments a result id set with the base image of every
+// edited match — the paper's §2 connection between op(x) and x, which lets
+// the system return x even when only op(x)'s features matched.
+func (db *DB) ExpandToBases(ids []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(ids))
+	out := make([]uint64, 0, len(ids))
+	add := func(id uint64) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range ids {
+		add(id)
+		if obj, err := db.cat.Edited(id); err == nil {
+			add(obj.Seq.BaseID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

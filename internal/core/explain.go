@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// Plan describes what a range query would do under each execution strategy
+// without running the full query: how many base images satisfy it, how many
+// edited images each mode would admit rule-free versus rule-walk, and the
+// total operation count at stake. The numbers for BWM are exact (the base
+// probe is the same exact histogram test the query itself performs).
+type Plan struct {
+	Query query.Range
+	// Binaries is the number of binary images (all modes test each once).
+	Binaries int
+	// BaseMatches is how many binary images satisfy the query themselves.
+	BaseMatches int
+	// Edited is the number of edited images in the database.
+	Edited int
+	// SkippedByBWM is how many edited images BWM admits with zero rule
+	// evaluations (widening-only members of clusters whose base matches).
+	SkippedByBWM int
+	// WalkedByBWM is Edited − SkippedByBWM: the rule walks BWM performs.
+	WalkedByBWM int
+	// OpsRBM is the total operation count RBM evaluates (every sequence).
+	OpsRBM int
+	// OpsBWM is the operation count BWM evaluates (walked sequences only).
+	OpsBWM int
+}
+
+// Explain computes the plan for a range query. It costs one pass over the
+// catalog (exact histogram tests plus sequence length sums) — no rule
+// evaluation and no instantiation.
+func (db *DB) Explain(q query.Range) (*Plan, error) {
+	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	p := &Plan{Query: q}
+	matches := make(map[uint64]bool)
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if err != nil {
+			return nil, err
+		}
+		p.Binaries++
+		if q.MatchesExact(obj.Hist) {
+			p.BaseMatches++
+			matches[id] = true
+		}
+	}
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if err != nil {
+			return nil, err
+		}
+		p.Edited++
+		n := len(obj.Seq.Ops)
+		p.OpsRBM += n
+		if obj.Widening && matches[obj.Seq.BaseID] {
+			p.SkippedByBWM++
+		} else {
+			p.WalkedByBWM++
+			p.OpsBWM += n
+		}
+	}
+	return p, nil
+}
+
+// ExplainText parses query text and explains it.
+func (db *DB) ExplainText(text string) (*Plan, error) {
+	q, err := query.ParseRange(text, db.cfg.Quantizer)
+	if err != nil {
+		return nil, err
+	}
+	return db.Explain(q)
+}
+
+// String renders the plan for humans.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "range query: bin %d, pct [%.2f%%, %.2f%%]\n",
+		p.Query.Bin, 100*p.Query.PctMin, 100*p.Query.PctMax)
+	fmt.Fprintf(&b, "binaries: %d exact tests, %d satisfy the query\n", p.Binaries, p.BaseMatches)
+	fmt.Fprintf(&b, "edited:   %d total\n", p.Edited)
+	fmt.Fprintf(&b, "  rbm:    walks all %d sequences (%d operation rules)\n", p.Edited, p.OpsRBM)
+	fmt.Fprintf(&b, "  bwm:    skips %d rule-free, walks %d (%d operation rules", p.SkippedByBWM, p.WalkedByBWM, p.OpsBWM)
+	if p.OpsRBM > 0 {
+		fmt.Fprintf(&b, ", %.1f%% fewer", 100*float64(p.OpsRBM-p.OpsBWM)/float64(p.OpsRBM))
+	}
+	b.WriteString(")\n")
+	return b.String()
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/signature"
+)
+
+// k-NN similarity search — the paper's future-work extension (§6). Binary
+// images are ranked by exact histogram distance (optionally seeded through
+// the R-tree). Edited images are handled without eager instantiation: the
+// rule engine's per-bin bounds yield a LOWER bound on the distance from the
+// query histogram, so any edited image whose lower bound exceeds the
+// current k-th best distance is pruned; only the survivors are
+// instantiated for their exact distance.
+
+// Match is one k-NN result.
+type Match struct {
+	ID   uint64
+	Dist float64
+}
+
+// KNNStats instruments a k-NN execution.
+type KNNStats struct {
+	// BinariesScored is the number of exact binary distances computed.
+	BinariesScored int
+	// EditedPruned is the number of edited images rejected on their lower
+	// bound alone.
+	EditedPruned int
+	// EditedInstantiated is the number of edited images materialized for
+	// an exact distance.
+	EditedInstantiated int
+}
+
+// KNN returns the k objects most similar to the query histogram, across
+// binary and edited images, with bound-based pruning for the latter.
+func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if q.Target.Bins() != db.cfg.Quantizer.Bins() {
+		return nil, nil, fmt.Errorf("core: knn target has %d bins, database uses %d", q.Target.Bins(), db.cfg.Quantizer.Bins())
+	}
+	st := &KNNStats{}
+	best := &matchHeap{} // max-heap of current best k
+	heap.Init(best)
+	push := func(id uint64, d float64) {
+		if best.Len() < q.K {
+			heap.Push(best, Match{ID: id, Dist: d})
+			return
+		}
+		if d < (*best)[0].Dist {
+			(*best)[0] = Match{ID: id, Dist: d}
+			heap.Fix(best, 0)
+		}
+	}
+	threshold := func() float64 {
+		if best.Len() < q.K {
+			return math.Inf(1)
+		}
+		return (*best)[0].Dist
+	}
+
+	// Exact pass over binary images.
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		st.BinariesScored++
+		push(id, q.Metric.Distance(q.Target, obj.Hist))
+	}
+
+	// Bound-pruned pass over edited images.
+	env := db.env()
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := db.cat.Binary(obj.Seq.BaseID)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		lb := distanceLowerBound(q.Target, bounds, q.Metric)
+		if lb > threshold() {
+			st.EditedPruned++
+			continue
+		}
+		img, err := editops.ApplySequence(obj.Seq, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: knn instantiate %d: %w", id, err)
+		}
+		st.EditedInstantiated++
+		if img.Size() == 0 {
+			continue
+		}
+		push(id, q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer)))
+	}
+
+	out := make([]Match, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Match)
+	}
+	return out, st, nil
+}
+
+// KNNMulti is the multiple-query-image technique the paper contrasts with
+// database augmentation (§2, citing Tahaghoghi et al., "Are Two Pictures
+// Better Than One"): every probe histogram is searched independently and
+// the rankings are fused disjunctively — an object's fused distance is its
+// minimum distance to any probe. Returns the overall top k. Stats are
+// accumulated across the per-probe searches, which makes the cost of the
+// approach visible: feature extraction and search run once per probe.
+func (db *DB) KNNMulti(targets []*histogram.Histogram, k int, metric query.Metric) ([]Match, *KNNStats, error) {
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("core: knn-multi needs at least one probe")
+	}
+	total := &KNNStats{}
+	best := make(map[uint64]float64)
+	for _, target := range targets {
+		matches, st, err := db.KNN(query.KNN{Target: target, K: k, Metric: metric})
+		if err != nil {
+			return nil, nil, err
+		}
+		total.BinariesScored += st.BinariesScored
+		total.EditedPruned += st.EditedPruned
+		total.EditedInstantiated += st.EditedInstantiated
+		for _, m := range matches {
+			if d, ok := best[m.ID]; !ok || m.Dist < d {
+				best[m.ID] = m.Dist
+			}
+		}
+	}
+	out := make([]Match, 0, len(best))
+	for id, d := range best {
+		out = append(out, Match{ID: id, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, total, nil
+}
+
+// KNNBinary ranks only binary images. With MetricL2 the R-tree accelerates
+// the search; other metrics use a scan over stored histograms.
+func (db *DB) KNNBinary(q query.KNN) ([]Match, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Target.Bins() != db.cfg.Quantizer.Bins() {
+		return nil, fmt.Errorf("core: knn target has %d bins, database uses %d", q.Target.Bins(), db.cfg.Quantizer.Bins())
+	}
+	if q.Metric == query.MetricL2 {
+		db.mu.RLock()
+		neighbors, err := db.sig.NearestK(q.Target.Normalized(), q.K)
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Match, len(neighbors))
+		for i, n := range neighbors {
+			out[i] = Match{ID: n.ID, Dist: n.Dist}
+		}
+		return out, nil
+	}
+	var out []Match
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{ID: id, Dist: q.Metric.Distance(q.Target, obj.Hist)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > q.K {
+		out = out[:q.K]
+	}
+	return out, nil
+}
+
+// distanceLowerBound computes a provable lower bound on Metric(target, h)
+// over every histogram h compatible with the per-bin bounds. Per bin, the
+// normalized value must lie in [Min/Total, Max/Total]; the distance
+// contribution is minimized at the interval point closest to the target's
+// value.
+func distanceLowerBound(target *histogram.Histogram, bounds []rules.Bounds, metric query.Metric) float64 {
+	tn := target.Normalized()
+	switch metric {
+	case query.MetricL1, query.MetricL2:
+		sum := 0.0
+		for i, b := range bounds {
+			lo, hi := b.PctRange()
+			d := 0.0
+			switch {
+			case tn[i] < lo:
+				d = lo - tn[i]
+			case tn[i] > hi:
+				d = tn[i] - hi
+			}
+			if metric == query.MetricL1 {
+				sum += d
+			} else {
+				sum += d * d
+			}
+		}
+		if metric == query.MetricL1 {
+			return sum
+		}
+		return math.Sqrt(sum)
+	case query.MetricIntersection:
+		// Intersection is maximized by clamping the target into each bin's
+		// range: Σ min(t_i, hi_i) bounds Σ min(t_i, h_i) from above, so
+		// 1 − that bounds the distance from below.
+		s := 0.0
+		for i, b := range bounds {
+			_, hi := b.PctRange()
+			s += math.Min(tn[i], hi)
+		}
+		lb := 1 - s
+		if lb < 0 {
+			lb = 0
+		}
+		return lb
+	default:
+		return 0
+	}
+}
+
+// matchHeap is a max-heap on distance (root = worst of the best k).
+type matchHeap []Match
+
+func (h matchHeap) Len() int            { return len(h) }
+func (h matchHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+// BICIndex builds a Border/Interior Classification search index (Stehling
+// et al., the paper's reference [21]) over the database's binary images —
+// the "color representation without histograms" the paper's future-work
+// section asks about. The index is a point-in-time snapshot; rebuild after
+// inserts.
+func (db *DB) BICIndex() (*signature.Index, error) {
+	idx := signature.NewIndex(db.cfg.Quantizer)
+	for _, id := range db.cat.Binaries() {
+		img, err := db.binaryRaster(id)
+		if err != nil {
+			return nil, err
+		}
+		idx.Add(id, img)
+	}
+	return idx, nil
+}
+
+// WithinDistance returns every object whose histogram lies within dist of
+// the target under the metric — the range-flavored similarity query.
+// Binary images are tested exactly; edited images are pruned on their
+// bound-derived lower bound and instantiated only when the lower bound is
+// within range.
+func (db *DB) WithinDistance(target *histogram.Histogram, dist float64, metric query.Metric) ([]Match, *KNNStats, error) {
+	if target == nil {
+		return nil, nil, fmt.Errorf("core: within-distance target histogram is nil")
+	}
+	if target.Bins() != db.cfg.Quantizer.Bins() {
+		return nil, nil, fmt.Errorf("core: target has %d bins, database uses %d", target.Bins(), db.cfg.Quantizer.Bins())
+	}
+	if dist < 0 {
+		return nil, nil, fmt.Errorf("core: negative distance %v", dist)
+	}
+	st := &KNNStats{}
+	var out []Match
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.BinariesScored++
+		if d := metric.Distance(target, obj.Hist); d <= dist {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	env := db.env()
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := db.cat.Binary(obj.Seq.BaseID)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		if distanceLowerBound(target, bounds, metric) > dist {
+			st.EditedPruned++
+			continue
+		}
+		img, err := editops.ApplySequence(obj.Seq, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: within-distance instantiate %d: %w", id, err)
+		}
+		st.EditedInstantiated++
+		if img.Size() == 0 {
+			continue
+		}
+		if d := metric.Distance(target, histogram.Extract(img, db.cfg.Quantizer)); d <= dist {
+			out = append(out, Match{ID: id, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, st, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/query"
+	"repro/internal/rbm"
+	"repro/internal/rules"
+)
+
+// Multi-bin ("color family") range queries. A perceptual color spans
+// several histogram bins under fine quantizers; these queries constrain the
+// SUM of percentages over a bin set. The paper's machinery lifts soundly:
+//
+//   - Bounds: the true sum lies in [Σ BOUNDmin_i, Σ BOUNDmax_i] because
+//     every per-bin count does (rule soundness) and sums of intervals
+//     bound sums of members.
+//   - BWM skip: per-bin widening means each bin's percentage interval only
+//     grows, so the interval of the sum only grows; if the base image's
+//     exact sum satisfies the query, a widening-only edited image's sum
+//     interval must intersect it.
+
+// sumBounds folds per-bin bounds into a percentage interval for the set.
+func sumBounds(bs []rules.Bounds, bins []int) (lo, hi float64) {
+	if len(bs) == 0 {
+		return 0, 0
+	}
+	total := bs[0].Total
+	if total == 0 {
+		return 0, 0
+	}
+	minSum, maxSum := 0, 0
+	for _, b := range bins {
+		minSum += bs[b].Min
+		maxSum += bs[b].Max
+	}
+	if maxSum > total {
+		maxSum = total
+	}
+	t := float64(total)
+	return float64(minSum) / t, float64(maxSum) / t
+}
+
+// RangeQueryMulti answers a multi-bin range query. Modes: ModeRBM walks
+// every edited sequence once (all bins share one BoundsAll walk), ModeBWM
+// applies the cluster skip, ModeInstantiate materializes, ModeCachedBounds
+// reads the cache. ModeBWMIndexed falls back to ModeBWM (the R-tree window
+// cannot express a sum constraint).
+func (db *DB) RangeQueryMulti(q query.MultiRange, mode Mode) (*rbm.Result, error) {
+	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ModeRBM:
+		return db.multiWalk(q, nil)
+	case ModeBWM, ModeBWMIndexed:
+		return db.multiBWM(q)
+	case ModeInstantiate:
+		return db.multiInstantiate(q)
+	case ModeCachedBounds:
+		return db.multiWalk(q, db.cachedBoundsFor)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
+	}
+}
+
+// RangeQueryColorFamily resolves a named color's bin family and runs the
+// multi-bin query: "at least 25% blue-ish".
+func (db *DB) RangeQueryColorFamily(name string, pctMin, pctMax float64, mode Mode) (*rbm.Result, error) {
+	bins, err := colorspace.FamilyForName(name, db.cfg.Quantizer)
+	if err != nil {
+		return nil, err
+	}
+	return db.RangeQueryMulti(query.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
+}
+
+// multiWalk is the RBM-shaped scan; boundsFn overrides the bounds source
+// (nil = fresh BoundsAll walk, cache lookup for ModeCachedBounds).
+func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error)) (*rbm.Result, error) {
+	res := &rbm.Result{}
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BinariesChecked++
+		if q.MatchesExact(obj.Hist) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	for _, id := range db.cat.EditedIDs() {
+		ok, err := db.multiCheckEdited(id, q, boundsFn, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+func (db *DB) multiCheckEdited(id uint64, q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error), st *rbm.Stats) (bool, error) {
+	obj, err := db.cat.Edited(id)
+	if errors.Is(err, catalog.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var bs []rules.Bounds
+	if boundsFn != nil {
+		bs, err = boundsFn(obj)
+	} else {
+		var base *catalog.Object
+		base, err = db.cat.Binary(obj.Seq.BaseID)
+		if err == nil {
+			st.EditedWalked++
+			st.OpsEvaluated += len(obj.Seq.Ops)
+			bs, err = db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+		}
+	}
+	if errors.Is(err, catalog.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	lo, hi := sumBounds(bs, q.Bins)
+	return lo <= q.PctMax && hi >= q.PctMin, nil
+}
+
+// multiBWM applies the cluster-skip: widening-only members of clusters
+// whose base's exact SUM satisfies the query are admitted rule-free.
+func (db *DB) multiBWM(q query.MultiRange) (*rbm.Result, error) {
+	res := &rbm.Result{}
+	matched := make(map[uint64]bool)
+	for _, baseID := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(baseID)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BinariesChecked++
+		if q.MatchesExact(obj.Hist) {
+			matched[baseID] = true
+			res.IDs = append(res.IDs, baseID)
+		}
+	}
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if obj.Widening && matched[obj.Seq.BaseID] {
+			res.Stats.EditedSkipped++
+			res.IDs = append(res.IDs, id)
+			continue
+		}
+		ok, err := db.multiCheckEdited(id, q, nil, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// multiInstantiate is the exact ground truth.
+func (db *DB) multiInstantiate(q query.MultiRange) (*rbm.Result, error) {
+	res := &rbm.Result{}
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.BinariesChecked++
+		if q.MatchesExact(obj.Hist) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	env := db.env()
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		img, err := editops.ApplySequence(obj.Seq, env)
+		if err != nil {
+			return nil, fmt.Errorf("core: instantiate %d: %w", id, err)
+		}
+		res.Stats.EditedWalked++
+		if img.Size() == 0 {
+			continue
+		}
+		if q.MatchesExact(histogram.Extract(img, db.cfg.Quantizer)) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}

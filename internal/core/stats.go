@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/editops"
+	"repro/internal/store"
+)
+
+// DBStats aggregates the database's occupancy statistics: the catalog
+// breakdown the paper's Table 2 reports, the BWM component sizes, and (for
+// persistent databases) the page-store statistics.
+type DBStats struct {
+	Catalog catalog.Stats
+	// BWMClusters is the number of Main Component clusters (one per binary
+	// image).
+	BWMClusters int
+	// BWMClustered is the number of edited images in Main Component
+	// clusters (widening-only images).
+	BWMClustered int
+	// BWMUnclassified is the number of edited images in the Unclassified
+	// Component.
+	BWMUnclassified int
+	// Store holds page-store statistics; zero-valued for in-memory
+	// databases.
+	Store store.Stats
+	// Persistent reports whether the database is backed by a store file.
+	Persistent bool
+}
+
+// Stats collects current statistics.
+func (db *DB) Stats() (DBStats, error) {
+	st := DBStats{Catalog: db.cat.Stats()}
+	st.BWMClusters, st.BWMClustered, st.BWMUnclassified = db.idx.Sizes()
+	if db.st != nil {
+		st.Persistent = true
+		s, err := db.st.Stats()
+		if err != nil {
+			return DBStats{}, err
+		}
+		st.Store = s
+	}
+	return st, nil
+}
+
+// StorageFootprint estimates the bytes needed to store the database's
+// objects: rasters at 3 bytes per pixel for binary images, encoded sequence
+// length for edited images. It quantifies the space saving of the
+// edit-sequence representation (paper §2).
+func (db *DB) StorageFootprint() (binaryBytes, editedBytes int64, err error) {
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		binaryBytes += int64(3 * obj.W * obj.H)
+	}
+	for _, id := range db.cat.EditedIDs() {
+		obj, err := db.cat.Edited(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		editedBytes += int64(len(editops.EncodeBinary(obj.Seq)))
+	}
+	return binaryBytes, editedBytes, nil
+}
+
+// CheckStore runs the page-store integrity scan (fsck) on a persistent
+// database. In-memory databases return a clean empty result.
+func (db *DB) CheckStore() (store.CheckResult, error) {
+	if db.st == nil {
+		return store.CheckResult{}, nil
+	}
+	return db.st.Check()
+}

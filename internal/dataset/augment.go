@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/editops"
+	"repro/internal/imaging"
+	"repro/internal/rules"
+)
+
+// AugmentConfig controls the editing scripts generated for database
+// augmentation (paper §2: each inserted image x is accompanied by several
+// edited versions op(x) stored as operation sequences).
+type AugmentConfig struct {
+	// PerBase is how many edited versions to derive from each base image.
+	PerBase int
+	// OpsPerImage is the target number of operations per sequence
+	// (sequences get 1..2·OpsPerImage−1 ops, averaging OpsPerImage).
+	OpsPerImage int
+	// NonWideningFrac is the fraction of edited images that must contain a
+	// non-bound-widening operation (a target Merge). The paper's Table 2
+	// reports this split per data set; it is the main knob behind BWM's
+	// advantage.
+	NonWideningFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Augmenter produces editing scripts for base images.
+type Augmenter struct {
+	cfg AugmentConfig
+	rng *rand.Rand
+}
+
+// NewAugmenter returns an augmenter. Zero-value config fields get sensible
+// defaults (3 edits per base, 4 ops per edit, no non-widening edits).
+func NewAugmenter(cfg AugmentConfig) *Augmenter {
+	if cfg.PerBase <= 0 {
+		cfg.PerBase = 3
+	}
+	if cfg.OpsPerImage <= 0 {
+		cfg.OpsPerImage = 4
+	}
+	return &Augmenter{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// ScriptsFor generates the editing scripts for one base image. otherBases
+// supplies candidate Merge targets (ids of other binary images already in
+// the database); it may be empty, in which case no non-widening scripts can
+// be produced and every script is widening-only.
+func (a *Augmenter) ScriptsFor(baseID uint64, baseImg *imaging.Image, otherBases []uint64) []*editops.Sequence {
+	out := make([]*editops.Sequence, 0, a.cfg.PerBase)
+	for i := 0; i < a.cfg.PerBase; i++ {
+		nonWidening := len(otherBases) > 0 && a.rng.Float64() < a.cfg.NonWideningFrac
+		out = append(out, a.script(baseID, baseImg, otherBases, nonWidening))
+	}
+	return out
+}
+
+// script builds one sequence. Widening scripts draw from the recolor /
+// blur / translate / rotate / flip / scale / crop gestures; non-widening
+// scripts additionally paste the DR onto another base image.
+func (a *Augmenter) script(baseID uint64, baseImg *imaging.Image, otherBases []uint64, nonWidening bool) *editops.Sequence {
+	n := 1 + a.rng.Intn(2*a.cfg.OpsPerImage-1)
+	var ops []editops.Op
+	for attempts := 0; attempts < 50; attempts++ {
+		ops = ops[:0]
+		for len(ops) < n {
+			ops = append(ops, a.gesture(baseImg)...)
+		}
+		if nonWidening {
+			target := otherBases[a.rng.Intn(len(otherBases))]
+			ops = append(ops,
+				editops.Define{Region: a.randRegion(baseImg, true)},
+				editops.Merge{Target: target, XP: a.rng.Intn(baseImg.W), YP: a.rng.Intn(baseImg.H)},
+			)
+			if !rules.SequenceIsWideningFor(ops, baseImg.W, baseImg.H) {
+				break
+			}
+			continue // degenerate: the merge block was empty; retry
+		}
+		if rules.SequenceIsWideningFor(ops, baseImg.W, baseImg.H) {
+			break
+		}
+	}
+	opsCopy := make([]editops.Op, len(ops))
+	copy(opsCopy, ops)
+	return &editops.Sequence{BaseID: baseID, Ops: opsCopy}
+}
+
+// gesture returns a small op run representing one realistic edit.
+func (a *Augmenter) gesture(img *imaging.Image) []editops.Op {
+	switch a.rng.Intn(7) {
+	case 0: // recolor: a color actually present → palette color
+		old := img.Pix[a.rng.Intn(len(img.Pix))]
+		return editops.Recolor(a.randRegion(img, false), [2]imaging.RGB{old, AllColors[a.rng.Intn(len(AllColors))]})
+	case 1: // blur a region
+		if a.rng.Intn(2) == 0 {
+			return editops.BoxBlur(a.randRegion(img, false))
+		}
+		return editops.GaussianBlur(a.randRegion(img, false))
+	case 2: // translate a region
+		return editops.TranslateRegion(a.randRegion(img, true),
+			a.rng.Intn(img.W/2+1)-img.W/4, a.rng.Intn(img.H/2+1)-img.H/4)
+	case 3: // rotate a region about its center
+		angles := []float64{0.26, 0.52, 0.79, 1.57, 3.14}
+		return editops.RotateRegion(a.randRegion(img, true), angles[a.rng.Intn(len(angles))])
+	case 4: // flip
+		return editops.FlipHorizontal(imaging.R(0, 0, img.W, img.H))
+	case 5: // integer upscale or downscale of the whole image
+		factors := [][2]float64{{2, 2}, {0.5, 0.5}, {2, 1}, {1, 2}}
+		f := factors[a.rng.Intn(len(factors))]
+		return editops.ScaleImage(img.W, img.H, f[0], f[1])
+	default: // crop to a region
+		return editops.CropTo(a.randRegion(img, true))
+	}
+}
+
+// randRegion returns a random sub-rectangle; when proper is true the region
+// is kept at least 2×2 and strictly inside the image so crops and moves
+// stay non-degenerate.
+func (a *Augmenter) randRegion(img *imaging.Image, proper bool) imaging.Rect {
+	minDim := 1
+	if proper {
+		minDim = 2
+	}
+	w := minDim + a.rng.Intn(maxInt(1, img.W-minDim))
+	h := minDim + a.rng.Intn(maxInt(1, img.H-minDim))
+	if w > img.W {
+		w = img.W
+	}
+	if h > img.H {
+		h = img.H
+	}
+	x0 := a.rng.Intn(img.W - w + 1)
+	y0 := a.rng.Intn(img.H - h + 1)
+	return imaging.R(x0, y0, x0+w, y0+h)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+// Package dataset generates the synthetic evaluation data: flag images and
+// college-football-helmet images standing in for the paper's two web-scraped
+// collections (flags.net and college football helmets), a road-sign set for
+// the introduction's motivating application, random-but-realistic editing
+// scripts for database augmentation, and the range-query workloads the
+// benchmarks sweep. Everything is deterministic under a seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/imaging"
+)
+
+// NamedImage pairs a generated raster with a stable name.
+type NamedImage struct {
+	Name string
+	Img  *imaging.Image
+}
+
+// Palette colors used across the generators. They are chosen to match the
+// named-color vocabulary in internal/colorspace so text queries hit them.
+var (
+	Red    = imaging.RGB{R: 204, G: 0, B: 0}
+	Green  = imaging.RGB{R: 0, G: 153, B: 0}
+	Blue   = imaging.RGB{R: 0, G: 51, B: 204}
+	Navy   = imaging.RGB{R: 0, G: 0, B: 102}
+	Yellow = imaging.RGB{R: 255, G: 204, B: 0}
+	Gold   = imaging.RGB{R: 255, G: 184, B: 28}
+	Orange = imaging.RGB{R: 255, G: 102, B: 0}
+	White  = imaging.RGB{R: 255, G: 255, B: 255}
+	Black  = imaging.RGB{R: 0, G: 0, B: 0}
+	Purple = imaging.RGB{R: 102, G: 0, B: 153}
+	Maroon = imaging.RGB{R: 128, G: 0, B: 0}
+	Gray   = imaging.RGB{R: 128, G: 128, B: 128}
+	Silver = imaging.RGB{R: 192, G: 192, B: 192}
+	Teal   = imaging.RGB{R: 0, G: 128, B: 128}
+	Brown  = imaging.RGB{R: 139, G: 69, B: 19}
+	Sky    = imaging.RGB{R: 102, G: 178, B: 255}
+)
+
+// AllColors is the full generator palette.
+var AllColors = []imaging.RGB{
+	Red, Green, Blue, Navy, Yellow, Gold, Orange, White, Black,
+	Purple, Maroon, Gray, Silver, Teal, Brown, Sky,
+}
+
+// flagPalettes are color triples drawn from real national flags.
+var flagPalettes = [][3]imaging.RGB{
+	{Red, White, Blue},
+	{Green, White, Red},
+	{Black, Red, Gold},
+	{Blue, Yellow, Blue},
+	{Red, Yellow, Red},
+	{Green, Yellow, Blue},
+	{White, Red, White},
+	{Orange, White, Green},
+	{Red, White, Red},
+	{Navy, White, Red},
+	{Green, Red, Black},
+	{Sky, White, Sky},
+}
+
+// Flags generates n flag images of w×h pixels. Layout families cycle
+// through horizontal/vertical tricolors, bicolors, Nordic crosses, cantons
+// and center discs, with palettes drawn from flagPalettes — giving the
+// large uniform color regions that make color histograms effective for
+// flag recognition.
+func Flags(n, w, h int, seed int64) []NamedImage {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]NamedImage, 0, n)
+	for i := 0; i < n; i++ {
+		pal := flagPalettes[rng.Intn(len(flagPalettes))]
+		img := imaging.New(w, h)
+		switch i % 6 {
+		case 0: // horizontal tricolor
+			imaging.HStripes(img, 3, pal[:])
+		case 1: // vertical tricolor
+			imaging.VStripes(img, 3, pal[:])
+		case 2: // bicolor with center disc
+			imaging.HStripes(img, 2, []imaging.RGB{pal[0], pal[2]})
+			imaging.FillCircle(img, w/2, h/2, h/5, pal[1])
+		case 3: // Nordic cross
+			imaging.FillRect(img, img.Bounds(), pal[0])
+			imaging.NordicCross(img, 0.35, 0.5, h/6+1, pal[1])
+		case 4: // canton over stripes
+			imaging.HStripes(img, 5, []imaging.RGB{pal[0], pal[1]})
+			imaging.FillRect(img, imaging.R(0, 0, w*2/5, h*2/5), pal[2])
+		default: // hoist triangle over bicolor
+			imaging.HStripes(img, 2, []imaging.RGB{pal[1], pal[2]})
+			imaging.FillTriangle(img, 0, 0, 0, h-1, w*2/5, h/2, pal[0])
+		}
+		out = append(out, NamedImage{Name: fmt.Sprintf("flag-%03d", i), Img: img})
+	}
+	return out
+}
+
+// helmetPalettes are (shell, stripe/logo, facemask) color triples in the
+// spirit of college football teams.
+var helmetPalettes = [][3]imaging.RGB{
+	{Maroon, White, Gray},
+	{Navy, Gold, Gray},
+	{Orange, White, Black},
+	{Green, White, Yellow},
+	{White, Red, Red},
+	{Gold, Purple, Purple},
+	{Black, Silver, Silver},
+	{Blue, Orange, White},
+	{Red, Black, Black},
+	{Teal, White, Black},
+}
+
+// Helmets generates n helmet images: a colored shell ellipse on a neutral
+// background, a center stripe, a circular logo and a facemask, echoing the
+// logo-recognition workload of the paper's second data set.
+func Helmets(n, w, h int, seed int64) []NamedImage {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]NamedImage, 0, n)
+	for i := 0; i < n; i++ {
+		pal := helmetPalettes[rng.Intn(len(helmetPalettes))]
+		// Pick a neutral background distinct from the shell and accent
+		// colors so every helmet has a recognizable multi-color histogram.
+		bg := White
+		candidates := []imaging.RGB{White, Silver, Gray, Sky}
+		for _, c := range candidates[rng.Intn(len(candidates)):] {
+			if c != pal[0] && c != pal[1] && c != pal[2] {
+				bg = c
+				break
+			}
+		}
+		img := imaging.NewFilled(w, h, bg)
+		// Shell.
+		shell := imaging.R(w/8, h/6, w*7/8, h*5/6)
+		imaging.FillEllipse(img, shell, pal[0])
+		// Center stripe.
+		if i%2 == 0 {
+			imaging.FillRect(img, imaging.R(w/2-w/24-1, h/6, w/2+w/24+1, h/2), pal[1])
+		}
+		// Logo disc.
+		imaging.FillCircle(img, w*5/8, h/2, h/8, pal[1])
+		// Facemask bars.
+		imaging.DrawThickLine(img, w/8, h*2/3, w*3/8, h*5/6, h/16+1, pal[2])
+		imaging.DrawThickLine(img, w/8, h*5/6, w*3/8, h*2/3, h/16+1, pal[2])
+		out = append(out, NamedImage{Name: fmt.Sprintf("helmet-%03d", i), Img: img})
+	}
+	return out
+}
+
+// RoadSigns generates n road-sign images following the color/shape
+// conventions the paper's introduction motivates: red-bordered triangles
+// (warning), red discs (prohibition), blue discs (mandatory) and yellow
+// diamonds (caution) on a neutral background.
+func RoadSigns(n, w, h int, seed int64) []NamedImage {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]NamedImage, 0, n)
+	for i := 0; i < n; i++ {
+		bg := Gray
+		if rng.Intn(2) == 0 {
+			bg = Sky
+		}
+		img := imaging.NewFilled(w, h, bg)
+		cx, cy := w/2, h/2
+		switch i % 4 {
+		case 0: // warning triangle
+			imaging.FillTriangle(img, cx, h/8, w/8, h*7/8, w*7/8, h*7/8, Red)
+			imaging.FillTriangle(img, cx, h/4, w/4, h*3/4, w*3/4, h*3/4, White)
+		case 1: // prohibition disc
+			imaging.FillCircle(img, cx, cy, h*3/8, Red)
+			imaging.FillCircle(img, cx, cy, h/4, White)
+		case 2: // mandatory disc
+			imaging.FillCircle(img, cx, cy, h*3/8, Blue)
+			imaging.DrawThickLine(img, cx, cy-h/6, cx, cy+h/6, w/12+1, White)
+		default: // caution diamond
+			imaging.FillTriangle(img, cx, h/8, w/8, cy, w*7/8, cy, Yellow)
+			imaging.FillTriangle(img, cx, h*7/8, w/8, cy, w*7/8, cy, Yellow)
+			imaging.FillRect(img, imaging.R(cx-w/16, cy-h/5, cx+w/16, cy+h/5), Black)
+		}
+		out = append(out, NamedImage{Name: fmt.Sprintf("sign-%03d", i), Img: img})
+	}
+	return out
+}

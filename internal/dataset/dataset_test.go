@@ -1,0 +1,225 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/imaging"
+	"repro/internal/rules"
+)
+
+func TestFlagsDeterministicAndDistinct(t *testing.T) {
+	a := Flags(20, 60, 40, 7)
+	b := Flags(20, 60, 40, 7)
+	if len(a) != 20 {
+		t.Fatalf("generated %d flags", len(a))
+	}
+	for i := range a {
+		if !a[i].Img.Equal(b[i].Img) {
+			t.Fatalf("flag %d not deterministic", i)
+		}
+		if a[i].Img.W != 60 || a[i].Img.H != 40 {
+			t.Fatalf("flag %d dims %dx%d", i, a[i].Img.W, a[i].Img.H)
+		}
+		if a[i].Name == "" {
+			t.Fatalf("flag %d unnamed", i)
+		}
+	}
+	// Different seeds differ somewhere.
+	c := Flags(20, 60, 40, 8)
+	same := 0
+	for i := range a {
+		if a[i].Img.Equal(c[i].Img) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestFlagsUseFewSaturatedColors(t *testing.T) {
+	for i, f := range Flags(12, 60, 40, 1) {
+		pal := f.Img.Palette()
+		if len(pal) < 2 || len(pal) > 6 {
+			t.Fatalf("flag %d palette size %d", i, len(pal))
+		}
+	}
+}
+
+func TestHelmetsShapes(t *testing.T) {
+	hs := Helmets(10, 64, 48, 3)
+	for i, h := range hs {
+		if h.Img.Size() != 64*48 {
+			t.Fatalf("helmet %d wrong size", i)
+		}
+		// A helmet must contain at least 3 colors (bg, shell, accents).
+		if len(h.Img.Palette()) < 3 {
+			t.Fatalf("helmet %d palette too small", i)
+		}
+	}
+	// Deterministic.
+	hs2 := Helmets(10, 64, 48, 3)
+	for i := range hs {
+		if !hs[i].Img.Equal(hs2[i].Img) {
+			t.Fatalf("helmet %d not deterministic", i)
+		}
+	}
+}
+
+func TestRoadSignsFamilies(t *testing.T) {
+	signs := RoadSigns(8, 48, 48, 5)
+	// Warning triangles are mostly red; mandatory discs mostly blue.
+	warning := signs[0].Img
+	if warning.CountColor(Red) == 0 {
+		t.Fatal("warning sign has no red")
+	}
+	mandatory := signs[2].Img
+	if mandatory.CountColor(Blue) == 0 {
+		t.Fatal("mandatory sign has no blue")
+	}
+}
+
+func TestAugmenterScriptCounts(t *testing.T) {
+	aug := NewAugmenter(AugmentConfig{PerBase: 5, OpsPerImage: 4, Seed: 1})
+	img := Flags(1, 40, 30, 1)[0].Img
+	scripts := aug.ScriptsFor(77, img, nil)
+	if len(scripts) != 5 {
+		t.Fatalf("got %d scripts", len(scripts))
+	}
+	for i, s := range scripts {
+		if s.BaseID != 77 {
+			t.Fatalf("script %d base %d", i, s.BaseID)
+		}
+		if len(s.Ops) == 0 {
+			t.Fatalf("script %d empty", i)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("script %d: %v", i, err)
+		}
+	}
+}
+
+func TestAugmenterScriptsApplyCleanly(t *testing.T) {
+	aug := NewAugmenter(AugmentConfig{PerBase: 8, OpsPerImage: 5, NonWideningFrac: 0.4, Seed: 2})
+	flags := Flags(3, 40, 30, 2)
+	resolver := func(id uint64) (*imaging.Image, error) {
+		return flags[id-1].Img, nil
+	}
+	env := &editops.Env{Background: Black, ResolveImage: resolver}
+	for baseIdx, f := range flags {
+		baseID := uint64(baseIdx + 1)
+		others := []uint64{}
+		for i := range flags {
+			if uint64(i+1) != baseID {
+				others = append(others, uint64(i+1))
+			}
+		}
+		for si, s := range aug.ScriptsFor(baseID, f.Img, others) {
+			out, err := editops.Apply(f.Img, s.Ops, env)
+			if err != nil {
+				t.Fatalf("base %d script %d: %v\n%s", baseID, si, err, editops.FormatText(s))
+			}
+			if out.Size() == 0 {
+				t.Fatalf("base %d script %d produced empty image", baseID, si)
+			}
+		}
+	}
+}
+
+func TestAugmenterNonWideningFraction(t *testing.T) {
+	aug := NewAugmenter(AugmentConfig{PerBase: 200, OpsPerImage: 3, NonWideningFrac: 0.5, Seed: 3})
+	img := Flags(1, 40, 30, 1)[0].Img
+	scripts := aug.ScriptsFor(1, img, []uint64{2, 3})
+	nonW := 0
+	for _, s := range scripts {
+		if !rules.SequenceIsWideningFor(s.Ops, img.W, img.H) {
+			nonW++
+		}
+	}
+	frac := float64(nonW) / float64(len(scripts))
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("non-widening fraction %.2f, want ≈0.5", frac)
+	}
+	// With no candidate targets everything must be widening-classifiable
+	// (or at least merge-free).
+	aug2 := NewAugmenter(AugmentConfig{PerBase: 50, OpsPerImage: 3, NonWideningFrac: 0.9, Seed: 4})
+	for _, s := range aug2.ScriptsFor(1, img, nil) {
+		for _, op := range s.Ops {
+			if m, ok := op.(editops.Merge); ok && m.Target != editops.NullTarget {
+				t.Fatal("target merge without candidates")
+			}
+		}
+	}
+}
+
+func TestAugmenterZeroFracIsAllWidening(t *testing.T) {
+	aug := NewAugmenter(AugmentConfig{PerBase: 100, OpsPerImage: 4, NonWideningFrac: 0, Seed: 5})
+	img := Helmets(1, 48, 36, 1)[0].Img
+	widening := 0
+	scripts := aug.ScriptsFor(1, img, []uint64{2})
+	for _, s := range scripts {
+		if rules.SequenceIsWideningFor(s.Ops, img.W, img.H) {
+			widening++
+		}
+	}
+	if widening < 95 {
+		t.Fatalf("only %d/100 widening with frac 0", widening)
+	}
+}
+
+func TestRangeWorkload(t *testing.T) {
+	q := colorspace.NewUniformRGB(4)
+	ws, err := RangeWorkload(WorkloadConfig{Queries: 50, Seed: 9}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 50 {
+		t.Fatalf("got %d queries", len(ws))
+	}
+	for i, r := range ws {
+		if err := r.Validate(q.Bins()); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+	}
+	// Deterministic.
+	ws2, _ := RangeWorkload(WorkloadConfig{Queries: 50, Seed: 9}, q)
+	for i := range ws {
+		if ws[i] != ws2[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+	// Restricted colors hit only those bins.
+	blueBin, _ := colorspace.BinForName("blue", q)
+	ws3, err := RangeWorkload(WorkloadConfig{Queries: 10, Colors: []string{"blue"}, Seed: 1}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ws3 {
+		if r.Bin != blueBin {
+			t.Fatal("restricted workload used wrong bin")
+		}
+	}
+	// Unknown color fails.
+	if _, err := RangeWorkload(WorkloadConfig{Queries: 1, Colors: []string{"nope"}, Seed: 1}, q); err == nil {
+		t.Fatal("unknown color accepted")
+	}
+}
+
+func TestRandRegionWithinBounds(t *testing.T) {
+	aug := NewAugmenter(AugmentConfig{Seed: 6})
+	img := imaging.New(13, 9)
+	rng := rand.New(rand.NewSource(0))
+	_ = rng
+	for i := 0; i < 500; i++ {
+		r := aug.randRegion(img, true)
+		if r.Empty() || !img.Bounds().ContainsRect(r) {
+			t.Fatalf("region %v outside %v", r, img.Bounds())
+		}
+		if r.Dx() < 2 || r.Dy() < 2 {
+			t.Fatalf("proper region too small: %v", r)
+		}
+	}
+}

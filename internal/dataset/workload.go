@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/colorspace"
+	"repro/internal/query"
+)
+
+// WorkloadConfig controls the range-query mix the benchmarks replay.
+type WorkloadConfig struct {
+	// Queries is the number of range queries to generate.
+	Queries int
+	// Colors restricts the query vocabulary; empty means every named color.
+	Colors []string
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// RangeWorkload generates a deterministic mix of range queries of the
+// paper's three phrasings: "at least P%", "at most P%" and "between P% and
+// Q%", over the named-color vocabulary.
+func RangeWorkload(cfg WorkloadConfig, q colorspace.Quantizer) ([]query.Range, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	colors := cfg.Colors
+	if len(colors) == 0 {
+		colors = colorspace.ColorNames()
+	}
+	out := make([]query.Range, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		name := colors[rng.Intn(len(colors))]
+		bin, err := colorspace.BinForName(name, q)
+		if err != nil {
+			return nil, err
+		}
+		var lo, hi float64
+		switch rng.Intn(3) {
+		case 0: // at least P%
+			lo, hi = 0.05+0.35*rng.Float64(), 1
+		case 1: // at most P%
+			lo, hi = 0, 0.05+0.35*rng.Float64()
+		default: // between
+			lo = 0.3 * rng.Float64()
+			hi = lo + 0.05 + 0.35*rng.Float64()
+			if hi > 1 {
+				hi = 1
+			}
+		}
+		r := query.Range{Bin: bin, PctMin: lo, PctMax: hi}
+		if err := r.Validate(q.Bins()); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package editops
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/imaging"
+)
+
+// DefaultBackground is the fill color for pixels vacated by Mutate moves and
+// for Merge canvas gaps when the environment does not override it.
+var DefaultBackground = imaging.RGB{R: 0, G: 0, B: 0}
+
+// Env supplies the context an instantiation needs beyond the base raster:
+// the background fill color and a resolver for Merge target images.
+type Env struct {
+	// Background fills vacated and gap pixels. The rule engine must be
+	// configured with the same color for its Merge/Mutate rules to be sound.
+	Background imaging.RGB
+	// ResolveImage returns the raster of a Merge target by object id. It may
+	// be nil if the sequence contains no non-null Merge.
+	ResolveImage func(id uint64) (*imaging.Image, error)
+}
+
+// TargetDims derives a dimension resolver from the environment's image
+// resolver, for stepping Geom.
+func (e *Env) TargetDims() TargetDims {
+	if e == nil || e.ResolveImage == nil {
+		return nil
+	}
+	return func(id uint64) (int, int, error) {
+		img, err := e.ResolveImage(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		return img.W, img.H, nil
+	}
+}
+
+func (e *Env) background() imaging.RGB {
+	if e == nil {
+		return DefaultBackground
+	}
+	return e.Background
+}
+
+// Apply instantiates an edited image: it executes ops in order against a
+// copy of base and returns the result. This is the expensive path the
+// paper's query processing avoids; the database uses it for ground-truth
+// verification, for materializing query results, and as the baseline in the
+// instantiation ablation.
+func Apply(base *imaging.Image, ops []Op, env *Env) (*imaging.Image, error) {
+	img := base.Clone()
+	g := StartGeom(img.W, img.H)
+	dims := env.TargetDims()
+	for i, op := range ops {
+		if err := op.Validate(); err != nil {
+			return nil, fmt.Errorf("editops: op %d: %w", i, err)
+		}
+		next, layout, err := g.Step(op, dims)
+		if err != nil {
+			return nil, fmt.Errorf("editops: op %d: %w", i, err)
+		}
+		img, err = applyOne(img, op, g, layout, env)
+		if err != nil {
+			return nil, fmt.Errorf("editops: op %d (%s): %w", i, op.Kind(), err)
+		}
+		g = next
+		if img.W != g.W || img.H != g.H {
+			panic(fmt.Sprintf("editops: geometry desync after op %d: raster %dx%d, geom %dx%d", i, img.W, img.H, g.W, g.H))
+		}
+	}
+	return img, nil
+}
+
+// ApplySequence resolves the sequence's base image through the environment
+// and instantiates it.
+func ApplySequence(s *Sequence, env *Env) (*imaging.Image, error) {
+	if env == nil || env.ResolveImage == nil {
+		return nil, fmt.Errorf("editops: sequence instantiation needs an image resolver")
+	}
+	base, err := env.ResolveImage(s.BaseID)
+	if err != nil {
+		return nil, fmt.Errorf("editops: base image %d: %w", s.BaseID, err)
+	}
+	return Apply(base, s.Ops, env)
+}
+
+func applyOne(img *imaging.Image, op Op, g Geom, layout MergeLayout, env *Env) (*imaging.Image, error) {
+	switch o := op.(type) {
+	case Define:
+		return img, nil
+	case Combine:
+		return applyCombine(img, o, g.EffectiveDR()), nil
+	case Modify:
+		return applyModify(img, o, g.EffectiveDR()), nil
+	case Mutate:
+		if sx, sy, ok := o.ScaleFactors(); ok && g.DR.Canon().ContainsRect(g.Bounds()) {
+			return applyResize(img, sx, sy), nil
+		}
+		return applyMove(img, o, g.EffectiveDR(), env.background()), nil
+	case Merge:
+		var target *imaging.Image
+		if o.Target != NullTarget {
+			var err error
+			target, err = env.ResolveImage(o.Target)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return applyMerge(img, g.EffectiveDR(), target, layout, env.background()), nil
+	default:
+		return nil, fmt.Errorf("unknown op type %T", op)
+	}
+}
+
+// applyCombine blurs the DR with the 3×3 weight stencil, reading from the
+// pre-operation image. Out-of-bounds neighbors are dropped and the weights
+// of the remaining ones renormalized.
+func applyCombine(img *imaging.Image, o Combine, dr imaging.Rect) *imaging.Image {
+	out := img.Clone()
+	for y := dr.Y0; y < dr.Y1; y++ {
+		for x := dr.X0; x < dr.X1; x++ {
+			var r, g, b, wsum float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if !img.In(nx, ny) {
+						continue
+					}
+					w := o.Weights[(dy+1)*3+(dx+1)]
+					if w == 0 {
+						continue
+					}
+					p := img.Pix[ny*img.W+nx]
+					r += w * float64(p.R)
+					g += w * float64(p.G)
+					b += w * float64(p.B)
+					wsum += w
+				}
+			}
+			if wsum == 0 {
+				continue
+			}
+			out.Pix[y*out.W+x] = imaging.RGB{
+				R: clamp8(math.Round(r / wsum)),
+				G: clamp8(math.Round(g / wsum)),
+				B: clamp8(math.Round(b / wsum)),
+			}
+		}
+	}
+	return out
+}
+
+func applyModify(img *imaging.Image, o Modify, dr imaging.Rect) *imaging.Image {
+	out := img.Clone()
+	for y := dr.Y0; y < dr.Y1; y++ {
+		row := out.Pix[y*out.W+dr.X0 : y*out.W+dr.X1]
+		for i := range row {
+			if row[i] == o.Old {
+				row[i] = o.New
+			}
+		}
+	}
+	return out
+}
+
+// applyResize resamples the whole image by (sx, sy) with nearest-neighbor
+// inverse mapping, the semantics ScaleReplication's bounds are derived from.
+func applyResize(img *imaging.Image, sx, sy float64) *imaging.Image {
+	outW := ScaleOutDim(img.W, sx)
+	outH := ScaleOutDim(img.H, sy)
+	out := imaging.New(outW, outH)
+	for y := 0; y < outH; y++ {
+		sy0 := ScaleSrcIndex(y, img.H, sy)
+		for x := 0; x < outW; x++ {
+			sx0 := ScaleSrcIndex(x, img.W, sx)
+			out.Pix[y*outW+x] = img.Pix[sy0*img.W+sx0]
+		}
+	}
+	return out
+}
+
+// applyMove forward-maps every DR pixel through the matrix: vacated DR cells
+// become background, destinations are overwritten (later source pixels win
+// on collision), and off-canvas destinations are clipped.
+func applyMove(img *imaging.Image, o Mutate, dr imaging.Rect, bg imaging.RGB) *imaging.Image {
+	out := img.Clone()
+	imaging.FillRect(out, dr, bg)
+	for y := dr.Y0; y < dr.Y1; y++ {
+		for x := dr.X0; x < dr.X1; x++ {
+			tx, ty := o.Transform(x, y)
+			out.Set(tx, ty, img.Pix[y*img.W+x])
+		}
+	}
+	return out
+}
+
+// applyMerge builds the merged canvas per the layout: background fill,
+// target drawn at its offset, then the DR block pasted over it.
+func applyMerge(img *imaging.Image, dr imaging.Rect, target *imaging.Image, l MergeLayout, bg imaging.RGB) *imaging.Image {
+	out := imaging.NewFilled(l.NewW, l.NewH, bg)
+	if target != nil {
+		for y := 0; y < target.H; y++ {
+			for x := 0; x < target.W; x++ {
+				out.Set(x+l.TargetOffX, y+l.TargetOffY, target.Pix[y*target.W+x])
+			}
+		}
+	}
+	for y := 0; y < l.BlockH; y++ {
+		for x := 0; x < l.BlockW; x++ {
+			out.Set(l.Paste.X0+x, l.Paste.Y0+y, img.Pix[(dr.Y0+y)*img.W+dr.X0+x])
+		}
+	}
+	return out
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

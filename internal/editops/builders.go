@@ -1,0 +1,103 @@
+package editops
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+)
+
+// Builders assemble common whole-edit gestures from the five primitives.
+// The dataset augmenter and the examples use these rather than hand-rolling
+// op lists.
+
+// BoxBlur returns Define(region) followed by a uniform 3×3 Combine.
+func BoxBlur(region imaging.Rect) []Op {
+	return []Op{
+		Define{Region: region},
+		Combine{Weights: [9]float64{1, 1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+}
+
+// GaussianBlur returns Define(region) followed by a 3×3 binomial Combine
+// (the discrete Gaussian kernel 1-2-1 ⊗ 1-2-1).
+func GaussianBlur(region imaging.Rect) []Op {
+	return []Op{
+		Define{Region: region},
+		Combine{Weights: [9]float64{1, 2, 1, 2, 4, 2, 1, 2, 1}},
+	}
+}
+
+// Recolor returns Define(region) plus one Modify per old→new pair, applied
+// in order.
+func Recolor(region imaging.Rect, pairs ...[2]imaging.RGB) []Op {
+	ops := []Op{Define{Region: region}}
+	for _, p := range pairs {
+		ops = append(ops, Modify{Old: p[0], New: p[1]})
+	}
+	return ops
+}
+
+// TranslateRegion returns Define(region) plus a rigid Mutate that shifts the
+// region's pixels by (dx, dy).
+func TranslateRegion(region imaging.Rect, dx, dy int) []Op {
+	return []Op{
+		Define{Region: region},
+		Mutate{M: [9]float64{1, 0, float64(dx), 0, 1, float64(dy), 0, 0, 1}},
+	}
+}
+
+// RotateRegion returns Define(region) plus a rigid Mutate rotating the
+// region's pixels by the given angle (radians, counterclockwise in image
+// coordinates) about the region's center.
+func RotateRegion(region imaging.Rect, radians float64) []Op {
+	cx := float64(region.X0+region.X1-1) / 2
+	cy := float64(region.Y0+region.Y1-1) / 2
+	c, s := math.Cos(radians), math.Sin(radians)
+	// T(center) · R(θ) · T(−center)
+	return []Op{
+		Define{Region: region},
+		Mutate{M: [9]float64{
+			c, -s, cx - c*cx + s*cy,
+			s, c, cy - s*cx - c*cy,
+			0, 0, 1,
+		}},
+	}
+}
+
+// FlipHorizontal returns Define(region) plus a rigid Mutate mirroring the
+// region's pixels across its vertical center line.
+func FlipHorizontal(region imaging.Rect) []Op {
+	axis := float64(region.X0 + region.X1 - 1)
+	return []Op{
+		Define{Region: region},
+		Mutate{M: [9]float64{-1, 0, axis, 0, 1, 0, 0, 0, 1}},
+	}
+}
+
+// ScaleImage returns Define(whole) plus a resize Mutate by (sx, sy). The
+// caller supplies the current image dimensions so the Define can cover the
+// whole canvas, which is what selects resize (rather than move) semantics.
+func ScaleImage(w, h int, sx, sy float64) []Op {
+	return []Op{
+		Define{Region: imaging.Rect{X0: 0, Y0: 0, X1: w, Y1: h}},
+		Mutate{M: [9]float64{sx, 0, 0, 0, sy, 0, 0, 0, 1}},
+	}
+}
+
+// CropTo returns Define(region) plus a null-target Merge: the result image
+// is the region alone.
+func CropTo(region imaging.Rect) []Op {
+	return []Op{
+		Define{Region: region},
+		Merge{Target: NullTarget},
+	}
+}
+
+// PasteOnto returns Define(region) plus a Merge placing the region onto the
+// target image at (xp, yp).
+func PasteOnto(region imaging.Rect, target uint64, xp, yp int) []Op {
+	return []Op{
+		Define{Region: region},
+		Merge{Target: target, XP: xp, YP: yp},
+	}
+}

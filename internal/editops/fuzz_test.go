@@ -1,0 +1,117 @@
+package editops
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeBinary asserts the binary sequence decoder never panics and
+// that accepted inputs survive an encode/decode round trip.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add(EncodeBinary(sampleSequence()))
+	f.Add(EncodeBinary(&Sequence{BaseID: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 3, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeBinary(EncodeBinary(seq))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !sequencesEqual(seq, again) {
+			t.Fatal("binary round trip not a fixed point")
+		}
+	})
+}
+
+// FuzzParseText asserts the text parser never panics and that accepted
+// scripts survive a format/parse round trip.
+func FuzzParseText(f *testing.F) {
+	f.Add(FormatText(sampleSequence()))
+	f.Add("base 1\ndefine 0 0 4 4\nmodify #ff0000 #00ff00\n")
+	f.Add("# comment only\n")
+	f.Add("base 1\nmerge null\nmutate 1 0 0 0 1 0 0 0 1\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		seq, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		again, err := ParseText(strings.NewReader(FormatText(seq)))
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", FormatText(seq), err)
+		}
+		if !sequencesEqual(seq, again) {
+			t.Fatal("text round trip not a fixed point")
+		}
+	})
+}
+
+// FuzzApplySmallImages applies decoded sequences to a small raster: the
+// instantiation engine must never panic on any decodable sequence whose
+// ops validate, and its output geometry must match the Geom walk.
+func FuzzApplySmallImages(f *testing.F) {
+	f.Add(EncodeBinary(&Sequence{BaseID: 1, Ops: []Op{
+		Define{Region: imagingRect(0, 0, 3, 3)},
+		Modify{},
+		Merge{Target: NullTarget},
+	}}))
+	f.Add(EncodeBinary(&Sequence{BaseID: 1, Ops: []Op{
+		Mutate{M: [9]float64{2, 0, 0, 0, 2, 0, 0, 0, 1}},
+	}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		for _, op := range seq.Ops {
+			if op.Validate() != nil {
+				return
+			}
+			// Reject resolver-dependent and explosive ops: fuzzing targets
+			// the geometry/rules interplay, not resource limits.
+			if m, ok := op.(Merge); ok && m.Target != NullTarget {
+				return
+			}
+			if m, ok := op.(Mutate); ok {
+				if sx, sy, isScale := m.ScaleFactors(); isScale && (sx > 4 || sy > 4) {
+					return
+				}
+				for _, v := range m.M {
+					if v > 1e6 || v < -1e6 {
+						return
+					}
+				}
+			}
+			if d, ok := op.(Define); ok {
+				r := d.Region.Canon()
+				if r.Dx() > 1024 || r.Dy() > 1024 {
+					return
+				}
+			}
+		}
+		if len(seq.Ops) > 12 {
+			return
+		}
+		base := NewTestImage(5, 4)
+		out, err := Apply(base, seq.Ops, nil)
+		if err != nil {
+			return
+		}
+		g := StartGeom(base.W, base.H)
+		for _, op := range seq.Ops {
+			g, _, err = g.Step(op, nil)
+			if err != nil {
+				t.Fatalf("geom step failed where apply succeeded: %v", err)
+			}
+		}
+		if out.W != g.W || out.H != g.H {
+			t.Fatalf("apply %dx%d != geom %dx%d", out.W, out.H, g.W, g.H)
+		}
+	})
+}

@@ -1,0 +1,18 @@
+package editops
+
+import (
+	"repro/internal/imaging"
+)
+
+// Small helpers shared by the fuzz targets.
+
+func imagingRect(x0, y0, x1, y1 int) imaging.Rect { return imaging.R(x0, y0, x1, y1) }
+
+// NewTestImage builds a deterministic multi-color raster for fuzzing.
+func NewTestImage(w, h int) *imaging.Image {
+	img := imaging.New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = imaging.RGB{R: uint8(i * 37), G: uint8(i * 59), B: uint8(i * 83)}
+	}
+	return img
+}

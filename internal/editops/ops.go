@@ -1,0 +1,282 @@
+// Package editops implements the paper's complete set of image editing
+// operations — Define, Combine, Modify, Mutate and Merge (Brown, Gruenwald &
+// Speegle 1997; Speegle et al. 2000) — together with the instantiation
+// engine that turns a base raster plus an operation sequence back into a
+// raster, codecs for storing sequences compactly, convenience builders, and
+// a synthesizer demonstrating the set's completeness property.
+//
+// Storing an edited image as (base image reference, operation sequence) is
+// the space-saving representation the paper's augmented MMDBMS relies on:
+// a handful of operations replaces a full raster copy.
+package editops
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/imaging"
+)
+
+// Kind identifies an operation type. Values are stable: they appear in the
+// binary encoding of stored sequences.
+type Kind uint8
+
+// The five operation kinds.
+const (
+	KindDefine Kind = iota + 1
+	KindCombine
+	KindModify
+	KindMutate
+	KindMerge
+)
+
+// String returns the lower-case operation name.
+func (k Kind) String() string {
+	switch k {
+	case KindDefine:
+		return "define"
+	case KindCombine:
+		return "combine"
+	case KindModify:
+		return "modify"
+	case KindMutate:
+		return "mutate"
+	case KindMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one editing operation. The concrete types are Define, Combine,
+// Modify, Mutate and Merge.
+type Op interface {
+	// Kind returns the operation's type tag.
+	Kind() Kind
+	// Validate reports whether the operation's parameters are well-formed.
+	Validate() error
+	// String renders the operation in the text sequence format understood
+	// by ParseText.
+	String() string
+}
+
+// Define selects the Defined Region (DR): the group of pixels edited by
+// subsequent operations. The region may extend beyond the image; it is
+// clipped to the current image bounds when each operation applies. The DR
+// before any Define is the whole image.
+type Define struct {
+	Region imaging.Rect
+}
+
+// Kind returns KindDefine.
+func (Define) Kind() Kind { return KindDefine }
+
+// Validate accepts any canonical (non-inverted) rectangle.
+func (o Define) Validate() error {
+	if o.Region.X1 < o.Region.X0 || o.Region.Y1 < o.Region.Y0 {
+		return fmt.Errorf("editops: define region %v not canonical", o.Region)
+	}
+	return nil
+}
+
+// String renders "define x0 y0 x1 y1".
+func (o Define) String() string {
+	return fmt.Sprintf("define %d %d %d %d", o.Region.X0, o.Region.Y0, o.Region.X1, o.Region.Y1)
+}
+
+// Combine blurs the DR: each pixel in the DR takes the weighted average of
+// its 3×3 neighborhood, using Weights C1..C9 in row-major order (C5 is the
+// pixel itself). Neighbors outside the image are excluded and the weights of
+// the remaining neighbors renormalized. All reads see the pre-operation
+// image (no cascade within one Combine).
+type Combine struct {
+	Weights [9]float64
+}
+
+// Kind returns KindCombine.
+func (Combine) Kind() Kind { return KindCombine }
+
+// Validate requires finite, non-negative weights with a positive sum.
+func (o Combine) Validate() error {
+	sum := 0.0
+	for i, w := range o.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return fmt.Errorf("editops: combine weight C%d = %v invalid", i+1, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return errors.New("editops: combine weights sum to zero")
+	}
+	return nil
+}
+
+// String renders "combine w1 .. w9".
+func (o Combine) String() string {
+	s := "combine"
+	for _, w := range o.Weights {
+		s += fmt.Sprintf(" %g", w)
+	}
+	return s
+}
+
+// Modify recolors every pixel in the DR whose color is exactly Old to New.
+type Modify struct {
+	Old, New imaging.RGB
+}
+
+// Kind returns KindModify.
+func (Modify) Kind() Kind { return KindModify }
+
+// Validate always succeeds: every old→new pair is meaningful.
+func (Modify) Validate() error { return nil }
+
+// String renders "modify #rrggbb #rrggbb".
+func (o Modify) String() string {
+	return fmt.Sprintf("modify %s %s", o.Old, o.New)
+}
+
+// Mutate rearranges pixels using a 3×3 matrix M (row-major M11..M33) applied
+// to homogeneous pixel coordinates (x, y, 1). Two execution behaviours:
+//
+//   - Resize: if M is a pure positive scale (diag(sx, sy, 1)) and the DR
+//     covers the whole image, the image is resampled to round(W·sx) ×
+//     round(H·sy) with nearest-neighbor inverse mapping.
+//   - Move: otherwise, each DR pixel is forward-mapped to round(M·(x,y,1));
+//     vacated DR cells become the background color, destinations are
+//     overwritten, and moves that land outside the canvas are clipped. This
+//     covers the paper's rigid-body rotations and translations.
+//
+// The bottom row must be (0, 0, 1): the operation set is affine.
+type Mutate struct {
+	M [9]float64
+}
+
+// Kind returns KindMutate.
+func (Mutate) Kind() Kind { return KindMutate }
+
+// Validate requires finite entries and an affine bottom row.
+func (o Mutate) Validate() error {
+	for i, v := range o.M {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("editops: mutate M%d%d = %v invalid", i/3+1, i%3+1, v)
+		}
+	}
+	if o.M[6] != 0 || o.M[7] != 0 || o.M[8] != 1 {
+		return fmt.Errorf("editops: mutate bottom row (%g %g %g) must be (0 0 1)", o.M[6], o.M[7], o.M[8])
+	}
+	return nil
+}
+
+// String renders "mutate m11 .. m33".
+func (o Mutate) String() string {
+	s := "mutate"
+	for _, v := range o.M {
+		s += fmt.Sprintf(" %g", v)
+	}
+	return s
+}
+
+// ScaleFactors returns (sx, sy, true) when the matrix is a pure positive
+// scale diag(sx, sy, 1); otherwise ok is false.
+func (o Mutate) ScaleFactors() (sx, sy float64, ok bool) {
+	m := o.M
+	if m[1] != 0 || m[2] != 0 || m[3] != 0 || m[5] != 0 {
+		return 0, 0, false
+	}
+	if m[0] <= 0 || m[4] <= 0 {
+		return 0, 0, false
+	}
+	return m[0], m[4], true
+}
+
+// IsRigid reports whether the linear part preserves area (|det| = 1), the
+// paper's "rigid body" condition covering rotations, translations and
+// reflections.
+func (o Mutate) IsRigid() bool {
+	det := o.M[0]*o.M[4] - o.M[1]*o.M[3]
+	return math.Abs(math.Abs(det)-1) < 1e-9
+}
+
+// Transform maps pixel coordinates through the matrix, rounding to the
+// nearest integer cell.
+func (o Mutate) Transform(x, y int) (int, int) {
+	fx := o.M[0]*float64(x) + o.M[1]*float64(y) + o.M[2]
+	fy := o.M[3]*float64(x) + o.M[4]*float64(y) + o.M[5]
+	return int(math.Round(fx)), int(math.Round(fy))
+}
+
+// NullTarget is the Merge target id meaning "no target": the result is the
+// DR alone as a new image.
+const NullTarget uint64 = 0
+
+// Merge copies the current DR into a target image with the DR's top-left
+// placed at (XP, YP) in target coordinates. The result canvas is the
+// bounding box of the target and the pasted block (the paper's total-pixels
+// formula); any gap is filled with the background color. With Target ==
+// NullTarget, the result is the DR contents alone.
+type Merge struct {
+	Target uint64
+	XP, YP int
+}
+
+// Kind returns KindMerge.
+func (Merge) Kind() Kind { return KindMerge }
+
+// Validate always succeeds; target existence is checked at apply time.
+func (Merge) Validate() error { return nil }
+
+// String renders "merge null" or "merge <id> xp yp".
+func (o Merge) String() string {
+	if o.Target == NullTarget {
+		return "merge null"
+	}
+	return fmt.Sprintf("merge %d %d %d", o.Target, o.XP, o.YP)
+}
+
+// Sequence is a stored edited image: a reference to a base (binary) image
+// and the operations that transform it. This pair is the space-saving
+// storage format of the augmented database.
+type Sequence struct {
+	// BaseID references the binary image the sequence starts from.
+	BaseID uint64
+	// Ops are applied in order.
+	Ops []Op
+}
+
+// Validate checks every operation.
+func (s *Sequence) Validate() error {
+	if s.BaseID == 0 {
+		return errors.New("editops: sequence has no base image reference")
+	}
+	for i, op := range s.Ops {
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("editops: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the sequence. Op values are immutable so the
+// op slice contents are shared-safe to copy shallowly.
+func (s *Sequence) Clone() *Sequence {
+	ops := make([]Op, len(s.Ops))
+	copy(ops, s.Ops)
+	return &Sequence{BaseID: s.BaseID, Ops: ops}
+}
+
+// MergeTargets returns the distinct non-null Merge target ids referenced by
+// the sequence, in first-use order. The database uses this to pin targets an
+// edited image depends on.
+func (s *Sequence) MergeTargets() []uint64 {
+	var out []uint64
+	seen := make(map[uint64]bool)
+	for _, op := range s.Ops {
+		if m, ok := op.(Merge); ok && m.Target != NullTarget && !seen[m.Target] {
+			seen[m.Target] = true
+			out = append(out, m.Target)
+		}
+	}
+	return out
+}

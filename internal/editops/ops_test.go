@@ -1,0 +1,299 @@
+package editops
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindDefine:  "define",
+		KindCombine: "combine",
+		KindModify:  "modify",
+		KindMutate:  "mutate",
+		KindMerge:   "merge",
+		Kind(99):    "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestDefineValidate(t *testing.T) {
+	if err := (Define{Region: imaging.R(0, 0, 5, 5)}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Define{Region: imaging.R(5, 0, 0, 5)}).Validate(); err == nil {
+		t.Fatal("inverted region accepted")
+	}
+}
+
+func TestCombineValidate(t *testing.T) {
+	ok := Combine{Weights: [9]float64{0, 0, 0, 0, 1, 0, 0, 0, 0}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Combine{}).Validate(); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+	neg := Combine{Weights: [9]float64{1, 1, 1, 1, -1, 1, 1, 1, 1}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestMutateValidateAndClassify(t *testing.T) {
+	scale := Mutate{M: [9]float64{2, 0, 0, 0, 3, 0, 0, 0, 1}}
+	if err := scale.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sx, sy, ok := scale.ScaleFactors()
+	if !ok || sx != 2 || sy != 3 {
+		t.Fatalf("ScaleFactors = %v %v %v", sx, sy, ok)
+	}
+	translate := Mutate{M: [9]float64{1, 0, 5, 0, 1, -2, 0, 0, 1}}
+	if _, _, ok := translate.ScaleFactors(); ok {
+		t.Fatal("translation classified as scale")
+	}
+	if !translate.IsRigid() {
+		t.Fatal("translation not rigid")
+	}
+	if scale.IsRigid() {
+		t.Fatal("2x3 scale classified rigid")
+	}
+	projective := Mutate{M: [9]float64{1, 0, 0, 0, 1, 0, 0.1, 0, 1}}
+	if err := projective.Validate(); err == nil {
+		t.Fatal("projective matrix accepted")
+	}
+	negScale := Mutate{M: [9]float64{-2, 0, 0, 0, 2, 0, 0, 0, 1}}
+	if _, _, ok := negScale.ScaleFactors(); ok {
+		t.Fatal("negative scale classified as resize")
+	}
+}
+
+func TestMutateTransformRounds(t *testing.T) {
+	rot := Mutate{M: [9]float64{0, -1, 0, 1, 0, 0, 0, 0, 1}} // 90° CCW about origin
+	x, y := rot.Transform(3, 1)
+	if x != -1 || y != 3 {
+		t.Fatalf("Transform(3,1) = (%d,%d)", x, y)
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	s := &Sequence{BaseID: 1, Ops: []Op{Define{Region: imaging.R(0, 0, 2, 2)}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Sequence{}).Validate(); err == nil {
+		t.Fatal("zero base id accepted")
+	}
+	bad := &Sequence{BaseID: 1, Ops: []Op{Combine{}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "op 0") {
+		t.Fatalf("bad op not reported with index: %v", err)
+	}
+}
+
+func TestSequenceClone(t *testing.T) {
+	s := &Sequence{BaseID: 3, Ops: []Op{Modify{}}}
+	c := s.Clone()
+	c.Ops = append(c.Ops, Define{})
+	c.BaseID = 9
+	if s.BaseID != 3 || len(s.Ops) != 1 {
+		t.Fatal("clone mutated original")
+	}
+}
+
+func TestMergeTargets(t *testing.T) {
+	s := &Sequence{BaseID: 1, Ops: []Op{
+		Merge{Target: 5},
+		Merge{Target: NullTarget},
+		Merge{Target: 7},
+		Merge{Target: 5},
+	}}
+	got := s.MergeTargets()
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("MergeTargets = %v", got)
+	}
+	if (&Sequence{BaseID: 1}).MergeTargets() != nil {
+		t.Fatal("empty sequence has targets")
+	}
+}
+
+func TestGeomStepDefine(t *testing.T) {
+	g := StartGeom(10, 10)
+	if g.EffectiveDR() != imaging.R(0, 0, 10, 10) {
+		t.Fatalf("initial DR = %v", g.EffectiveDR())
+	}
+	g2, _, err := g.Step(Define{Region: imaging.R(-5, 2, 4, 20)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.EffectiveDR() != imaging.R(0, 2, 4, 10) {
+		t.Fatalf("clipped DR = %v", g2.EffectiveDR())
+	}
+	if g2.W != 10 || g2.H != 10 {
+		t.Fatal("define changed dims")
+	}
+}
+
+func TestGeomStepScaleChangesDims(t *testing.T) {
+	g := StartGeom(10, 8)
+	g2, _, err := g.Step(Mutate{M: [9]float64{2, 0, 0, 0, 3, 0, 0, 0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.W != 20 || g2.H != 24 {
+		t.Fatalf("scaled dims = %dx%d", g2.W, g2.H)
+	}
+	if g2.DR != imaging.R(0, 0, 20, 24) {
+		t.Fatalf("scaled DR = %v", g2.DR)
+	}
+}
+
+func TestGeomStepScaleWithPartialDRIsMove(t *testing.T) {
+	g := StartGeom(10, 8)
+	g, _, _ = g.Step(Define{Region: imaging.R(0, 0, 5, 5)}, nil)
+	g2, _, err := g.Step(Mutate{M: [9]float64{2, 0, 0, 0, 2, 0, 0, 0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.W != 10 || g2.H != 8 {
+		t.Fatalf("partial-DR scale changed dims to %dx%d", g2.W, g2.H)
+	}
+}
+
+func TestGeomStepMergeNull(t *testing.T) {
+	g := StartGeom(10, 10)
+	g, _, _ = g.Step(Define{Region: imaging.R(2, 3, 6, 8)}, nil)
+	g2, l, err := g.Step(Merge{Target: NullTarget}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.W != 4 || g2.H != 5 {
+		t.Fatalf("null merge dims = %dx%d", g2.W, g2.H)
+	}
+	if l.Overwritten != 0 || l.Gap != 0 {
+		t.Fatalf("null merge layout OV=%d GAP=%d", l.Overwritten, l.Gap)
+	}
+	if g2.DR != imaging.R(0, 0, 4, 5) {
+		t.Fatalf("null merge DR = %v", g2.DR)
+	}
+}
+
+func TestGeomStepMergeTargetNeedsResolver(t *testing.T) {
+	g := StartGeom(4, 4)
+	if _, _, err := g.Step(Merge{Target: 9}, nil); err == nil {
+		t.Fatal("merge without resolver succeeded")
+	}
+}
+
+func TestLayoutMergeInsideTarget(t *testing.T) {
+	l := LayoutMerge(3, 2, 10, 10, 4, 5)
+	if l.NewW != 10 || l.NewH != 10 {
+		t.Fatalf("dims %dx%d", l.NewW, l.NewH)
+	}
+	if l.Overwritten != 6 || l.Gap != 0 {
+		t.Fatalf("OV=%d GAP=%d", l.Overwritten, l.Gap)
+	}
+	if l.Paste != imaging.R(4, 5, 7, 7) {
+		t.Fatalf("paste = %v", l.Paste)
+	}
+}
+
+func TestLayoutMergeOverhang(t *testing.T) {
+	// 3x3 block at (8,8) on a 10x10 target: canvas grows to 11x11.
+	l := LayoutMerge(3, 3, 10, 10, 8, 8)
+	if l.NewW != 11 || l.NewH != 11 {
+		t.Fatalf("dims %dx%d", l.NewW, l.NewH)
+	}
+	if l.Overwritten != 4 { // [8,10)x[8,10)
+		t.Fatalf("OV = %d", l.Overwritten)
+	}
+	// gap = 121 - 100 - 9 + 4 = 16
+	if l.Gap != 16 {
+		t.Fatalf("GAP = %d", l.Gap)
+	}
+}
+
+func TestLayoutMergeNegativePlacement(t *testing.T) {
+	l := LayoutMerge(4, 4, 10, 10, -2, -3)
+	if l.NewW != 12 || l.NewH != 13 {
+		t.Fatalf("dims %dx%d", l.NewW, l.NewH)
+	}
+	if l.TargetOffX != 2 || l.TargetOffY != 3 {
+		t.Fatalf("target offset (%d,%d)", l.TargetOffX, l.TargetOffY)
+	}
+	if l.Paste != imaging.R(0, 0, 4, 4) {
+		t.Fatalf("paste = %v", l.Paste)
+	}
+	if l.Overwritten != 2*1 { // block [-2,2)x[-3,1) ∩ [0,10)² = [0,2)x[0,1)
+		t.Fatalf("OV = %d", l.Overwritten)
+	}
+}
+
+func TestScaleReplicationExactForIntegers(t *testing.T) {
+	for _, s := range []float64{1, 2, 3, 5} {
+		outW := ScaleOutDim(7, s)
+		lo, hi := ScaleReplication(7, s, outW)
+		if lo != int(s) || hi != int(s) {
+			t.Fatalf("s=%v: replication [%d,%d]", s, lo, hi)
+		}
+	}
+}
+
+func TestScaleReplicationBracketsFractional(t *testing.T) {
+	for _, s := range []float64{0.5, 1.3, 1.5, 2.4, 2.7, 0.25} {
+		for _, w := range []int{1, 2, 3, 5, 8, 13, 100} {
+			outW := ScaleOutDim(w, s)
+			lo, hi := ScaleReplication(w, s, outW)
+			if lo > hi {
+				t.Fatalf("w=%d s=%v: lo %d > hi %d", w, s, lo, hi)
+			}
+			// Total replication must equal the output width.
+			if lo*w > outW || hi*w < outW {
+				t.Fatalf("w=%d s=%v outW=%d: bounds [%d,%d] cannot sum to total", w, s, outW, lo, hi)
+			}
+		}
+	}
+}
+
+func TestScaleSrcIndexStaysInRange(t *testing.T) {
+	for _, s := range []float64{0.3, 0.5, 1.1, 1.9, 2.5, 3.7} {
+		for _, w := range []int{1, 2, 5, 9} {
+			outW := ScaleOutDim(w, s)
+			for x := 0; x < outW; x++ {
+				i := ScaleSrcIndex(x, w, s)
+				if i < 0 || i >= w {
+					t.Fatalf("w=%d s=%v x=%d: src %d out of range", w, s, x, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Define{Region: imaging.R(1, 2, 3, 4)}, "define 1 2 3 4"},
+		{Modify{Old: imaging.RGB{R: 255, G: 0, B: 0}, New: imaging.RGB{R: 0, G: 0, B: 255}}, "modify #ff0000 #0000ff"},
+		{Merge{Target: NullTarget}, "merge null"},
+		{Merge{Target: 12, XP: -1, YP: 4}, "merge 12 -1 4"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.HasPrefix((Combine{Weights: [9]float64{1, 1, 1, 1, 1, 1, 1, 1, 1}}).String(), "combine 1 1") {
+		t.Error("combine string malformed")
+	}
+	if !strings.HasPrefix((Mutate{M: [9]float64{1, 0, 0, 0, 1, 0, 0, 0, 1}}).String(), "mutate 1 0") {
+		t.Error("mutate string malformed")
+	}
+}

@@ -1,0 +1,103 @@
+package editops
+
+// Optimize rewrites an operation sequence into a shorter one that
+// instantiates to the exact same raster for a base image of the given
+// dimensions. Since the database stores sequences verbatim and walks them
+// on every rule evaluation, shorter scripts are both smaller on disk and
+// cheaper to query. From the first target Merge onward the sequence is kept
+// verbatim (the target's dimensions are unknown here).
+//
+// Rewrites applied:
+//
+//   - A Define immediately followed by another Define is dropped, as is a
+//     trailing Define (purely syntactic: a Define only sets the DR, which
+//     the next Define overwrites and nothing after a trailing one reads).
+//   - A Define whose effective region equals the already-selected one is
+//     dropped.
+//   - Modify with Old == New is dropped (recolor to itself).
+//   - Combine, Modify and move-Mutate over an empty effective DR are
+//     dropped (they touch no pixels).
+//   - An identity Mutate is dropped, as is a resize by factors (1, 1).
+//   - A null Merge whose DR covers the whole canvas is dropped (cropping
+//     to everything).
+//
+// Every geometry-aware drop removes an operation with no effect on the
+// image or on the effective DR of later operations, so
+// Apply(base, ops) == Apply(base, Optimize(ops, ...)) pixel-exactly; a
+// property test enforces this across random sequences.
+func Optimize(ops []Op, baseW, baseH int) []Op {
+	ops = dropDeadDefines(ops)
+	out := make([]Op, 0, len(ops))
+	g := StartGeom(baseW, baseH)
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
+		if m, ok := op.(Merge); ok && m.Target != NullTarget {
+			// Geometry is unknowable past a target Merge; keep the rest.
+			out = append(out, ops[i:]...)
+			return dropDeadDefines(out)
+		}
+		drop := false
+		switch o := op.(type) {
+		case Define:
+			if o.Region.Canon().Intersect(g.Bounds()) == g.EffectiveDR() && !g.EffectiveDR().Empty() {
+				drop = true // selecting what is already selected
+			}
+		case Modify:
+			if o.Old == o.New || g.EffectiveDR().Empty() {
+				drop = true
+			}
+		case Combine:
+			if g.EffectiveDR().Empty() {
+				drop = true
+			}
+		case Mutate:
+			if sx, sy, ok := o.ScaleFactors(); ok && g.DR.Canon().ContainsRect(g.Bounds()) {
+				if sx == 1 && sy == 1 {
+					drop = true
+				}
+			} else if isIdentityMatrix(o.M) || g.EffectiveDR().Empty() {
+				drop = true
+			}
+		case Merge:
+			if g.EffectiveDR() == g.Bounds() && !g.Bounds().Empty() {
+				drop = true // null merge of the whole canvas
+			}
+		}
+		// Geometry tracks the ORIGINAL sequence; every dropped operation
+		// leaves the image and the effective DR of later operations
+		// unchanged, so the output sequence follows the same effective
+		// geometry.
+		next, _, err := g.Step(op, nil)
+		if err != nil {
+			out = append(out, ops[i:]...)
+			return dropDeadDefines(out)
+		}
+		g = next
+		if !drop {
+			out = append(out, op)
+		}
+	}
+	return dropDeadDefines(out)
+}
+
+// dropDeadDefines removes Defines that are immediately overwritten by
+// another Define and a trailing Define, both purely syntactic rewrites.
+func dropDeadDefines(ops []Op) []Op {
+	out := make([]Op, 0, len(ops))
+	for i, op := range ops {
+		if _, ok := op.(Define); ok {
+			if i+1 >= len(ops) {
+				continue // trailing
+			}
+			if _, nextIsDefine := ops[i+1].(Define); nextIsDefine {
+				continue // overwritten
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+func isIdentityMatrix(m [9]float64) bool {
+	return m == [9]float64{1, 0, 0, 0, 1, 0, 0, 0, 1}
+}

@@ -1,0 +1,76 @@
+package editops
+
+import (
+	"fmt"
+
+	"repro/internal/imaging"
+)
+
+// Synthesize produces an operation sequence that transforms base into
+// target exactly, demonstrating the completeness property of the operation
+// set (Brown, Gruenwald & Speegle 1997: the five operations can perform any
+// image transformation by manipulating a single pixel at a time).
+//
+// Strategy: grow the canvas with an integer resize if the target is larger
+// in either dimension, crop to the target's dimensions with a null-target
+// Merge, then repair each differing pixel with a 1×1 Define plus Modify.
+// The sequence is O(W·H) operations in the worst case — wildly inefficient
+// as storage, which is exactly the paper's point: hand-authored edit
+// sequences are short, but completeness guarantees nothing is unreachable.
+//
+// The ops are returned rather than a Sequence because the caller owns the
+// base image id. env's background must match the environment used to apply
+// the result. Only the resolver-free subset of operations is emitted, so a
+// nil env is accepted.
+func Synthesize(base, target *imaging.Image, env *Env) ([]Op, error) {
+	if target.W == 0 || target.H == 0 {
+		if base.W == 0 || base.H == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("editops: cannot synthesize an empty target from a %dx%d base", base.W, base.H)
+	}
+	if base.W == 0 || base.H == 0 {
+		return nil, fmt.Errorf("editops: cannot synthesize from an empty base")
+	}
+	var ops []Op
+	cur := base.Clone()
+
+	// Grow with an exact integer resize if needed.
+	fx := (target.W + cur.W - 1) / cur.W
+	fy := (target.H + cur.H - 1) / cur.H
+	if fx > 1 || fy > 1 {
+		grow := ScaleImage(cur.W, cur.H, float64(fx), float64(fy))
+		ops = append(ops, grow...)
+		var err error
+		cur, err = Apply(cur, grow, env)
+		if err != nil {
+			return nil, fmt.Errorf("editops: synthesize grow step: %w", err)
+		}
+	}
+	// Crop to the target dimensions.
+	if cur.W != target.W || cur.H != target.H {
+		crop := CropTo(imaging.Rect{X0: 0, Y0: 0, X1: target.W, Y1: target.H})
+		ops = append(ops, crop...)
+		var err error
+		cur, err = Apply(cur, crop, env)
+		if err != nil {
+			return nil, fmt.Errorf("editops: synthesize crop step: %w", err)
+		}
+	}
+	// Repair pixels one at a time.
+	for y := 0; y < target.H; y++ {
+		for x := 0; x < target.W; x++ {
+			have := cur.At(x, y)
+			want := target.At(x, y)
+			if have == want {
+				continue
+			}
+			ops = append(ops,
+				Define{Region: imaging.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}},
+				Modify{Old: have, New: want},
+			)
+			cur.Set(x, y, want)
+		}
+	}
+	return ops, nil
+}

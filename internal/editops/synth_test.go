@@ -1,0 +1,105 @@
+package editops
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+func randomImageFor(rng *rand.Rand, w, h, palette int) *imaging.Image {
+	colors := make([]imaging.RGB, palette)
+	for i := range colors {
+		colors[i] = imaging.RGB{R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256))}
+	}
+	img := imaging.New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = colors[rng.Intn(palette)]
+	}
+	return img
+}
+
+// TestSynthesizeCompleteness is the completeness property from Brown,
+// Gruenwald & Speegle 1997: any base→target transformation is expressible
+// with the five operations.
+func TestSynthesizeCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ bw, bh, tw, th int }{
+		{4, 4, 4, 4}, // same dims
+		{6, 6, 3, 5}, // shrink
+		{3, 3, 7, 8}, // grow
+		{5, 2, 2, 5}, // reshape
+		{1, 1, 4, 4}, // from a single pixel
+		{8, 8, 1, 1}, // to a single pixel
+	}
+	for _, c := range cases {
+		base := randomImageFor(rng, c.bw, c.bh, 4)
+		target := randomImageFor(rng, c.tw, c.th, 4)
+		ops, err := Synthesize(base, target, nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		got, err := Apply(base, ops, nil)
+		if err != nil {
+			t.Fatalf("%+v: apply: %v", c, err)
+		}
+		if !got.Equal(target) {
+			t.Fatalf("%+v: synthesized image differs in %d pixels", c, got.DiffCount(target))
+		}
+	}
+}
+
+func TestSynthesizeIdenticalImagesIsShort(t *testing.T) {
+	img := imaging.NewFilled(5, 5, imaging.RGB{R: 9, G: 9, B: 9})
+	ops, err := Synthesize(img, img.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("identical images produced %d ops", len(ops))
+	}
+}
+
+func TestSynthesizeSinglePixelChange(t *testing.T) {
+	base := imaging.NewFilled(4, 4, imaging.RGB{R: 1, G: 1, B: 1})
+	target := base.Clone()
+	target.Set(2, 3, imaging.RGB{R: 200, G: 0, B: 0})
+	ops, err := Synthesize(base, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 { // one Define + one Modify
+		t.Fatalf("single-pixel change used %d ops", len(ops))
+	}
+}
+
+func TestSynthesizeEmptyTargetsError(t *testing.T) {
+	full := imaging.NewFilled(2, 2, imaging.RGB{})
+	empty := imaging.New(0, 0)
+	if _, err := Synthesize(full, empty, nil); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if _, err := Synthesize(empty, full, nil); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	if ops, err := Synthesize(empty, empty, nil); err != nil || len(ops) != 0 {
+		t.Fatalf("empty→empty: %v %v", ops, err)
+	}
+}
+
+func TestSynthesizeWithBackgroundEnv(t *testing.T) {
+	env := &Env{Background: imaging.RGB{R: 255, G: 255, B: 255}}
+	base := randomImageFor(rand.New(rand.NewSource(3)), 3, 3, 3)
+	target := randomImageFor(rand.New(rand.NewSource(4)), 6, 2, 3)
+	ops, err := Synthesize(base, target, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(base, ops, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(target) {
+		t.Fatal("synthesis with custom background failed")
+	}
+}

@@ -1,0 +1,208 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/colorspace"
+	"repro/internal/imaging"
+)
+
+var q4 = colorspace.NewUniformRGB(4)
+
+func solid(w, h int, c imaging.RGB) *imaging.Image {
+	return imaging.NewFilled(w, h, c)
+}
+
+func TestExtractSolidImage(t *testing.T) {
+	img := solid(10, 10, imaging.RGB{R: 255, G: 0, B: 0})
+	h := Extract(img, q4)
+	if h.Total != 100 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	bin := q4.Bin(imaging.RGB{R: 255, G: 0, B: 0})
+	if h.Counts[bin] != 100 {
+		t.Fatalf("bin count = %d", h.Counts[bin])
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Pct(bin); got != 1.0 {
+		t.Fatalf("Pct = %f", got)
+	}
+}
+
+func TestExtractCountsSumToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	img := imaging.New(33, 17)
+	for i := range img.Pix {
+		img.Pix[i] = imaging.RGB{R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256))}
+	}
+	h := Extract(img, q4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != img.Size() {
+		t.Fatalf("Total = %d, want %d", h.Total, img.Size())
+	}
+}
+
+func TestPctEmptyImage(t *testing.T) {
+	h := Extract(imaging.New(0, 0), q4)
+	if h.Pct(0) != 0 {
+		t.Fatal("Pct of empty image not 0")
+	}
+	n := h.Normalized()
+	for _, v := range n {
+		if v != 0 {
+			t.Fatal("Normalized of empty image not zero")
+		}
+	}
+}
+
+func TestNormalizedSumsToOne(t *testing.T) {
+	img := imaging.New(8, 8)
+	imaging.HStripes(img, 4, []imaging.RGB{{R: 255}, {G: 255}, {B: 255}, {R: 255, G: 255, B: 255}})
+	h := Extract(img, q4)
+	sum := 0.0
+	for _, v := range h.Normalized() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("normalized sum = %f", sum)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	h := Extract(solid(4, 4, imaging.RGB{R: 1, G: 2, B: 3}), q4)
+	c := h.Clone()
+	if !h.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Counts[0]++
+	if h.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	c2 := h.Clone()
+	c2.Total++
+	if h.Equal(c2) {
+		t.Fatal("different totals still equal")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	h := New(4)
+	h.Counts[0] = -1
+	if h.Validate() == nil {
+		t.Fatal("negative count passed validation")
+	}
+	h2 := New(4)
+	h2.Counts[1] = 5
+	h2.Total = 4
+	if h2.Validate() == nil {
+		t.Fatal("bad total passed validation")
+	}
+}
+
+func TestIntersectionIdenticalIsOne(t *testing.T) {
+	h := Extract(solid(5, 5, imaging.RGB{R: 0, G: 0, B: 255}), q4)
+	if got := Intersection(h, h); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self-intersection = %f", got)
+	}
+}
+
+func TestIntersectionDisjointIsZero(t *testing.T) {
+	a := Extract(solid(5, 5, imaging.RGB{R: 255, G: 0, B: 0}), q4)
+	b := Extract(solid(5, 5, imaging.RGB{R: 0, G: 0, B: 255}), q4)
+	if got := Intersection(a, b); got != 0 {
+		t.Fatalf("disjoint intersection = %f", got)
+	}
+}
+
+func TestIntersectionSymmetricAndBounded(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randHist(seedA)
+		b := randHist(seedB)
+		ab, ba := Intersection(a, b), Intersection(b, a)
+		return math.Abs(ab-ba) < 1e-12 && ab >= 0 && ab <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randHist(seed int64) *Histogram {
+	rng := rand.New(rand.NewSource(seed))
+	h := New(q4.Bins())
+	for i := 0; i < 100; i++ {
+		h.Counts[rng.Intn(len(h.Counts))]++
+		h.Total++
+	}
+	return h
+}
+
+func TestLpDistanceProperties(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randHist(seedA)
+		b := randHist(seedB)
+		for _, p := range []float64{1, 2, 3} {
+			d := LpDistance(a, b, p)
+			if d < 0 {
+				return false
+			}
+			if math.Abs(LpDistance(b, a, p)-d) > 1e-12 {
+				return false
+			}
+			if LpDistance(a, a, p) != 0 {
+				return false
+			}
+		}
+		// L1 relates to intersection: L1 = 2*(1 - intersection) when both
+		// are full distributions.
+		l1 := L1(a, b)
+		want := 2 * (1 - Intersection(a, b))
+		return math.Abs(l1-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2TriangleInequality(t *testing.T) {
+	f := func(sa, sb, sc int64) bool {
+		a, b, c := randHist(sa), randHist(sb), randHist(sc)
+		return L2(a, c) <= L2(a, b)+L2(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedBinsPanic(t *testing.T) {
+	a := New(4)
+	b := New(8)
+	for name, fn := range map[string]func(){
+		"Intersection": func() { Intersection(a, b) },
+		"LpDistance":   func() { LpDistance(a, b, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on bin mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLpPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p < 1 did not panic")
+		}
+	}()
+	LpDistance(New(4), New(4), 0.5)
+}

@@ -1,0 +1,202 @@
+package imaging
+
+// Drawing primitives used by the synthetic data-set generators
+// (internal/dataset). All primitives clip against the image bounds.
+
+// FillRect sets every pixel inside r (clipped to the image) to c.
+func FillRect(m *Image, r Rect, c RGB) {
+	r = r.Canon().Intersect(m.Bounds())
+	for y := r.Y0; y < r.Y1; y++ {
+		row := m.Pix[y*m.W+r.X0 : y*m.W+r.X1]
+		for i := range row {
+			row[i] = c
+		}
+	}
+}
+
+// HStripes fills the image with n equal-height horizontal stripes using the
+// colors in order, repeating the palette if n exceeds its length. The last
+// stripe absorbs any rounding remainder.
+func HStripes(m *Image, n int, colors []RGB) {
+	if n <= 0 || len(colors) == 0 {
+		return
+	}
+	h := m.H / n
+	for i := 0; i < n; i++ {
+		y0 := i * h
+		y1 := y0 + h
+		if i == n-1 {
+			y1 = m.H
+		}
+		FillRect(m, Rect{0, y0, m.W, y1}, colors[i%len(colors)])
+	}
+}
+
+// VStripes fills the image with n equal-width vertical stripes.
+func VStripes(m *Image, n int, colors []RGB) {
+	if n <= 0 || len(colors) == 0 {
+		return
+	}
+	w := m.W / n
+	for i := 0; i < n; i++ {
+		x0 := i * w
+		x1 := x0 + w
+		if i == n-1 {
+			x1 = m.W
+		}
+		FillRect(m, Rect{x0, 0, x1, m.H}, colors[i%len(colors)])
+	}
+}
+
+// FillEllipse fills the axis-aligned ellipse inscribed in r with c.
+func FillEllipse(m *Image, r Rect, c RGB) {
+	r = r.Canon()
+	cx := float64(r.X0+r.X1-1) / 2
+	cy := float64(r.Y0+r.Y1-1) / 2
+	rx := float64(r.Dx()) / 2
+	ry := float64(r.Dy()) / 2
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	clip := r.Intersect(m.Bounds())
+	for y := clip.Y0; y < clip.Y1; y++ {
+		dy := (float64(y) - cy) / ry
+		for x := clip.X0; x < clip.X1; x++ {
+			dx := (float64(x) - cx) / rx
+			if dx*dx+dy*dy <= 1 {
+				m.Pix[y*m.W+x] = c
+			}
+		}
+	}
+}
+
+// FillCircle fills the circle of the given radius centered at (cx, cy).
+func FillCircle(m *Image, cx, cy, radius int, c RGB) {
+	FillEllipse(m, Rect{cx - radius, cy - radius, cx + radius + 1, cy + radius + 1}, c)
+}
+
+// DrawLine draws a 1-pixel Bresenham line from (x0,y0) to (x1,y1).
+func DrawLine(m *Image, x0, y0, x1, y1 int, c RGB) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		m.Set(x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// DrawThickLine draws a line with the given stroke thickness by stamping a
+// filled square at each Bresenham step.
+func DrawThickLine(m *Image, x0, y0, x1, y1, thickness int, c RGB) {
+	if thickness <= 1 {
+		DrawLine(m, x0, y0, x1, y1, c)
+		return
+	}
+	half := thickness / 2
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		FillRect(m, Rect{x0 - half, y0 - half, x0 + half + 1, y0 + half + 1}, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// FillTriangle fills the triangle with vertices (x0,y0), (x1,y1), (x2,y2)
+// using a half-plane test over the bounding box.
+func FillTriangle(m *Image, x0, y0, x1, y1, x2, y2 int, c RGB) {
+	minX := min3(x0, x1, x2)
+	maxX := max3(x0, x1, x2)
+	minY := min3(y0, y1, y2)
+	maxY := max3(y0, y1, y2)
+	box := Rect{minX, minY, maxX + 1, maxY + 1}.Intersect(m.Bounds())
+	// Twice the signed area; a degenerate triangle draws nothing.
+	area := (x1-x0)*(y2-y0) - (x2-x0)*(y1-y0)
+	if area == 0 {
+		return
+	}
+	for y := box.Y0; y < box.Y1; y++ {
+		for x := box.X0; x < box.X1; x++ {
+			w0 := (x1-x0)*(y-y0) - (y1-y0)*(x-x0)
+			w1 := (x2-x1)*(y-y1) - (y2-y1)*(x-x1)
+			w2 := (x0-x2)*(y-y2) - (y0-y2)*(x-x2)
+			if (w0 >= 0 && w1 >= 0 && w2 >= 0) || (w0 <= 0 && w1 <= 0 && w2 <= 0) {
+				m.Pix[y*m.W+x] = c
+			}
+		}
+	}
+}
+
+// NordicCross draws a Scandinavian-style cross: a vertical bar centered at
+// fraction fx of the width crossed by a horizontal bar at fraction fy of the
+// height, both of the given thickness.
+func NordicCross(m *Image, fx, fy float64, thickness int, c RGB) {
+	cx := int(float64(m.W) * fx)
+	cy := int(float64(m.H) * fy)
+	FillRect(m, Rect{cx - thickness/2, 0, cx + (thickness+1)/2, m.H}, c)
+	FillRect(m, Rect{0, cy - thickness/2, m.W, cy + (thickness+1)/2}, c)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

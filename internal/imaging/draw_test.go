@@ -1,0 +1,192 @@
+package imaging
+
+import "testing"
+
+var (
+	red   = RGB{255, 0, 0}
+	green = RGB{0, 255, 0}
+	blue  = RGB{0, 0, 255}
+	white = RGB{255, 255, 255}
+)
+
+func TestFillRectClips(t *testing.T) {
+	img := New(4, 4)
+	FillRect(img, R(-5, -5, 2, 2), red)
+	if got := img.CountColor(red); got != 4 {
+		t.Fatalf("clipped fill painted %d pixels, want 4", got)
+	}
+	FillRect(img, R(3, 3, 99, 99), blue)
+	if got := img.CountColor(blue); got != 1 {
+		t.Fatalf("clipped fill painted %d pixels, want 1", got)
+	}
+}
+
+func TestFillRectCanonicalizes(t *testing.T) {
+	img := New(4, 4)
+	FillRect(img, R(3, 3, 1, 1), green) // reversed corners
+	if got := img.CountColor(green); got != 4 {
+		t.Fatalf("reversed rect painted %d pixels, want 4", got)
+	}
+}
+
+func TestHStripesCoverAndOrder(t *testing.T) {
+	img := New(6, 9)
+	HStripes(img, 3, []RGB{red, white, blue})
+	if img.At(0, 0) != red || img.At(0, 4) != white || img.At(0, 8) != blue {
+		t.Fatal("stripe order wrong")
+	}
+	if img.CountColor(red)+img.CountColor(white)+img.CountColor(blue) != img.Size() {
+		t.Fatal("stripes do not cover image")
+	}
+}
+
+func TestHStripesRemainderGoesToLast(t *testing.T) {
+	img := New(2, 10)
+	HStripes(img, 3, []RGB{red, white, blue})
+	// 10/3 = 3 rows each for first two stripes, last takes 4.
+	if got := img.CountColor(blue); got != 4*2 {
+		t.Fatalf("last stripe has %d pixels, want 8", got)
+	}
+}
+
+func TestVStripes(t *testing.T) {
+	img := New(9, 3)
+	VStripes(img, 3, []RGB{red, white, blue})
+	if img.At(0, 0) != red || img.At(4, 0) != white || img.At(8, 0) != blue {
+		t.Fatal("vertical stripe order wrong")
+	}
+}
+
+func TestStripesDegenerateInputs(t *testing.T) {
+	img := NewFilled(4, 4, white)
+	HStripes(img, 0, []RGB{red})
+	VStripes(img, 3, nil)
+	if img.CountColor(white) != 16 {
+		t.Fatal("degenerate stripes modified image")
+	}
+}
+
+func TestFillCircleSymmetryAndArea(t *testing.T) {
+	img := New(21, 21)
+	FillCircle(img, 10, 10, 8, red)
+	n := img.CountColor(red)
+	// Area must be within 15% of pi*r^2.
+	ideal := 3.14159 * 64
+	if f := float64(n); f < ideal*0.85 || f > ideal*1.15 {
+		t.Fatalf("circle area %d, ideal %.0f", n, ideal)
+	}
+	// 4-fold symmetry.
+	for dy := -8; dy <= 8; dy++ {
+		for dx := -8; dx <= 8; dx++ {
+			a := img.At(10+dx, 10+dy) == red
+			b := img.At(10-dx, 10+dy) == red
+			c := img.At(10+dx, 10-dy) == red
+			if a != b || a != c {
+				t.Fatalf("asymmetry at (%d,%d)", dx, dy)
+			}
+		}
+	}
+}
+
+func TestFillEllipseDegenerate(t *testing.T) {
+	img := NewFilled(4, 4, white)
+	FillEllipse(img, R(2, 2, 2, 4), red) // zero width
+	if img.CountColor(red) != 0 {
+		t.Fatal("degenerate ellipse painted pixels")
+	}
+}
+
+func TestDrawLineEndpointsAndConnectivity(t *testing.T) {
+	img := New(10, 10)
+	DrawLine(img, 1, 1, 8, 5, red)
+	if img.At(1, 1) != red || img.At(8, 5) != red {
+		t.Fatal("line endpoints not painted")
+	}
+	// Every column between x=1..8 must contain a red pixel (slope < 1).
+	for x := 1; x <= 8; x++ {
+		found := false
+		for y := 0; y < 10; y++ {
+			if img.At(x, y) == red {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("column %d has no line pixel", x)
+		}
+	}
+}
+
+func TestDrawLineAllOctants(t *testing.T) {
+	for _, e := range [][4]int{{5, 5, 9, 7}, {5, 5, 1, 7}, {5, 5, 9, 3}, {5, 5, 1, 3}, {5, 5, 5, 9}, {5, 5, 9, 5}, {5, 5, 5, 1}, {5, 5, 1, 5}} {
+		img := New(11, 11)
+		DrawLine(img, e[0], e[1], e[2], e[3], red)
+		if img.At(e[0], e[1]) != red || img.At(e[2], e[3]) != red {
+			t.Fatalf("endpoints missing for %v", e)
+		}
+	}
+}
+
+func TestDrawThickLine(t *testing.T) {
+	img := New(20, 20)
+	DrawThickLine(img, 2, 10, 17, 10, 5, red)
+	// Column 10 should be ~5 pixels tall of red.
+	n := 0
+	for y := 0; y < 20; y++ {
+		if img.At(10, y) == red {
+			n++
+		}
+	}
+	if n < 4 || n > 6 {
+		t.Fatalf("thick line height %d, want ~5", n)
+	}
+	// Thickness 1 falls back to DrawLine.
+	img2 := New(20, 20)
+	DrawThickLine(img2, 0, 0, 19, 19, 1, red)
+	if img2.At(0, 0) != red || img2.At(19, 19) != red {
+		t.Fatal("thin fallback failed")
+	}
+}
+
+func TestFillTriangle(t *testing.T) {
+	img := New(20, 20)
+	FillTriangle(img, 1, 1, 18, 1, 1, 18, red)
+	if img.At(2, 2) != red {
+		t.Fatal("triangle interior not filled")
+	}
+	if img.At(18, 18) == red {
+		t.Fatal("triangle exterior filled")
+	}
+	n := img.CountColor(red)
+	if n < 120 || n > 200 { // exact half-square area is ~153
+		t.Fatalf("triangle area %d out of range", n)
+	}
+	// Degenerate triangle draws nothing.
+	img2 := New(10, 10)
+	FillTriangle(img2, 1, 1, 5, 5, 9, 9, red)
+	if img2.CountColor(red) != 0 {
+		t.Fatal("degenerate triangle painted")
+	}
+}
+
+func TestNordicCross(t *testing.T) {
+	img := NewFilled(30, 20, red)
+	NordicCross(img, 0.35, 0.5, 4, white)
+	// The cross center must be white, corners must remain red.
+	if img.At(10, 10) != white {
+		t.Fatal("cross center not painted")
+	}
+	if img.At(0, 0) != red || img.At(29, 19) != red {
+		t.Fatal("corners overpainted")
+	}
+	// Both bars present: full column and full row of white.
+	for y := 0; y < 20; y++ {
+		if img.At(10, y) != white {
+			t.Fatalf("vertical bar broken at y=%d", y)
+		}
+	}
+	for x := 0; x < 30; x++ {
+		if img.At(x, 10) != white {
+			t.Fatalf("horizontal bar broken at x=%d", x)
+		}
+	}
+}

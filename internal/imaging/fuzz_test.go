@@ -1,0 +1,41 @@
+package imaging
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePPM asserts the decoder never panics and that anything it
+// accepts re-encodes and re-decodes to the same pixels.
+func FuzzDecodePPM(f *testing.F) {
+	var seed bytes.Buffer
+	EncodePPM(&seed, NewFilled(3, 2, RGB{R: 10, G: 20, B: 30}))
+	f.Add(seed.Bytes())
+	var plain bytes.Buffer
+	EncodePPMPlain(&plain, NewFilled(2, 2, RGB{R: 255}))
+	f.Add(plain.Bytes())
+	f.Add([]byte("P3\n1 1\n255\n1 2 3\n"))
+	f.Add([]byte("P6\n"))
+	f.Add([]byte("P3\n# comment\n2 1\n15\n15 0 0 0 15 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := DecodePPM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if img.W*img.H != len(img.Pix) {
+			t.Fatalf("inconsistent decode: %dx%d with %d pixels", img.W, img.H, len(img.Pix))
+		}
+		var buf bytes.Buffer
+		if err := EncodePPM(&buf, img); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := DecodePPM(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !img.Equal(again) {
+			t.Fatal("decode/encode/decode not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,154 @@
+// Package imaging provides the raster substrate for the edit-sequence image
+// database: a compact RGB image type, a PPM (P3/P6) codec compatible with the
+// pbmplus format used by the paper's prototype, a bridge to Go's standard
+// image types, and the drawing primitives the synthetic data-set generators
+// are built on.
+package imaging
+
+import (
+	"fmt"
+)
+
+// RGB is a 24-bit color pixel. It is the only pixel format the database
+// stores; conversions to other color models live in internal/colorspace.
+type RGB struct {
+	R, G, B uint8
+}
+
+// String renders the color as #rrggbb.
+func (c RGB) String() string {
+	return fmt.Sprintf("#%02x%02x%02x", c.R, c.G, c.B)
+}
+
+// Image is a W×H raster of RGB pixels stored row-major. The zero value is an
+// empty (0×0) image. Pixel (x, y) lives at Pix[y*W+x]; x grows rightward and
+// y grows downward, matching Go's image package orientation.
+type Image struct {
+	W, H int
+	Pix  []RGB
+}
+
+// New returns a w×h image with every pixel set to the zero color (black).
+// It panics if either dimension is negative.
+func New(w, h int) *Image {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imaging: negative dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]RGB, w*h)}
+}
+
+// NewFilled returns a w×h image with every pixel set to c.
+func NewFilled(w, h int, c RGB) *Image {
+	img := New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = c
+	}
+	return img
+}
+
+// Size returns the total number of pixels (W·H).
+func (m *Image) Size() int { return m.W * m.H }
+
+// Bounds returns the image rectangle [0,W)×[0,H).
+func (m *Image) Bounds() Rect { return Rect{X0: 0, Y0: 0, X1: m.W, Y1: m.H} }
+
+// In reports whether (x, y) is inside the image.
+func (m *Image) In(x, y int) bool {
+	return x >= 0 && x < m.W && y >= 0 && y < m.H
+}
+
+// At returns the pixel at (x, y). It panics on out-of-range coordinates;
+// callers that may be out of range should test with In first.
+func (m *Image) At(x, y int) RGB {
+	if !m.In(x, y) {
+		panic(fmt.Sprintf("imaging: At(%d,%d) outside %dx%d", x, y, m.W, m.H))
+	}
+	return m.Pix[y*m.W+x]
+}
+
+// Set writes the pixel at (x, y). Out-of-range writes are ignored so drawing
+// code can clip for free.
+func (m *Image) Set(x, y int, c RGB) {
+	if !m.In(x, y) {
+		return
+	}
+	m.Pix[y*m.W+x] = c
+}
+
+// Clone returns a deep copy of the image.
+func (m *Image) Clone() *Image {
+	out := &Image{W: m.W, H: m.H, Pix: make([]RGB, len(m.Pix))}
+	copy(out.Pix, m.Pix)
+	return out
+}
+
+// Equal reports whether two images have identical dimensions and pixels.
+func (m *Image) Equal(o *Image) bool {
+	if m.W != o.W || m.H != o.H {
+		return false
+	}
+	for i, p := range m.Pix {
+		if p != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of pixel positions at which the two images
+// differ. Images of different dimensions are considered to differ everywhere,
+// and the count of the larger pixel area is returned.
+func (m *Image) DiffCount(o *Image) int {
+	if m.W != o.W || m.H != o.H {
+		a, b := m.Size(), o.Size()
+		if a > b {
+			return a
+		}
+		return b
+	}
+	n := 0
+	for i, p := range m.Pix {
+		if p != o.Pix[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// SubImage returns a copy of the pixels inside r clipped to the image. The
+// result has r's clipped dimensions; an empty intersection yields a 0×0
+// image.
+func (m *Image) SubImage(r Rect) *Image {
+	r = r.Intersect(m.Bounds())
+	out := New(r.Dx(), r.Dy())
+	for y := r.Y0; y < r.Y1; y++ {
+		copy(out.Pix[(y-r.Y0)*out.W:(y-r.Y0+1)*out.W], m.Pix[y*m.W+r.X0:y*m.W+r.X1])
+	}
+	return out
+}
+
+// CountColor returns the number of pixels exactly equal to c.
+func (m *Image) CountColor(c RGB) int {
+	n := 0
+	for _, p := range m.Pix {
+		if p == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Palette returns the set of distinct colors in the image, in first-seen
+// order. Intended for tests and dataset inspection on images with small
+// palettes; it is O(pixels) time and O(distinct colors) space.
+func (m *Image) Palette() []RGB {
+	seen := make(map[RGB]bool)
+	var out []RGB
+	for _, p := range m.Pix {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

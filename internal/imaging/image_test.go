@@ -1,0 +1,218 @@
+package imaging
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensionsAndZeroFill(t *testing.T) {
+	img := New(7, 5)
+	if img.W != 7 || img.H != 5 {
+		t.Fatalf("dims = %dx%d, want 7x5", img.W, img.H)
+	}
+	if img.Size() != 35 {
+		t.Fatalf("Size = %d, want 35", img.Size())
+	}
+	for i, p := range img.Pix {
+		if p != (RGB{}) {
+			t.Fatalf("pixel %d = %v, want zero", i, p)
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 3) did not panic")
+		}
+	}()
+	New(-1, 3)
+}
+
+func TestNewFilled(t *testing.T) {
+	c := RGB{10, 20, 30}
+	img := NewFilled(4, 4, c)
+	if got := img.CountColor(c); got != 16 {
+		t.Fatalf("CountColor = %d, want 16", got)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	img := New(3, 3)
+	img.Set(1, 2, RGB{9, 8, 7})
+	if got := img.At(1, 2); got != (RGB{9, 8, 7}) {
+		t.Fatalf("At(1,2) = %v", got)
+	}
+	// Out-of-range Set is a no-op, not a panic.
+	img.Set(-1, 0, RGB{1, 1, 1})
+	img.Set(3, 0, RGB{1, 1, 1})
+	if img.CountColor(RGB{1, 1, 1}) != 0 {
+		t.Fatal("out-of-range Set modified the image")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewFilled(2, 2, RGB{1, 2, 3})
+	b := a.Clone()
+	b.Set(0, 0, RGB{9, 9, 9})
+	if a.At(0, 0) != (RGB{1, 2, 3}) {
+		t.Fatal("Clone shares pixel storage")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+}
+
+func TestEqualAndDiffCount(t *testing.T) {
+	a := NewFilled(3, 2, RGB{5, 5, 5})
+	b := a.Clone()
+	if !a.Equal(b) || a.DiffCount(b) != 0 {
+		t.Fatal("identical images reported different")
+	}
+	b.Set(2, 1, RGB{0, 0, 0})
+	if a.Equal(b) {
+		t.Fatal("differing images reported equal")
+	}
+	if got := a.DiffCount(b); got != 1 {
+		t.Fatalf("DiffCount = %d, want 1", got)
+	}
+	c := New(4, 4)
+	if got := a.DiffCount(c); got != 16 {
+		t.Fatalf("DiffCount across dims = %d, want 16", got)
+	}
+}
+
+func TestSubImage(t *testing.T) {
+	img := New(6, 6)
+	FillRect(img, R(2, 2, 5, 4), RGB{255, 0, 0})
+	sub := img.SubImage(R(2, 2, 5, 4))
+	if sub.W != 3 || sub.H != 2 {
+		t.Fatalf("sub dims = %dx%d, want 3x2", sub.W, sub.H)
+	}
+	if sub.CountColor(RGB{255, 0, 0}) != 6 {
+		t.Fatalf("sub content wrong: %v", sub.Pix)
+	}
+	// Clipping beyond bounds.
+	sub2 := img.SubImage(R(4, 4, 100, 100))
+	if sub2.W != 2 || sub2.H != 2 {
+		t.Fatalf("clipped sub dims = %dx%d, want 2x2", sub2.W, sub2.H)
+	}
+	// Empty intersection.
+	if s := img.SubImage(R(10, 10, 20, 20)); s.Size() != 0 {
+		t.Fatalf("empty sub has %d pixels", s.Size())
+	}
+}
+
+func TestPalette(t *testing.T) {
+	img := New(4, 1)
+	img.Pix[0] = RGB{1, 0, 0}
+	img.Pix[1] = RGB{0, 1, 0}
+	img.Pix[2] = RGB{1, 0, 0}
+	img.Pix[3] = RGB{0, 0, 1}
+	pal := img.Palette()
+	want := []RGB{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if len(pal) != len(want) {
+		t.Fatalf("palette = %v", pal)
+	}
+	for i := range want {
+		if pal[i] != want[i] {
+			t.Fatalf("palette[%d] = %v, want %v", i, pal[i], want[i])
+		}
+	}
+}
+
+func TestRGBString(t *testing.T) {
+	if got := (RGB{255, 16, 0}).String(); got != "#ff1000" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(1, 2, 4, 6)
+	if r.Dx() != 3 || r.Dy() != 4 || r.Area() != 12 {
+		t.Fatalf("Dx/Dy/Area = %d/%d/%d", r.Dx(), r.Dy(), r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported empty")
+	}
+	if !r.Contains(1, 2) || r.Contains(4, 2) || r.Contains(1, 6) {
+		t.Fatal("Contains half-open semantics broken")
+	}
+	if R(3, 3, 3, 9).Dx() != 0 || !R(3, 3, 3, 9).Empty() {
+		t.Fatal("degenerate rect not empty")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !a.Intersect(R(20, 20, 30, 30)).Empty() {
+		t.Fatal("disjoint Intersect not empty")
+	}
+	if u := a.Union(b); u != R(0, 0, 15, 15) {
+		t.Fatalf("Union = %v", u)
+	}
+	if u := (Rect{}).Union(a); u != a {
+		t.Fatalf("Union with empty = %v", u)
+	}
+	if u := a.Union(Rect{}); u != a {
+		t.Fatalf("Union with empty rhs = %v", u)
+	}
+}
+
+func TestRectContainsRectAndTranslate(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if !a.ContainsRect(R(2, 2, 8, 8)) {
+		t.Fatal("inner rect not contained")
+	}
+	if a.ContainsRect(R(5, 5, 11, 8)) {
+		t.Fatal("overhanging rect contained")
+	}
+	if !a.ContainsRect(Rect{}) {
+		t.Fatal("empty rect not contained")
+	}
+	if got := a.Translate(3, -2); got != R(3, -2, 13, 8) {
+		t.Fatalf("Translate = %v", got)
+	}
+	if got := R(5, 7, 1, 2).Canon(); got != R(1, 2, 5, 7) {
+		t.Fatalf("Canon = %v", got)
+	}
+}
+
+func TestRectIntersectionIsContained(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := R(int(ax0), int(ay0), int(ax0)+int(aw), int(ay0)+int(ah))
+		b := R(int(bx0), int(by0), int(bx0)+int(bw), int(by0)+int(bh))
+		in := a.Intersect(b)
+		if in.Empty() {
+			return true
+		}
+		return a.ContainsRect(in) && b.ContainsRect(in) && a.Union(b).ContainsRect(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectAreaAdditiveUnderIntersection(t *testing.T) {
+	// For rectangles a ⊆ image, sum over disjoint vertical split equals area.
+	a := R(0, 0, 9, 9)
+	left := a.Intersect(R(0, 0, 4, 9))
+	right := a.Intersect(R(4, 0, 9, 9))
+	if left.Area()+right.Area() != a.Area() {
+		t.Fatalf("split areas %d+%d != %d", left.Area(), right.Area(), a.Area())
+	}
+}

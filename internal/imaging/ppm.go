@@ -1,0 +1,222 @@
+package imaging
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// The paper's prototype used the pbmplus tool suite to convert between the
+// text-based PPM format and binary formats. We implement both PPM variants
+// natively: P3 (ASCII) and P6 (raw binary), with an 8-bit maxval.
+
+// ErrPPMSyntax is wrapped by all PPM decode errors.
+var ErrPPMSyntax = errors.New("imaging: invalid PPM")
+
+// EncodePPM writes m to w in binary PPM (P6) format.
+func EncodePPM(w io.Writer, m *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 3*m.W)
+	for y := 0; y < m.H; y++ {
+		row := m.Pix[y*m.W : (y+1)*m.W]
+		for x, p := range row {
+			buf[3*x], buf[3*x+1], buf[3*x+2] = p.R, p.G, p.B
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodePPMPlain writes m to w in ASCII PPM (P3) format, the text format the
+// paper's Perl prototype manipulated directly.
+func EncodePPMPlain(w io.Writer, m *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P3\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			p := m.Pix[y*m.W+x]
+			sep := " "
+			if x == m.W-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %d%s", p.R, p.G, p.B, sep); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePPM reads a P3 or P6 PPM image from r. Comments (# to end of line)
+// are honored in the header; maxvals other than 255 are rescaled to 8 bits.
+func DecodePPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 2)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrPPMSyntax, err)
+	}
+	var plain bool
+	switch string(magic) {
+	case "P3":
+		plain = true
+	case "P6":
+		plain = false
+	default:
+		return nil, fmt.Errorf("%w: magic %q (want P3 or P6)", ErrPPMSyntax, magic)
+	}
+	w, err := readPPMInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: width: %v", ErrPPMSyntax, err)
+	}
+	h, err := readPPMInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: height: %v", ErrPPMSyntax, err)
+	}
+	maxval, err := readPPMInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: maxval: %v", ErrPPMSyntax, err)
+	}
+	// Per-dimension caps matter independently of the area: a 0×2000000000
+	// image has zero pixels but its row count alone would make encoders and
+	// consumers iterate for minutes (found by fuzzing).
+	if w < 0 || h < 0 || w > 1<<16 || h > 1<<16 || w*h > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrPPMSyntax, w, h)
+	}
+	if maxval <= 0 || maxval > 65535 {
+		return nil, fmt.Errorf("%w: maxval %d out of range", ErrPPMSyntax, maxval)
+	}
+	img := New(w, h)
+	if plain {
+		for i := 0; i < w*h; i++ {
+			var c [3]int
+			for j := 0; j < 3; j++ {
+				v, err := readPPMInt(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: sample %d: %v", ErrPPMSyntax, i, err)
+				}
+				if v < 0 || v > maxval {
+					return nil, fmt.Errorf("%w: sample %d value %d exceeds maxval %d", ErrPPMSyntax, i, v, maxval)
+				}
+				c[j] = v
+			}
+			img.Pix[i] = RGB{scaleSample(c[0], maxval), scaleSample(c[1], maxval), scaleSample(c[2], maxval)}
+		}
+		return img, nil
+	}
+	// P6: exactly one whitespace byte separates the maxval from the raster,
+	// already consumed by readPPMInt.
+	bytesPer := 1
+	if maxval > 255 {
+		bytesPer = 2
+	}
+	buf := make([]byte, 3*bytesPer*w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: raster row %d: %v", ErrPPMSyntax, y, err)
+		}
+		for x := 0; x < w; x++ {
+			var c [3]int
+			for j := 0; j < 3; j++ {
+				if bytesPer == 1 {
+					c[j] = int(buf[3*x+j])
+				} else {
+					o := 6*x + 2*j
+					c[j] = int(buf[o])<<8 | int(buf[o+1])
+				}
+			}
+			img.Pix[y*w+x] = RGB{scaleSample(c[0], maxval), scaleSample(c[1], maxval), scaleSample(c[2], maxval)}
+		}
+	}
+	return img, nil
+}
+
+func scaleSample(v, maxval int) uint8 {
+	if maxval == 255 {
+		return uint8(v)
+	}
+	return uint8((v*255 + maxval/2) / maxval)
+}
+
+// readPPMInt reads the next whitespace-delimited unsigned decimal integer,
+// skipping comments. After the integer it consumes exactly the single
+// delimiter byte, as the P6 raster begins immediately after the maxval's
+// delimiter.
+func readPPMInt(br *bufio.Reader) (int, error) {
+	// Skip whitespace and comments.
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return 0, err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			// keep skipping
+		case b >= '0' && b <= '9':
+			if err := br.UnreadByte(); err != nil {
+				return 0, err
+			}
+			goto digits
+		default:
+			return 0, fmt.Errorf("unexpected byte %q", b)
+		}
+	}
+digits:
+	var digits []byte
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if b >= '0' && b <= '9' {
+			digits = append(digits, b)
+			continue
+		}
+		// The delimiter byte is consumed and not pushed back: this is what
+		// lets the P6 raster begin at the correct offset.
+		break
+	}
+	if len(digits) == 0 {
+		return 0, errors.New("expected integer")
+	}
+	return strconv.Atoi(string(digits))
+}
+
+// WritePPMFile encodes m as binary PPM into path, creating or truncating it.
+func WritePPMFile(path string, m *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodePPM(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPPMFile decodes the PPM image stored at path.
+func ReadPPMFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodePPM(f)
+}

@@ -1,0 +1,153 @@
+package imaging
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func randomImage(rng *rand.Rand, w, h int) *Image {
+	img := New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+	}
+	return img
+}
+
+func TestPPMBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {16, 9}, {64, 48}} {
+		img := randomImage(rng, dims[0], dims[1])
+		var buf bytes.Buffer
+		if err := EncodePPM(&buf, img); err != nil {
+			t.Fatalf("encode %v: %v", dims, err)
+		}
+		got, err := DecodePPM(&buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", dims, err)
+		}
+		if !img.Equal(got) {
+			t.Fatalf("P6 round trip mismatch at %v", dims)
+		}
+	}
+}
+
+func TestPPMPlainRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := randomImage(rng, 11, 5)
+	var buf bytes.Buffer
+	if err := EncodePPMPlain(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P3\n11 5\n255\n") {
+		t.Fatalf("unexpected header: %q", buf.String()[:20])
+	}
+	got, err := DecodePPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("P3 round trip mismatch")
+	}
+}
+
+func TestPPMDecodeComments(t *testing.T) {
+	src := "P3\n# a comment\n2 1\n# another\n255\n255 0 0  0 255 0\n"
+	img, err := DecodePPM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 2 || img.H != 1 {
+		t.Fatalf("dims %dx%d", img.W, img.H)
+	}
+	if img.At(0, 0) != (RGB{255, 0, 0}) || img.At(1, 0) != (RGB{0, 255, 0}) {
+		t.Fatalf("pixels %v", img.Pix)
+	}
+}
+
+func TestPPMDecodeMaxvalRescale(t *testing.T) {
+	src := "P3\n1 1\n15\n15 0 7\n"
+	img, err := DecodePPM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := img.At(0, 0)
+	if p.R != 255 || p.G != 0 {
+		t.Fatalf("rescaled pixel %v", p)
+	}
+	// 7/15 rounds to 119.
+	if p.B != 119 {
+		t.Fatalf("B = %d, want 119", p.B)
+	}
+}
+
+func TestPPMDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"P9\n1 1\n255\n",
+		"P3\n1\n",
+		"P3\n1 1\n255\n300 0 0\n", // sample exceeds maxval
+		"P6\n2 2\n255\nxx",        // truncated raster
+		"P3\n1 1\n0\n0 0 0\n",     // maxval 0
+	}
+	for i, src := range cases {
+		if _, err := DecodePPM(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d decoded without error", i)
+		}
+	}
+}
+
+func TestPPMFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ppm")
+	img := randomImage(rand.New(rand.NewSource(3)), 8, 8)
+	if err := WritePPMFile(path, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPPMFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	img := randomImage(rand.New(rand.NewSource(4)), 10, 6)
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("PNG round trip mismatch")
+	}
+}
+
+func TestStdImageRoundTrip(t *testing.T) {
+	img := randomImage(rand.New(rand.NewSource(5)), 5, 5)
+	if got := FromStdImage(ToStdImage(img)); !img.Equal(got) {
+		t.Fatal("std image round trip mismatch")
+	}
+}
+
+func TestPPMDecodeRejectsDegenerateHugeDimensions(t *testing.T) {
+	// Zero-area but huge row count: must be rejected, not decoded into an
+	// image whose consumers iterate billions of empty rows.
+	cases := []string{
+		"P3\n0 1711111111\n255\n",
+		"P3\n1711111111 0\n255\n",
+		"P6\n100000 1\n255\n",
+	}
+	for i, src := range cases {
+		if _, err := DecodePPM(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

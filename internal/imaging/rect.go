@@ -1,0 +1,116 @@
+package imaging
+
+import "fmt"
+
+// Rect is a half-open rectangle [X0,X1)×[Y0,Y1), the same convention as Go's
+// image.Rectangle. It is used for Defined Regions (DRs) in edit sequences and
+// for clipping in the drawing primitives.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// R is shorthand for constructing a rectangle.
+func R(x0, y0, x1, y1 int) Rect { return Rect{X0: x0, Y0: y0, X1: x1, Y1: y1} }
+
+// String renders the rectangle as (x0,y0)-(x1,y1).
+func (r Rect) String() string {
+	return fmt.Sprintf("(%d,%d)-(%d,%d)", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// Dx returns the width (0 if empty).
+func (r Rect) Dx() int {
+	if r.X1 <= r.X0 {
+		return 0
+	}
+	return r.X1 - r.X0
+}
+
+// Dy returns the height (0 if empty).
+func (r Rect) Dy() int {
+	if r.Y1 <= r.Y0 {
+		return 0
+	}
+	return r.Y1 - r.Y0
+}
+
+// Area returns Dx·Dy.
+func (r Rect) Area() int { return r.Dx() * r.Dy() }
+
+// Empty reports whether the rectangle contains no points.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Contains reports whether (x, y) is inside the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// ContainsRect reports whether o is entirely inside r. An empty o is
+// contained in anything.
+func (r Rect) ContainsRect(o Rect) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.X0 >= r.X0 && o.X1 <= r.X1 && o.Y0 >= r.Y0 && o.Y1 <= r.Y1
+}
+
+// Intersect returns the largest rectangle contained in both r and o. If the
+// rectangles do not overlap the result is empty.
+func (r Rect) Intersect(o Rect) Rect {
+	if o.X0 > r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 > r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 < r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 < r.Y1 {
+		r.Y1 = o.Y1
+	}
+	if r.Empty() {
+		return Rect{}
+	}
+	return r
+}
+
+// Union returns the smallest rectangle containing both r and o. Empty
+// rectangles are ignored.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	if o.X0 < r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 < r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 > r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 > r.Y1 {
+		r.Y1 = o.Y1
+	}
+	return r
+}
+
+// Translate returns the rectangle shifted by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// Canon returns the canonical form of r: coordinates swapped if necessary so
+// that X0 ≤ X1 and Y0 ≤ Y1.
+func (r Rect) Canon() Rect {
+	if r.X1 < r.X0 {
+		r.X0, r.X1 = r.X1, r.X0
+	}
+	if r.Y1 < r.Y0 {
+		r.Y0, r.Y1 = r.Y1, r.Y0
+	}
+	return r
+}

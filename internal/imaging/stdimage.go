@@ -1,0 +1,52 @@
+package imaging
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// Bridges to Go's standard image types so databases can ingest PNGs and
+// export results for viewing.
+
+// ToStdImage converts m to an *image.RGBA.
+func ToStdImage(m *Image) *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			p := m.Pix[y*m.W+x]
+			out.SetRGBA(x, y, color.RGBA{R: p.R, G: p.G, B: p.B, A: 0xff})
+		}
+	}
+	return out
+}
+
+// FromStdImage converts any standard image to an Image, discarding alpha by
+// compositing over black (straightforward truncation of the premultiplied
+// values returned by RGBA()).
+func FromStdImage(src image.Image) *Image {
+	b := src.Bounds()
+	out := New(b.Dx(), b.Dy())
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bl, _ := src.At(x, y).RGBA()
+			out.Pix[(y-b.Min.Y)*out.W+(x-b.Min.X)] = RGB{uint8(r >> 8), uint8(g >> 8), uint8(bl >> 8)}
+		}
+	}
+	return out
+}
+
+// EncodePNG writes m to w as a PNG.
+func EncodePNG(w io.Writer, m *Image) error {
+	return png.Encode(w, ToStdImage(m))
+}
+
+// DecodePNG reads a PNG from r.
+func DecodePNG(r io.Reader) (*Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromStdImage(src), nil
+}

@@ -1,0 +1,131 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/colorspace"
+)
+
+// Connective joins the terms of a compound query.
+type Connective uint8
+
+const (
+	// And intersects the term results ("at least 20% red and at most 10%
+	// blue").
+	And Connective = iota
+	// Or unions them.
+	Or
+)
+
+// String names the connective.
+func (c Connective) String() string {
+	if c == Or {
+		return "or"
+	}
+	return "and"
+}
+
+// Compound is a multi-predicate color query: Terms joined by a single
+// connective. (Mixed and/or nesting is intentionally unsupported — the
+// paper's query model is single-predicate; this is the minimal useful
+// extension.)
+type Compound struct {
+	Terms []Range
+	Conn  Connective
+}
+
+// Validate checks every term and the overall shape.
+func (c Compound) Validate(bins int) error {
+	if len(c.Terms) == 0 {
+		return fmt.Errorf("query: compound query has no terms")
+	}
+	if c.Conn > Or {
+		return fmt.Errorf("query: unknown connective %d", uint8(c.Conn))
+	}
+	for i, term := range c.Terms {
+		if err := term.Validate(bins); err != nil {
+			return fmt.Errorf("query: term %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ParseCompound parses "TERM (and TERM)*" or "TERM (or TERM)*", where each
+// TERM uses the ParseRange grammar. Mixing connectives is an error. A
+// single term parses as a one-term conjunction.
+func ParseCompound(s string, q colorspace.Quantizer) (Compound, error) {
+	lower := strings.ToLower(s)
+	hasAnd := containsWord(lower, " and ")
+	hasOr := containsWord(lower, " or ")
+	// "between X and Y color" contains the word "and"; disambiguate by
+	// trying the single-range parse first.
+	if r, err := ParseRange(s, q); err == nil {
+		return Compound{Terms: []Range{r}, Conn: And}, nil
+	}
+	if hasAnd && hasOr {
+		return Compound{}, fmt.Errorf("query: cannot mix 'and' with 'or' in %q", s)
+	}
+	conn := And
+	sep := " and "
+	if hasOr {
+		conn = Or
+		sep = " or "
+	}
+	parts := splitTerms(lower, sep)
+	if len(parts) < 2 {
+		// No connective at all: report the single-term parse error.
+		_, err := ParseRange(s, q)
+		return Compound{}, err
+	}
+	c := Compound{Conn: conn}
+	for _, part := range parts {
+		r, err := ParseRange(part, q)
+		if err != nil {
+			return Compound{}, err
+		}
+		c.Terms = append(c.Terms, r)
+	}
+	return c, c.Validate(q.Bins())
+}
+
+func containsWord(s, sep string) bool { return strings.Contains(s, sep) }
+
+// splitTerms splits on the separator but keeps "between X and Y color"
+// intact: a separator directly following a "between X" fragment belongs to
+// the between-term.
+func splitTerms(s, sep string) []string {
+	raw := strings.Split(s, sep)
+	if sep != " and " {
+		return trimAll(raw)
+	}
+	// Re-join fragments that are the middle of a between-term: a fragment
+	// ending in "between <pct>" consumed the term's own "and".
+	var out []string
+	for i := 0; i < len(raw); i++ {
+		cur := raw[i]
+		for i+1 < len(raw) && betweenNeedsAnd(cur) {
+			i++
+			cur = cur + " and " + raw[i]
+		}
+		out = append(out, cur)
+	}
+	return trimAll(out)
+}
+
+// betweenNeedsAnd reports whether the fragment ends in an unfinished
+// "between P%" clause.
+func betweenNeedsAnd(frag string) bool {
+	fields := strings.Fields(frag)
+	return len(fields) >= 2 && fields[len(fields)-2] == "between"
+}
+
+func trimAll(parts []string) []string {
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

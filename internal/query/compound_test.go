@@ -1,0 +1,105 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/colorspace"
+)
+
+func TestParseCompoundSingleTerm(t *testing.T) {
+	c, err := ParseCompound("at least 25% blue", q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Terms) != 1 || c.Conn != And {
+		t.Fatalf("compound %+v", c)
+	}
+}
+
+func TestParseCompoundAnd(t *testing.T) {
+	c, err := ParseCompound("at least 20% red and at most 10% blue", q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Terms) != 2 || c.Conn != And {
+		t.Fatalf("compound %+v", c)
+	}
+	redBin, _ := colorspace.BinForName("red", q4)
+	blueBin, _ := colorspace.BinForName("blue", q4)
+	if c.Terms[0].Bin != redBin || c.Terms[1].Bin != blueBin {
+		t.Fatalf("term bins %+v", c.Terms)
+	}
+	if c.Terms[0].PctMin != 0.20 || c.Terms[1].PctMax != 0.10 {
+		t.Fatalf("term percentages %+v", c.Terms)
+	}
+}
+
+func TestParseCompoundOr(t *testing.T) {
+	c, err := ParseCompound("at least 40% green or at least 40% teal or at least 40% sky", q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Terms) != 3 || c.Conn != Or {
+		t.Fatalf("compound %+v", c)
+	}
+}
+
+func TestParseCompoundBetweenKeepsItsAnd(t *testing.T) {
+	// "between X and Y color" must not be split at its own "and".
+	c, err := ParseCompound("between 10% and 30% red and at least 5% white", q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Terms) != 2 {
+		t.Fatalf("terms %+v", c.Terms)
+	}
+	if c.Terms[0].PctMin != 0.10 || c.Terms[0].PctMax != 0.30 {
+		t.Fatalf("between term %+v", c.Terms[0])
+	}
+	// A single between-term still parses.
+	c2, err := ParseCompound("between 10% and 30% red", q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Terms) != 1 {
+		t.Fatalf("single between: %+v", c2)
+	}
+	// Two between-terms joined by and.
+	c3, err := ParseCompound("between 10% and 30% red and between 5% and 15% blue", q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c3.Terms) != 2 || c3.Terms[1].PctMin != 0.05 || c3.Terms[1].PctMax != 0.15 {
+		t.Fatalf("double between: %+v", c3)
+	}
+}
+
+func TestParseCompoundErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"at least 20% red and or at most 10% blue",
+		"at least 20% red or at most 10% blue and at least 1% white", // mixed
+		"at least 20% nope and at most 10% blue",
+		"gibberish and more gibberish",
+	}
+	for _, s := range bad {
+		if _, err := ParseCompound(s, q4); err == nil {
+			t.Errorf("%q parsed without error", s)
+		}
+	}
+}
+
+func TestCompoundValidate(t *testing.T) {
+	if err := (Compound{}).Validate(64); err == nil {
+		t.Fatal("empty compound validated")
+	}
+	if err := (Compound{Terms: []Range{{Bin: 0, PctMax: 1}}, Conn: Connective(9)}).Validate(64); err == nil {
+		t.Fatal("bad connective validated")
+	}
+	if err := (Compound{Terms: []Range{{Bin: -1, PctMax: 1}}}).Validate(64); err == nil {
+		t.Fatal("bad term validated")
+	}
+	if And.String() != "and" || Or.String() != "or" {
+		t.Fatal("connective names wrong")
+	}
+}

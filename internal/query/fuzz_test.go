@@ -1,0 +1,28 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/colorspace"
+)
+
+// FuzzParseRange asserts the query parser never panics and only produces
+// valid ranges.
+func FuzzParseRange(f *testing.F) {
+	f.Add("at least 25% blue")
+	f.Add("at most 40 red")
+	f.Add("between 10% and 30% green")
+	f.Add("10%..30% white")
+	f.Add("")
+	f.Add("at least least least")
+	q := colorspace.NewUniformRGB(4)
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := ParseRange(text, q)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(q.Bins()); err != nil {
+			t.Fatalf("parser accepted %q but produced invalid range: %v", text, err)
+		}
+	})
+}

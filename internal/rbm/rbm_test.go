@@ -1,0 +1,193 @@
+package rbm
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+	"repro/internal/query"
+	"repro/internal/rules"
+)
+
+var (
+	q4    = colorspace.NewUniformRGB(4)
+	red   = imaging.RGB{R: 200, G: 0, B: 0}
+	green = imaging.RGB{R: 0, G: 200, B: 0}
+	blue  = imaging.RGB{R: 0, G: 0, B: 200}
+)
+
+// fixture: three binary images (all red / half red / no red) plus edited
+// versions.
+func buildFixture(t *testing.T) (*catalog.Catalog, *rules.Engine, map[string]uint64) {
+	t.Helper()
+	cat := catalog.New()
+	ids := map[string]uint64{}
+
+	add := func(name string, img *imaging.Image) uint64 {
+		id, err := cat.AddBinary(name, img.W, img.H, histogram.Extract(img, q4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+		return id
+	}
+	allRed := imaging.NewFilled(10, 10, red)
+	halfRed := imaging.NewFilled(10, 10, green)
+	imaging.FillRect(halfRed, imaging.R(0, 0, 10, 5), red)
+	noRed := imaging.NewFilled(10, 10, blue)
+	add("allred", allRed)
+	add("halfred", halfRed)
+	add("nored", noRed)
+
+	addEdited := func(name string, seq *editops.Sequence) uint64 {
+		base, err := cat.Binary(seq.BaseID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := rules.SequenceIsWideningFor(seq.Ops, base.W, base.H)
+		id, err := cat.AddEdited(name, seq, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+		return id
+	}
+	// Edited: no-red image recolored entirely to red → must match red
+	// queries via bounds (max grows by |DR|).
+	addEdited("nored-to-red", &editops.Sequence{
+		BaseID: ids["nored"],
+		Ops:    []editops.Op{editops.Modify{Old: blue, New: red}},
+	})
+	// Edited: all-red image possibly recolored away from red.
+	addEdited("allred-away", &editops.Sequence{
+		BaseID: ids["allred"],
+		Ops:    []editops.Op{editops.Modify{Old: red, New: green}},
+	})
+	// Edited: half-red cropped to the red half (widening null merge).
+	addEdited("halfred-crop", &editops.Sequence{
+		BaseID: ids["halfred"],
+		Ops:    editops.CropTo(imaging.R(0, 0, 10, 5)),
+	})
+	// Edited with a non-widening target merge onto the no-red image.
+	addEdited("paste-on-nored", &editops.Sequence{
+		BaseID: ids["allred"],
+		Ops:    editops.PasteOnto(imaging.R(0, 0, 2, 2), ids["nored"], 0, 0),
+	})
+
+	engine := rules.NewEngine(q4, imaging.RGB{}, cat)
+	return cat, engine, ids
+}
+
+func redRange(lo, hi float64) query.Range {
+	return query.Range{Bin: q4.Bin(red), PctMin: lo, PctMax: hi}
+}
+
+func contains(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRangeExactBinaries(t *testing.T) {
+	cat, engine, ids := buildFixture(t)
+	p := New(cat, engine)
+	res, err := p.Range(redRange(0.9, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(res.IDs, ids["allred"]) {
+		t.Fatal("all-red binary missing")
+	}
+	if contains(res.IDs, ids["halfred"]) || contains(res.IDs, ids["nored"]) {
+		t.Fatal("non-matching binary returned")
+	}
+	if res.Stats.BinariesChecked != 3 {
+		t.Fatalf("BinariesChecked = %d", res.Stats.BinariesChecked)
+	}
+}
+
+func TestRangeEditedBounds(t *testing.T) {
+	cat, engine, ids := buildFixture(t)
+	p := New(cat, engine)
+	// "at least 90% red": the recolored no-red image COULD be fully red.
+	res, err := p.Range(redRange(0.9, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(res.IDs, ids["nored-to-red"]) {
+		t.Fatal("bounds-matching edited image missing")
+	}
+	if !contains(res.IDs, ids["halfred-crop"]) {
+		t.Fatal("cropped edited image missing (could be 100% red)")
+	}
+	// Every edited image got a rule walk in RBM.
+	if res.Stats.EditedWalked != 4 {
+		t.Fatalf("EditedWalked = %d", res.Stats.EditedWalked)
+	}
+	if res.Stats.EditedSkipped != 0 {
+		t.Fatal("RBM skipped an edited image")
+	}
+}
+
+func TestRangePrunesImpossibleEdited(t *testing.T) {
+	cat, engine, ids := buildFixture(t)
+	p := New(cat, engine)
+	// "at most 3% red" — the paste-on-nored image pastes a 2x2 red block on
+	// a 10x10 blue image: at least 0 red... bounds min for red is
+	// max(0, 100-(100-4)) + max(0,0-4) = 4... so ≥4%: pruned.
+	res, err := p.Range(redRange(0, 0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(res.IDs, ids["paste-on-nored"]) {
+		t.Fatal("provably-red image returned by at-most-3%-red query")
+	}
+	if !contains(res.IDs, ids["nored"]) {
+		t.Fatal("no-red binary missing from at-most query")
+	}
+}
+
+func TestRangeResultsSorted(t *testing.T) {
+	cat, engine, _ := buildFixture(t)
+	p := New(cat, engine)
+	res, err := p.Range(redRange(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.IDs); i++ {
+		if res.IDs[i-1] >= res.IDs[i] {
+			t.Fatalf("ids not sorted: %v", res.IDs)
+		}
+	}
+	// [0,1] matches everything.
+	nb, ne := cat.Len()
+	if len(res.IDs) != nb+ne {
+		t.Fatalf("full-range query returned %d of %d", len(res.IDs), nb+ne)
+	}
+}
+
+func TestRangeValidates(t *testing.T) {
+	cat, engine, _ := buildFixture(t)
+	p := New(cat, engine)
+	if _, err := p.Range(query.Range{Bin: -1}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if _, err := p.Range(query.Range{Bin: 0, PctMin: 0.9, PctMax: 0.1}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestCheckEditedRejectsBinaryID(t *testing.T) {
+	cat, engine, ids := buildFixture(t)
+	p := New(cat, engine)
+	var st Stats
+	if _, err := p.CheckEdited(ids["allred"], redRange(0, 1), &st); err == nil {
+		t.Fatal("CheckEdited accepted a binary id")
+	}
+}

@@ -1,0 +1,134 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BulkItem is one entry for bulk loading.
+type BulkItem struct {
+	Rect Rect
+	ID   uint64
+}
+
+// BulkLoad builds a packed tree from items using Sort-Tile-Recursive
+// (Leutenegger et al.): items are sorted and tiled into full leaves along
+// successive dimensions, then the process repeats on the parent level. The
+// result answers queries identically to an incrementally built tree but
+// with near-100% node occupancy, which is why the database uses it when
+// rebuilding the signature index from a reopened catalog.
+func BulkLoad(dim, maxEntries int, items []BulkItem) (*Tree, error) {
+	t := New(dim, maxEntries)
+	if len(items) == 0 {
+		return t, nil
+	}
+	for i, it := range items {
+		if it.Rect.dim() != dim {
+			return nil, fmt.Errorf("rtree: bulk item %d has dimension %d, want %d", i, it.Rect.dim(), dim)
+		}
+	}
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: it.Rect, id: it.ID}
+	}
+	leaves := packLevel(entries, maxEntries, dim, true)
+	t.size = len(items)
+	// Build upper levels until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		parentEntries := make([]entry, len(level))
+		for i, n := range level {
+			parentEntries[i] = entry{rect: boundingRect(n), child: n}
+		}
+		level = packLevel(parentEntries, maxEntries, dim, false)
+	}
+	t.root = level[0]
+	fixParents(t.root)
+	return t, nil
+}
+
+// packLevel tiles entries into nodes of up to maxEntries using STR: sort by
+// the center of dimension 0, slice into vertical runs, sort each run by
+// dimension 1, and so on, finally cutting full nodes.
+func packLevel(entries []entry, maxEntries, dim int, leaf bool) []*node {
+	nodeCount := (len(entries) + maxEntries - 1) / maxEntries
+	groups := [][]entry{entries}
+	for d := 0; d < dim-1 && nodeCount > 1; d++ {
+		// Number of slabs along this dimension.
+		slabs := int(math.Ceil(math.Pow(float64(nodeCount), 1/float64(dim-d))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		var next [][]entry
+		for _, g := range groups {
+			sortByCenter(g, d)
+			per := (len(g) + slabs - 1) / slabs
+			if per < maxEntries {
+				per = maxEntries
+			}
+			for i := 0; i < len(g); i += per {
+				end := i + per
+				if end > len(g) {
+					end = len(g)
+				}
+				next = append(next, g[i:end])
+			}
+		}
+		groups = next
+		nodeCount = 0
+		for _, g := range groups {
+			nodeCount += (len(g) + maxEntries - 1) / maxEntries
+		}
+	}
+	minEntries := maxEntries / 2
+	if minEntries < 1 {
+		minEntries = 1
+	}
+	var nodes []*node
+	for _, g := range groups {
+		sortByCenter(g, dim-1)
+		for i := 0; i < len(g); i += maxEntries {
+			end := i + maxEntries
+			if end > len(g) {
+				end = len(g)
+			}
+			chunk := make([]entry, end-i)
+			copy(chunk, g[i:end])
+			nodes = append(nodes, &node{leaf: leaf, entries: chunk})
+		}
+	}
+	// STR can leave one underfull trailing node per run; rebalance it with
+	// its predecessor so every non-root node meets the minimum occupancy
+	// the incremental algorithms maintain.
+	for i := 1; i < len(nodes); i++ {
+		cur := nodes[i]
+		prev := nodes[i-1]
+		if len(cur.entries) >= minEntries || cur.leaf != prev.leaf {
+			continue
+		}
+		combined := append(append([]entry{}, prev.entries...), cur.entries...)
+		half := len(combined) / 2
+		prev.entries = combined[:half]
+		cur.entries = combined[half:]
+	}
+	return nodes
+}
+
+func sortByCenter(es []entry, d int) {
+	sort.Slice(es, func(i, j int) bool {
+		ci := es[i].rect.Min[d] + es[i].rect.Max[d]
+		cj := es[j].rect.Min[d] + es[j].rect.Max[d]
+		return ci < cj
+	})
+}
+
+func fixParents(n *node) {
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		n.entries[i].child.parent = n
+		fixParents(n.entries[i].child)
+	}
+}

@@ -1,0 +1,533 @@
+// Package rtree implements a Guttman R-tree over d-dimensional float
+// rectangles — the multidimensional access method the paper cites ([13]
+// Guttman 1984; [3] Brown & Gruenwald 1998) for organizing histogram
+// signatures. The database uses it to index binary-image histograms so
+// range probes and nearest-neighbor searches need not scan every signature.
+//
+// Supported operations: Insert, Delete, SearchIntersect, and best-first
+// NearestK (Hjaltason–Samet). Splits use Guttman's quadratic algorithm.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned d-dimensional rectangle (Min[i] ≤ Max[i]).
+type Rect struct {
+	Min, Max []float64
+}
+
+// Point returns the degenerate rectangle covering exactly p.
+func Point(p []float64) Rect {
+	min := make([]float64, len(p))
+	max := make([]float64, len(p))
+	copy(min, p)
+	copy(max, p)
+	return Rect{Min: min, Max: max}
+}
+
+// NewRect validates and returns a rectangle.
+func NewRect(min, max []float64) (Rect, error) {
+	if len(min) != len(max) {
+		return Rect{}, fmt.Errorf("rtree: min/max dimensionality %d != %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("rtree: dim %d: min %v > max %v", i, min[i], max[i])
+		}
+	}
+	return Rect{Min: min, Max: max}, nil
+}
+
+func (r Rect) dim() int { return len(r.Min) }
+
+// Intersects reports whether two rectangles overlap (boundaries included).
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > o.Max[i] || o.Min[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies entirely inside r.
+func (r Rect) Contains(o Rect) bool {
+	for i := range r.Min {
+		if o.Min[i] < r.Min[i] || o.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// area returns the d-dimensional volume.
+func (r Rect) area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= r.Max[i] - r.Min[i]
+	}
+	return a
+}
+
+// enlarged returns the bounding rectangle of r and o.
+func (r Rect) enlarged(o Rect) Rect {
+	min := make([]float64, len(r.Min))
+	max := make([]float64, len(r.Max))
+	for i := range r.Min {
+		min[i] = math.Min(r.Min[i], o.Min[i])
+		max[i] = math.Max(r.Max[i], o.Max[i])
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// enlargement returns the volume increase of r needed to include o.
+func (r Rect) enlargement(o Rect) float64 {
+	return r.enlarged(o).area() - r.area()
+}
+
+// minDistSq returns the squared minimum Euclidean distance from point p to
+// the rectangle (0 if p is inside), the MINDIST of the NN literature.
+func (r Rect) minDistSq(p []float64) float64 {
+	d := 0.0
+	for i := range p {
+		switch {
+		case p[i] < r.Min[i]:
+			v := r.Min[i] - p[i]
+			d += v * v
+		case p[i] > r.Max[i]:
+			v := p[i] - r.Max[i]
+			d += v * v
+		}
+	}
+	return d
+}
+
+type entry struct {
+	rect  Rect
+	id    uint64 // leaf entries only
+	child *node  // internal entries only
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+	parent  *node
+}
+
+// Tree is a Guttman R-tree. The zero value is not usable; construct with
+// New. Not safe for concurrent mutation.
+type Tree struct {
+	dim        int
+	minEntries int
+	maxEntries int
+	root       *node
+	size       int
+}
+
+// New returns an empty R-tree over dim-dimensional data with the given node
+// capacity (maxEntries; minEntries = maxEntries/2). It panics on dim < 1 or
+// maxEntries < 2 — construction parameters are programmer errors.
+func New(dim, maxEntries int) *Tree {
+	if dim < 1 {
+		panic(fmt.Sprintf("rtree: dimension %d < 1", dim))
+	}
+	if maxEntries < 2 {
+		panic(fmt.Sprintf("rtree: maxEntries %d < 2", maxEntries))
+	}
+	minE := maxEntries / 2
+	if minE < 1 {
+		minE = 1
+	}
+	return &Tree{
+		dim:        dim,
+		minEntries: minE,
+		maxEntries: maxEntries,
+		root:       &node{leaf: true},
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Insert adds a rectangle with an id. Duplicate ids are allowed; Delete
+// removes by (rect, id) pair.
+func (t *Tree) Insert(r Rect, id uint64) error {
+	if r.dim() != t.dim {
+		return fmt.Errorf("rtree: insert dim %d into %d-d tree", r.dim(), t.dim)
+	}
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.entries = append(leaf.entries, entry{rect: r, id: id})
+	t.size++
+	t.adjustUp(leaf)
+	return nil
+}
+
+// InsertPoint adds the degenerate rectangle at p.
+func (t *Tree) InsertPoint(p []float64, id uint64) error {
+	return t.Insert(Point(p), id)
+}
+
+func (t *Tree) chooseLeaf(n *node, r Rect) *node {
+	for !n.leaf {
+		best := -1
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i := range n.entries {
+			enl := n.entries[i].rect.enlargement(r)
+			area := n.entries[i].rect.area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// adjustUp propagates splits and bounding-rect updates to the root.
+func (t *Tree) adjustUp(n *node) {
+	for {
+		var sibling *node
+		if len(n.entries) > t.maxEntries {
+			sibling = t.splitNode(n)
+		}
+		if n.parent == nil {
+			if sibling != nil {
+				// Root split: grow the tree.
+				newRoot := &node{leaf: false}
+				newRoot.entries = []entry{
+					{rect: boundingRect(n), child: n},
+					{rect: boundingRect(sibling), child: sibling},
+				}
+				n.parent = newRoot
+				sibling.parent = newRoot
+				t.root = newRoot
+			}
+			return
+		}
+		parent := n.parent
+		// Refresh n's bounding rect in its parent.
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i].rect = boundingRect(n)
+				break
+			}
+		}
+		if sibling != nil {
+			sibling.parent = parent
+			parent.entries = append(parent.entries, entry{rect: boundingRect(sibling), child: sibling})
+		}
+		n = parent
+	}
+}
+
+func boundingRect(n *node) Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.enlarged(e.rect)
+	}
+	return r
+}
+
+// splitNode performs Guttman's quadratic split, leaving one group in n and
+// returning the new sibling.
+func (t *Tree) splitNode(n *node) *node {
+	entries := n.entries
+	// Pick seeds: the pair wasting the most area if grouped.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.enlarged(entries[j].rect).area() -
+				entries[i].rect.area() - entries[j].rect.area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []entry{entries[seedA]}
+	groupB := []entry{entries[seedB]}
+	rectA := entries[seedA].rect
+	rectB := entries[seedB].rect
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take everything to reach minEntries, do it.
+		if len(groupA)+len(rest) == t.minEntries {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				rectA = rectA.enlarged(e.rect)
+			}
+			rest = nil
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				rectB = rectB.enlarged(e.rect)
+			}
+			rest = nil
+			break
+		}
+		// PickNext: entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dA := rectA.enlargement(e.rect)
+			dB := rectB.enlargement(e.rect)
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		dA := rectA.enlargement(e.rect)
+		dB := rectB.enlargement(e.rect)
+		if dA < dB || (dA == dB && rectA.area() < rectB.area()) ||
+			(dA == dB && rectA.area() == rectB.area() && len(groupA) <= len(groupB)) {
+			groupA = append(groupA, e)
+			rectA = rectA.enlarged(e.rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.enlarged(e.rect)
+		}
+	}
+	n.entries = groupA
+	sibling := &node{leaf: n.leaf, entries: groupB}
+	if !n.leaf {
+		for i := range sibling.entries {
+			sibling.entries[i].child.parent = sibling
+		}
+	}
+	return sibling
+}
+
+// SearchIntersect returns the ids of all entries whose rectangles intersect
+// r, in unspecified order.
+func (t *Tree) SearchIntersect(r Rect) ([]uint64, error) {
+	if r.dim() != t.dim {
+		return nil, fmt.Errorf("rtree: search dim %d in %d-d tree", r.dim(), t.dim)
+	}
+	var out []uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if !e.rect.Intersects(r) {
+				continue
+			}
+			if n.leaf {
+				out = append(out, e.id)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return out, nil
+}
+
+// Neighbor is one NearestK result.
+type Neighbor struct {
+	ID uint64
+	// Dist is the Euclidean distance from the query point to the entry's
+	// rectangle (0 if the point is inside it).
+	Dist float64
+}
+
+// NearestK returns the k entries nearest to point p in ascending distance,
+// using best-first search over MINDIST. Fewer than k results are returned
+// if the tree is smaller than k.
+func (t *Tree) NearestK(p []float64, k int) ([]Neighbor, error) {
+	if len(p) != t.dim {
+		return nil, fmt.Errorf("rtree: query dim %d in %d-d tree", len(p), t.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rtree: k = %d must be positive", k)
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, nnItem{node: t.root, distSq: 0})
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		item := heap.Pop(pq).(nnItem)
+		if item.node == nil {
+			out = append(out, Neighbor{ID: item.id, Dist: math.Sqrt(item.distSq)})
+			continue
+		}
+		for _, e := range item.node.entries {
+			child := nnItem{distSq: e.rect.minDistSq(p)}
+			if item.node.leaf {
+				child.id = e.id
+			} else {
+				child.node = e.child
+			}
+			heap.Push(pq, child)
+		}
+	}
+	return out, nil
+}
+
+type nnItem struct {
+	node   *node // nil for a leaf entry
+	id     uint64
+	distSq float64
+}
+
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Delete removes one entry matching (r, id) exactly. It reports whether an
+// entry was removed. Underfull nodes are condensed per Guttman: their
+// surviving entries are reinserted.
+func (t *Tree) Delete(r Rect, id uint64) (bool, error) {
+	if r.dim() != t.dim {
+		return false, fmt.Errorf("rtree: delete dim %d in %d-d tree", r.dim(), t.dim)
+	}
+	leaf, idx := t.findLeaf(t.root, r, id)
+	if leaf == nil {
+		return false, nil
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	return true, nil
+}
+
+func (t *Tree) findLeaf(n *node, r Rect, id uint64) (*node, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == id && rectsEqual(e.rect, r) {
+				return n, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(r) || e.rect.Intersects(r) {
+			if leaf, i := t.findLeaf(e.child, r, id); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+func rectsEqual(a, b Rect) bool {
+	for i := range a.Min {
+		if a.Min[i] != b.Min[i] || a.Max[i] != b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// condense removes underfull nodes up the tree and reinserts their entries.
+func (t *Tree) condense(n *node) {
+	var orphans []entry
+	for n.parent != nil {
+		parent := n.parent
+		if len(n.entries) < t.minEntries {
+			// Detach n from its parent and queue its entries.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, collectLeafEntries(n)...)
+		} else {
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries[i].rect = boundingRect(n)
+					break
+				}
+			}
+		}
+		n = parent
+	}
+	for _, e := range orphans {
+		t.size-- // Insert will re-increment
+		if err := t.Insert(e.rect, e.id); err != nil {
+			// Cannot happen: the entry came from this tree.
+			panic(err)
+		}
+	}
+}
+
+func collectLeafEntries(n *node) []entry {
+	if n.leaf {
+		return n.entries
+	}
+	var out []entry
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.child)...)
+	}
+	return out
+}
+
+// checkInvariants validates structural invariants (bounding rectangles
+// contain children, entry counts within limits except the root, leaves at
+// uniform depth). Exposed to tests via export_test.go.
+func (t *Tree) checkInvariants() error {
+	leafDepth := -1
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n != t.root {
+			if len(n.entries) < t.minEntries || len(n.entries) > t.maxEntries {
+				return fmt.Errorf("node with %d entries outside [%d,%d]", len(n.entries), t.minEntries, t.maxEntries)
+			}
+		} else if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("root with %d entries exceeds max %d", len(n.entries), t.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		for _, e := range n.entries {
+			if e.child.parent != n {
+				return fmt.Errorf("broken parent pointer")
+			}
+			if !rectsEqual(e.rect, boundingRect(e.child)) {
+				return fmt.Errorf("stale bounding rect")
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if t.size == 0 {
+		return nil
+	}
+	return walk(t.root, 0)
+}

@@ -1,0 +1,412 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randPoint(rng *rand.Rand, dim int) []float64 {
+	p := make([]float64, dim)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ dim, max int }{{0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.dim, c.max)
+				}
+			}()
+			New(c.dim, c.max)
+		}()
+	}
+	tr := New(3, 8)
+	if tr.Dim() != 3 || tr.Len() != 0 {
+		t.Fatal("fresh tree state wrong")
+	}
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect([]float64{0, 0}, []float64{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := NewRect([]float64{2}, []float64{1}); err == nil {
+		t.Fatal("inverted rect accepted")
+	}
+	if _, err := NewRect([]float64{0, 0}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a, _ := NewRect([]float64{0, 0}, []float64{2, 2})
+	b, _ := NewRect([]float64{1, 1}, []float64{3, 3})
+	c, _ := NewRect([]float64{5, 5}, []float64{6, 6})
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Fatal("Intersects wrong")
+	}
+	if !a.Intersects(a) {
+		t.Fatal("self intersection")
+	}
+	inner, _ := NewRect([]float64{0.5, 0.5}, []float64{1, 1})
+	if !a.Contains(inner) || a.Contains(b) {
+		t.Fatal("Contains wrong")
+	}
+	// Touching boundaries intersect.
+	d, _ := NewRect([]float64{2, 0}, []float64{3, 2})
+	if !a.Intersects(d) {
+		t.Fatal("touching rects do not intersect")
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	r, _ := NewRect([]float64{1, 1}, []float64{2, 2})
+	if d := r.minDistSq([]float64{1.5, 1.5}); d != 0 {
+		t.Fatalf("inside point dist %v", d)
+	}
+	if d := r.minDistSq([]float64{0, 1.5}); d != 1 {
+		t.Fatalf("left point dist %v", d)
+	}
+	if d := r.minDistSq([]float64{0, 0}); d != 2 {
+		t.Fatalf("corner point dist %v", d)
+	}
+}
+
+func TestInsertAndExhaustiveSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(4, 6)
+	type item struct {
+		p  []float64
+		id uint64
+	}
+	var items []item
+	for i := 0; i < 500; i++ {
+		p := randPoint(rng, 4)
+		id := uint64(i + 1)
+		items = append(items, item{p, id})
+		if err := tr.InsertPoint(p, id); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare tree range search against linear scan for random windows.
+	for trial := 0; trial < 50; trial++ {
+		min := randPoint(rng, 4)
+		max := make([]float64, 4)
+		for i := range max {
+			max[i] = min[i] + rng.Float64()*0.5
+		}
+		window, _ := NewRect(min, max)
+		got, err := tr.SearchIntersect(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint64
+		for _, it := range items {
+			if window.Contains(Point(it.p)) {
+				want = append(want, it.id)
+			}
+		}
+		sortU(got)
+		sortU(want)
+		if !equalU(got, want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestSearchDimMismatch(t *testing.T) {
+	tr := New(3, 4)
+	if _, err := tr.SearchIntersect(Point([]float64{0, 0})); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := tr.InsertPoint([]float64{0}, 1); err == nil {
+		t.Fatal("insert dim mismatch accepted")
+	}
+}
+
+func TestNearestKMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(3, 8)
+	var pts [][]float64
+	for i := 0; i < 300; i++ {
+		p := randPoint(rng, 3)
+		pts = append(pts, p)
+		if err := tr.InsertPoint(p, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randPoint(rng, 3)
+		k := 1 + rng.Intn(10)
+		got, err := tr.NearestK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("got %d neighbors, want %d", len(got), k)
+		}
+		// Linear scan ground truth.
+		type cand struct {
+			id uint64
+			d  float64
+		}
+		var cands []cand
+		for i, p := range pts {
+			d := 0.0
+			for j := range p {
+				v := p[j] - q[j]
+				d += v * v
+			}
+			cands = append(cands, cand{uint64(i + 1), math.Sqrt(d)})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Dist-cands[i].d) > 1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %v, want %v", trial, i, got[i].Dist, cands[i].d)
+			}
+		}
+		// Distances are non-decreasing.
+		for i := 1; i < k; i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatal("neighbors not sorted by distance")
+			}
+		}
+	}
+}
+
+func TestNearestKValidation(t *testing.T) {
+	tr := New(2, 4)
+	if _, err := tr.NearestK([]float64{0}, 1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := tr.NearestK([]float64{0, 0}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// k larger than tree returns everything.
+	tr.InsertPoint([]float64{1, 1}, 1)
+	got, err := tr.NearestK([]float64{0, 0}, 5)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(2, 4)
+	var pts [][]float64
+	for i := 0; i < 200; i++ {
+		p := randPoint(rng, 2)
+		pts = append(pts, p)
+		tr.InsertPoint(p, uint64(i+1))
+	}
+	// Delete half, verifying presence/absence by search.
+	for i := 0; i < 100; i++ {
+		ok, err := tr.Delete(Point(pts[i]), uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("entry %d not found for deletion", i+1)
+		}
+		if i%20 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d after deletes", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	everything, _ := NewRect([]float64{0, 0}, []float64{1, 1})
+	got, _ := tr.SearchIntersect(everything)
+	sortU(got)
+	for _, id := range got {
+		if id <= 100 {
+			t.Fatalf("deleted id %d still present", id)
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("%d survivors", len(got))
+	}
+	// Deleting a missing entry reports false.
+	ok, err := tr.Delete(Point(pts[0]), 1)
+	if err != nil || ok {
+		t.Fatalf("re-delete: %v %v", ok, err)
+	}
+	// Dim mismatch.
+	if _, err := tr.Delete(Point([]float64{0}), 1); err == nil {
+		t.Fatal("delete dim mismatch accepted")
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New(2, 4)
+	for i := 0; i < 50; i++ {
+		tr.InsertPoint([]float64{float64(i), float64(i)}, uint64(i+1))
+	}
+	for i := 0; i < 50; i++ {
+		if ok, _ := tr.Delete(Point([]float64{float64(i), float64(i)}), uint64(i+1)); !ok {
+			t.Fatalf("delete %d failed", i+1)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Tree is reusable after total deletion.
+	tr.InsertPoint([]float64{0.5, 0.5}, 99)
+	got, _ := tr.NearestK([]float64{0, 0}, 1)
+	if len(got) != 1 || got[0].ID != 99 {
+		t.Fatalf("reuse failed: %v", got)
+	}
+}
+
+func TestDuplicatePointsAllowed(t *testing.T) {
+	tr := New(2, 4)
+	p := []float64{0.3, 0.3}
+	for i := 0; i < 10; i++ {
+		tr.InsertPoint(p, uint64(i+1))
+	}
+	got, _ := tr.SearchIntersect(Point(p))
+	if len(got) != 10 {
+		t.Fatalf("%d of 10 duplicates found", len(got))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortU(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func equalU(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 5, 16, 17, 100, 333, 1000} {
+		items := make([]BulkItem, n)
+		inc := New(4, 8)
+		for i := range items {
+			p := randPoint(rng, 4)
+			items[i] = BulkItem{Rect: Point(p), ID: uint64(i + 1)}
+			inc.InsertPoint(p, uint64(i+1))
+		}
+		bulk, err := BulkLoad(4, 8, items)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if bulk.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, bulk.Len())
+		}
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: invariants: %v", n, err)
+		}
+		// Search equivalence on random windows.
+		for trial := 0; trial < 20; trial++ {
+			min := randPoint(rng, 4)
+			max := make([]float64, 4)
+			for d := range max {
+				max[d] = min[d] + rng.Float64()*0.6
+			}
+			window, _ := NewRect(min, max)
+			a, err := bulk.SearchIntersect(window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := inc.SearchIntersect(window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortU(a)
+			sortU(b)
+			if !equalU(a, b) {
+				t.Fatalf("n=%d trial %d: bulk %d hits, incremental %d", n, trial, len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestBulkLoadNearestAndMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := make([]BulkItem, 200)
+	pts := make([][]float64, 200)
+	for i := range items {
+		pts[i] = randPoint(rng, 3)
+		items[i] = BulkItem{Rect: Point(pts[i]), ID: uint64(i + 1)}
+	}
+	tr, err := BulkLoad(3, 8, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randPoint(rng, 3)
+	got, err := tr.NearestK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against linear scan.
+	best := -1
+	bestD := math.Inf(1)
+	for i, p := range pts {
+		d := 0.0
+		for j := range p {
+			v := p[j] - q[j]
+			d += v * v
+		}
+		if d < bestD {
+			bestD, best = d, i
+		}
+	}
+	if got[0].ID != uint64(best+1) {
+		t.Fatalf("bulk NN = %d, want %d", got[0].ID, best+1)
+	}
+	// The bulk tree stays fully mutable.
+	if err := tr.InsertPoint(randPoint(rng, 3), 999); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tr.Delete(Point(pts[0]), 1); err != nil || !ok {
+		t.Fatalf("delete from bulk tree: %v %v", ok, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad(2, 4, []BulkItem{{Rect: Point([]float64{1}), ID: 1}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	empty, err := BulkLoad(2, 4, nil)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty bulk: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package rules
+
+import (
+	"repro/internal/editops"
+)
+
+// Bound-widening classification (paper §4). A rule is bound-widening when
+// the output percentage range [Min/Total, Max/Total] always contains the
+// input percentage range, for every bin and every prior state. For such
+// rules, if the starting range already intersects the query range, the
+// final range must too — which is the observation BWM exploits to skip rule
+// evaluation entirely.
+
+// IsBoundWidening reports whether the rule associated with op is
+// bound-widening:
+//
+//   - Define, Combine, Modify and Mutate: always (Combine/Modify/move-Mutate
+//     keep Total fixed and only relax the count bounds; resize-Mutate scales
+//     both sides so the percentage range can only grow; Define is inert).
+//   - Merge with a null target: yes — cropping to the DR can only widen the
+//     percentage range (proof in DESIGN.md §5).
+//   - Merge with a target: no — pasting onto a target can raise the minimum
+//     percentage (the target's own pixels contribute a floor).
+func IsBoundWidening(op editops.Op) bool {
+	m, ok := op.(editops.Merge)
+	return !ok || m.Target == editops.NullTarget
+}
+
+// SequenceIsWidening reports whether every operation in the sequence has a
+// bound-widening rule, ignoring geometry. Prefer SequenceIsWideningFor,
+// which also rejects the degenerate cases where an operation collapses the
+// image to zero pixels (an empty image's percentage range is [0, 0], which
+// does not contain the base's range, so widening fails even for a null
+// Merge).
+func SequenceIsWidening(ops []editops.Op) bool {
+	for _, op := range ops {
+		if !IsBoundWidening(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// SequenceIsWideningFor is the geometry-aware classification used by BWM
+// insertion (paper Fig. 1 step 3): every operation must have a widening
+// rule AND no operation may shrink the image to zero pixels. Geometry is
+// fully determined by the base dimensions and the sequence, so this is
+// decidable at insertion time without touching pixels. Sequences with a
+// target Merge are rejected before geometry needs the target's dimensions,
+// so no resolver is required.
+func SequenceIsWideningFor(ops []editops.Op, baseW, baseH int) bool {
+	g := editops.StartGeom(baseW, baseH)
+	for _, op := range ops {
+		if !IsBoundWidening(op) {
+			return false
+		}
+		next, _, err := g.Step(op, nil)
+		if err != nil {
+			return false
+		}
+		if next.W*next.H == 0 && g.W*g.H > 0 {
+			return false
+		}
+		g = next
+	}
+	return true
+}
+
+// RuleInfo is one row of the rule classification matrix — the behavioural
+// reproduction of the paper's Table 1, printed by `benchfig -exp table1`.
+type RuleInfo struct {
+	Operation string
+	Condition string
+	MinEffect string
+	MaxEffect string
+	TotalEff  string
+	Widening  bool
+}
+
+// Table1 returns the implemented rule matrix. The effects are the sound,
+// re-derived forms (DESIGN.md §5); D denotes the effective DR pixel count,
+// E the pre-operation total, T/T_HB the Merge target's total and bin count,
+// OV the overwritten target pixels and GAP the background fill count.
+func Table1() []RuleInfo {
+	return []RuleInfo{
+		{"Define", "all", "no change", "no change", "no change", true},
+		{"Combine", "all", "decrease by D", "increase by D", "no change", true},
+		{"Modify", "RGBnew maps to HB", "no change", "increase by D", "no change", true},
+		{"Modify", "else RGBold maps to HB", "decrease by D", "no change", "no change", true},
+		{"Modify", "else", "no change", "no change", "no change", true},
+		{"Mutate", "pure scale, DR contains image", "multiply by min replication", "multiply by max replication", "W'·H' exactly", true},
+		{"Mutate", "otherwise (move)", "decrease by D", "increase by D", "no change", true},
+		{"Merge", "target is null", "max(0, HBmin−(E−D))", "min(HBmax, D)", "D", true},
+		{"Merge", "target is not null", "max(0,HBmin−(E−D)) + max(0,T_HB−OV) + [bg∈HB]·GAP", "min(HBmax,D) + min(T_HB,T−OV) + [bg∈HB]·GAP", "W'·H' exactly", false},
+	}
+}

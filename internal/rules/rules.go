@@ -1,0 +1,360 @@
+// Package rules implements the paper's Rule-Based Method (RBM) machinery
+// (§3.2, Table 1): for an image stored as a base reference plus an editing
+// sequence, it computes conservative [min, max] bounds on the number of
+// pixels mapping to a histogram bin — without instantiating the image.
+//
+// The invariant every rule preserves (and the property tests verify) is
+// soundness: if the edited image were instantiated, its true count for the
+// bin would lie inside the computed bounds, and its true pixel total equals
+// the tracked total exactly. The table scraped from the paper is partially
+// garbled, so each rule is re-derived conservatively; see DESIGN.md §5. The
+// widening/non-widening classification (§4) matches the paper: Modify,
+// Combine, Mutate and null-target Merge widen; target Merge does not.
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+)
+
+// Bounds is the state the BOUNDS algorithm threads through a sequence for
+// one histogram bin: pixel-count bounds for the bin and the exact total.
+type Bounds struct {
+	// Min and Max bracket the number of pixels mapping to the bin.
+	Min, Max int
+	// Total is the exact number of pixels in the (possibly resized) image.
+	Total int
+}
+
+// PctRange returns the percentage interval [Min/Total, Max/Total]. An empty
+// image yields [0, 0].
+func (b Bounds) PctRange() (lo, hi float64) {
+	if b.Total == 0 {
+		return 0, 0
+	}
+	t := float64(b.Total)
+	return float64(b.Min) / t, float64(b.Max) / t
+}
+
+// Contains reports whether an exact count/total observation is inside the
+// bounds; the soundness property tests are phrased with it.
+func (b Bounds) Contains(count, total int) bool {
+	return total == b.Total && count >= b.Min && count <= b.Max
+}
+
+// Overlaps reports whether the percentage range intersects [pctMin, pctMax]
+// (inclusive on both ends). RBM prunes an image exactly when this is false.
+func (b Bounds) Overlaps(pctMin, pctMax float64) bool {
+	lo, hi := b.PctRange()
+	return lo <= pctMax && hi >= pctMin
+}
+
+func (b Bounds) clamp() Bounds {
+	if b.Min < 0 {
+		b.Min = 0
+	}
+	if b.Max > b.Total {
+		b.Max = b.Total
+	}
+	if b.Min > b.Max {
+		// Bounds can only cross through clamping when Total shrinks below
+		// Min; the true count is then necessarily in [Max, Min] = [Total,
+		// Total]... keeping the invariant simple: collapse onto the valid
+		// interval.
+		b.Min = b.Max
+	}
+	return b
+}
+
+// TargetInfo resolves the stored facts about a Merge target (a binary image
+// in the database): its extracted histogram and raster dimensions. The
+// rule engine never touches pixels; these are catalog lookups.
+type TargetInfo interface {
+	// HistogramOf returns the stored histogram of a binary image.
+	HistogramOf(id uint64) (*histogram.Histogram, error)
+	// DimsOf returns a binary image's raster dimensions.
+	DimsOf(id uint64) (w, h int, err error)
+}
+
+// Engine evaluates rules for a fixed quantizer and editing environment. It
+// must be configured with the same Background the instantiation Env uses,
+// or Merge gap / Mutate vacancy reasoning would be unsound.
+type Engine struct {
+	Quant      colorspace.Quantizer
+	Background imaging.RGB
+	Info       TargetInfo
+}
+
+// NewEngine returns an engine over the given quantizer, background color
+// and target resolver. Info may be nil if no sequence contains a non-null
+// Merge.
+func NewEngine(q colorspace.Quantizer, background imaging.RGB, info TargetInfo) *Engine {
+	return &Engine{Quant: q, Background: background, Info: info}
+}
+
+func (e *Engine) targetDims() editops.TargetDims {
+	if e.Info == nil {
+		return nil
+	}
+	return e.Info.DimsOf
+}
+
+// BoundsForBin runs the paper's BOUNDS algorithm: starting from the base
+// image's exact histogram value for bin, it applies the rule of every
+// operation in order and returns the final bounds.
+func (e *Engine) BoundsForBin(base *histogram.Histogram, baseW, baseH int, ops []editops.Op, bin int) (Bounds, error) {
+	b := Bounds{Min: base.Counts[bin], Max: base.Counts[bin], Total: baseW * baseH}
+	g := editops.StartGeom(baseW, baseH)
+	dims := e.targetDims()
+	for i, op := range ops {
+		next, layout, err := g.Step(op, dims)
+		if err != nil {
+			return Bounds{}, fmt.Errorf("rules: op %d: %w", i, err)
+		}
+		b, err = e.applyRule(b, op, g, layout, bin)
+		if err != nil {
+			return Bounds{}, fmt.Errorf("rules: op %d (%s): %w", i, op.Kind(), err)
+		}
+		g = next
+	}
+	return b, nil
+}
+
+// applyRule adjusts bounds for one operation. g is the geometry before the
+// operation; layout is the merge layout when op is a Merge.
+func (e *Engine) applyRule(b Bounds, op editops.Op, g editops.Geom, layout editops.MergeLayout, bin int) (Bounds, error) {
+	switch o := op.(type) {
+	case editops.Define:
+		return b, nil
+
+	case editops.Combine:
+		// Blur changes only DR pixels; each can enter or leave the bin.
+		d := g.EffectiveDR().Area()
+		b.Min -= d
+		b.Max += d
+		return b.clamp(), nil
+
+	case editops.Modify:
+		d := g.EffectiveDR().Area()
+		newIn := e.Quant.Bin(o.New) == bin
+		oldIn := e.Quant.Bin(o.Old) == bin
+		switch {
+		case newIn:
+			// Up to every DR pixel may have had color Old and joined the
+			// bin; none can leave (Old in the bin means recolored pixels
+			// stay in it, since New is in the bin too).
+			b.Max += d
+		case oldIn:
+			b.Min -= d
+		}
+		return b.clamp(), nil
+
+	case editops.Mutate:
+		if sx, sy, ok := o.ScaleFactors(); ok && g.DR.Canon().ContainsRect(g.Bounds()) {
+			outW := editops.ScaleOutDim(g.W, sx)
+			outH := editops.ScaleOutDim(g.H, sy)
+			minRX, maxRX := editops.ScaleReplication(g.W, sx, outW)
+			minRY, maxRY := editops.ScaleReplication(g.H, sy, outH)
+			b = Bounds{
+				Min:   b.Min * minRX * minRY,
+				Max:   b.Max * maxRX * maxRY,
+				Total: outW * outH,
+			}
+			return b.clamp(), nil
+		}
+		// Move: only DR pixels relocate; destinations overwrite, vacancies
+		// fill with background. Net change per bin is bounded by ±|DR|.
+		d := g.EffectiveDR().Area()
+		b.Min -= d
+		b.Max += d
+		return b.clamp(), nil
+
+	case editops.Merge:
+		d := layout.BlockW * layout.BlockH
+		var tCount, tTotal int
+		if o.Target != editops.NullTarget {
+			if e.Info == nil {
+				return Bounds{}, fmt.Errorf("merge target %d needs a TargetInfo resolver", o.Target)
+			}
+			th, err := e.Info.HistogramOf(o.Target)
+			if err != nil {
+				return Bounds{}, err
+			}
+			tCount = th.Counts[bin]
+			tTotal = th.Total
+		}
+		gapAdd := 0
+		if e.Quant.Bin(e.Background) == bin {
+			gapAdd = layout.Gap
+		}
+		// Block pixels in the bin: the DR holds all but (Total − D) of the
+		// image's pixels, so at least Min − (Total − D) and at most
+		// min(Max, D) of them map to the bin.
+		blockMin := b.Min - (b.Total - d)
+		if blockMin < 0 {
+			blockMin = 0
+		}
+		blockMax := b.Max
+		if blockMax > d {
+			blockMax = d
+		}
+		// Surviving target pixels in the bin: the block overwrites
+		// layout.Overwritten of them.
+		targetMin := tCount - layout.Overwritten
+		if targetMin < 0 {
+			targetMin = 0
+		}
+		targetMax := tCount
+		if rest := tTotal - layout.Overwritten; targetMax > rest {
+			targetMax = rest
+		}
+		b = Bounds{
+			Min:   blockMin + targetMin + gapAdd,
+			Max:   blockMax + targetMax + gapAdd,
+			Total: layout.NewW * layout.NewH,
+		}
+		return b.clamp(), nil
+
+	default:
+		return Bounds{}, fmt.Errorf("unknown op type %T", op)
+	}
+}
+
+// BoundsAll runs the BOUNDS walk once for every histogram bin, returning a
+// slice indexed by bin. It is the building block for bound-based k-NN
+// pruning (the paper's future-work extension). The walk is shared across
+// bins — geometry is stepped once per operation — so it is far cheaper than
+// Bins() independent BoundsForBin calls; a property test pins the results
+// to the per-bin walk.
+func (e *Engine) BoundsAll(base *histogram.Histogram, baseW, baseH int, ops []editops.Op) ([]Bounds, error) {
+	out := make([]Bounds, base.Bins())
+	total := baseW * baseH
+	for bin := range out {
+		out[bin] = Bounds{Min: base.Counts[bin], Max: base.Counts[bin], Total: total}
+	}
+	g := editops.StartGeom(baseW, baseH)
+	dims := e.targetDims()
+	for i, op := range ops {
+		next, layout, err := g.Step(op, dims)
+		if err != nil {
+			return nil, fmt.Errorf("rules: op %d: %w", i, err)
+		}
+		if err := e.applyRuleAll(out, op, g, layout); err != nil {
+			return nil, fmt.Errorf("rules: op %d (%s): %w", i, op.Kind(), err)
+		}
+		g = next
+	}
+	return out, nil
+}
+
+// applyRuleAll mirrors applyRule across every bin in one pass.
+func (e *Engine) applyRuleAll(bs []Bounds, op editops.Op, g editops.Geom, layout editops.MergeLayout) error {
+	switch o := op.(type) {
+	case editops.Define:
+		return nil
+
+	case editops.Combine:
+		d := g.EffectiveDR().Area()
+		for i := range bs {
+			bs[i].Min -= d
+			bs[i].Max += d
+			bs[i] = bs[i].clamp()
+		}
+		return nil
+
+	case editops.Modify:
+		d := g.EffectiveDR().Area()
+		newBin := e.Quant.Bin(o.New)
+		oldBin := e.Quant.Bin(o.Old)
+		// Per-bin rule: bins matching New get Max += D; bins matching Old
+		// (and not New — the conditions are if/else) get Min −= D.
+		bs[newBin].Max += d
+		bs[newBin] = bs[newBin].clamp()
+		if oldBin != newBin {
+			bs[oldBin].Min -= d
+			bs[oldBin] = bs[oldBin].clamp()
+		}
+		return nil
+
+	case editops.Mutate:
+		if sx, sy, ok := o.ScaleFactors(); ok && g.DR.Canon().ContainsRect(g.Bounds()) {
+			outW := editops.ScaleOutDim(g.W, sx)
+			outH := editops.ScaleOutDim(g.H, sy)
+			minRX, maxRX := editops.ScaleReplication(g.W, sx, outW)
+			minRY, maxRY := editops.ScaleReplication(g.H, sy, outH)
+			total := outW * outH
+			for i := range bs {
+				bs[i] = Bounds{
+					Min:   bs[i].Min * minRX * minRY,
+					Max:   bs[i].Max * maxRX * maxRY,
+					Total: total,
+				}.clamp()
+			}
+			return nil
+		}
+		d := g.EffectiveDR().Area()
+		for i := range bs {
+			bs[i].Min -= d
+			bs[i].Max += d
+			bs[i] = bs[i].clamp()
+		}
+		return nil
+
+	case editops.Merge:
+		d := layout.BlockW * layout.BlockH
+		var tHist *histogram.Histogram
+		tTotal := 0
+		if o.Target != editops.NullTarget {
+			if e.Info == nil {
+				return fmt.Errorf("merge target %d needs a TargetInfo resolver", o.Target)
+			}
+			var err error
+			tHist, err = e.Info.HistogramOf(o.Target)
+			if err != nil {
+				return err
+			}
+			tTotal = tHist.Total
+		}
+		bgBin := e.Quant.Bin(e.Background)
+		newTotal := layout.NewW * layout.NewH
+		for i := range bs {
+			tCount := 0
+			if tHist != nil {
+				tCount = tHist.Counts[i]
+			}
+			gapAdd := 0
+			if i == bgBin {
+				gapAdd = layout.Gap
+			}
+			blockMin := bs[i].Min - (bs[i].Total - d)
+			if blockMin < 0 {
+				blockMin = 0
+			}
+			blockMax := bs[i].Max
+			if blockMax > d {
+				blockMax = d
+			}
+			targetMin := tCount - layout.Overwritten
+			if targetMin < 0 {
+				targetMin = 0
+			}
+			targetMax := tCount
+			if rest := tTotal - layout.Overwritten; targetMax > rest {
+				targetMax = rest
+			}
+			bs[i] = Bounds{
+				Min:   blockMin + targetMin + gapAdd,
+				Max:   blockMax + targetMax + gapAdd,
+				Total: newTotal,
+			}.clamp()
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown op type %T", op)
+	}
+}

@@ -1,0 +1,488 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+)
+
+var q4 = colorspace.NewUniformRGB(4)
+
+// memInfo is an in-memory TargetInfo over a map of rasters.
+type memInfo struct {
+	images map[uint64]*imaging.Image
+	quant  colorspace.Quantizer
+}
+
+func (m *memInfo) HistogramOf(id uint64) (*histogram.Histogram, error) {
+	img, ok := m.images[id]
+	if !ok {
+		return nil, fmt.Errorf("no image %d", id)
+	}
+	return histogram.Extract(img, m.quant), nil
+}
+
+func (m *memInfo) DimsOf(id uint64) (int, int, error) {
+	img, ok := m.images[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("no image %d", id)
+	}
+	return img.W, img.H, nil
+}
+
+func (m *memInfo) resolve(id uint64) (*imaging.Image, error) {
+	img, ok := m.images[id]
+	if !ok {
+		return nil, fmt.Errorf("no image %d", id)
+	}
+	return img, nil
+}
+
+var testPalette = []imaging.RGB{
+	{R: 200, G: 0, B: 0}, {R: 0, G: 200, B: 0}, {R: 0, G: 0, B: 200},
+	{R: 255, G: 255, B: 255}, {R: 0, G: 0, B: 0}, {R: 120, G: 120, B: 120},
+}
+
+func randImage(rng *rand.Rand, w, h int) *imaging.Image {
+	img := imaging.New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = testPalette[rng.Intn(len(testPalette))]
+	}
+	return img
+}
+
+// randOps generates a random op sequence over a w×h base. If wideningOnly,
+// target merges are excluded. Targets come from info's image set.
+func randOps(rng *rand.Rand, w, h, n int, wideningOnly bool, targetIDs []uint64) []editops.Op {
+	ops := make([]editops.Op, 0, n)
+	randRect := func() imaging.Rect {
+		x0, y0 := rng.Intn(w+4)-2, rng.Intn(h+4)-2
+		return imaging.R(x0, y0, x0+1+rng.Intn(w), y0+1+rng.Intn(h))
+	}
+	for len(ops) < n {
+		switch rng.Intn(7) {
+		case 0:
+			ops = append(ops, editops.Define{Region: randRect()})
+		case 1:
+			ops = append(ops, editops.Combine{Weights: [9]float64{1, 2, 1, 2, 4, 2, 1, 2, 1}})
+		case 2:
+			ops = append(ops, editops.Modify{
+				Old: testPalette[rng.Intn(len(testPalette))],
+				New: testPalette[rng.Intn(len(testPalette))],
+			})
+		case 3: // translate (rigid mutate)
+			ops = append(ops, editops.Mutate{M: [9]float64{1, 0, float64(rng.Intn(9) - 4), 0, 1, float64(rng.Intn(9) - 4), 0, 0, 1}})
+		case 4: // scale (resize when DR covers image, else move)
+			factors := []float64{0.5, 1, 1.5, 2}
+			ops = append(ops, editops.Mutate{M: [9]float64{factors[rng.Intn(4)], 0, 0, 0, factors[rng.Intn(4)], 0, 0, 0, 1}})
+		case 5:
+			ops = append(ops, editops.Merge{Target: editops.NullTarget})
+		case 6:
+			if wideningOnly || len(targetIDs) == 0 {
+				continue
+			}
+			ops = append(ops, editops.Merge{
+				Target: targetIDs[rng.Intn(len(targetIDs))],
+				XP:     rng.Intn(2*w) - w/2,
+				YP:     rng.Intn(2*h) - h/2,
+			})
+		}
+	}
+	return ops
+}
+
+// TestBoundsSoundness is the central invariant of the whole reproduction:
+// for random bases and random sequences, the instantiated image's true bin
+// count lies inside the rule-computed bounds for every bin, and the tracked
+// total matches exactly.
+func TestBoundsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	info := &memInfo{quant: q4, images: map[uint64]*imaging.Image{
+		101: randImage(rng, 7, 5),
+		102: randImage(rng, 3, 9),
+		103: randImage(rng, 12, 4),
+	}}
+	engine := NewEngine(q4, imaging.RGB{R: 17, G: 17, B: 17}, info)
+	env := &editops.Env{Background: engine.Background, ResolveImage: info.resolve}
+	targets := []uint64{101, 102, 103}
+
+	for trial := 0; trial < 400; trial++ {
+		w, h := 2+rng.Intn(10), 2+rng.Intn(10)
+		base := randImage(rng, w, h)
+		baseHist := histogram.Extract(base, q4)
+		ops := randOps(rng, w, h, 1+rng.Intn(8), false, targets)
+
+		inst, err := editops.Apply(base, ops, env)
+		if err != nil {
+			t.Fatalf("trial %d: apply: %v", trial, err)
+		}
+		truth := histogram.Extract(inst, q4)
+		for bin := 0; bin < q4.Bins(); bin++ {
+			b, err := engine.BoundsForBin(baseHist, w, h, ops, bin)
+			if err != nil {
+				t.Fatalf("trial %d bin %d: %v", trial, bin, err)
+			}
+			if !b.Contains(truth.Counts[bin], truth.Total) {
+				t.Fatalf("trial %d bin %d: truth %d/%d outside bounds [%d,%d]/%d\nops: %v",
+					trial, bin, truth.Counts[bin], truth.Total, b.Min, b.Max, b.Total, ops)
+			}
+		}
+	}
+}
+
+// TestWideningSequencesWidenPercentageRange checks the property BWM relies
+// on: for sequences of widening-only operations, the final percentage range
+// contains the base image's exact percentage point, AND contains the initial
+// range — so intersection with any query range is preserved.
+func TestWideningSequencesWidenPercentageRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	engine := NewEngine(q4, imaging.RGB{}, nil)
+
+	for trial := 0; trial < 400; trial++ {
+		w, h := 2+rng.Intn(10), 2+rng.Intn(10)
+		base := randImage(rng, w, h)
+		baseHist := histogram.Extract(base, q4)
+		ops := randOps(rng, w, h, 1+rng.Intn(8), true, nil)
+		if !SequenceIsWidening(ops) {
+			t.Fatalf("trial %d: generator emitted non-widening op", trial)
+		}
+		// The widening guarantee only holds for the geometry-aware
+		// classification; sequences that collapse the image are excluded,
+		// exactly as BWM insertion excludes them.
+		if !SequenceIsWideningFor(ops, w, h) {
+			continue
+		}
+		for bin := 0; bin < q4.Bins(); bin++ {
+			start := Bounds{Min: baseHist.Counts[bin], Max: baseHist.Counts[bin], Total: w * h}
+			lo0, hi0 := start.PctRange()
+			b, err := engine.BoundsForBin(baseHist, w, h, ops, bin)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			lo, hi := b.PctRange()
+			const eps = 1e-12
+			if lo > lo0+eps || hi < hi0-eps {
+				t.Fatalf("trial %d bin %d: range [%v,%v] does not contain initial [%v,%v]\nops: %v",
+					trial, bin, lo, hi, lo0, hi0, ops)
+			}
+		}
+	}
+}
+
+// TestNonWideningMergeCanNarrow demonstrates why target-Merge is excluded
+// from BWM's Main Component: pasting onto a target raises the minimum
+// percentage above the base's.
+func TestNonWideningMergeCanNarrow(t *testing.T) {
+	blue := imaging.RGB{R: 0, G: 0, B: 200}
+	red := imaging.RGB{R: 200, G: 0, B: 0}
+	target := imaging.NewFilled(10, 10, blue)
+	info := &memInfo{quant: q4, images: map[uint64]*imaging.Image{5: target}}
+	engine := NewEngine(q4, imaging.RGB{}, info)
+
+	base := imaging.NewFilled(2, 2, red) // 0% blue
+	baseHist := histogram.Extract(base, q4)
+	ops := []editops.Op{editops.Merge{Target: 5, XP: 0, YP: 0}}
+	blueBin := q4.Bin(blue)
+	b, err := engine.BoundsForBin(baseHist, 2, 2, ops, blueBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := b.PctRange()
+	if lo <= 0 {
+		t.Fatalf("target merge should raise the minimum blue percentage, got lo=%v", lo)
+	}
+}
+
+func TestBoundsExactForPureModify(t *testing.T) {
+	red := imaging.RGB{R: 200, G: 0, B: 0}
+	green := imaging.RGB{R: 0, G: 200, B: 0}
+	base := imaging.NewFilled(4, 4, red)
+	baseHist := histogram.Extract(base, q4)
+	engine := NewEngine(q4, imaging.RGB{}, nil)
+	ops := []editops.Op{editops.Modify{Old: red, New: green}}
+
+	greenBin := q4.Bin(green)
+	b, err := engine.BoundsForBin(baseHist, 4, 4, ops, greenBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 16 pixels may turn green; none were green.
+	if b.Min != 0 || b.Max != 16 || b.Total != 16 {
+		t.Fatalf("bounds %+v", b)
+	}
+	redBin := q4.Bin(red)
+	b, err = engine.BoundsForBin(baseHist, 4, 4, ops, redBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 0 || b.Max != 16 {
+		t.Fatalf("red bounds %+v", b)
+	}
+}
+
+func TestBoundsMergeNullExactTotal(t *testing.T) {
+	base := randImage(rand.New(rand.NewSource(9)), 8, 8)
+	baseHist := histogram.Extract(base, q4)
+	engine := NewEngine(q4, imaging.RGB{}, nil)
+	ops := editops.CropTo(imaging.R(1, 1, 5, 4))
+	b, err := engine.BoundsForBin(baseHist, 8, 8, ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 12 {
+		t.Fatalf("crop total = %d, want 12", b.Total)
+	}
+}
+
+func TestBoundsResizeExactForIntegerScale(t *testing.T) {
+	blue := imaging.RGB{R: 0, G: 0, B: 200}
+	base := imaging.NewFilled(3, 3, blue)
+	baseHist := histogram.Extract(base, q4)
+	engine := NewEngine(q4, imaging.RGB{}, nil)
+	ops := editops.ScaleImage(3, 3, 2, 2)
+	bin := q4.Bin(blue)
+	b, err := engine.BoundsForBin(baseHist, 3, 3, ops, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 36 || b.Max != 36 || b.Total != 36 {
+		t.Fatalf("integer scale bounds %+v, want exact 36", b)
+	}
+}
+
+func TestBoundsOverlaps(t *testing.T) {
+	b := Bounds{Min: 10, Max: 30, Total: 100} // pct range [0.1, 0.3]
+	cases := []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{0.0, 0.05, false},
+		{0.0, 0.1, true}, // touching is inclusive
+		{0.15, 0.2, true},
+		{0.3, 0.5, true},
+		{0.31, 0.5, false},
+		{0.0, 1.0, true},
+	}
+	for _, c := range cases {
+		if got := b.Overlaps(c.lo, c.hi); got != c.want {
+			t.Errorf("Overlaps(%v,%v) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestPctRangeEmptyImage(t *testing.T) {
+	lo, hi := (Bounds{}).PctRange()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty image pct range [%v,%v]", lo, hi)
+	}
+}
+
+func TestBoundsAllMatchesPerBin(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	info := &memInfo{quant: q4, images: map[uint64]*imaging.Image{
+		201: randImage(rng, 5, 7),
+		202: randImage(rng, 9, 3),
+	}}
+	engine := NewEngine(q4, imaging.RGB{R: 17, G: 17, B: 17}, info)
+	for trial := 0; trial < 100; trial++ {
+		w, h := 2+rng.Intn(8), 2+rng.Intn(8)
+		base := randImage(rng, w, h)
+		baseHist := histogram.Extract(base, q4)
+		ops := randOps(rng, w, h, 1+rng.Intn(7), false, []uint64{201, 202})
+		all, err := engine.BoundsAll(baseHist, w, h, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != q4.Bins() {
+			t.Fatalf("BoundsAll returned %d bins", len(all))
+		}
+		for bin := 0; bin < q4.Bins(); bin++ {
+			b, err := engine.BoundsForBin(baseHist, w, h, ops, bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if all[bin] != b {
+				t.Fatalf("trial %d bin %d: BoundsAll %+v != BoundsForBin %+v\nops: %v",
+					trial, bin, all[bin], b, ops)
+			}
+		}
+	}
+}
+
+func TestMergeWithoutResolverFails(t *testing.T) {
+	engine := NewEngine(q4, imaging.RGB{}, nil)
+	base := imaging.NewFilled(2, 2, imaging.RGB{})
+	h := histogram.Extract(base, q4)
+	if _, err := engine.BoundsForBin(h, 2, 2, []editops.Op{editops.Merge{Target: 9}}, 0); err == nil {
+		t.Fatal("merge without resolver succeeded")
+	}
+}
+
+func TestIsBoundWidening(t *testing.T) {
+	cases := []struct {
+		op   editops.Op
+		want bool
+	}{
+		{editops.Define{}, true},
+		{editops.Combine{}, true},
+		{editops.Modify{}, true},
+		{editops.Mutate{}, true},
+		{editops.Merge{Target: editops.NullTarget}, true},
+		{editops.Merge{Target: 3}, false},
+	}
+	for _, c := range cases {
+		if got := IsBoundWidening(c.op); got != c.want {
+			t.Errorf("IsBoundWidening(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+	if !SequenceIsWidening([]editops.Op{editops.Define{}, editops.Modify{}}) {
+		t.Error("widening sequence misclassified")
+	}
+	if SequenceIsWidening([]editops.Op{editops.Define{}, editops.Merge{Target: 4}}) {
+		t.Error("non-widening sequence misclassified")
+	}
+}
+
+func TestSequenceIsWideningForGeometryEdgeCases(t *testing.T) {
+	// A null merge over an empty effective DR collapses the image: not
+	// widening even though every op kind is.
+	emptyCrop := []editops.Op{
+		editops.Define{Region: imaging.R(2, -1, 5, 0)}, // clips to empty on any canvas
+		editops.Merge{Target: editops.NullTarget},
+	}
+	if SequenceIsWideningFor(emptyCrop, 8, 8) {
+		t.Error("empty-DR null merge classified widening")
+	}
+	// A normal crop is widening.
+	crop := editops.CropTo(imaging.R(1, 1, 4, 4))
+	if !SequenceIsWideningFor(crop, 8, 8) {
+		t.Error("plain crop classified non-widening")
+	}
+	// Target merges are rejected without needing a resolver.
+	paste := []editops.Op{editops.Merge{Target: 3}}
+	if SequenceIsWideningFor(paste, 8, 8) {
+		t.Error("target merge classified widening")
+	}
+	// A resize that rounds a dimension to zero collapses the image.
+	vanish := editops.ScaleImage(1, 8, 0.3, 1)
+	if SequenceIsWideningFor(vanish, 1, 8) {
+		t.Error("resize-to-empty classified widening")
+	}
+}
+
+func TestTable1ClassificationMatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 9 {
+		t.Fatalf("Table1 has %d rows", len(rows))
+	}
+	widening := 0
+	for _, r := range rows {
+		if r.Widening {
+			widening++
+		}
+		if r.Operation == "Merge" && r.Condition == "target is not null" && r.Widening {
+			t.Error("target merge must not be widening")
+		}
+	}
+	if widening != 8 {
+		t.Fatalf("%d widening rows, want 8 (all but target merge)", widening)
+	}
+}
+
+// TestTable1RowsPinned pins each implemented rule's arithmetic on a known
+// starting state — the executable version of reading Table 1 row by row.
+func TestTable1RowsPinned(t *testing.T) {
+	blue := imaging.RGB{R: 0, G: 0, B: 200}
+	red := imaging.RGB{R: 200, G: 0, B: 0}
+	gray := imaging.RGB{R: 120, G: 120, B: 120}
+	// Base: 10x10, 30 pixels blue, 70 gray.
+	base := imaging.NewFilled(10, 10, gray)
+	imaging.FillRect(base, imaging.R(0, 0, 10, 3), blue)
+	h := histogram.Extract(base, q4)
+	blueBin := q4.Bin(blue)
+	engine := NewEngine(q4, imaging.RGB{}, nil)
+	dr := editops.Define{Region: imaging.R(0, 0, 5, 4)} // D = 20
+
+	bounds := func(ops ...editops.Op) Bounds {
+		b, err := engine.BoundsForBin(h, 10, 10, ops, blueBin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Combine: min −D, max +D, total unchanged.
+	if b := bounds(dr, editops.Combine{Weights: [9]float64{1, 1, 1, 1, 1, 1, 1, 1, 1}}); b != (Bounds{Min: 10, Max: 50, Total: 100}) {
+		t.Fatalf("combine row: %+v", b)
+	}
+	// Modify, RGBnew in HB: max +D only.
+	if b := bounds(dr, editops.Modify{Old: gray, New: blue}); b != (Bounds{Min: 30, Max: 50, Total: 100}) {
+		t.Fatalf("modify-new row: %+v", b)
+	}
+	// Modify, RGBold in HB (new not): min −D only.
+	if b := bounds(dr, editops.Modify{Old: blue, New: red}); b != (Bounds{Min: 10, Max: 30, Total: 100}) {
+		t.Fatalf("modify-old row: %+v", b)
+	}
+	// Modify, neither: no change.
+	if b := bounds(dr, editops.Modify{Old: gray, New: red}); b != (Bounds{Min: 30, Max: 30, Total: 100}) {
+		t.Fatalf("modify-else row: %+v", b)
+	}
+	// Mutate scale 2x2 with DR ⊇ image: exact multiply by 4.
+	full := editops.Define{Region: imaging.R(0, 0, 10, 10)}
+	if b := bounds(full, editops.Mutate{M: [9]float64{2, 0, 0, 0, 2, 0, 0, 0, 1}}); b != (Bounds{Min: 120, Max: 120, Total: 400}) {
+		t.Fatalf("mutate-scale row: %+v", b)
+	}
+	// Mutate rigid (translate): min −D, max +D.
+	if b := bounds(dr, editops.Mutate{M: [9]float64{1, 0, 2, 0, 1, 2, 0, 0, 1}}); b != (Bounds{Min: 10, Max: 50, Total: 100}) {
+		t.Fatalf("mutate-rigid row: %+v", b)
+	}
+	// Merge null: total = D, min = max(0, HBmin−(E−D)), max = min(HBmax, D).
+	if b := bounds(dr, editops.Merge{Target: editops.NullTarget}); b != (Bounds{Min: 0, Max: 20, Total: 20}) {
+		t.Fatalf("merge-null row: %+v", b)
+	}
+	// Merge null where the DR must contain blue: crop to the top 3 rows
+	// (all 30 blue pixels, D=30): min = 30−(100−30) = max(0,−40)=0... use a
+	// larger DR: top 8 rows (D=80): min = 30−(100−80) = 10, max = min(30,80).
+	big := editops.Define{Region: imaging.R(0, 0, 10, 8)}
+	if b := bounds(big, editops.Merge{Target: editops.NullTarget}); b != (Bounds{Min: 10, Max: 30, Total: 80}) {
+		t.Fatalf("merge-null-big row: %+v", b)
+	}
+}
+
+// TestMergeTargetRowPinned pins the non-widening Merge row with an explicit
+// target: block D=20 pasted at (2,2) on a 6x6 target that is 50% blue.
+func TestMergeTargetRowPinned(t *testing.T) {
+	blue := imaging.RGB{R: 0, G: 0, B: 200}
+	gray := imaging.RGB{R: 120, G: 120, B: 120}
+	target := imaging.NewFilled(6, 6, gray)
+	imaging.FillRect(target, imaging.R(0, 0, 6, 3), blue) // 18 blue of 36
+	info := &memInfo{quant: q4, images: map[uint64]*imaging.Image{9: target}}
+	engine := NewEngine(q4, imaging.RGB{}, info)
+
+	base := imaging.NewFilled(10, 10, gray)
+	imaging.FillRect(base, imaging.R(0, 0, 10, 3), blue) // 30 blue of 100
+	h := histogram.Extract(base, q4)
+	blueBin := q4.Bin(blue)
+
+	ops := []editops.Op{
+		editops.Define{Region: imaging.R(0, 0, 5, 4)}, // D = 20
+		editops.Merge{Target: 9, XP: 2, YP: 2},
+	}
+	b, err := engine.BoundsForBin(h, 10, 10, ops, blueBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canvas: union([0,6)x[0,6), [2,7)x[2,6)) = [0,7)x[0,6) → 42 pixels.
+	// OV = [2,6)x[2,6) = 16; GAP = 42 − 36 − 20 + 16 = 2 (bg not blue).
+	// blockMin = max(0, 30−(100−20)) = 0; blockMax = min(30,20) = 20.
+	// targetMin = max(0, 18−16) = 2; targetMax = min(18, 36−16) = 18.
+	want := Bounds{Min: 2, Max: 38, Total: 42}
+	if b != want {
+		t.Fatalf("merge-target row: %+v, want %+v", b, want)
+	}
+}

@@ -1,0 +1,466 @@
+// Package server exposes a database over HTTP — the MMDBMS service surface:
+// object CRUD, augmentation, color range queries, query-by-example and
+// maintenance, with rasters carried as PPM or PNG bodies and metadata as
+// JSON. Built entirely on net/http (stdlib only, like the rest of the
+// repository).
+//
+//	POST   /objects              insert a raster (body: image/x-portable-pixmap or image/png)
+//	POST   /sequences            insert an edited image (body: text script)
+//	GET    /objects              list objects
+//	GET    /objects/{id}         object metadata
+//	GET    /objects/{id}/image   materialized raster (?format=ppm|png)
+//	POST   /objects/{id}/augment generate edited versions
+//	DELETE /objects/{id}         delete an object
+//	GET    /query?q=...&mode=... color range query (compound supported)
+//	GET    /explain?q=...        query plan without execution
+//	POST   /similar?k=...        query by example (body: image)
+//	GET    /stats                database statistics
+//	POST   /compact              rewrite the store file
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/catalog"
+)
+
+// MaxUploadBytes caps raster and script request bodies; oversized uploads
+// fail with 400 rather than exhausting memory.
+const MaxUploadBytes = 64 << 20
+
+// Server is an http.Handler serving one database.
+type Server struct {
+	db     *mmdb.DB
+	mux    *http.ServeMux
+	logger *log.Logger // nil = silent
+}
+
+// New returns a handler over db.
+func New(db *mmdb.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /objects", s.handleInsert)
+	s.mux.HandleFunc("POST /sequences", s.handleInsertSequence)
+	s.mux.HandleFunc("GET /objects", s.handleList)
+	s.mux.HandleFunc("GET /objects/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /objects/{id}/image", s.handleImage)
+	s.mux.HandleFunc("POST /objects/{id}/augment", s.handleAugment)
+	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /similar", s.handleSimilar)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	return s
+}
+
+// WithLogger makes the server log one line per request to l.
+func (s *Server) WithLogger(l *log.Logger) *Server {
+	s.logger = l
+	return s
+}
+
+// ServeHTTP implements http.Handler: it applies the body-size cap, serves
+// the route and (when configured) logs the request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
+	}
+	if s.logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+}
+
+// statusRecorder captures the response status for logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// objectJSON is the wire form of a catalog entry.
+type objectJSON struct {
+	ID       uint64 `json:"id"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	W        int    `json:"width,omitempty"`
+	H        int    `json:"height,omitempty"`
+	BaseID   uint64 `json:"base_id,omitempty"`
+	Ops      int    `json:"ops,omitempty"`
+	Widening *bool  `json:"widening,omitempty"`
+	Script   string `json:"script,omitempty"`
+}
+
+func toJSON(obj *mmdb.Object, withScript bool) objectJSON {
+	out := objectJSON{ID: obj.ID, Kind: obj.Kind.String(), Name: obj.Name}
+	if obj.Kind == mmdb.KindBinary {
+		out.W, out.H = obj.W, obj.H
+		return out
+	}
+	out.BaseID = obj.Seq.BaseID
+	out.Ops = len(obj.Seq.Ops)
+	w := obj.Widening
+	out.Widening = &w
+	if withScript {
+		out.Script = mmdb.FormatSequence(obj.Seq)
+	}
+	return out
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, catalog.ErrInUse):
+		status = http.StatusConflict
+	case isBadRequest(err):
+		status = http.StatusBadRequest
+	}
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// badRequestError marks client errors.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, a ...any) error {
+	return badRequestError{fmt.Errorf(format, a...)}
+}
+
+func isBadRequest(err error) bool {
+	var b badRequestError
+	return errors.As(err, &b)
+}
+
+func pathID(r *http.Request) (uint64, error) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, badRequest("invalid object id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	var img *mmdb.Image
+	var err error
+	switch ct := r.Header.Get("Content-Type"); {
+	case strings.Contains(ct, "png"):
+		img, err = mmdb.DecodePNG(r.Body)
+	default:
+		img, err = mmdb.DecodePPM(r.Body)
+	}
+	if err != nil {
+		s.writeError(w, badRequest("decode image: %v", err))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "unnamed"
+	}
+	id, err := s.db.InsertImage(name, img)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	obj, err := s.db.Get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, toJSON(obj, false))
+}
+
+func (s *Server) handleInsertSequence(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	seq, err := mmdb.ParseSequence(r.Body)
+	if err != nil {
+		s.writeError(w, badRequest("parse script: %v", err))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "edited"
+	}
+	id, err := s.db.InsertEdited(name, seq)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	obj, err := s.db.Get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, toJSON(obj, true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []objectJSON
+	for _, id := range append(s.db.Binaries(), s.db.EditedIDs()...) {
+		obj, err := s.db.Get(id)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		out = append(out, toJSON(obj, false))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	obj, err := s.db.Get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toJSON(obj, true))
+}
+
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	img, err := s.db.Image(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "png" {
+		w.Header().Set("Content-Type", "image/png")
+		mmdb.EncodePNG(w, img)
+		return
+	}
+	w.Header().Set("Content-Type", "image/x-portable-pixmap")
+	mmdb.EncodePPM(w, img)
+}
+
+func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	opts := mmdb.AugmentOptions{
+		PerBase:     intParam(q.Get("per"), 3),
+		OpsPerImage: intParam(q.Get("ops"), 4),
+		Seed:        int64(intParam(q.Get("seed"), 1)),
+	}
+	if v := q.Get("nonwidening"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			s.writeError(w, badRequest("nonwidening %q must be in [0,1]", v))
+			return
+		}
+		opts.NonWideningFrac = f
+	}
+	ids, err := s.db.Augment(id, opts)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{"base": id, "edited": ids})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.db.Delete(id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// queryResponse is the wire form of a range-query answer.
+type queryResponse struct {
+	IDs     []uint64     `json:"ids"`
+	Objects []objectJSON `json:"objects"`
+	Stats   struct {
+		BinariesChecked int `json:"binaries_checked"`
+		EditedWalked    int `json:"edited_walked"`
+		OpsEvaluated    int `json:"ops_evaluated"`
+		EditedSkipped   int `json:"edited_skipped"`
+	} `json:"stats"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		s.writeError(w, badRequest("missing q parameter"))
+		return
+	}
+	mode, err := parseMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, err := s.db.QueryCompound(text, mode)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	ids := res.IDs
+	if r.URL.Query().Get("bases") == "1" {
+		ids = s.db.ExpandToBases(ids)
+	}
+	var resp queryResponse
+	resp.IDs = ids
+	for _, id := range ids {
+		obj, err := s.db.Get(id)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.Objects = append(resp.Objects, toJSON(obj, false))
+	}
+	resp.Stats.BinariesChecked = res.Stats.BinariesChecked
+	resp.Stats.EditedWalked = res.Stats.EditedWalked
+	resp.Stats.OpsEvaluated = res.Stats.OpsEvaluated
+	resp.Stats.EditedSkipped = res.Stats.EditedSkipped
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		s.writeError(w, badRequest("missing q parameter"))
+		return
+	}
+	plan, err := s.db.Explain(text)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, plan)
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	var img *mmdb.Image
+	var err error
+	switch ct := r.Header.Get("Content-Type"); {
+	case strings.Contains(ct, "png"):
+		img, err = mmdb.DecodePNG(r.Body)
+	default:
+		img, err = mmdb.DecodePPM(r.Body)
+	}
+	if err != nil {
+		s.writeError(w, badRequest("decode probe: %v", err))
+		return
+	}
+	k := intParam(r.URL.Query().Get("k"), 5)
+	metric, err := parseMetric(r.URL.Query().Get("metric"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	matches, st, err := s.db.QueryByExample(img, k, metric)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	type matchJSON struct {
+		ID   uint64  `json:"id"`
+		Dist float64 `json:"dist"`
+	}
+	out := struct {
+		Matches []matchJSON `json:"matches"`
+		Pruned  int         `json:"edited_pruned"`
+	}{Pruned: st.EditedPruned}
+	for _, m := range matches {
+		out.Matches = append(out.Matches, matchJSON{ID: m.ID, Dist: m.Dist})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.db.Stats()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.Compact(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func parseMode(s string) (mmdb.Mode, error) {
+	switch s {
+	case "", "bwm":
+		return mmdb.ModeBWM, nil
+	case "rbm":
+		return mmdb.ModeRBM, nil
+	case "bwm-indexed":
+		return mmdb.ModeBWMIndexed, nil
+	case "instantiate":
+		return mmdb.ModeInstantiate, nil
+	default:
+		return 0, badRequest("unknown mode %q", s)
+	}
+}
+
+func parseMetric(s string) (mmdb.Metric, error) {
+	switch s {
+	case "", "l1":
+		return mmdb.MetricL1, nil
+	case "l2":
+		return mmdb.MetricL2, nil
+	case "intersection":
+		return mmdb.MetricIntersection, nil
+	default:
+		return 0, badRequest("unknown metric %q", s)
+	}
+}
+
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	if v, err := strconv.Atoi(s); err == nil {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	mmdb "repro"
+	"repro/internal/dataset"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *mmdb.DB) {
+	t.Helper()
+	db, err := mmdb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(func() {
+		ts.Close()
+		db.Close()
+	})
+	return ts, db
+}
+
+func ppmBody(t *testing.T, img *mmdb.Image) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mmdb.EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func doJSON(t *testing.T, method, url string, body io.Reader, contentType string, want int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, want, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, raw, err)
+		}
+	}
+}
+
+func TestInsertListGetDelete(t *testing.T) {
+	ts, _ := newTestServer(t)
+	img := mmdb.NewFilledImage(8, 8, dataset.Blue)
+
+	var created struct {
+		ID   uint64 `json:"id"`
+		Kind string `json:"kind"`
+		W    int    `json:"width"`
+	}
+	doJSON(t, "POST", ts.URL+"/objects?name=bluey", ppmBody(t, img), "image/x-portable-pixmap", http.StatusCreated, &created)
+	if created.Kind != "binary" || created.W != 8 {
+		t.Fatalf("created %+v", created)
+	}
+
+	var list []map[string]any
+	doJSON(t, "GET", ts.URL+"/objects", nil, "", http.StatusOK, &list)
+	if len(list) != 1 || list[0]["name"] != "bluey" {
+		t.Fatalf("list %v", list)
+	}
+
+	var got map[string]any
+	doJSON(t, "GET", fmt.Sprintf("%s/objects/%d", ts.URL, created.ID), nil, "", http.StatusOK, &got)
+	if got["kind"] != "binary" {
+		t.Fatalf("get %v", got)
+	}
+
+	doJSON(t, "DELETE", fmt.Sprintf("%s/objects/%d", ts.URL, created.ID), nil, "", http.StatusNoContent, nil)
+	doJSON(t, "GET", fmt.Sprintf("%s/objects/%d", ts.URL, created.ID), nil, "", http.StatusNotFound, nil)
+}
+
+func TestInsertPNG(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var buf bytes.Buffer
+	if err := mmdb.EncodePNG(&buf, mmdb.NewFilledImage(4, 4, dataset.Red)); err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID uint64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/objects", &buf, "image/png", http.StatusCreated, &created)
+	if created.ID == 0 {
+		t.Fatal("no id")
+	}
+}
+
+func TestInsertGarbageIs400(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/objects", strings.NewReader("not an image"), "image/x-portable-pixmap", http.StatusBadRequest, nil)
+}
+
+func TestSequenceAndQueryFlow(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var base struct {
+		ID uint64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/objects?name=base", ppmBody(t, mmdb.NewFilledImage(10, 10, dataset.Blue)), "", http.StatusCreated, &base)
+
+	script := fmt.Sprintf("base %d\ndefine 0 0 10 10\nmodify #0033cc #cc0000\n", base.ID)
+	var edited struct {
+		ID       uint64 `json:"id"`
+		BaseID   uint64 `json:"base_id"`
+		Widening *bool  `json:"widening"`
+		Script   string `json:"script"`
+	}
+	doJSON(t, "POST", ts.URL+"/sequences?name=red-version", strings.NewReader(script), "text/plain", http.StatusCreated, &edited)
+	if edited.BaseID != base.ID || edited.Widening == nil || !*edited.Widening {
+		t.Fatalf("edited %+v", edited)
+	}
+	if !strings.Contains(edited.Script, "modify") {
+		t.Fatalf("script not echoed: %q", edited.Script)
+	}
+
+	var qres struct {
+		IDs   []uint64 `json:"ids"`
+		Stats struct {
+			EditedSkipped int `json:"edited_skipped"`
+		} `json:"stats"`
+	}
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+50%25+red", nil, "", http.StatusOK, &qres)
+	if len(qres.IDs) != 1 || qres.IDs[0] != edited.ID {
+		t.Fatalf("query ids %v", qres.IDs)
+	}
+	// With bases expansion both objects come back.
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+50%25+red&bases=1", nil, "", http.StatusOK, &qres)
+	if len(qres.IDs) != 2 {
+		t.Fatalf("expanded ids %v", qres.IDs)
+	}
+	// Compound query.
+	doJSON(t, "GET", ts.URL+"/query?q="+
+		"at+least+50%25+red+or+at+least+50%25+blue", nil, "", http.StatusOK, &qres)
+	if len(qres.IDs) != 2 {
+		t.Fatalf("compound ids %v", qres.IDs)
+	}
+	// Bad query text.
+	doJSON(t, "GET", ts.URL+"/query?q=gibberish", nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query", nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+5%25+red&mode=nope", nil, "", http.StatusBadRequest, nil)
+}
+
+func TestAugmentEndpoint(t *testing.T) {
+	ts, db := newTestServer(t)
+	var base struct {
+		ID uint64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/objects", ppmBody(t, dataset.Flags(1, 24, 16, 1)[0].Img), "", http.StatusCreated, &base)
+	var out struct {
+		Base   uint64   `json:"base"`
+		Edited []uint64 `json:"edited"`
+	}
+	doJSON(t, "POST", fmt.Sprintf("%s/objects/%d/augment?per=4&seed=2", ts.URL, base.ID), nil, "", http.StatusCreated, &out)
+	if len(out.Edited) != 4 {
+		t.Fatalf("augment %v", out)
+	}
+	if len(db.EditedIDs()) != 4 {
+		t.Fatal("augment not visible in db")
+	}
+	doJSON(t, "POST", fmt.Sprintf("%s/objects/%d/augment?nonwidening=2", ts.URL, base.ID), nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/objects/999/augment", nil, "", http.StatusNotFound, nil)
+}
+
+func TestImageEndpointInstantiates(t *testing.T) {
+	ts, db := newTestServer(t)
+	baseID, _ := db.InsertImage("b", mmdb.NewFilledImage(6, 6, dataset.Blue))
+	eid, _ := db.InsertEdited("e", &mmdb.Sequence{BaseID: baseID, Ops: mmdb.CropTo(mmdb.R(0, 0, 3, 2))})
+
+	resp, err := http.Get(fmt.Sprintf("%s/objects/%d/image", ts.URL, eid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "image/x-portable-pixmap" {
+		t.Fatalf("content type %q", ct)
+	}
+	img, err := mmdb.DecodePPM(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 3 || img.H != 2 {
+		t.Fatalf("instantiated %dx%d", img.W, img.H)
+	}
+	// PNG format variant.
+	resp2, err := http.Get(fmt.Sprintf("%s/objects/%d/image?format=png", ts.URL, baseID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("png content type %q", ct)
+	}
+	if _, err := mmdb.DecodePNG(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarEndpoint(t *testing.T) {
+	ts, db := newTestServer(t)
+	blueID, _ := db.InsertImage("blue", mmdb.NewFilledImage(8, 8, dataset.Blue))
+	db.InsertImage("red", mmdb.NewFilledImage(8, 8, dataset.Red))
+
+	var out struct {
+		Matches []struct {
+			ID   uint64  `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"matches"`
+	}
+	doJSON(t, "POST", ts.URL+"/similar?k=1&metric=l2",
+		ppmBody(t, mmdb.NewFilledImage(8, 8, dataset.Blue)), "", http.StatusOK, &out)
+	if len(out.Matches) != 1 || out.Matches[0].ID != blueID || out.Matches[0].Dist != 0 {
+		t.Fatalf("similar %+v", out)
+	}
+	doJSON(t, "POST", ts.URL+"/similar?metric=nope", ppmBody(t, mmdb.NewFilledImage(2, 2, dataset.Red)), "", http.StatusBadRequest, nil)
+}
+
+func TestStatsAndConflictDelete(t *testing.T) {
+	ts, db := newTestServer(t)
+	baseID, _ := db.InsertImage("b", mmdb.NewFilledImage(6, 6, dataset.Blue))
+	db.InsertEdited("e", &mmdb.Sequence{BaseID: baseID, Ops: []mmdb.Op{mmdb.Modify{}}})
+
+	var st map[string]any
+	doJSON(t, "GET", ts.URL+"/stats", nil, "", http.StatusOK, &st)
+	if st["Catalog"] == nil {
+		t.Fatalf("stats %v", st)
+	}
+	// Deleting the base while the edited version exists is a conflict.
+	doJSON(t, "DELETE", fmt.Sprintf("%s/objects/%d", ts.URL, baseID), nil, "", http.StatusConflict, nil)
+	// Bad id in the path.
+	doJSON(t, "DELETE", ts.URL+"/objects/banana", nil, "", http.StatusBadRequest, nil)
+}
+
+func TestCompactEndpointOnMemoryDB(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/compact", nil, "", http.StatusNoContent, nil)
+}
+
+func TestUploadSizeLimit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// A body larger than the cap: stream zeros with a huge Content-Length.
+	req, err := http.NewRequest("POST", ts.URL+"/objects",
+		io.LimitReader(zeroReader{}, MaxUploadBytes+1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = MaxUploadBytes + 1024
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload status %d", resp.StatusCode)
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestRequestLogging(t *testing.T) {
+	db, err := mmdb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var buf bytes.Buffer
+	srv := New(db).WithLogger(log.New(&buf, "", 0))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if _, err := http.Get(ts.URL + "/stats"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GET /stats 200") {
+		t.Fatalf("log output %q", buf.String())
+	}
+	if _, err := http.Get(ts.URL + "/objects/999"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GET /objects/999 404") {
+		t.Fatalf("log output %q", buf.String())
+	}
+}

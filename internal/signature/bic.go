@@ -1,0 +1,208 @@
+// Package signature implements the Border/Interior pixel Classification
+// (BIC) signature of Stehling, Nascimento & Falcão (CIKM 2002) — reference
+// [21] of the paper, and the kind of "color representation without
+// histograms" its future-work section asks about. A BIC signature is a pair
+// of histograms: one over pixels whose 4-neighborhood is uniform
+// (interior), one over the rest (border). The companion dLog distance
+// compares bins on a logarithmic scale, which keeps large uniform regions
+// from drowning out small salient ones.
+//
+// BIC signatures apply to materialized rasters only: the edit-sequence rule
+// engine reasons about plain histograms, so edited images must be
+// instantiated before BIC extraction. The Index type in this package is the
+// in-memory search structure the database exposes for binary images.
+package signature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/colorspace"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+)
+
+// BIC is a border/interior classification signature.
+type BIC struct {
+	// Border counts pixels with at least one differently-quantized
+	// 4-neighbor.
+	Border *histogram.Histogram
+	// Interior counts pixels whose in-bounds 4-neighbors all share the
+	// pixel's quantized color.
+	Interior *histogram.Histogram
+}
+
+// ExtractBIC classifies every pixel of img as border or interior under q
+// and returns the two histograms. Edge-of-image pixels consider only their
+// in-bounds neighbors (a 1×1 image is all interior).
+func ExtractBIC(img *imaging.Image, q colorspace.Quantizer) *BIC {
+	bins := q.Bins()
+	sig := &BIC{Border: histogram.New(bins), Interior: histogram.New(bins)}
+	// Precompute the quantized plane once; the classification then needs
+	// only integer comparisons.
+	plane := make([]int, len(img.Pix))
+	for i, p := range img.Pix {
+		plane[i] = q.Bin(p)
+	}
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			c := plane[y*img.W+x]
+			border := false
+			if x > 0 && plane[y*img.W+x-1] != c {
+				border = true
+			} else if x+1 < img.W && plane[y*img.W+x+1] != c {
+				border = true
+			} else if y > 0 && plane[(y-1)*img.W+x] != c {
+				border = true
+			} else if y+1 < img.H && plane[(y+1)*img.W+x] != c {
+				border = true
+			}
+			if border {
+				sig.Border.Counts[c]++
+				sig.Border.Total++
+			} else {
+				sig.Interior.Counts[c]++
+				sig.Interior.Total++
+			}
+		}
+	}
+	return sig
+}
+
+// Bins returns the per-component bin count.
+func (s *BIC) Bins() int { return s.Border.Bins() }
+
+// Validate checks internal consistency.
+func (s *BIC) Validate() error {
+	if s.Border.Bins() != s.Interior.Bins() {
+		return fmt.Errorf("signature: border has %d bins, interior %d", s.Border.Bins(), s.Interior.Bins())
+	}
+	if err := s.Border.Validate(); err != nil {
+		return fmt.Errorf("signature: border: %w", err)
+	}
+	if err := s.Interior.Validate(); err != nil {
+		return fmt.Errorf("signature: interior: %w", err)
+	}
+	return nil
+}
+
+// dLogBucket quantizes a fraction onto the BIC paper's logarithmic scale:
+// 0 for 0, else 1 + ⌊log2(pct · 255)⌋ clamped to [1, 9].
+func dLogBucket(pct float64) float64 {
+	if pct <= 0 {
+		return 0
+	}
+	v := pct * 255
+	if v < 1 {
+		return 1
+	}
+	b := 1 + math.Floor(math.Log2(v))
+	if b > 9 {
+		b = 9
+	}
+	return b
+}
+
+// normalized scales both component histograms by the image's TOTAL pixel
+// count, so the concatenated vector sums to 1 and the border/interior ratio
+// is preserved. Normalizing each component independently would make a
+// thin-striped image indistinguishable from a solid bicolor one — exactly
+// the structure BIC exists to capture.
+func (s *BIC) normalized() (border, interior []float64) {
+	total := float64(s.Border.Total + s.Interior.Total)
+	border = make([]float64, s.Border.Bins())
+	interior = make([]float64, s.Interior.Bins())
+	if total == 0 {
+		return border, interior
+	}
+	for i := range border {
+		border[i] = float64(s.Border.Counts[i]) / total
+		interior[i] = float64(s.Interior.Counts[i]) / total
+	}
+	return border, interior
+}
+
+// DLog is the BIC companion distance: the L1 distance between the two
+// signatures' log-quantized normalized histograms, border and interior
+// compared separately and summed. Not normalized to [0,1]; use it
+// comparatively.
+func DLog(a, b *BIC) float64 {
+	if a.Bins() != b.Bins() {
+		panic(fmt.Sprintf("signature: comparing %d-bin with %d-bin BIC", a.Bins(), b.Bins()))
+	}
+	ab, ai := a.normalized()
+	bb, bi := b.normalized()
+	sum := 0.0
+	for i := range ab {
+		sum += math.Abs(dLogBucket(ab[i]) - dLogBucket(bb[i]))
+		sum += math.Abs(dLogBucket(ai[i]) - dLogBucket(bi[i]))
+	}
+	return sum
+}
+
+// L1 is the plain city-block distance over the concatenated normalized
+// border+interior vectors, for callers who want a metric comparable to the
+// global-histogram L1.
+func L1(a, b *BIC) float64 {
+	if a.Bins() != b.Bins() {
+		panic(fmt.Sprintf("signature: comparing %d-bin with %d-bin BIC", a.Bins(), b.Bins()))
+	}
+	ab, ai := a.normalized()
+	bb, bi := b.normalized()
+	sum := 0.0
+	for i := range ab {
+		sum += math.Abs(ab[i]-bb[i]) + math.Abs(ai[i]-bi[i])
+	}
+	return sum
+}
+
+// Match is one Index search result.
+type Match struct {
+	ID   uint64
+	Dist float64
+}
+
+// Index is an in-memory BIC search structure over identified rasters.
+type Index struct {
+	quant colorspace.Quantizer
+	ids   []uint64
+	sigs  []*BIC
+}
+
+// NewIndex returns an empty index under q.
+func NewIndex(q colorspace.Quantizer) *Index {
+	return &Index{quant: q}
+}
+
+// Add extracts and stores the signature of one raster.
+func (x *Index) Add(id uint64, img *imaging.Image) {
+	x.ids = append(x.ids, id)
+	x.sigs = append(x.sigs, ExtractBIC(img, x.quant))
+}
+
+// Len returns the number of indexed images.
+func (x *Index) Len() int { return len(x.ids) }
+
+// Search returns the k nearest signatures to the probe under dLog.
+func (x *Index) Search(probe *BIC, k int) []Match {
+	out := make([]Match, 0, len(x.ids))
+	for i, sig := range x.sigs {
+		out = append(out, Match{ID: x.ids[i], Dist: DLog(probe, sig)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SearchImage extracts the probe's signature and searches.
+func (x *Index) SearchImage(probe *imaging.Image, k int) []Match {
+	return x.Search(ExtractBIC(probe, x.quant), k)
+}

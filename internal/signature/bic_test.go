@@ -1,0 +1,178 @@
+package signature
+
+import (
+	"testing"
+
+	"repro/internal/colorspace"
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/imaging"
+)
+
+var q4 = colorspace.NewUniformRGB(4)
+
+func TestExtractBICUniformImageIsAllInterior(t *testing.T) {
+	img := imaging.NewFilled(6, 6, dataset.Red)
+	sig := ExtractBIC(img, q4)
+	if err := sig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sig.Border.Total != 0 || sig.Interior.Total != 36 {
+		t.Fatalf("border %d, interior %d", sig.Border.Total, sig.Interior.Total)
+	}
+}
+
+func TestExtractBICCountsPartitionPixels(t *testing.T) {
+	for i, f := range dataset.Flags(6, 24, 16, 3) {
+		sig := ExtractBIC(f.Img, q4)
+		if err := sig.Validate(); err != nil {
+			t.Fatalf("flag %d: %v", i, err)
+		}
+		if sig.Border.Total+sig.Interior.Total != f.Img.Size() {
+			t.Fatalf("flag %d: %d + %d != %d", i, sig.Border.Total, sig.Interior.Total, f.Img.Size())
+		}
+		// Multi-color flags must have some border pixels.
+		if len(f.Img.Palette()) > 1 && sig.Border.Total == 0 {
+			t.Fatalf("flag %d has no border pixels", i)
+		}
+	}
+}
+
+func TestExtractBICTwoHalves(t *testing.T) {
+	// 6x6 split into two 3-wide vertical halves: border = the two columns
+	// along the seam.
+	img := imaging.New(6, 6)
+	imaging.VStripes(img, 2, []imaging.RGB{dataset.Red, dataset.Blue})
+	sig := ExtractBIC(img, q4)
+	if sig.Border.Total != 12 {
+		t.Fatalf("border %d, want 12", sig.Border.Total)
+	}
+	redBin := q4.Bin(dataset.Red)
+	blueBin := q4.Bin(dataset.Blue)
+	if sig.Border.Counts[redBin] != 6 || sig.Border.Counts[blueBin] != 6 {
+		t.Fatalf("border split %d/%d", sig.Border.Counts[redBin], sig.Border.Counts[blueBin])
+	}
+}
+
+func TestExtractBICSinglePixel(t *testing.T) {
+	img := imaging.NewFilled(1, 1, dataset.Red)
+	sig := ExtractBIC(img, q4)
+	if sig.Interior.Total != 1 || sig.Border.Total != 0 {
+		t.Fatalf("1x1: border %d interior %d", sig.Border.Total, sig.Interior.Total)
+	}
+}
+
+func TestDLogProperties(t *testing.T) {
+	flags := dataset.Flags(8, 24, 16, 5)
+	sigs := make([]*BIC, len(flags))
+	for i, f := range flags {
+		sigs[i] = ExtractBIC(f.Img, q4)
+	}
+	for i, a := range sigs {
+		if d := DLog(a, a); d != 0 {
+			t.Fatalf("self dLog %v", d)
+		}
+		for j, b := range sigs {
+			dab, dba := DLog(a, b), DLog(b, a)
+			if dab != dba {
+				t.Fatalf("dLog asymmetric between %d and %d", i, j)
+			}
+			if dab < 0 {
+				t.Fatalf("negative dLog")
+			}
+		}
+	}
+	// L1 shares the properties.
+	if d := L1(sigs[0], sigs[0]); d != 0 {
+		t.Fatalf("self L1 %v", d)
+	}
+	if L1(sigs[0], sigs[1]) != L1(sigs[1], sigs[0]) {
+		t.Fatal("L1 asymmetric")
+	}
+}
+
+func TestDLogDistinguishesBorderFromInterior(t *testing.T) {
+	// Same global histogram, different structure: a solid half vs. thin
+	// stripes have identical color proportions but very different
+	// border/interior splits — the case BIC was designed for.
+	solid := imaging.New(16, 16)
+	imaging.VStripes(solid, 2, []imaging.RGB{dataset.Red, dataset.Blue})
+	striped := imaging.New(16, 16)
+	imaging.VStripes(striped, 8, []imaging.RGB{dataset.Red, dataset.Blue})
+
+	a := ExtractBIC(solid, q4)
+	b := ExtractBIC(striped, q4)
+	if DLog(a, b) == 0 {
+		t.Fatal("dLog cannot distinguish structures a plain histogram cannot")
+	}
+	// Global histograms are identical (8 columns each color both ways).
+	if a.Border.Total+a.Interior.Total != b.Border.Total+b.Interior.Total {
+		t.Fatal("test setup wrong")
+	}
+}
+
+func TestBICMismatchPanics(t *testing.T) {
+	a := ExtractBIC(imaging.NewFilled(2, 2, dataset.Red), q4)
+	b := ExtractBIC(imaging.NewFilled(2, 2, dataset.Red), colorspace.NewUniformRGB(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bin mismatch did not panic")
+		}
+	}()
+	DLog(a, b)
+}
+
+func TestIndexSearch(t *testing.T) {
+	idx := NewIndex(q4)
+	flags := dataset.Flags(10, 24, 16, 7)
+	for i, f := range flags {
+		idx.Add(uint64(i+1), f.Img)
+	}
+	if idx.Len() != 10 {
+		t.Fatalf("Len %d", idx.Len())
+	}
+	// Probing with an indexed image finds itself at distance 0.
+	got := idx.SearchImage(flags[3].Img, 3)
+	if len(got) != 3 {
+		t.Fatalf("%d results", len(got))
+	}
+	if got[0].Dist != 0 {
+		t.Fatalf("self-probe distance %v", got[0].Dist)
+	}
+	found := false
+	for _, m := range got {
+		if m.ID == 4 && m.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self not in results: %v", got)
+	}
+	// Ordering is ascending.
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestIndexSurvivesBlurredProbe(t *testing.T) {
+	// BIC's robustness scenario: a blurred probe still retrieves its
+	// original among the top results.
+	idx := NewIndex(q4)
+	helmets := dataset.Helmets(12, 32, 24, 3)
+	for i, h := range helmets {
+		idx.Add(uint64(i+1), h.Img)
+	}
+	probe, err := editops.Apply(helmets[5].Img, editops.GaussianBlur(helmets[5].Img.Bounds()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.SearchImage(probe, 3)
+	for _, m := range got {
+		if m.ID == 6 {
+			return
+		}
+	}
+	t.Fatalf("blurred probe lost its original: %v", got)
+}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// bufferPool is an LRU page cache over a pager. Frames hold the full
+// on-disk page (payload + CRC trailer); callers work with the usable
+// prefix. Dirty frames are written back on eviction and on flush.
+type bufferPool struct {
+	pg       *pager
+	capacity int
+	frames   map[uint32]*list.Element
+	lru      *list.List // front = most recently used
+	// writeBack persists a dirty frame; the store wires in journaling here
+	// so every data-file overwrite is preceded by its pre-image.
+	writeBack func(id uint32, buf []byte) error
+
+	// Hits and Misses instrument cache behaviour for Stats.
+	hits, misses uint64
+}
+
+type frame struct {
+	id    uint32
+	buf   []byte
+	dirty bool
+}
+
+func newBufferPool(pg *pager, capacity int) *bufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	bp := &bufferPool{
+		pg:       pg,
+		capacity: capacity,
+		frames:   make(map[uint32]*list.Element, capacity),
+		lru:      list.New(),
+	}
+	bp.writeBack = pg.writePage // overridden by the store to add journaling
+	return bp
+}
+
+// page returns the usable payload of a page, reading through the cache.
+// The returned slice aliases the frame; callers must call markDirty after
+// mutating it and must not retain it across other pool calls.
+func (bp *bufferPool) page(id uint32) ([]byte, error) {
+	if el, ok := bp.frames[id]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).buf[:bp.pg.usable()], nil
+	}
+	bp.misses++
+	buf := make([]byte, bp.pg.pageSize)
+	if _, err := bp.pg.readPage(id, buf); err != nil {
+		return nil, err
+	}
+	if err := bp.evictIfFull(); err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, buf: buf}
+	bp.frames[id] = bp.lru.PushFront(fr)
+	return buf[:bp.pg.usable()], nil
+}
+
+// adopt installs a freshly created (all-zero, already on disk) page into
+// the cache so the caller can fill it without a read round-trip.
+func (bp *bufferPool) adopt(id uint32) ([]byte, error) {
+	if el, ok := bp.frames[id]; ok {
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).buf[:bp.pg.usable()], nil
+	}
+	if err := bp.evictIfFull(); err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, buf: make([]byte, bp.pg.pageSize)}
+	bp.frames[id] = bp.lru.PushFront(fr)
+	return fr.buf[:bp.pg.usable()], nil
+}
+
+// markDirty flags a cached page as modified. The page must be resident.
+func (bp *bufferPool) markDirty(id uint32) error {
+	el, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("store: markDirty of non-resident page %d", id)
+	}
+	el.Value.(*frame).dirty = true
+	return nil
+}
+
+func (bp *bufferPool) evictIfFull() error {
+	for bp.lru.Len() >= bp.capacity {
+		el := bp.lru.Back()
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := bp.writeBack(fr.id, fr.buf); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(el)
+		delete(bp.frames, fr.id)
+	}
+	return nil
+}
+
+// flush writes every dirty frame back to the file (frames stay cached).
+func (bp *bufferPool) flush() error {
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := bp.writeBack(fr.id, fr.buf); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// drop discards a page from the cache without writing it (used when a page
+// is freed; its content no longer matters).
+func (bp *bufferPool) drop(id uint32) {
+	if el, ok := bp.frames[id]; ok {
+		bp.lru.Remove(el)
+		delete(bp.frames, id)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CheckResult summarizes a structural integrity scan.
+type CheckResult struct {
+	// Pages is the total page count including the header.
+	Pages int
+	// FreePages is the free-list length.
+	FreePages int
+	// LiveCells counts occupied slots across data pages.
+	LiveCells int
+	// DeadSlots counts tombstoned slots awaiting reuse.
+	DeadSlots int
+	// UsedBytes sums live cell payloads.
+	UsedBytes int
+	// Problems lists every structural violation found (empty = clean).
+	Problems []string
+}
+
+// Ok reports whether the scan found no problems.
+func (r CheckResult) Ok() bool { return len(r.Problems) == 0 }
+
+// Check scans the whole file verifying structural invariants: page
+// checksums (via the pager), free-list sanity, slot directories within
+// bounds, non-overlapping cells, and chunk next-pointers that resolve to
+// live slots. It is the CLI's fsck. Read-only; safe on a live store.
+func (s *Store) Check() (CheckResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CheckResult{}, ErrClosed
+	}
+	res := CheckResult{Pages: int(s.pg.pageCount)}
+	problem := func(format string, a ...any) {
+		res.Problems = append(res.Problems, fmt.Sprintf(format, a...))
+	}
+
+	// Pass 0: free list membership.
+	free := make(map[uint32]bool)
+	for id := s.freeHead; id != 0; {
+		if free[id] {
+			problem("free list cycle at page %d", id)
+			break
+		}
+		if id >= s.pg.pageCount {
+			problem("free list references page %d beyond count %d", id, s.pg.pageCount)
+			break
+		}
+		free[id] = true
+		buf, err := s.pool.page(id)
+		if err != nil {
+			return res, err
+		}
+		id = binary.LittleEndian.Uint32(buf[0:])
+	}
+	res.FreePages = len(free)
+
+	// Pass 1: per-page structure; record live slots for pointer checking.
+	type slotKey struct {
+		page uint32
+		slot uint16
+	}
+	live := make(map[slotKey][]byte)
+	for id := uint32(1); id < s.pg.pageCount; id++ {
+		if free[id] {
+			continue
+		}
+		buf, err := s.pool.page(id)
+		if err != nil {
+			problem("page %d unreadable: %v", id, err)
+			continue
+		}
+		nslots := pageNSlots(buf)
+		freeStart := pageFreeStart(buf)
+		dirStart := len(buf) - slotSize*nslots
+		if freeStart < pageHdrSize || freeStart > len(buf) {
+			problem("page %d freeStart %d out of range", id, freeStart)
+			continue
+		}
+		if dirStart < freeStart {
+			problem("page %d slot directory overlaps cells (%d slots, freeStart %d)", id, nslots, freeStart)
+			continue
+		}
+		type span struct{ off, end int }
+		var spans []span
+		for i := 0; i < nslots; i++ {
+			off, length := slotAt(buf, i)
+			if off == deadOffset {
+				res.DeadSlots++
+				continue
+			}
+			if off < pageHdrSize || off+length > dirStart || length < chunkHdrSize {
+				problem("page %d slot %d cell [%d,%d) invalid", id, i, off, off+length)
+				continue
+			}
+			for _, sp := range spans {
+				if off < sp.end && sp.off < off+length {
+					problem("page %d slot %d cell overlaps another cell", id, i)
+				}
+			}
+			spans = append(spans, span{off, off + length})
+			res.LiveCells++
+			res.UsedBytes += length - chunkHdrSize
+			cell := make([]byte, length)
+			copy(cell, buf[off:off+length])
+			live[slotKey{id, uint16(i)}] = cell
+		}
+	}
+
+	// Pass 2: chunk next-pointers must land on live slots.
+	for key, cell := range live {
+		nextPage := binary.LittleEndian.Uint32(cell[0:])
+		if nextPage == 0 {
+			continue
+		}
+		nextSlot := binary.LittleEndian.Uint16(cell[4:])
+		if _, ok := live[slotKey{nextPage, nextSlot}]; !ok {
+			problem("page %d slot %d chunk points to missing cell %d:%d", key.page, key.slot, nextPage, nextSlot)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreOps drives a random sequence of put/get/delete operations from
+// fuzz input and checks the store against an in-memory model.
+func FuzzStoreOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 2, 0, 0, 200, 1, 1})
+	f.Add([]byte{0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		s, err := Create(filepath.Join(t.TempDir(), "fuzz.esidb"), Options{PageSize: 256, PoolPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		type live struct {
+			id   RecordID
+			data []byte
+		}
+		var model []live
+		i := 0
+		next := func() byte {
+			if i >= len(script) {
+				return 0
+			}
+			b := script[i]
+			i++
+			return b
+		}
+		for i < len(script) {
+			switch next() % 3 {
+			case 0: // put a record whose size/content derive from the script
+				n := int(next())*3 + int(next())
+				data := make([]byte, n)
+				for j := range data {
+					data[j] = byte(j) ^ next()
+				}
+				id, err := s.Put(data)
+				if err != nil {
+					t.Fatalf("put %d bytes: %v", n, err)
+				}
+				model = append(model, live{id: id, data: data})
+			case 1: // get a random live record
+				if len(model) == 0 {
+					continue
+				}
+				m := model[int(next())%len(model)]
+				got, err := s.Get(m.id)
+				if err != nil {
+					t.Fatalf("get %v: %v", m.id, err)
+				}
+				if !bytes.Equal(got, m.data) {
+					t.Fatalf("get %v: %d bytes, want %d", m.id, len(got), len(m.data))
+				}
+			case 2: // delete a random live record
+				if len(model) == 0 {
+					continue
+				}
+				k := int(next()) % len(model)
+				if err := s.Delete(model[k].id); err != nil {
+					t.Fatalf("delete %v: %v", model[k].id, err)
+				}
+				model = append(model[:k], model[k+1:]...)
+			}
+		}
+		// All survivors still readable.
+		for _, m := range model {
+			got, err := s.Get(m.id)
+			if err != nil || !bytes.Equal(got, m.data) {
+				t.Fatalf("final get %v: %v", m.id, err)
+			}
+		}
+		if _, err := s.Stats(); err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+	})
+}

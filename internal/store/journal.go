@@ -1,0 +1,185 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Rollback journal: before any checkpointed page is overwritten in the data
+// file, its pre-image is appended (and fsynced) to <path>.journal. A
+// checkpoint (Sync/Close) flushes all pages, fsyncs the data file and
+// deletes the journal — the atomic commit point. If the process dies
+// between checkpoints, Open finds the journal, writes every pre-image back,
+// truncates the file to its checkpointed length and so restores exactly the
+// state of the last successful Sync. This is the classic rollback-journal
+// design (undo-only, no redo), sized for a single-writer store.
+//
+// Journal file layout:
+//
+//	header: magic "ESWALv1\x00" | pageSize u32 | origPageCount u32 | crc u32
+//	entry:  pageID u32 | pageSize bytes | crc u32 (over id+payload)
+//
+// A torn trailing entry (crash during append) is ignored; every complete
+// entry was fsynced before its data-file write, which is all recovery
+// needs.
+
+const journalMagic = "ESWALv1\x00"
+
+// journal manages the rollback file for one store.
+type journal struct {
+	path     string
+	pageSize int
+	f        *os.File // nil when no batch is open
+	// logged tracks pages whose pre-image is already in the current batch.
+	logged map[uint32]bool
+	// origPageCount is the data-file page count at the last checkpoint.
+	origPageCount uint32
+}
+
+func newJournal(path string, pageSize int, pageCount uint32) *journal {
+	return &journal{
+		path:          path + ".journal",
+		pageSize:      pageSize,
+		logged:        make(map[uint32]bool),
+		origPageCount: pageCount,
+	}
+}
+
+// ensurePreImage records the current on-disk content of page id before the
+// caller overwrites it. Pages created after the last checkpoint need no
+// pre-image (recovery truncates them away). readOld must read the page's
+// current on-disk bytes (unverified: a torn page from an earlier crash is
+// still a faithful pre-image of what is on disk).
+func (j *journal) ensurePreImage(id uint32, readOld func(id uint32, buf []byte) error) error {
+	if id >= j.origPageCount || j.logged[id] {
+		return nil
+	}
+	if j.f == nil {
+		f, err := os.OpenFile(j.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		hdr := make([]byte, len(journalMagic)+12)
+		copy(hdr, journalMagic)
+		binary.LittleEndian.PutUint32(hdr[len(journalMagic):], uint32(j.pageSize))
+		binary.LittleEndian.PutUint32(hdr[len(journalMagic)+4:], j.origPageCount)
+		binary.LittleEndian.PutUint32(hdr[len(journalMagic)+8:], crc32.ChecksumIEEE(hdr[:len(journalMagic)+8]))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return err
+		}
+		j.f = f
+	}
+	old := make([]byte, j.pageSize)
+	if err := readOld(id, old); err != nil {
+		return err
+	}
+	entry := make([]byte, 4+j.pageSize+4)
+	binary.LittleEndian.PutUint32(entry, id)
+	copy(entry[4:], old)
+	binary.LittleEndian.PutUint32(entry[4+j.pageSize:], crc32.ChecksumIEEE(entry[:4+j.pageSize]))
+	if _, err := j.f.Write(entry); err != nil {
+		return err
+	}
+	// The pre-image must be durable before the data file is overwritten.
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.logged[id] = true
+	return nil
+}
+
+// checkpoint commits the current batch: the caller has already flushed and
+// fsynced the data file, so the journal can be discarded.
+func (j *journal) checkpoint(pageCount uint32) error {
+	if j.f != nil {
+		if err := j.f.Close(); err != nil {
+			return err
+		}
+		j.f = nil
+		if err := os.Remove(j.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	j.logged = make(map[uint32]bool)
+	j.origPageCount = pageCount
+	return nil
+}
+
+// close releases the journal file handle without committing (the journal
+// stays on disk for recovery at next open).
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// recoverJournal rolls the data file at dataPath back to its last
+// checkpoint using the journal beside it, if one exists. Returns the
+// restored page count (0 if there was no journal). Safe to call on a clean
+// store.
+func recoverJournal(dataPath string, pageSize int) (uint32, error) {
+	jPath := dataPath + ".journal"
+	jf, err := os.Open(jPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer jf.Close()
+
+	hdr := make([]byte, len(journalMagic)+12)
+	if _, err := io.ReadFull(jf, hdr); err != nil {
+		// Torn header: the batch never journaled a full pre-image, so the
+		// data file was never touched. Discard the journal.
+		return 0, os.Remove(jPath)
+	}
+	if string(hdr[:len(journalMagic)]) != journalMagic {
+		return 0, fmt.Errorf("store: %s: bad journal magic", jPath)
+	}
+	jPageSize := int(binary.LittleEndian.Uint32(hdr[len(journalMagic):]))
+	origCount := binary.LittleEndian.Uint32(hdr[len(journalMagic)+4:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[len(journalMagic)+8:])
+	if crc32.ChecksumIEEE(hdr[:len(journalMagic)+8]) != wantCRC {
+		return 0, os.Remove(jPath) // torn header, data untouched
+	}
+	if jPageSize != pageSize {
+		return 0, fmt.Errorf("store: journal page size %d, store %d", jPageSize, pageSize)
+	}
+
+	df, err := os.OpenFile(dataPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer df.Close()
+
+	entry := make([]byte, 4+pageSize+4)
+	for {
+		if _, err := io.ReadFull(jf, entry); err != nil {
+			break // torn trailing entry or EOF: everything before is applied
+		}
+		id := binary.LittleEndian.Uint32(entry)
+		want := binary.LittleEndian.Uint32(entry[4+pageSize:])
+		if crc32.ChecksumIEEE(entry[:4+pageSize]) != want {
+			break // torn entry: its data-file write never happened
+		}
+		if _, err := df.WriteAt(entry[4:4+pageSize], int64(id)*int64(pageSize)); err != nil {
+			return 0, err
+		}
+	}
+	if err := df.Truncate(int64(origCount) * int64(pageSize)); err != nil {
+		return 0, err
+	}
+	if err := df.Sync(); err != nil {
+		return 0, err
+	}
+	return origCount, os.Remove(jPath)
+}

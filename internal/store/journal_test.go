@@ -1,0 +1,291 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotFiles copies the data file and (if present) its journal into a
+// new directory — byte-for-byte what a crash at that instant would leave on
+// disk, given that every completed write hit the file (ReadAt/WriteAt are
+// unbuffered).
+func snapshotFiles(t *testing.T, dataPath string) string {
+	t.Helper()
+	dir := t.TempDir()
+	copyFile := func(src, dst string) {
+		in, err := os.Open(src)
+		if os.IsNotExist(err) {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer in.Close()
+		out, err := os.Create(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := filepath.Join(dir, "crash.esidb")
+	copyFile(dataPath, dst)
+	copyFile(dataPath+".journal", dst+".journal")
+	return dst
+}
+
+// TestCrashRecoveryRestoresCheckpoint is the core rollback-journal claim:
+// a crash after unsynced work (including buffer-pool evictions that already
+// overwrote data pages) recovers to exactly the last Sync.
+func TestCrashRecoveryRestoresCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.esidb")
+	// Tiny pool: mutations force evictions, dirtying the data file
+	// mid-batch — the dangerous case.
+	s, err := Create(path, Options{PageSize: 256, PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var committed []RecordID
+	var blobs [][]byte
+	for i := 0; i < 20; i++ {
+		b := make([]byte, 100+rng.Intn(600))
+		rng.Read(b)
+		id, err := s.Put(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed = append(committed, id)
+		blobs = append(blobs, b)
+	}
+	if err := s.SetRoot("catalog", committed[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil { // checkpoint
+		t.Fatal(err)
+	}
+
+	// Uncommitted work: more puts and deletes, forcing evictions.
+	for i := 0; i < 15; i++ {
+		b := make([]byte, 100+rng.Intn(600))
+		rng.Read(b)
+		if _, err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Delete(committed[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetRoot("catalog", committed[9]); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": copy the on-disk state without closing.
+	crashPath := snapshotFiles(t, path)
+	s.Close()
+
+	recovered, err := Open(crashPath, Options{})
+	if err != nil {
+		t.Fatalf("open after crash: %v", err)
+	}
+	defer recovered.Close()
+	// Every committed record is intact — including the ones deleted after
+	// the checkpoint.
+	for i, id := range committed {
+		got, err := recovered.Get(id)
+		if err != nil {
+			t.Fatalf("committed record %d lost: %v", i, err)
+		}
+		if !bytes.Equal(got, blobs[i]) {
+			t.Fatalf("committed record %d corrupted", i)
+		}
+	}
+	// The root is the checkpointed one, not the post-checkpoint update.
+	root, ok := recovered.Root("catalog")
+	if !ok || root != committed[3] {
+		t.Fatalf("root after recovery = %v %v, want %v", root, ok, committed[3])
+	}
+	// The recovered store is structurally clean and writable.
+	res, err := recovered.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("recovered store has problems: %v", res.Problems)
+	}
+	if _, err := recovered.Put([]byte("post-recovery write")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashBeforeAnyCheckpointedOverwrite(t *testing.T) {
+	// A crash with NO journal (no checkpointed page was overwritten since
+	// the last checkpoint, e.g. only reads happened) opens cleanly.
+	path := filepath.Join(t.TempDir(), "w2.esidb")
+	s, err := Create(path, Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Put([]byte("hello"))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Get(id) // reads only
+	crashPath := snapshotFiles(t, path)
+	s.Close()
+
+	r, err := Open(crashPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.Get(id)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("record after clean crash: %q %v", got, err)
+	}
+}
+
+func TestCrashWithTornJournalEntry(t *testing.T) {
+	// A journal whose last entry is torn (half-written) still restores the
+	// complete entries and opens.
+	path := filepath.Join(t.TempDir(), "w3.esidb")
+	s, err := Create(path, Options{PageSize: 256, PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []RecordID
+	for i := 0; i < 10; i++ {
+		id, _ := s.Put(bytes.Repeat([]byte{byte(i)}, 300))
+		ids = append(ids, id)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put(bytes.Repeat([]byte{0xAA}, 300))
+	}
+	crashPath := snapshotFiles(t, path)
+	s.Close()
+
+	// Tear the journal's tail.
+	jPath := crashPath + ".journal"
+	info, err := os.Stat(jPath)
+	if err != nil {
+		t.Fatalf("no journal to tear: %v", err)
+	}
+	if err := os.Truncate(jPath, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(crashPath, Options{})
+	if err != nil {
+		t.Fatalf("open with torn journal: %v", err)
+	}
+	defer r.Close()
+	for i, id := range ids {
+		got, err := r.Get(id)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 300)) {
+			t.Fatalf("record %d after torn-journal recovery: %v", i, err)
+		}
+	}
+}
+
+func TestJournalDeletedAfterCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w4.esidb")
+	s, err := Create(path, Options{PageSize: 256, PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Put(bytes.Repeat([]byte{1}, 300))
+	}
+	// Mid-batch the journal exists (evictions overwrote checkpointed
+	// pages, at minimum the header).
+	if _, err := os.Stat(path + ".journal"); err != nil {
+		t.Fatalf("journal missing mid-batch: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".journal"); !os.IsNotExist(err) {
+		t.Fatalf("journal not removed at checkpoint: %v", err)
+	}
+}
+
+// TestCrashRecoveryRandomized drives random mutate/sync cycles, snapshots
+// at a random instant, and verifies recovery lands exactly on the last
+// checkpoint's contents.
+func TestCrashRecoveryRandomized(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(t.TempDir(), "wr.esidb")
+		s, err := Create(path, Options{PageSize: 256, PoolPages: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type rec struct {
+			id   RecordID
+			data []byte
+		}
+		var live []rec
+		var checkpointed []rec
+		steps := 30 + rng.Intn(40)
+		for i := 0; i < steps; i++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				b := make([]byte, rng.Intn(700))
+				rng.Read(b)
+				id, err := s.Put(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, rec{id, b})
+			case 3:
+				if len(live) > 0 {
+					k := rng.Intn(len(live))
+					if err := s.Delete(live[k].id); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:k], live[k+1:]...)
+				}
+			case 4:
+				if err := s.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				checkpointed = append([]rec(nil), live...)
+			}
+		}
+		crashPath := snapshotFiles(t, path)
+		s.Close()
+
+		r, err := Open(crashPath, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: open: %v", seed, err)
+		}
+		for _, rc := range checkpointed {
+			got, err := r.Get(rc.id)
+			if err != nil {
+				t.Fatalf("seed %d: checkpointed record %v lost: %v", seed, rc.id, err)
+			}
+			if !bytes.Equal(got, rc.data) {
+				t.Fatalf("seed %d: checkpointed record %v corrupted", seed, rc.id)
+			}
+		}
+		res, err := r.Check()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Ok() {
+			t.Fatalf("seed %d: recovered store dirty: %v", seed, res.Problems)
+		}
+		r.Close()
+	}
+}

@@ -1,0 +1,119 @@
+// Package store is the persistence substrate of the database: a single-file,
+// page-based blob store with CRC-checked pages, an LRU buffer pool, chained
+// variable-length records, a free-page list, and a small named-root table
+// the catalog uses to find its serialized form. It is single-writer /
+// multi-reader behind one mutex. Durability is checkpoint-based: Sync (and
+// Close) atomically commit everything since the previous Sync, and a crash
+// in between rolls back to the last checkpoint on the next Open via the
+// rollback journal (journal.go).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	// Magic identifies an ESIDB store file.
+	Magic = "ESIDBv1\x00"
+	// DefaultPageSize is the page size used unless overridden at Create.
+	DefaultPageSize = 8192
+	// MinPageSize bounds how small pages may be configured (tests use small
+	// pages to force chaining).
+	MinPageSize = 128
+	// crcSize trails every on-disk page.
+	crcSize = 4
+	// headerPage is the page id of the file header; never used for data.
+	headerPage = 0
+)
+
+// Errors returned by the store.
+var (
+	ErrBadMagic  = errors.New("store: not an ESIDB store file")
+	ErrChecksum  = errors.New("store: page checksum mismatch")
+	ErrCorrupt   = errors.New("store: corrupt structure")
+	ErrNotFound  = errors.New("store: record not found")
+	ErrClosed    = errors.New("store: store is closed")
+	ErrRootSpace = errors.New("store: root table full")
+)
+
+// pager performs raw page IO against the file with CRC verification. It
+// knows nothing about records.
+type pager struct {
+	f        *os.File
+	pageSize int
+	// pageCount includes the header page.
+	pageCount uint32
+}
+
+func (p *pager) usable() int { return p.pageSize - crcSize }
+
+// readPage reads and verifies a page into buf (len = pageSize). It returns
+// the usable slice (without the CRC trailer).
+func (p *pager) readPage(id uint32, buf []byte) ([]byte, error) {
+	if id >= p.pageCount {
+		return nil, fmt.Errorf("%w: page %d beyond count %d", ErrCorrupt, id, p.pageCount)
+	}
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("store: read page %d: %w", id, err)
+	}
+	want := binary.LittleEndian.Uint32(buf[p.usable():])
+	if got := crc32.ChecksumIEEE(buf[:p.usable()]); got != want {
+		return nil, fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	return buf[:p.usable()], nil
+}
+
+// readRaw reads a page's current on-disk bytes without CRC verification —
+// used to capture journal pre-images (a torn page is still the faithful
+// pre-image of what is on disk).
+func (p *pager) readRaw(id uint32, buf []byte) error {
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("store: raw read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// writePage stamps the CRC and writes the page. buf must be pageSize long
+// with the payload in the first usable() bytes.
+func (p *pager) writePage(id uint32, buf []byte) error {
+	binary.LittleEndian.PutUint32(buf[p.usable():], crc32.ChecksumIEEE(buf[:p.usable()]))
+	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("store: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// grow appends one zeroed page to the file and returns its id.
+func (p *pager) grow() (uint32, error) {
+	id := p.pageCount
+	buf := make([]byte, p.pageSize)
+	if err := p.writePage(id, buf); err != nil {
+		return 0, err
+	}
+	p.pageCount++
+	return id, nil
+}
+
+func (p *pager) sync() error { return p.f.Sync() }
+
+func (p *pager) close() error { return p.f.Close() }
+
+// fileSize returns the current file length, for Stats.
+func (p *pager) fileSize() (int64, error) {
+	info, err := p.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// readFull is a helper for header parsing from a reader.
+func readFull(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf)
+	return err
+}

@@ -1,0 +1,624 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// RecordID locates a stored record: the page and slot of its first chunk.
+// The zero RecordID is never a valid record (page 0 is the file header) and
+// serves as a null reference.
+type RecordID struct {
+	Page uint32
+	Slot uint16
+}
+
+// IsZero reports whether the id is the null reference.
+func (r RecordID) IsZero() bool { return r.Page == 0 && r.Slot == 0 }
+
+// String renders page:slot.
+func (r RecordID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+const (
+	// data page header: nslots u16, freeStart u16.
+	pageHdrSize = 4
+	slotSize    = 4
+	// chunk header: next page u32, next slot u16.
+	chunkHdrSize = 6
+	deadOffset   = 0xFFFF
+	// header layout offsets.
+	hdrMagicOff  = 0
+	hdrVerOff    = 8
+	hdrPSizeOff  = 12
+	hdrPCountOff = 16
+	hdrFreeOff   = 20
+	hdrRootsOff  = 24
+)
+
+// Options configures store creation and opening.
+type Options struct {
+	// PageSize is the on-disk page size; only honored at Create. 0 means
+	// DefaultPageSize.
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages. 0 means 256.
+	PoolPages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = 256
+	}
+	return o
+}
+
+// Store is the single-file blob store. All methods are safe for concurrent
+// use; internally a single mutex serializes access.
+type Store struct {
+	mu     sync.Mutex
+	pg     *pager
+	pool   *bufferPool
+	jl     *journal
+	closed bool
+
+	freeHead uint32
+	roots    map[string]RecordID
+	// fillPage is the page Put last allocated into, for packing small
+	// records; 0 means none.
+	fillPage uint32
+
+	// puts/gets/deletes instrument usage for Stats.
+	puts, gets, deletes uint64
+}
+
+// Create creates a new store file at path, failing if it already exists.
+func Create(path string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.PageSize < MinPageSize {
+		return nil, fmt.Errorf("store: page size %d below minimum %d", opts.PageSize, MinPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		pg:    &pager{f: f, pageSize: opts.PageSize, pageCount: 0},
+		roots: make(map[string]RecordID),
+	}
+	s.pool = newBufferPool(s.pg, opts.PoolPages)
+	if _, err := s.pg.grow(); err != nil { // header page
+		f.Close()
+		return nil, err
+	}
+	if err := s.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.pg.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.jl = newJournal(path, opts.PageSize, s.pg.pageCount)
+	s.pool.writeBack = s.journaledWrite
+	return s, nil
+}
+
+// Open opens an existing store file.
+func Open(path string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	pg := &pager{f: f, pageSize: DefaultPageSize, pageCount: 1}
+	// Bootstrap: read enough of page 0 to learn the real page size, then
+	// re-read the header page with CRC verification.
+	probe := make([]byte, 20)
+	if err := readFull(f, probe); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(probe[hdrMagicOff:hdrMagicOff+8]) != Magic {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	pg.pageSize = int(binary.LittleEndian.Uint32(probe[hdrPSizeOff:]))
+	if pg.pageSize < MinPageSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: page size %d", ErrCorrupt, pg.pageSize)
+	}
+	// Roll back any uncommitted batch from a previous crash before trusting
+	// the header page.
+	if _, err := recoverJournal(path, pg.pageSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	buf := make([]byte, pg.pageSize)
+	if _, err := pg.readPage(headerPage, buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	hdr := buf[:pg.usable()]
+	s := &Store{pg: pg, roots: make(map[string]RecordID)}
+	pg.pageCount = binary.LittleEndian.Uint32(hdr[hdrPCountOff:])
+	s.freeHead = binary.LittleEndian.Uint32(hdr[hdrFreeOff:])
+	nroots := int(binary.LittleEndian.Uint16(hdr[hdrRootsOff:]))
+	off := hdrRootsOff + 2
+	for i := 0; i < nroots; i++ {
+		if off >= len(hdr) {
+			f.Close()
+			return nil, fmt.Errorf("%w: root table overruns header", ErrCorrupt)
+		}
+		nameLen := int(hdr[off])
+		off++
+		if off+nameLen+6 > len(hdr) {
+			f.Close()
+			return nil, fmt.Errorf("%w: root table overruns header", ErrCorrupt)
+		}
+		name := string(hdr[off : off+nameLen])
+		off += nameLen
+		id := RecordID{
+			Page: binary.LittleEndian.Uint32(hdr[off:]),
+			Slot: binary.LittleEndian.Uint16(hdr[off+4:]),
+		}
+		off += 6
+		s.roots[name] = id
+	}
+	s.pool = newBufferPool(pg, opts.PoolPages)
+	s.jl = newJournal(path, pg.pageSize, pg.pageCount)
+	s.pool.writeBack = s.journaledWrite
+	return s, nil
+}
+
+// journaledWrite is the buffer pool's write-back path: the page's
+// pre-image is made durable in the rollback journal before the data file
+// is overwritten.
+func (s *Store) journaledWrite(id uint32, buf []byte) error {
+	if s.jl != nil {
+		if err := s.jl.ensurePreImage(id, s.pg.readRaw); err != nil {
+			return err
+		}
+	}
+	return s.pg.writePage(id, buf)
+}
+
+// writeHeader serializes the header into page 0 through the pool.
+func (s *Store) writeHeader() error {
+	hdr, err := s.pool.adopt(headerPage)
+	if err != nil {
+		return err
+	}
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	copy(hdr[hdrMagicOff:], Magic)
+	binary.LittleEndian.PutUint32(hdr[hdrVerOff:], 1)
+	binary.LittleEndian.PutUint32(hdr[hdrPSizeOff:], uint32(s.pg.pageSize))
+	binary.LittleEndian.PutUint32(hdr[hdrPCountOff:], s.pg.pageCount)
+	binary.LittleEndian.PutUint32(hdr[hdrFreeOff:], s.freeHead)
+	names := make([]string, 0, len(s.roots))
+	for name := range s.roots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	off := hdrRootsOff + 2
+	for _, name := range names {
+		need := 1 + len(name) + 6
+		if off+need > len(hdr) {
+			return ErrRootSpace
+		}
+		if len(name) > 255 {
+			return fmt.Errorf("store: root name %q too long", name)
+		}
+		hdr[off] = byte(len(name))
+		off++
+		copy(hdr[off:], name)
+		off += len(name)
+		id := s.roots[name]
+		binary.LittleEndian.PutUint32(hdr[off:], id.Page)
+		binary.LittleEndian.PutUint16(hdr[off+4:], id.Slot)
+		off += 6
+	}
+	binary.LittleEndian.PutUint16(hdr[hdrRootsOff:], uint16(len(names)))
+	return s.pool.markDirty(headerPage)
+}
+
+// allocPage returns a zeroed data page, reusing the free list when
+// possible.
+func (s *Store) allocPage() (uint32, error) {
+	if s.freeHead != 0 {
+		id := s.freeHead
+		buf, err := s.pool.page(id)
+		if err != nil {
+			return 0, err
+		}
+		s.freeHead = binary.LittleEndian.Uint32(buf[0:])
+		for i := range buf {
+			buf[i] = 0
+		}
+		initDataPage(buf)
+		if err := s.pool.markDirty(id); err != nil {
+			return 0, err
+		}
+		return id, s.writeHeader()
+	}
+	id, err := s.pg.grow()
+	if err != nil {
+		return 0, err
+	}
+	buf, err := s.pool.adopt(id)
+	if err != nil {
+		return 0, err
+	}
+	initDataPage(buf)
+	if err := s.pool.markDirty(id); err != nil {
+		return 0, err
+	}
+	return id, s.writeHeader()
+}
+
+func initDataPage(buf []byte) {
+	binary.LittleEndian.PutUint16(buf[0:], 0)           // nslots
+	binary.LittleEndian.PutUint16(buf[2:], pageHdrSize) // freeStart
+}
+
+// pageNSlots / pageFreeStart accessors.
+func pageNSlots(buf []byte) int    { return int(binary.LittleEndian.Uint16(buf[0:])) }
+func pageFreeStart(buf []byte) int { return int(binary.LittleEndian.Uint16(buf[2:])) }
+
+func slotAt(buf []byte, i int) (offset, length int) {
+	base := len(buf) - slotSize*(i+1)
+	return int(binary.LittleEndian.Uint16(buf[base:])), int(binary.LittleEndian.Uint16(buf[base+2:]))
+}
+
+func setSlot(buf []byte, i, offset, length int) {
+	base := len(buf) - slotSize*(i+1)
+	binary.LittleEndian.PutUint16(buf[base:], uint16(offset))
+	binary.LittleEndian.PutUint16(buf[base+2:], uint16(length))
+}
+
+// chunkCap returns the maximum chunk payload per cell on a fresh page.
+func (s *Store) chunkCap() int {
+	return s.pg.usable() - pageHdrSize - slotSize - chunkHdrSize
+}
+
+// placeCell writes a cell into a page with room, preferring the current
+// fill page, and returns its location.
+func (s *Store) placeCell(cell []byte) (uint32, uint16, error) {
+	try := func(id uint32) (uint16, bool, error) {
+		buf, err := s.pool.page(id)
+		if err != nil {
+			return 0, false, err
+		}
+		nslots := pageNSlots(buf)
+		freeStart := pageFreeStart(buf)
+		// Find a reusable dead slot.
+		slot := -1
+		for i := 0; i < nslots; i++ {
+			if off, _ := slotAt(buf, i); off == deadOffset {
+				slot = i
+				break
+			}
+		}
+		need := len(cell)
+		if slot == -1 {
+			need += slotSize
+		}
+		if freeStart+need > len(buf)-slotSize*nslots {
+			return 0, false, nil
+		}
+		copy(buf[freeStart:], cell)
+		if slot == -1 {
+			slot = nslots
+			binary.LittleEndian.PutUint16(buf[0:], uint16(nslots+1))
+		}
+		setSlot(buf, slot, freeStart, len(cell))
+		binary.LittleEndian.PutUint16(buf[2:], uint16(freeStart+len(cell)))
+		if err := s.pool.markDirty(id); err != nil {
+			return 0, false, err
+		}
+		return uint16(slot), true, nil
+	}
+	if s.fillPage != 0 {
+		if slot, ok, err := try(s.fillPage); err != nil {
+			return 0, 0, err
+		} else if ok {
+			return s.fillPage, slot, nil
+		}
+	}
+	id, err := s.allocPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	slot, ok, err := try(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("store: cell of %d bytes does not fit a fresh page (page size %d)", len(cell), s.pg.pageSize)
+	}
+	s.fillPage = id
+	return id, slot, nil
+}
+
+// Put stores data and returns its record id.
+func (s *Store) Put(data []byte) (RecordID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RecordID{}, ErrClosed
+	}
+	s.puts++
+	cap := s.chunkCap()
+	nchunks := (len(data) + cap - 1) / cap
+	if nchunks == 0 {
+		nchunks = 1
+	}
+	var nextPage uint32
+	var nextSlot uint16
+	for i := nchunks - 1; i >= 0; i-- {
+		start := i * cap
+		end := start + cap
+		if end > len(data) {
+			end = len(data)
+		}
+		cell := make([]byte, chunkHdrSize+end-start)
+		binary.LittleEndian.PutUint32(cell[0:], nextPage)
+		binary.LittleEndian.PutUint16(cell[4:], nextSlot)
+		copy(cell[chunkHdrSize:], data[start:end])
+		page, slot, err := s.placeCell(cell)
+		if err != nil {
+			return RecordID{}, err
+		}
+		nextPage, nextSlot = page, slot
+	}
+	return RecordID{Page: nextPage, Slot: nextSlot}, nil
+}
+
+// Get returns a copy of a record's data.
+func (s *Store) Get(id RecordID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.gets++
+	if id.IsZero() {
+		return nil, ErrNotFound
+	}
+	var out []byte
+	page, slot := id.Page, id.Slot
+	for steps := 0; ; steps++ {
+		if steps > 1<<20 {
+			return nil, fmt.Errorf("%w: chunk chain too long", ErrCorrupt)
+		}
+		buf, err := s.pool.page(page)
+		if err != nil {
+			return nil, err
+		}
+		if int(slot) >= pageNSlots(buf) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, RecordID{page, slot})
+		}
+		off, length := slotAt(buf, int(slot))
+		if off == deadOffset {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, RecordID{page, slot})
+		}
+		if off+length > len(buf) || length < chunkHdrSize {
+			return nil, fmt.Errorf("%w: bad cell at %s", ErrCorrupt, RecordID{page, slot})
+		}
+		cell := buf[off : off+length]
+		out = append(out, cell[chunkHdrSize:]...)
+		nextPage := binary.LittleEndian.Uint32(cell[0:])
+		nextSlot := binary.LittleEndian.Uint16(cell[4:])
+		if nextPage == 0 {
+			return out, nil
+		}
+		page, slot = nextPage, nextSlot
+	}
+}
+
+// Delete removes a record, returning ErrNotFound if it does not exist.
+// Pages whose slots all become dead are recycled through the free list.
+func (s *Store) Delete(id RecordID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.deletes++
+	if id.IsZero() {
+		return ErrNotFound
+	}
+	touched := make(map[uint32]bool)
+	page, slot := id.Page, id.Slot
+	for steps := 0; ; steps++ {
+		if steps > 1<<20 {
+			return fmt.Errorf("%w: chunk chain too long", ErrCorrupt)
+		}
+		buf, err := s.pool.page(page)
+		if err != nil {
+			return err
+		}
+		if int(slot) >= pageNSlots(buf) {
+			return fmt.Errorf("%w: %s", ErrNotFound, RecordID{page, slot})
+		}
+		off, length := slotAt(buf, int(slot))
+		if off == deadOffset {
+			return fmt.Errorf("%w: %s", ErrNotFound, RecordID{page, slot})
+		}
+		cell := buf[off : off+length]
+		nextPage := binary.LittleEndian.Uint32(cell[0:])
+		nextSlot := binary.LittleEndian.Uint16(cell[4:])
+		setSlot(buf, int(slot), deadOffset, 0)
+		if err := s.pool.markDirty(page); err != nil {
+			return err
+		}
+		touched[page] = true
+		if nextPage == 0 {
+			break
+		}
+		page, slot = nextPage, nextSlot
+	}
+	// Recycle fully dead pages.
+	for pid := range touched {
+		buf, err := s.pool.page(pid)
+		if err != nil {
+			return err
+		}
+		empty := true
+		for i := 0; i < pageNSlots(buf); i++ {
+			if off, _ := slotAt(buf, i); off != deadOffset {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			continue
+		}
+		binary.LittleEndian.PutUint32(buf[0:], s.freeHead)
+		for i := 4; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		if err := s.pool.markDirty(pid); err != nil {
+			return err
+		}
+		s.freeHead = pid
+		if s.fillPage == pid {
+			s.fillPage = 0
+		}
+		if err := s.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetRoot durably names a record id (e.g. "catalog"). Passing the zero id
+// removes the root.
+func (s *Store) SetRoot(name string, id RecordID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if id.IsZero() {
+		delete(s.roots, name)
+	} else {
+		s.roots[name] = id
+	}
+	return s.writeHeader()
+}
+
+// Root looks up a named record id.
+func (s *Store) Root(name string) (RecordID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.roots[name]
+	return id, ok
+}
+
+// Sync flushes all dirty pages and fsyncs the file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.pool.flush(); err != nil {
+		return err
+	}
+	if err := s.pg.sync(); err != nil {
+		return err
+	}
+	if s.jl != nil {
+		return s.jl.checkpoint(s.pg.pageCount)
+	}
+	return nil
+}
+
+// Close flushes and closes the file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.pool.flush(); err != nil {
+		// Leave the journal in place: the next Open rolls back to the last
+		// checkpoint.
+		if s.jl != nil {
+			s.jl.close()
+		}
+		s.pg.close()
+		return err
+	}
+	if err := s.pg.sync(); err != nil {
+		if s.jl != nil {
+			s.jl.close()
+		}
+		s.pg.close()
+		return err
+	}
+	if s.jl != nil {
+		if err := s.jl.checkpoint(s.pg.pageCount); err != nil {
+			s.pg.close()
+			return err
+		}
+	}
+	return s.pg.close()
+}
+
+// Stats reports store occupancy and cache behaviour.
+type Stats struct {
+	PageSize  int
+	Pages     uint32
+	FreePages int
+	FileBytes int64
+	PoolHits  uint64
+	PoolMiss  uint64
+	Puts      uint64
+	Gets      uint64
+	Deletes   uint64
+}
+
+// Stats computes current statistics. Walking the free list is O(free
+// pages).
+func (s *Store) Stats() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Stats{}, ErrClosed
+	}
+	st := Stats{
+		PageSize: s.pg.pageSize,
+		Pages:    s.pg.pageCount,
+		PoolHits: s.pool.hits,
+		PoolMiss: s.pool.misses,
+		Puts:     s.puts,
+		Gets:     s.gets,
+		Deletes:  s.deletes,
+	}
+	size, err := s.pg.fileSize()
+	if err != nil {
+		return Stats{}, err
+	}
+	st.FileBytes = size
+	for id := s.freeHead; id != 0; {
+		st.FreePages++
+		if st.FreePages > int(s.pg.pageCount) {
+			return Stats{}, fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+		buf, err := s.pool.page(id)
+		if err != nil {
+			return Stats{}, err
+		}
+		id = binary.LittleEndian.Uint32(buf[0:])
+	}
+	return st, nil
+}

@@ -1,0 +1,342 @@
+package mmdb
+
+import (
+	"fmt"
+
+	"repro/internal/colorspace"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/query"
+)
+
+// DB is the augmented multimedia database. It is safe for concurrent use.
+type DB struct {
+	inner *core.DB
+}
+
+// Option configures Open.
+type Option func(*core.Config)
+
+// WithPath backs the database with a page-store file (created if absent).
+func WithPath(path string) Option {
+	return func(c *core.Config) { c.Path = path }
+}
+
+// WithQuantizer selects the color quantizer. Without this option new
+// databases use uniform RGB with 4 divisions per channel (64 bins) and
+// existing databases adopt whatever quantizer they were created with.
+func WithQuantizer(q Quantizer) Option {
+	return func(c *core.Config) { c.Quantizer = q }
+}
+
+// WithQuantizerName selects the quantizer by its persisted name, e.g.
+// "rgb4", "hsv18x3x3" or "luv4x6". It returns an error through Open if the
+// name does not parse.
+func WithQuantizerName(name string) Option {
+	return func(c *core.Config) {
+		q, err := colorspace.ParseQuantizer(name)
+		if err != nil {
+			c.Quantizer = badQuantizer{name: name, err: err}
+			return
+		}
+		c.Quantizer = q
+	}
+}
+
+// badQuantizer defers a name-parse failure to Open, where it can be
+// returned as an error rather than a panic inside an Option.
+type badQuantizer struct {
+	name string
+	err  error
+}
+
+func (b badQuantizer) Bins() int       { return 1 }
+func (b badQuantizer) Bin(RGB) int     { return 0 }
+func (b badQuantizer) Name() string    { return b.name }
+func (b badQuantizer) Validate() error { return b.err }
+
+// WithBackground sets the background color used by Mutate vacancies and
+// Merge gaps (default black).
+func WithBackground(bg RGB) Option {
+	return func(c *core.Config) { c.Background = bg }
+}
+
+// WithPageSize sets the store page size (persistent databases only).
+func WithPageSize(bytes int) Option {
+	return func(c *core.Config) { c.Store.PageSize = bytes }
+}
+
+// WithPoolPages sets the buffer-pool capacity in pages.
+func WithPoolPages(n int) Option {
+	return func(c *core.Config) { c.Store.PoolPages = n }
+}
+
+// Open creates an in-memory database, or opens/creates a persistent one
+// when WithPath is given.
+func Open(opts ...Option) (*DB, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if bad, ok := cfg.Quantizer.(badQuantizer); ok {
+		return nil, fmt.Errorf("mmdb: quantizer %q: %w", bad.name, bad.err)
+	}
+	inner, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Close persists (when file-backed) and releases the database.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Sync persists the catalog and fsyncs the store file.
+func (db *DB) Sync() error { return db.inner.Sync() }
+
+// Compact rewrites a persistent database into a fresh file, reclaiming the
+// space of deleted objects and catalog churn. No-op for in-memory
+// databases.
+func (db *DB) Compact() error { return db.inner.Compact() }
+
+// CheckStore runs the page-store integrity scan (fsck). In-memory
+// databases return a clean empty result.
+func (db *DB) CheckStore() (StoreCheck, error) { return db.inner.CheckStore() }
+
+// WarmBoundsCache precomputes every edited image's per-bin bounds vector so
+// ModeCachedBounds answers without rule walks. BoundsCacheStats reports the
+// memory cost.
+func (db *DB) WarmBoundsCache() error { return db.inner.WarmBoundsCache() }
+
+// BoundsCacheStats reports the bounds cache's entries and resident bytes.
+func (db *DB) BoundsCacheStats() (entries int, bytes int64) {
+	return db.inner.BoundsCacheStats()
+}
+
+// Quantizer returns the database's color quantizer.
+func (db *DB) Quantizer() Quantizer { return db.inner.Quantizer() }
+
+// InsertImage stores a binary image and returns its object id.
+func (db *DB) InsertImage(name string, img *Image) (uint64, error) {
+	return db.inner.InsertImage(name, img)
+}
+
+// InsertEdited stores an edited image as its operation sequence and routes
+// it into the Bound-Widening data structure.
+func (db *DB) InsertEdited(name string, seq *Sequence) (uint64, error) {
+	return db.inner.InsertEdited(name, seq)
+}
+
+// AppendOps extends a stored edited image's sequence with more operations,
+// re-classifying and re-routing it in the Bound-Widening structure.
+func (db *DB) AppendOps(id uint64, ops []Op) error { return db.inner.AppendOps(id, ops) }
+
+// OptimizeSequence rewrites a sequence into an equivalent shorter one for
+// its base image (dead Defines, no-op recolors, empty-region edits and
+// identity transforms removed). The instantiated raster is unchanged;
+// storage and per-query rule-walk cost shrink.
+func (db *DB) OptimizeSequence(seq *Sequence) (*Sequence, error) {
+	base, err := db.inner.Get(seq.BaseID)
+	if err != nil {
+		return nil, err
+	}
+	if base.Kind != KindBinary {
+		return nil, fmt.Errorf("mmdb: sequence base %d is not a binary image", seq.BaseID)
+	}
+	return &Sequence{BaseID: seq.BaseID, Ops: editops.Optimize(seq.Ops, base.W, base.H)}, nil
+}
+
+// AugmentOptions tunes Augment.
+type AugmentOptions struct {
+	// PerBase is how many edited versions to generate (default 3).
+	PerBase int
+	// OpsPerImage is the average operations per sequence (default 4).
+	OpsPerImage int
+	// NonWideningFrac is the fraction of edited versions containing a
+	// non-bound-widening operation (default 0).
+	NonWideningFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Augment implements the paper's database augmentation (§2): it generates
+// edited versions of the given base image with realistic editing scripts
+// and inserts them, returning the new ids. Merge targets for non-widening
+// scripts are drawn from the other binary images already in the database.
+func (db *DB) Augment(baseID uint64, opts AugmentOptions) ([]uint64, error) {
+	img, err := db.inner.Image(baseID)
+	if err != nil {
+		return nil, err
+	}
+	var others []uint64
+	for _, id := range db.inner.Binaries() {
+		if id != baseID {
+			others = append(others, id)
+		}
+	}
+	aug := dataset.NewAugmenter(dataset.AugmentConfig{
+		PerBase:         opts.PerBase,
+		OpsPerImage:     opts.OpsPerImage,
+		NonWideningFrac: opts.NonWideningFrac,
+		Seed:            opts.Seed,
+	})
+	obj, err := db.inner.Get(baseID)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for i, seq := range aug.ScriptsFor(baseID, img, others) {
+		id, err := db.inner.InsertEdited(fmt.Sprintf("%s-edit-%d", obj.Name, i), seq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Query parses a textual range query ("at least 25% blue", "between 10%
+// and 30% red") and answers it with the Bound-Widening Method.
+func (db *DB) Query(text string) (*Result, error) {
+	return db.inner.RangeQueryText(text, core.ModeBWM)
+}
+
+// QueryMode is Query with an explicit execution mode.
+func (db *DB) QueryMode(text string, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryText(text, mode)
+}
+
+// RangeQuery answers a structured range query in the given mode.
+func (db *DB) RangeQuery(q Range, mode Mode) (*Result, error) {
+	return db.inner.RangeQuery(q, mode)
+}
+
+// QueryCompound parses and evaluates a multi-predicate query joined by a
+// single connective: "at least 20% red and at most 10% blue", or "at least
+// 40% green or at least 40% teal".
+func (db *DB) QueryCompound(text string, mode Mode) (*Result, error) {
+	return db.inner.CompoundQueryText(text, mode)
+}
+
+// CompoundQuery evaluates a structured compound query.
+func (db *DB) CompoundQuery(c Compound, mode Mode) (*Result, error) {
+	return db.inner.CompoundQuery(c, mode)
+}
+
+// QueryColorFamily runs a multi-bin range query over a named color's whole
+// bin family ("blue-ish"): under fine quantizers a perceptual color spans
+// several bins, and the family query constrains their summed percentage.
+func (db *DB) QueryColorFamily(name string, pctMin, pctMax float64, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryColorFamily(name, pctMin, pctMax, mode)
+}
+
+// RangeQueryMulti evaluates a structured multi-bin range query.
+func (db *DB) RangeQueryMulti(q MultiRange, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryMulti(q, mode)
+}
+
+// ColorFamily returns the histogram bins a named color's family covers
+// under this database's quantizer.
+func (db *DB) ColorFamily(name string) ([]int, error) {
+	return colorspace.FamilyForName(name, db.inner.Quantizer())
+}
+
+// ParseQuery parses query text against this database's quantizer without
+// executing it.
+func (db *DB) ParseQuery(text string) (Range, error) {
+	return query.ParseRange(text, db.inner.Quantizer())
+}
+
+// Explain computes a query plan without running the query: base matches,
+// the edited images BWM would skip rule-free, and the operation counts each
+// method would evaluate.
+func (db *DB) Explain(text string) (*Plan, error) { return db.inner.ExplainText(text) }
+
+// QueryByExample runs a k-nearest-neighbor search using a probe image:
+// "find the K images most similar to this one". Edited images participate
+// via bound-based pruning.
+func (db *DB) QueryByExample(probe *Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+	target := ExtractHistogram(probe, db.inner.Quantizer())
+	return db.inner.KNN(query.KNN{Target: target, K: k, Metric: metric})
+}
+
+// KNN runs a k-nearest-neighbor search from a histogram target.
+func (db *DB) KNN(q KNN) ([]Match, *KNNStats, error) { return db.inner.KNN(q) }
+
+// QueryByExamples is the multiple-query-image technique the paper
+// contrasts with augmentation: each probe is searched independently and the
+// rankings fused (minimum distance per object). Note the cost scales with
+// the probe count — which is the paper's argument for augmentation.
+func (db *DB) QueryByExamples(probes []*Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+	targets := make([]*Histogram, len(probes))
+	for i, p := range probes {
+		targets[i] = ExtractHistogram(p, db.inner.Quantizer())
+	}
+	return db.inner.KNNMulti(targets, k, metric)
+}
+
+// KNNBinary ranks only binary images (R-tree accelerated for L2).
+func (db *DB) KNNBinary(q KNN) ([]Match, error) { return db.inner.KNNBinary(q) }
+
+// WithinDistance returns every image within dist of the probe under the
+// metric, with bound-based pruning of edited images.
+func (db *DB) WithinDistance(probe *Image, dist float64, metric Metric) ([]Match, *KNNStats, error) {
+	target := ExtractHistogram(probe, db.inner.Quantizer())
+	return db.inner.WithinDistance(target, dist, metric)
+}
+
+// BuildBICIndex builds a Border/Interior Classification index over the
+// binary images — an alternative, structure-aware color signature
+// (Stehling et al., the paper's reference [21]). Snapshot semantics:
+// rebuild after inserts.
+func (db *DB) BuildBICIndex() (*BICIndex, error) { return db.inner.BICIndex() }
+
+// ExpandToBases adds the base image of every edited match — the paper's
+// connection that returns the original x whenever an edited op(x) matches.
+func (db *DB) ExpandToBases(ids []uint64) []uint64 { return db.inner.ExpandToBases(ids) }
+
+// Delete removes an object. Edited images are always deletable; binary
+// images only once nothing references them (delete the edited versions
+// first).
+func (db *DB) Delete(id uint64) error { return db.inner.Delete(id) }
+
+// Image materializes any object: binary rasters directly, edited images by
+// executing their sequence.
+func (db *DB) Image(id uint64) (*Image, error) { return db.inner.Image(id) }
+
+// Get returns an object's catalog entry.
+func (db *DB) Get(id uint64) (*Object, error) { return db.inner.Get(id) }
+
+// Binaries returns the binary image ids in insertion order.
+func (db *DB) Binaries() []uint64 { return db.inner.Binaries() }
+
+// EditedIDs returns the edited image ids in insertion order.
+func (db *DB) EditedIDs() []uint64 { return db.inner.EditedIDs() }
+
+// EditedOf returns the edited images derived from a base image.
+func (db *DB) EditedOf(baseID uint64) []uint64 { return db.inner.EditedOf(baseID) }
+
+// Bounds computes the rule-engine bounds of an edited image for one bin.
+func (db *DB) Bounds(id uint64, bin int) (Bounds, error) { return db.inner.Bounds(id, bin) }
+
+// BinForColor resolves a color name ("blue") to its histogram bin.
+func (db *DB) BinForColor(name string) (int, error) {
+	return colorspace.BinForName(name, db.inner.Quantizer())
+}
+
+// Stats returns database statistics (catalog breakdown, BWM component
+// sizes, store occupancy).
+func (db *DB) Stats() (Stats, error) { return db.inner.Stats() }
+
+// StorageFootprint reports (raster bytes, sequence bytes): the space cost
+// of binary images versus the edit-sequence representation.
+func (db *DB) StorageFootprint() (binaryBytes, editedBytes int64, err error) {
+	return db.inner.StorageFootprint()
+}
+
+// ColorNames returns the query color vocabulary.
+func ColorNames() []string { return colorspace.ColorNames() }
+
+// LookupColor resolves a color name to its RGB value.
+func LookupColor(name string) (RGB, bool) { return colorspace.LookupColor(name) }
