@@ -9,7 +9,7 @@
 //	esidb insert  -db file -name label image.(ppm|png)
 //	esidb edit    -db file -name label script.txt
 //	esidb augment -db file -id N [-per 3] [-ops 4] [-nonwidening 0.2] [-seed 1]
-//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate] [-bases] "at least 25% blue"
+//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate|cached-bounds] [-bases] [-trace] "at least 25% blue"
 //	              (compound: "at least 20% red and at most 10% blue")
 //	esidb similar -db file [-k 5] [-metric l1|l2|intersection] probe.(ppm|png)
 //	esidb delete  -db file -id N
@@ -18,20 +18,23 @@
 //	esidb ls      -db file
 //	esidb compact -db file
 //	esidb stats   -db file
-//	esidb serve   -db file [-addr :8765]
+//	esidb metrics -db file [-q "at least 25% blue"] [-mode bwm] [-json]
+//	esidb serve   -db file [-addr :8765] [-log-json]
 //	esidb colors
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	mmdb "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -75,6 +78,8 @@ func main() {
 		err = cmdFsck(args)
 	case "stats":
 		err = cmdStats(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	case "serve":
 		err = cmdServe(args)
 	case "colors":
@@ -112,6 +117,7 @@ commands:
   compact  rewrite the database file, reclaiming deleted space
   fsck     verify the database file's structural integrity
   stats    print database statistics
+  metrics  run a workload probe and print the process metrics registry
   serve    expose the database over HTTP
   colors   list the query color vocabulary`)
 }
@@ -282,6 +288,8 @@ func parseMode(s string) (mmdb.Mode, error) {
 		return mmdb.ModeBWMIndexed, nil
 	case "instantiate":
 		return mmdb.ModeInstantiate, nil
+	case "cached-bounds":
+		return mmdb.ModeCachedBounds, nil
 	default:
 		return 0, fmt.Errorf("unknown mode %q", s)
 	}
@@ -290,8 +298,9 @@ func parseMode(s string) (mmdb.Mode, error) {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	path := fs.String("db", "", "database file")
-	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate")
+	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
 	bases := fs.Bool("bases", false, "also return the base image of each edited match")
+	trace := fs.Bool("trace", false, "print per-phase timings and decision counts")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("missing query text")
@@ -305,7 +314,11 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer db.Close()
-	res, err := db.QueryCompound(strings.Join(fs.Args(), " "), mode)
+	var tr *mmdb.Trace
+	if *trace {
+		tr = mmdb.NewTrace()
+	}
+	res, err := db.QueryCompoundTraced(strings.Join(fs.Args(), " "), mode, tr)
 	if err != nil {
 		return err
 	}
@@ -322,7 +335,37 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("%d matches (%d rule evaluations, %d edited skipped)\n",
 		len(ids), res.Stats.OpsEvaluated, res.Stats.EditedSkipped)
+	if tr != nil {
+		printTrace(tr)
+	}
 	return nil
+}
+
+// printTrace renders a query trace: phases in completion order with their
+// share of the total, then decision counters sorted by name.
+func printTrace(tr *mmdb.Trace) {
+	phases := tr.Phases()
+	var total int64
+	for _, p := range phases {
+		total += p.Duration.Nanoseconds()
+	}
+	fmt.Println("trace:")
+	for _, p := range phases {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.Duration.Nanoseconds()) / float64(total)
+		}
+		fmt.Printf("  %-28s %10s  %5.1f%%\n", p.Name, p.Duration, pct)
+	}
+	counters := tr.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-28s %10d\n", name, counters[name])
+	}
 }
 
 func cmdExplain(args []string) error {
@@ -604,15 +647,49 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	path := fs.String("db", "", "database file")
 	addr := fs.String("addr", ":8765", "listen address")
+	logJSON := fs.Bool("log-json", false, "emit access logs as JSON instead of logfmt text")
 	fs.Parse(args)
 	db, err := openDB(*path)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
 	fmt.Printf("serving %s on %s\n", *path, *addr)
-	handler := server.New(db).WithLogger(log.New(os.Stderr, "esidb ", log.LstdFlags))
-	return http.ListenAndServe(*addr, handler)
+	srv := server.New(db).WithLogger(slog.New(handler))
+	return http.ListenAndServe(*addr, srv)
+}
+
+// cmdMetrics prints the process metrics registry, optionally after running
+// a query so the engine counters are non-zero for a cold process.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	queryText := fs.String("q", "", "optional query to run before printing")
+	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
+	asJSON := fs.Bool("json", false, "print JSON instead of Prometheus text")
+	fs.Parse(args)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if *queryText != "" {
+		mode, err := parseMode(*modeStr)
+		if err != nil {
+			return err
+		}
+		if _, err := db.QueryCompound(*queryText, mode); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		return obs.Default().WriteJSON(os.Stdout)
+	}
+	return obs.Default().WritePrometheus(os.Stdout)
 }
 
 func cmdColors() error {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/editops"
 	"repro/internal/imaging"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rules"
 )
@@ -252,9 +253,13 @@ func (c *Corpus) BuildDBAt(seqCount int) (*core.DB, error) {
 }
 
 // RunWorkload executes the corpus workload against a database in a mode,
-// returning total wall time and accumulated query statistics.
+// returning total wall time and accumulated query statistics. Counters
+// holds the run's delta of the process metrics registry (rules evaluated,
+// fast-path admissions, cache traffic, ...); it is a process-wide delta, so
+// concurrent activity in other goroutines bleeds into it.
 func (c *Corpus) RunWorkload(db *core.DB, mode core.Mode) (time.Duration, QueryTotals, error) {
 	var totals QueryTotals
+	before := obs.Default().SnapshotCounters()
 	start := time.Now()
 	for _, q := range c.Workload {
 		res, err := db.RangeQuery(q, mode)
@@ -266,7 +271,9 @@ func (c *Corpus) RunWorkload(db *core.DB, mode core.Mode) (time.Duration, QueryT
 		totals.EditedWalked += res.Stats.EditedWalked
 		totals.EditedSkipped += res.Stats.EditedSkipped
 	}
-	return time.Since(start), totals, nil
+	elapsed := time.Since(start)
+	totals.Counters = obs.DiffCounters(before, obs.Default().SnapshotCounters())
+	return elapsed, totals, nil
 }
 
 // QueryTotals accumulates per-query statistics across a workload.
@@ -275,6 +282,8 @@ type QueryTotals struct {
 	OpsEvaluated  int
 	EditedWalked  int
 	EditedSkipped int
+	// Counters is the process metrics registry delta over the run.
+	Counters map[string]int64
 }
 
 // timeWorkload runs the workload Repetitions times and returns the minimum

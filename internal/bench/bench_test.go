@@ -145,6 +145,44 @@ func TestRunWorkloadModesAgreeOnCorpusDB(t *testing.T) {
 	}
 }
 
+// The registry delta a workload run reports must agree with the harness's
+// own per-query accounting: RBM walks every stored sequence, so the summed
+// per-op-type rules counters equal OpsEvaluated.
+func TestRunWorkloadCountersMatchStats(t *testing.T) {
+	c, err := BuildCorpus(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := c.BuildDBAt(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	_, tot, err := c.RunWorkload(db, core.ModeRBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Counters == nil {
+		t.Fatal("no counter delta recorded")
+	}
+	var rules int64
+	for name, v := range tot.Counters {
+		if strings.HasPrefix(name, "esidb_rbm_rules_evaluated_total{") {
+			rules += v
+		}
+	}
+	if rules != int64(tot.OpsEvaluated) {
+		t.Fatalf("rules counters %d != OpsEvaluated %d (delta %v)", rules, tot.OpsEvaluated, tot.Counters)
+	}
+	if tot.Counters["esidb_rbm_edited_walked_total"] != int64(tot.EditedWalked) {
+		t.Fatalf("edited_walked counter %d != stat %d",
+			tot.Counters["esidb_rbm_edited_walked_total"], tot.EditedWalked)
+	}
+	if tot.Counters[`esidb_queries_total{mode="rbm"}`] != int64(len(c.Workload)) {
+		t.Fatalf("queries counter %v, want %d", tot.Counters, len(c.Workload))
+	}
+}
+
 func TestRunFigureShape(t *testing.T) {
 	cfg := tinyConfig()
 	res, err := RunFigure(cfg)

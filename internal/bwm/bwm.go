@@ -17,9 +17,18 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
 	"repro/internal/rules"
+)
+
+// Process-wide counters for the paper's headline effect: how often the
+// Main-Component fast path fires and how much rule evaluation it saves.
+var (
+	mClusterHits      = obs.Default().Counter("esidb_bwm_cluster_base_hits_total")
+	mFastPathAdmitted = obs.Default().Counter("esidb_bwm_fastpath_admitted_total")
+	mUnclassified     = obs.Default().Counter("esidb_bwm_unclassified_walked_total")
 )
 
 // Index is the proposed data structure (paper §4.1). It is maintained
@@ -177,6 +186,12 @@ func New(cat *catalog.Catalog, engine *rules.Engine, idx *Index) *Processor {
 
 // Range answers a color range query with the Fig. 2 algorithm.
 func (p *Processor) Range(q query.Range) (*rbm.Result, error) {
+	return p.RangeTraced(q, nil)
+}
+
+// RangeTraced is Range with per-phase timings and decision counts recorded
+// into tr (nil disables tracing at no cost).
+func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(p.Engine.Quant.Bins()); err != nil {
 		return nil, err
 	}
@@ -184,6 +199,7 @@ func (p *Processor) Range(q query.Range) (*rbm.Result, error) {
 	main, unclassified := p.Idx.snapshot()
 
 	// Step 4: walk the Main Component clusters.
+	done := tr.Phase("bwm.main-component")
 	for _, cl := range main {
 		base, err := p.Cat.Binary(cl.baseID)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -199,11 +215,16 @@ func (p *Processor) Range(q query.Range) (*rbm.Result, error) {
 			res.IDs = append(res.IDs, cl.baseID)
 			res.IDs = append(res.IDs, cl.edited...)
 			res.Stats.EditedSkipped += len(cl.edited)
+			mClusterHits.Inc()
+			mFastPathAdmitted.Add(int64(len(cl.edited)))
+			tr.Count(obs.TBaseMatches, 1)
+			tr.Count(obs.TClusterHits, 1)
+			tr.Count(obs.TFastPathAdmitted, int64(len(cl.edited)))
 			continue
 		}
 		// 4.3: base failed; fall back to the rule walk per member.
 		for _, id := range cl.edited {
-			ok, err := p.rbm.CheckEdited(id, q, &res.Stats)
+			ok, err := p.rbm.CheckEdited(id, q, &res.Stats, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -212,10 +233,14 @@ func (p *Processor) Range(q query.Range) (*rbm.Result, error) {
 			}
 		}
 	}
+	done()
 
 	// Step 5: the Unclassified Component always takes the rule walk.
+	done = tr.Phase("bwm.unclassified")
+	mUnclassified.Add(int64(len(unclassified)))
+	tr.Count(obs.TUnclassifiedWalked, int64(len(unclassified)))
 	for _, id := range unclassified {
-		ok, err := p.rbm.CheckEdited(id, q, &res.Stats)
+		ok, err := p.rbm.CheckEdited(id, q, &res.Stats, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +248,7 @@ func (p *Processor) Range(q query.Range) (*rbm.Result, error) {
 			res.IDs = append(res.IDs, id)
 		}
 	}
+	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }

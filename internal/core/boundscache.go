@@ -2,13 +2,20 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
 	"repro/internal/rules"
-	"sort"
+)
+
+// Process-wide bounds-cache behaviour; hit rate = hits / (hits + misses).
+var (
+	mBCacheHits   = obs.Default().Counter("esidb_boundscache_hits_total")
+	mBCacheMisses = obs.Default().Counter("esidb_boundscache_misses_total")
 )
 
 // Bounds cache — ablation G. The paper's methods re-walk each edited
@@ -60,15 +67,22 @@ func (c *boundsCache) size() (int, int64) {
 }
 
 // cachedBoundsFor returns the edited image's full bounds vector, computing
-// and caching it on first use.
-func (db *DB) cachedBoundsFor(obj *catalog.Object) ([]rules.Bounds, error) {
+// and caching it on first use. Hits and misses are recorded into the
+// process registry and (when non-nil) the trace; a miss also counts as a
+// rule walk since it evaluates the full sequence.
+func (db *DB) cachedBoundsFor(obj *catalog.Object, tr *obs.Trace) ([]rules.Bounds, error) {
 	if b, ok := db.bcache.get(obj.ID); ok {
+		mBCacheHits.Inc()
+		tr.Count(obs.TBoundsCacheHits, 1)
 		return b, nil
 	}
+	mBCacheMisses.Inc()
+	tr.Count(obs.TBoundsCacheMisses, 1)
 	base, err := db.cat.Binary(obj.Seq.BaseID)
 	if err != nil {
 		return nil, err
 	}
+	rbm.CountRuleWalk(obj.Seq.Ops, tr)
 	b, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
 	if err != nil {
 		return nil, err
@@ -80,11 +94,12 @@ func (db *DB) cachedBoundsFor(obj *catalog.Object) ([]rules.Bounds, error) {
 // rangeCached answers a range query from the bounds cache: exact histogram
 // tests for binary images, one interval test per edited image. Results are
 // identical to RBM/BWM (the cached vectors are the same BOUNDS values).
-func (db *DB) rangeCached(q query.Range) (*rbm.Result, error) {
+func (db *DB) rangeCached(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
 	res := &rbm.Result{}
+	done := tr.Phase("cached.scan-binaries")
 	for _, id := range db.cat.Binaries() {
 		obj, err := db.cat.Binary(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -96,8 +111,11 @@ func (db *DB) rangeCached(q query.Range) (*rbm.Result, error) {
 		res.Stats.BinariesChecked++
 		if q.MatchesExact(obj.Hist) {
 			res.IDs = append(res.IDs, id)
+			tr.Count(obs.TBaseMatches, 1)
 		}
 	}
+	done()
+	done = tr.Phase("cached.interval-tests")
 	for _, id := range db.cat.EditedIDs() {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -106,7 +124,7 @@ func (db *DB) rangeCached(q query.Range) (*rbm.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, err := db.cachedBoundsFor(obj)
+		b, err := db.cachedBoundsFor(obj, tr)
 		if errors.Is(err, catalog.ErrNotFound) {
 			continue // base deleted mid-query
 		}
@@ -117,6 +135,7 @@ func (db *DB) rangeCached(q query.Range) (*rbm.Result, error) {
 			res.IDs = append(res.IDs, id)
 		}
 	}
+	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }
@@ -134,7 +153,7 @@ func (db *DB) WarmBoundsCache() error {
 		if err != nil {
 			return err
 		}
-		if _, err := db.cachedBoundsFor(obj); err != nil {
+		if _, err := db.cachedBoundsFor(obj, nil); err != nil {
 			return err
 		}
 	}

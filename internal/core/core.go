@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bwm"
 	"repro/internal/catalog"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/editops"
 	"repro/internal/histogram"
 	"repro/internal/imaging"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
 	"repro/internal/rtree"
@@ -71,6 +73,33 @@ func (m Mode) String() string {
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}
 }
+
+// Process-wide per-mode query metrics: a latency histogram and a count per
+// execution mode, resolved once at package init so the query path does one
+// map read plus atomics.
+var (
+	allModes  = []Mode{ModeBWM, ModeRBM, ModeBWMIndexed, ModeInstantiate, ModeCachedBounds}
+	mQueryDur = func() map[Mode]*obs.Histogram {
+		out := make(map[Mode]*obs.Histogram, len(allModes))
+		for _, m := range allModes {
+			out[m] = obs.Default().Histogram(fmt.Sprintf("esidb_query_seconds{mode=%q}", m), obs.DefBuckets)
+		}
+		return out
+	}()
+	mQueryCount = func() map[Mode]*obs.Counter {
+		out := make(map[Mode]*obs.Counter, len(allModes))
+		for _, m := range allModes {
+			out[m] = obs.Default().Counter(fmt.Sprintf("esidb_queries_total{mode=%q}", m))
+		}
+		return out
+	}()
+	// mPagesRead and mFastPathAdmitted resolve to the same counter objects
+	// the store and bwm packages increment (the registry is get-or-create by
+	// name); core reads the former for trace deltas and bumps the latter on
+	// the indexed fast path.
+	mPagesRead        = obs.Default().Counter("esidb_store_pages_read_total")
+	mFastPathAdmitted = obs.Default().Counter("esidb_bwm_fastpath_admitted_total")
+)
 
 // Config configures a database.
 type Config struct {
@@ -416,20 +445,42 @@ func (db *DB) Bounds(id uint64, bin int) (rules.Bounds, error) {
 
 // RangeQuery answers a color range query in the given execution mode.
 func (db *DB) RangeQuery(q query.Range, mode Mode) (*rbm.Result, error) {
+	return db.RangeQueryTraced(q, mode, nil)
+}
+
+// RangeQueryTraced is RangeQuery with per-phase timings and decision counts
+// recorded into tr; a nil tr disables tracing. Latency and query-count
+// metrics are always recorded into the process registry. The trace's
+// pages_read counter is the process-wide store-read delta across the query,
+// so concurrent queries' page reads can bleed into each other's traces.
+func (db *DB) RangeQueryTraced(q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	pagesBefore := mPagesRead.Value()
+	start := time.Now()
+	var res *rbm.Result
+	var err error
 	switch mode {
 	case ModeBWM:
-		return db.bwmProc.Range(q)
+		res, err = db.bwmProc.RangeTraced(q, tr)
 	case ModeRBM:
-		return db.rbmProc.Range(q)
+		res, err = db.rbmProc.RangeTraced(q, tr)
 	case ModeBWMIndexed:
-		return db.rangeIndexed(q)
+		res, err = db.rangeIndexed(q, tr)
 	case ModeInstantiate:
-		return db.rangeInstantiate(q)
+		res, err = db.rangeInstantiate(q, tr)
 	case ModeCachedBounds:
-		return db.rangeCached(q)
+		res, err = db.rangeCached(q, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
 	}
+	if err != nil {
+		return nil, err
+	}
+	mQueryDur[mode].ObserveDuration(time.Since(start))
+	mQueryCount[mode].Inc()
+	tr.Count(obs.TPagesRead, mPagesRead.Value()-pagesBefore)
+	tr.Count(obs.TCandidatesExamined, int64(res.Stats.BinariesChecked+res.Stats.EditedWalked+res.Stats.EditedSkipped))
+	tr.Count(obs.TImagesReturned, int64(len(res.IDs)))
+	return res, nil
 }
 
 // RangeQueryText parses a textual range query ("at least 25% blue") and
@@ -444,11 +495,12 @@ func (db *DB) RangeQueryText(text string, mode Mode) (*rbm.Result, error) {
 
 // rangeInstantiate is the ground-truth baseline: every edited image is
 // materialized and matched exactly.
-func (db *DB) rangeInstantiate(q query.Range) (*rbm.Result, error) {
+func (db *DB) rangeInstantiate(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
 	res := &rbm.Result{}
+	done := tr.Phase("instantiate.scan-binaries")
 	for _, id := range db.cat.Binaries() {
 		obj, err := db.cat.Binary(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -460,8 +512,11 @@ func (db *DB) rangeInstantiate(q query.Range) (*rbm.Result, error) {
 		res.Stats.BinariesChecked++
 		if q.MatchesExact(obj.Hist) {
 			res.IDs = append(res.IDs, id)
+			tr.Count(obs.TBaseMatches, 1)
 		}
 	}
+	done()
+	done = tr.Phase("instantiate.materialize-edited")
 	env := db.env()
 	for _, id := range db.cat.EditedIDs() {
 		obj, err := db.cat.Edited(id)
@@ -476,6 +531,7 @@ func (db *DB) rangeInstantiate(q query.Range) (*rbm.Result, error) {
 			return nil, fmt.Errorf("core: instantiate %d: %w", id, err)
 		}
 		res.Stats.EditedWalked++
+		tr.Count(obs.TEditedInstantiated, 1)
 		if img.Size() == 0 {
 			continue
 		}
@@ -483,6 +539,7 @@ func (db *DB) rangeInstantiate(q query.Range) (*rbm.Result, error) {
 			res.IDs = append(res.IDs, id)
 		}
 	}
+	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }
@@ -490,7 +547,7 @@ func (db *DB) rangeInstantiate(q query.Range) (*rbm.Result, error) {
 // rangeIndexed runs the BWM algorithm but finds query-satisfying bases via
 // an R-tree window probe on the queried bin instead of scanning all base
 // histograms. Results are identical to ModeBWM.
-func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
+func (db *DB) rangeIndexed(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -508,9 +565,11 @@ func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
 	}
 	// The R-tree is not internally synchronized; writers mutate it under
 	// db.mu, so index reads take the read lock.
+	done := tr.Phase("indexed.rtree-probe")
 	db.mu.RLock()
 	hits, err := db.sig.SearchIntersect(window)
 	db.mu.RUnlock()
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -520,6 +579,8 @@ func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
 	}
 	res := &rbm.Result{}
 	res.Stats.BinariesChecked = len(hits) // index probe replaced the scan
+	tr.Count(obs.TBaseMatches, int64(len(hits)))
+	done = tr.Phase("indexed.walk-clusters")
 	for _, baseID := range db.cat.Binaries() {
 		if satisfied[baseID] {
 			res.IDs = append(res.IDs, baseID)
@@ -535,9 +596,11 @@ func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
 			if obj.Widening && satisfied[baseID] {
 				res.IDs = append(res.IDs, eid)
 				res.Stats.EditedSkipped++
+				mFastPathAdmitted.Inc()
+				tr.Count(obs.TFastPathAdmitted, 1)
 				continue
 			}
-			ok, err := db.rbmProc.CheckEdited(eid, q, &res.Stats)
+			ok, err := db.rbmProc.CheckEdited(eid, q, &res.Stats, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -546,6 +609,7 @@ func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
 			}
 		}
 	}
+	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }
@@ -555,13 +619,19 @@ func (db *DB) rangeIndexed(q query.Range) (*rbm.Result, error) {
 // Per-term statistics accumulate into the result's Stats. Because every
 // term's set is mode-equivalent (BWM ≡ RBM), the combined sets are too.
 func (db *DB) CompoundQuery(c query.Compound, mode Mode) (*rbm.Result, error) {
+	return db.CompoundQueryTraced(c, mode, nil)
+}
+
+// CompoundQueryTraced is CompoundQuery with tracing: each term's execution
+// records into the same trace, and the set combination gets its own phase.
+func (db *DB) CompoundQueryTraced(c query.Compound, mode Mode, trace *obs.Trace) (*rbm.Result, error) {
 	if err := c.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
 	res := &rbm.Result{}
 	var acc map[uint64]bool
 	for _, term := range c.Terms {
-		tr, err := db.RangeQuery(term, mode)
+		tr, err := db.RangeQueryTraced(term, mode, trace)
 		if err != nil {
 			return nil, err
 		}
@@ -588,22 +658,32 @@ func (db *DB) CompoundQuery(c query.Compound, mode Mode) (*rbm.Result, error) {
 			}
 		}
 	}
+	done := trace.Phase("compound.combine")
 	res.IDs = make([]uint64, 0, len(acc))
 	for id := range acc {
 		res.IDs = append(res.IDs, id)
 	}
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	done()
 	return res, nil
 }
 
 // CompoundQueryText parses and evaluates a textual compound query
 // ("at least 20% red and at most 10% blue").
 func (db *DB) CompoundQueryText(text string, mode Mode) (*rbm.Result, error) {
+	return db.CompoundQueryTextTraced(text, mode, nil)
+}
+
+// CompoundQueryTextTraced parses and evaluates a textual compound query
+// with tracing, recording the parse as its own phase.
+func (db *DB) CompoundQueryTextTraced(text string, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	done := tr.Phase("parse")
 	c, err := query.ParseCompound(text, db.cfg.Quantizer)
+	done()
 	if err != nil {
 		return nil, err
 	}
-	return db.CompoundQuery(c, mode)
+	return db.CompoundQueryTraced(c, mode, tr)
 }
 
 // ExpandToBases augments a result id set with the base image of every

@@ -10,9 +10,19 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/editops"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/rbm"
 	"repro/internal/rules"
 	"repro/internal/signature"
+)
+
+// Process-wide k-NN counters: how many edited images the bound-based lower
+// bound pruned versus how many had to be instantiated.
+var (
+	mKNNScored       = obs.Default().Counter("esidb_knn_binaries_scored_total")
+	mKNNPruned       = obs.Default().Counter("esidb_knn_edited_pruned_total")
+	mKNNInstantiated = obs.Default().Counter("esidb_knn_edited_instantiated_total")
 )
 
 // k-NN similarity search — the paper's future-work extension (§6). Binary
@@ -44,6 +54,12 @@ type KNNStats struct {
 // KNN returns the k objects most similar to the query histogram, across
 // binary and edited images, with bound-based pruning for the latter.
 func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
+	return db.KNNTraced(q, nil)
+}
+
+// KNNTraced is KNN with phase timings and pruning decisions recorded into
+// tr (nil disables tracing).
+func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -71,6 +87,7 @@ func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
 	}
 
 	// Exact pass over binary images.
+	done := tr.Phase("knn.score-binaries")
 	for _, id := range db.cat.Binaries() {
 		obj, err := db.cat.Binary(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -82,8 +99,12 @@ func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
 		st.BinariesScored++
 		push(id, q.Metric.Distance(q.Target, obj.Hist))
 	}
+	done()
+	mKNNScored.Add(int64(st.BinariesScored))
+	tr.Count(obs.TCandidatesExamined, int64(st.BinariesScored))
 
 	// Bound-pruned pass over edited images.
+	done = tr.Phase("knn.prune-edited")
 	env := db.env()
 	for _, id := range db.cat.EditedIDs() {
 		obj, err := db.cat.Edited(id)
@@ -100,6 +121,8 @@ func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		tr.Count(obs.TCandidatesExamined, 1)
+		rbm.CountRuleWalk(obj.Seq.Ops, tr)
 		bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
 		if err != nil {
 			return nil, nil, err
@@ -107,6 +130,8 @@ func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
 		lb := distanceLowerBound(q.Target, bounds, q.Metric)
 		if lb > threshold() {
 			st.EditedPruned++
+			mKNNPruned.Inc()
+			tr.Count(obs.TImagesPruned, 1)
 			continue
 		}
 		img, err := editops.ApplySequence(obj.Seq, env)
@@ -114,11 +139,15 @@ func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
 			return nil, nil, fmt.Errorf("core: knn instantiate %d: %w", id, err)
 		}
 		st.EditedInstantiated++
+		mKNNInstantiated.Inc()
+		tr.Count(obs.TEditedInstantiated, 1)
 		if img.Size() == 0 {
 			continue
 		}
 		push(id, q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer)))
 	}
+	done()
+	tr.Count(obs.TImagesReturned, int64(best.Len()))
 
 	out := make([]Match, best.Len())
 	for i := len(out) - 1; i >= 0; i-- {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/colorspace"
 	"repro/internal/editops"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
 	"repro/internal/rules"
@@ -53,18 +54,26 @@ func sumBounds(bs []rules.Bounds, bins []int) (lo, hi float64) {
 // reads the cache. ModeBWMIndexed falls back to ModeBWM (the R-tree window
 // cannot express a sum constraint).
 func (db *DB) RangeQueryMulti(q query.MultiRange, mode Mode) (*rbm.Result, error) {
+	return db.RangeQueryMultiTraced(q, mode, nil)
+}
+
+// RangeQueryMultiTraced is RangeQueryMulti with decision counts and phase
+// timings recorded into tr (nil disables tracing).
+func (db *DB) RangeQueryMultiTraced(q query.MultiRange, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
 	switch mode {
 	case ModeRBM:
-		return db.multiWalk(q, nil)
+		return db.multiWalk(q, nil, tr)
 	case ModeBWM, ModeBWMIndexed:
-		return db.multiBWM(q)
+		return db.multiBWM(q, tr)
 	case ModeInstantiate:
 		return db.multiInstantiate(q)
 	case ModeCachedBounds:
-		return db.multiWalk(q, db.cachedBoundsFor)
+		return db.multiWalk(q, func(obj *catalog.Object) ([]rules.Bounds, error) {
+			return db.cachedBoundsFor(obj, tr)
+		}, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
 	}
@@ -82,8 +91,9 @@ func (db *DB) RangeQueryColorFamily(name string, pctMin, pctMax float64, mode Mo
 
 // multiWalk is the RBM-shaped scan; boundsFn overrides the bounds source
 // (nil = fresh BoundsAll walk, cache lookup for ModeCachedBounds).
-func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error)) (*rbm.Result, error) {
+func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error), tr *obs.Trace) (*rbm.Result, error) {
 	res := &rbm.Result{}
+	done := tr.Phase("multi.scan-binaries")
 	for _, id := range db.cat.Binaries() {
 		obj, err := db.cat.Binary(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -95,10 +105,13 @@ func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]ru
 		res.Stats.BinariesChecked++
 		if q.MatchesExact(obj.Hist) {
 			res.IDs = append(res.IDs, id)
+			tr.Count(obs.TBaseMatches, 1)
 		}
 	}
+	done()
+	done = tr.Phase("multi.walk-edited")
 	for _, id := range db.cat.EditedIDs() {
-		ok, err := db.multiCheckEdited(id, q, boundsFn, &res.Stats)
+		ok, err := db.multiCheckEdited(id, q, boundsFn, &res.Stats, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -106,11 +119,12 @@ func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]ru
 			res.IDs = append(res.IDs, id)
 		}
 	}
+	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }
 
-func (db *DB) multiCheckEdited(id uint64, q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error), st *rbm.Stats) (bool, error) {
+func (db *DB) multiCheckEdited(id uint64, q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error), st *rbm.Stats, tr *obs.Trace) (bool, error) {
 	obj, err := db.cat.Edited(id)
 	if errors.Is(err, catalog.ErrNotFound) {
 		return false, nil
@@ -127,6 +141,7 @@ func (db *DB) multiCheckEdited(id uint64, q query.MultiRange, boundsFn func(*cat
 		if err == nil {
 			st.EditedWalked++
 			st.OpsEvaluated += len(obj.Seq.Ops)
+			rbm.CountRuleWalk(obj.Seq.Ops, tr)
 			bs, err = db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
 		}
 	}
@@ -142,9 +157,10 @@ func (db *DB) multiCheckEdited(id uint64, q query.MultiRange, boundsFn func(*cat
 
 // multiBWM applies the cluster-skip: widening-only members of clusters
 // whose base's exact SUM satisfies the query are admitted rule-free.
-func (db *DB) multiBWM(q query.MultiRange) (*rbm.Result, error) {
+func (db *DB) multiBWM(q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
 	res := &rbm.Result{}
 	matched := make(map[uint64]bool)
+	done := tr.Phase("multi.scan-binaries")
 	for _, baseID := range db.cat.Binaries() {
 		obj, err := db.cat.Binary(baseID)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -157,8 +173,11 @@ func (db *DB) multiBWM(q query.MultiRange) (*rbm.Result, error) {
 		if q.MatchesExact(obj.Hist) {
 			matched[baseID] = true
 			res.IDs = append(res.IDs, baseID)
+			tr.Count(obs.TBaseMatches, 1)
 		}
 	}
+	done()
+	done = tr.Phase("multi.walk-edited")
 	for _, id := range db.cat.EditedIDs() {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -170,9 +189,11 @@ func (db *DB) multiBWM(q query.MultiRange) (*rbm.Result, error) {
 		if obj.Widening && matched[obj.Seq.BaseID] {
 			res.Stats.EditedSkipped++
 			res.IDs = append(res.IDs, id)
+			mFastPathAdmitted.Inc()
+			tr.Count(obs.TFastPathAdmitted, 1)
 			continue
 		}
-		ok, err := db.multiCheckEdited(id, q, nil, &res.Stats)
+		ok, err := db.multiCheckEdited(id, q, nil, &res.Stats, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +201,7 @@ func (db *DB) multiBWM(q query.MultiRange) (*rbm.Result, error) {
 			res.IDs = append(res.IDs, id)
 		}
 	}
+	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/imaging"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// A traced query must record phase timings and decision counts that agree
+// with the result's own statistics, and tracing must not change results.
+func TestRangeQueryTraced(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 4, 3, 0, 7)
+	q := query.Range{Bin: db.cfg.Quantizer.Bin(dataset.Red), PctMin: 0.2, PctMax: 1}
+
+	for _, mode := range []Mode{ModeBWM, ModeRBM, ModeCachedBounds, ModeInstantiate} {
+		plain, err := db.RangeQuery(q, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTrace()
+		traced, err := db.RangeQueryTraced(q, mode, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(traced.IDs) != len(plain.IDs) {
+			t.Fatalf("%v: tracing changed results: %d vs %d", mode, len(traced.IDs), len(plain.IDs))
+		}
+		if len(tr.Phases()) == 0 {
+			t.Fatalf("%v: no phases recorded", mode)
+		}
+		if got := tr.Get(obs.TImagesReturned); got != int64(len(traced.IDs)) {
+			t.Fatalf("%v: images_returned %d, want %d", mode, got, len(traced.IDs))
+		}
+		if tr.Get(obs.TCandidatesExamined) == 0 {
+			t.Fatalf("%v: no candidates examined", mode)
+		}
+	}
+}
+
+// BWM's trace must show the fast path admitting widening-only images
+// rule-free when their base matches.
+func TestTraceBWMFastPath(t *testing.T) {
+	db := memDB(t)
+	baseID, err := db.InsertImage("red", imaging.NewFilled(8, 8, dataset.Red))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A widening-only edit: Modify leaves the red pixels alone, so the red
+	// bin's interval only widens and BWM may admit the image rule-free.
+	seq := &editops.Sequence{BaseID: baseID, Ops: []editops.Op{
+		editops.Modify{Old: dataset.Blue, New: dataset.Green},
+	}}
+	eid, err := db.InsertEdited("e", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := db.Get(eid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Widening {
+		t.Fatal("test sequence classified non-widening")
+	}
+	q := query.Range{Bin: db.cfg.Quantizer.Bin(dataset.Red), PctMin: 0.5, PctMax: 1}
+	tr := obs.NewTrace()
+	res, err := db.RangeQueryTraced(q, ModeBWM, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 2 {
+		t.Fatalf("ids %v", res.IDs)
+	}
+	if tr.Get(obs.TClusterHits) != 1 {
+		t.Fatalf("cluster hits %d", tr.Get(obs.TClusterHits))
+	}
+	if tr.Get(obs.TFastPathAdmitted) != 1 {
+		t.Fatalf("fastpath admitted %d", tr.Get(obs.TFastPathAdmitted))
+	}
+	if tr.Get(obs.TRulesEvaluated) != 0 {
+		t.Fatalf("fast path evaluated %d rules", tr.Get(obs.TRulesEvaluated))
+	}
+}
+
+// Cached-bounds tracing must expose the cache's cold-miss then warm-hit
+// behaviour.
+func TestTraceCachedBounds(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 3, 2, 0, 9)
+	q := query.Range{Bin: db.cfg.Quantizer.Bin(dataset.Blue), PctMin: 0.1, PctMax: 1}
+
+	cold := obs.NewTrace()
+	if _, err := db.RangeQueryTraced(q, ModeCachedBounds, cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Get(obs.TBoundsCacheMisses) == 0 || cold.Get(obs.TBoundsCacheHits) != 0 {
+		t.Fatalf("cold run: hits %d misses %d", cold.Get(obs.TBoundsCacheHits), cold.Get(obs.TBoundsCacheMisses))
+	}
+	warm := obs.NewTrace()
+	if _, err := db.RangeQueryTraced(q, ModeCachedBounds, warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Get(obs.TBoundsCacheHits) == 0 || warm.Get(obs.TBoundsCacheMisses) != 0 {
+		t.Fatalf("warm run: hits %d misses %d", warm.Get(obs.TBoundsCacheHits), warm.Get(obs.TBoundsCacheMisses))
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metrics are sorted by name; one # TYPE line is
+// emitted per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counterNames := sortedKeys(r.counters)
+	gaugeNames := sortedKeys(r.gauges)
+	histNames := sortedKeys(r.hists)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	typed := make(map[string]bool)
+	emitType := func(name, kind string) error {
+		fam := family(name)
+		if typed[fam] {
+			return nil
+		}
+		typed[fam] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+		return err
+	}
+	for _, name := range counterNames {
+		if err := emitType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gaugeNames {
+		if err := emitType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range histNames {
+		if err := emitType(name, "histogram"); err != nil {
+			return err
+		}
+		h := hists[name]
+		bounds, cum := h.Buckets()
+		fam := family(name)
+		labels := name[len(fam):] // "" or "{...}"
+		for i, b := range bounds {
+			bucket := withLabel(fam+"_bucket"+labels, "le", formatFloat(b))
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucket, cum[i]); err != nil {
+				return err
+			}
+		}
+		inf := withLabel(fam+"_bucket"+labels, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s %d\n", inf, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, labels, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histogramJSON is the JSON wire form of one histogram.
+type histogramJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// registryJSON is the JSON wire form of the whole registry.
+type registryJSON struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]histogramJSON `json:"histograms"`
+}
+
+// WriteJSON renders the registry as a JSON document with counters, gauges
+// and histograms keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := registryJSON{
+		Counters:   r.SnapshotCounters(),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]histogramJSON),
+	}
+	r.mu.RLock()
+	for name, g := range r.gauges {
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		bounds, cum := h.Buckets()
+		hj := histogramJSON{Count: h.Count(), Sum: h.Sum(), Buckets: make(map[string]int64, len(cum))}
+		for i, b := range bounds {
+			hj.Buckets[formatFloat(b)] = cum[i]
+		}
+		hj.Buckets["+Inf"] = cum[len(cum)-1]
+		out.Histograms[name] = hj
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

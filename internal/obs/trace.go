@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Trace records one query's execution: named phase timings plus decision
+// counts (candidates examined, fast-path admissions, rules evaluated per
+// operation type, cache hits, pages read, ...). A nil *Trace is valid and
+// makes every method a no-op, so the query engine threads traces
+// unconditionally and pays nothing when tracing is off.
+//
+// Counter keys are short snake_case names local to the trace (they are not
+// registry metric names); phases may repeat and are reported in completion
+// order with durations summed per name at render time by consumers that
+// want aggregates.
+type Trace struct {
+	mu       sync.Mutex
+	phases   []PhaseTiming
+	counters map[string]int64
+}
+
+// PhaseTiming is one completed phase.
+type PhaseTiming struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"-"`
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{counters: make(map[string]int64)}
+}
+
+// Phase starts a named phase and returns the function that ends it:
+//
+//	done := tr.Phase("scan-binaries")
+//	... work ...
+//	done()
+//
+// Safe on a nil trace (returns a no-op).
+func (t *Trace) Phase(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		t.mu.Lock()
+		t.phases = append(t.phases, PhaseTiming{Name: name, Duration: d})
+		t.mu.Unlock()
+	}
+}
+
+// Count adds n to a named decision counter. Safe on a nil trace.
+func (t *Trace) Count(name string, n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += n
+	t.mu.Unlock()
+}
+
+// Counters returns a copy of the decision counters.
+func (t *Trace) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns one counter's value (0 if never counted).
+func (t *Trace) Get(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Phases returns a copy of the completed phases in completion order.
+func (t *Trace) Phases() []PhaseTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseTiming, len(t.phases))
+	copy(out, t.phases)
+	return out
+}
+
+// phaseJSON renders a phase with the duration in microseconds (stable
+// across platforms, fine-grained enough for in-memory bin tests).
+type phaseJSON struct {
+	Name     string  `json:"name"`
+	Micros   float64 `json:"duration_us"`
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// MarshalJSON renders the trace as {"phases": [...], "counters": {...}}.
+// Each phase carries its share of the summed phase time so clients can show
+// a breakdown without re-deriving it.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	phases := t.Phases()
+	var total time.Duration
+	for _, p := range phases {
+		total += p.Duration
+	}
+	pj := make([]phaseJSON, len(phases))
+	for i, p := range phases {
+		pj[i] = phaseJSON{Name: p.Name, Micros: float64(p.Duration.Nanoseconds()) / 1e3}
+		if total > 0 {
+			pj[i].Fraction = float64(p.Duration) / float64(total)
+		}
+	}
+	return json.Marshal(struct {
+		Phases   []phaseJSON      `json:"phases"`
+		Counters map[string]int64 `json:"counters"`
+	}{Phases: pj, Counters: t.Counters()})
+}
+
+// Trace counter keys shared across the query engine. Keeping them here
+// (rather than scattered string literals) pins the wire names the /query
+// ?trace=1 response documents.
+const (
+	TCandidatesExamined = "candidates_examined"
+	TBaseMatches        = "base_matches"
+	TClusterHits        = "bwm_cluster_hits"
+	TFastPathAdmitted   = "bwm_fastpath_admitted"
+	TUnclassifiedWalked = "bwm_unclassified_walked"
+	TEditedWalked       = "edited_walked"
+	TRulesEvaluated     = "rules_evaluated"
+	TImagesPruned       = "images_pruned"
+	TImagesReturned     = "images_returned"
+	TBoundsCacheHits    = "bounds_cache_hits"
+	TBoundsCacheMisses  = "bounds_cache_misses"
+	TPagesRead          = "pages_read"
+	TEditedInstantiated = "edited_instantiated"
+)

@@ -14,8 +14,24 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/editops"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rules"
+)
+
+// Process-wide counters: rule evaluations broken down by operation type
+// (the cost RBM pays and BWM's fast path avoids), plus the edited-walk
+// count. Indexed by editops.Kind for a branch-free hot path.
+var (
+	mEditedWalked = obs.Default().Counter("esidb_rbm_edited_walked_total")
+	mRulesByKind  = func() [editops.KindMerge + 1]*obs.Counter {
+		var out [editops.KindMerge + 1]*obs.Counter
+		for k := editops.KindDefine; k <= editops.KindMerge; k++ {
+			out[k] = obs.Default().Counter(fmt.Sprintf("esidb_rbm_rules_evaluated_total{op=%q}", k.String()))
+		}
+		return out
+	}()
 )
 
 // Stats instruments one query execution; the benchmarks report these
@@ -55,10 +71,17 @@ func New(cat *catalog.Catalog, engine *rules.Engine) *Processor {
 // Range answers a color range query with the §3 algorithm: exact test for
 // every binary image, full BOUNDS walk for every edited image.
 func (p *Processor) Range(q query.Range) (*Result, error) {
+	return p.RangeTraced(q, nil)
+}
+
+// RangeTraced is Range with per-phase timings and decision counts recorded
+// into tr (nil disables tracing at no cost).
+func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*Result, error) {
 	if err := q.Validate(p.Engine.Quant.Bins()); err != nil {
 		return nil, err
 	}
 	res := &Result{}
+	done := tr.Phase("rbm.scan-binaries")
 	for _, id := range p.Cat.Binaries() {
 		obj, err := p.Cat.Binary(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -70,10 +93,13 @@ func (p *Processor) Range(q query.Range) (*Result, error) {
 		res.Stats.BinariesChecked++
 		if q.MatchesExact(obj.Hist) {
 			res.IDs = append(res.IDs, id)
+			tr.Count(obs.TBaseMatches, 1)
 		}
 	}
+	done()
+	done = tr.Phase("rbm.walk-edited")
 	for _, id := range p.Cat.EditedIDs() {
-		ok, err := p.CheckEdited(id, q, &res.Stats)
+		ok, err := p.CheckEdited(id, q, &res.Stats, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -81,6 +107,7 @@ func (p *Processor) Range(q query.Range) (*Result, error) {
 			res.IDs = append(res.IDs, id)
 		}
 	}
+	done()
 	sortIDs(res.IDs)
 	return res, nil
 }
@@ -89,8 +116,8 @@ func (p *Processor) Range(q query.Range) (*Result, error) {
 // its bound range overlaps the query range. It is exported because BWM's
 // algorithm (paper Fig. 2, steps 4.3 and 5) invokes exactly this procedure
 // for cluster members whose base failed the query and for the Unclassified
-// Component.
-func (p *Processor) CheckEdited(id uint64, q query.Range, st *Stats) (bool, error) {
+// Component. tr may be nil.
+func (p *Processor) CheckEdited(id uint64, q query.Range, st *Stats, tr *obs.Trace) (bool, error) {
 	obj, err := p.Cat.Edited(id)
 	if errors.Is(err, catalog.ErrNotFound) {
 		return false, nil // deleted since the id was listed
@@ -107,11 +134,34 @@ func (p *Processor) CheckEdited(id uint64, q query.Range, st *Stats) (bool, erro
 	}
 	st.EditedWalked++
 	st.OpsEvaluated += len(obj.Seq.Ops)
+	CountRuleWalk(obj.Seq.Ops, tr)
 	b, err := p.Engine.BoundsForBin(base.Hist, base.W, base.H, obj.Seq.Ops, q.Bin)
 	if err != nil {
 		return false, fmt.Errorf("rbm: edited %d: %w", id, err)
 	}
 	return b.Overlaps(q.PctMin, q.PctMax), nil
+}
+
+// CountRuleWalk records one edited image's rule walk into the process
+// registry (per-op-type rule counters) and the trace. Exported so every
+// call site that evaluates BOUNDS rules outside CheckEdited (multi-bin
+// queries, k-NN bounds, the cache-miss path) reports through the same
+// counters.
+func CountRuleWalk(ops []editops.Op, tr *obs.Trace) {
+	mEditedWalked.Inc()
+	var byKind [editops.KindMerge + 1]int64
+	for _, op := range ops {
+		if k := op.Kind(); k >= editops.KindDefine && k <= editops.KindMerge {
+			byKind[k]++
+		}
+	}
+	for k, n := range byKind {
+		if n > 0 {
+			mRulesByKind[k].Add(n)
+		}
+	}
+	tr.Count(obs.TEditedWalked, 1)
+	tr.Count(obs.TRulesEvaluated, int64(len(ops)))
 }
 
 func sortIDs(ids []uint64) {

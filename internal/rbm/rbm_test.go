@@ -187,7 +187,7 @@ func TestCheckEditedRejectsBinaryID(t *testing.T) {
 	cat, engine, ids := buildFixture(t)
 	p := New(cat, engine)
 	var st Stats
-	if _, err := p.CheckEdited(ids["allred"], redRange(0, 1), &st); err == nil {
+	if _, err := p.CheckEdited(ids["allred"], redRange(0, 1), &st, nil); err == nil {
 		t.Fatal("CheckEdited accepted a binary id")
 	}
 }

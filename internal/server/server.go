@@ -11,41 +11,54 @@
 //	GET    /objects/{id}/image   materialized raster (?format=ppm|png)
 //	POST   /objects/{id}/augment generate edited versions
 //	DELETE /objects/{id}         delete an object
-//	GET    /query?q=...&mode=... color range query (compound supported)
-//	GET    /explain?q=...        query plan without execution
+//	GET    /query?q=...&mode=... color range query (compound supported; &trace=1 adds a trace)
+//	GET    /explain?q=...        query plan without execution (&trace=1 also runs it and returns the measured trace)
 //	POST   /similar?k=...        query by example (body: image)
 //	GET    /stats                database statistics
+//	GET    /metrics              process metrics (Prometheus text; ?format=json)
+//	GET    /debug/pprof/         runtime profiles (heap, cpu, goroutine, ...)
 //	POST   /compact              rewrite the store file
+//
+// Every request is tagged with an X-Request-ID, timed into per-route
+// latency histograms (esidb_http_request_seconds{route=...}) and status
+// counters (esidb_http_responses_total{route=...,status=...}), and logged
+// through a structured slog.Logger.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	mmdb "repro"
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // MaxUploadBytes caps raster and script request bodies; oversized uploads
-// fail with 400 rather than exhausting memory.
+// fail with 413 Request Entity Too Large rather than exhausting memory.
 const MaxUploadBytes = 64 << 20
 
 // Server is an http.Handler serving one database.
 type Server struct {
 	db     *mmdb.DB
 	mux    *http.ServeMux
-	logger *log.Logger // nil = silent
+	logger *slog.Logger
+	reqID  atomic.Uint64
 }
 
-// New returns a handler over db.
+// New returns a handler over db. Requests log to slog.Default() unless
+// WithLogger overrides it.
 func New(db *mmdb.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+	s := &Server{db: db, mux: http.NewServeMux(), logger: slog.Default()}
 	s.mux.HandleFunc("POST /objects", s.handleInsert)
 	s.mux.HandleFunc("POST /sequences", s.handleInsertSequence)
 	s.mux.HandleFunc("GET /objects", s.handleList)
@@ -57,42 +70,112 @@ func New(db *mmdb.DB) *Server {
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /similar", s.handleSimilar)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
-// WithLogger makes the server log one line per request to l.
-func (s *Server) WithLogger(l *log.Logger) *Server {
-	s.logger = l
+// WithLogger makes the server log one structured line per request to l
+// (nil keeps the current logger).
+func (s *Server) WithLogger(l *slog.Logger) *Server {
+	if l != nil {
+		s.logger = l
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler: it applies the body-size cap, serves
-// the route and (when configured) logs the request.
+// ServeHTTP implements http.Handler. It assigns a request ID, applies the
+// body-size cap (declared oversize is rejected up front with 413; chunked
+// oversize fails mid-read via MaxBytesReader), serves the route, then
+// records per-route latency/status metrics and a structured access log
+// line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
-	}
-	if s.logger == nil {
-		s.mux.ServeHTTP(w, r)
-		return
-	}
+	reqID := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+	w.Header().Set("X-Request-ID", reqID)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
 	start := time.Now()
-	s.mux.ServeHTTP(rec, r)
-	s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	if r.ContentLength > MaxUploadBytes {
+		s.writeJSON(rec, http.StatusRequestEntityTooLarge, map[string]string{
+			"error": fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, int64(MaxUploadBytes)),
+		})
+	} else {
+		if r.Body != nil {
+			r.Body = &limitTrackingBody{rc: http.MaxBytesReader(w, r.Body, MaxUploadBytes), rec: rec}
+		}
+		s.mux.ServeHTTP(rec, r)
+	}
+	dur := time.Since(start)
+	routeSeconds(route).Observe(dur.Seconds())
+	routeStatus(route, rec.status).Inc()
+	s.logger.Info("http request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"bytes", rec.bytes,
+		"duration", dur.Round(time.Microsecond),
+		"request_id", reqID,
+	)
 }
 
-// statusRecorder captures the response status for logging.
+// routeSeconds and routeStatus look up (or create) the per-route metrics.
+// The registry's get-or-create semantics make the lookups cheap after the
+// first request to a route.
+func routeSeconds(route string) *obs.Histogram {
+	return obs.Default().Histogram(fmt.Sprintf("esidb_http_request_seconds{route=%q}", route), obs.DefBuckets)
+}
+
+func routeStatus(route string, status int) *obs.Counter {
+	return obs.Default().Counter(fmt.Sprintf("esidb_http_responses_total{route=%q,status=\"%d\"}", route, status))
+}
+
+// statusRecorder captures the response status and body size for logging
+// and metrics.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status   int
+	bytes    int64
+	limitHit bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// limitTrackingBody notes on the recorder when the body-size cap trips.
+// Decoders wrap read errors with %v, which severs the *http.MaxBytesError
+// chain before writeError can see it; the flag survives the wrapping so
+// oversized chunked uploads still answer 413 rather than 400.
+type limitTrackingBody struct {
+	rc  io.ReadCloser
+	rec *statusRecorder
+}
+
+func (b *limitTrackingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		b.rec.limitHit = true
+	}
+	return n, err
+}
+
+func (b *limitTrackingBody) Close() error { return b.rc.Close() }
 
 // objectJSON is the wire form of a catalog entry.
 type objectJSON struct {
@@ -131,7 +214,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	sr, _ := w.(*statusRecorder)
+	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &mbe), sr != nil && sr.limitHit:
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, catalog.ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, catalog.ErrInUse):
@@ -176,7 +263,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		img, err = mmdb.DecodePPM(r.Body)
 	}
 	if err != nil {
-		s.writeError(w, badRequest("decode image: %v", err))
+		s.writeError(w, badRequest("decode image: %w", err))
 		return
 	}
 	name := r.URL.Query().Get("name")
@@ -200,7 +287,7 @@ func (s *Server) handleInsertSequence(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
 	seq, err := mmdb.ParseSequence(r.Body)
 	if err != nil {
-		s.writeError(w, badRequest("parse script: %v", err))
+		s.writeError(w, badRequest("parse script: %w", err))
 		return
 	}
 	name := r.URL.Query().Get("name")
@@ -308,7 +395,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// queryResponse is the wire form of a range-query answer.
+// queryResponse is the wire form of a range-query answer. Trace is present
+// only when the request asked for one with trace=1.
 type queryResponse struct {
 	IDs     []uint64     `json:"ids"`
 	Objects []objectJSON `json:"objects"`
@@ -318,6 +406,7 @@ type queryResponse struct {
 		OpsEvaluated    int `json:"ops_evaluated"`
 		EditedSkipped   int `json:"edited_skipped"`
 	} `json:"stats"`
+	Trace *mmdb.Trace `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -331,7 +420,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	res, err := s.db.QueryCompound(text, mode)
+	var tr *mmdb.Trace
+	if r.URL.Query().Get("trace") == "1" {
+		tr = mmdb.NewTrace()
+	}
+	res, err := s.db.QueryCompoundTraced(text, mode, tr)
 	if err != nil {
 		s.writeError(w, badRequest("%v", err))
 		return
@@ -342,6 +435,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp queryResponse
 	resp.IDs = ids
+	done := tr.Phase("hydrate")
 	for _, id := range ids {
 		obj, err := s.db.Get(id)
 		if err != nil {
@@ -350,13 +444,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Objects = append(resp.Objects, toJSON(obj, false))
 	}
+	done()
 	resp.Stats.BinariesChecked = res.Stats.BinariesChecked
 	resp.Stats.EditedWalked = res.Stats.EditedWalked
 	resp.Stats.OpsEvaluated = res.Stats.OpsEvaluated
 	resp.Stats.EditedSkipped = res.Stats.EditedSkipped
+	resp.Trace = tr
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleExplain returns the static query plan; with trace=1 it also
+// executes the query (in the requested mode) and returns the measured
+// trace next to the prediction as {"plan": ..., "trace": ...}.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	text := r.URL.Query().Get("q")
 	if text == "" {
@@ -368,7 +467,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, plan)
+	if r.URL.Query().Get("trace") != "1" {
+		s.writeJSON(w, http.StatusOK, plan)
+		return
+	}
+	mode, err := parseMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	tr := mmdb.NewTrace()
+	if _, err := s.db.QueryCompoundTraced(text, mode, tr); err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Plan  *mmdb.Plan  `json:"plan"`
+		Trace *mmdb.Trace `json:"trace"`
+	}{plan, tr})
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
@@ -382,7 +498,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		img, err = mmdb.DecodePPM(r.Body)
 	}
 	if err != nil {
-		s.writeError(w, badRequest("decode probe: %v", err))
+		s.writeError(w, badRequest("decode probe: %w", err))
 		return
 	}
 	k := intParam(r.URL.Query().Get("k"), 5)
@@ -419,6 +535,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, st)
 }
 
+// handleMetrics exposes the process metrics registry. Default is the
+// Prometheus text format (0.0.4); ?format=json returns the same registry
+// as a JSON document. Database-shape gauges are refreshed at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.publishGauges()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Default().WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default().WritePrometheus(w)
+}
+
+// publishGauges snapshots database shape into gauges so scrapes see
+// current sizes alongside the monotonic counters.
+func (s *Server) publishGauges() {
+	reg := obs.Default()
+	if st, err := s.db.Stats(); err == nil {
+		reg.Gauge("esidb_objects_binary").Set(float64(st.Catalog.Binaries))
+		reg.Gauge("esidb_objects_edited").Set(float64(st.Catalog.Edited))
+		reg.Gauge("esidb_objects_widening_only").Set(float64(st.Catalog.WideningOnly))
+	}
+	entries, bytes := s.db.BoundsCacheStats()
+	reg.Gauge("esidb_boundscache_entries").Set(float64(entries))
+	reg.Gauge("esidb_boundscache_bytes").Set(float64(bytes))
+}
+
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if err := s.db.Compact(); err != nil {
 		s.writeError(w, err)
@@ -437,6 +581,8 @@ func parseMode(s string) (mmdb.Mode, error) {
 		return mmdb.ModeBWMIndexed, nil
 	case "instantiate":
 		return mmdb.ModeInstantiate, nil
+	case "cached-bounds":
+		return mmdb.ModeCachedBounds, nil
 	default:
 		return 0, badRequest("unknown mode %q", s)
 	}

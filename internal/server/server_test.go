@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -271,8 +271,31 @@ func TestUploadSizeLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized upload status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload status %d, want 413", resp.StatusCode)
+	}
+}
+
+// Chunked uploads carry no Content-Length, so the cap only trips mid-read
+// inside the decoder; the error must still surface as 413, not 400. The
+// body is a valid P6 header whose raster (6000×6000×3 ≈ 108MB) forces the
+// decoder past the cap.
+func TestUploadSizeLimitChunked(t *testing.T) {
+	ts, _ := newTestServer(t)
+	header := strings.NewReader("P6\n6000 6000\n255\n")
+	body := io.MultiReader(header, io.LimitReader(zeroReader{}, MaxUploadBytes+1024))
+	req, err := http.NewRequest("POST", ts.URL+"/objects", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = -1 // force chunked transfer encoding
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("chunked oversized upload status %d, want 413", resp.StatusCode)
 	}
 }
 
@@ -292,19 +315,191 @@ func TestRequestLogging(t *testing.T) {
 	}
 	defer db.Close()
 	var buf bytes.Buffer
-	srv := New(db).WithLogger(log.New(&buf, "", 0))
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	srv := New(db).WithLogger(logger)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	if _, err := http.Get(ts.URL + "/stats"); err != nil {
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "GET /stats 200") {
-		t.Fatalf("log output %q", buf.String())
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID header")
 	}
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/stats", "status=200", "request_id=req-"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log output %q missing %q", line, want)
+		}
+	}
+
 	if _, err := http.Get(ts.URL + "/objects/999"); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "GET /objects/999 404") {
-		t.Fatalf("log output %q", buf.String())
+	line = buf.String()
+	if !strings.Contains(line, "path=/objects/999") || !strings.Contains(line, "status=404") {
+		t.Fatalf("log output %q missing 404 line", line)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, db := newTestServer(t)
+	db.InsertImage("b", mmdb.NewFilledImage(4, 4, dataset.Blue))
+	// Run one query so the query-engine counters exist.
+	if _, err := http.Get(ts.URL + "/query?q=at+least+50%25+blue"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE esidb_http_request_seconds histogram",
+		`esidb_http_request_seconds_bucket{route="GET /query",le="+Inf"}`,
+		`esidb_http_responses_total{route="GET /query",status="200"}`,
+		`esidb_queries_total{mode="bwm"}`,
+		"esidb_objects_binary 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q in:\n%s", want, text)
+		}
+	}
+
+	// JSON variant round-trips through encoding/json.
+	resp2, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters[`esidb_http_responses_total{route="GET /query",status="200"}`] < 1 {
+		t.Fatalf("json counters %v", doc.Counters)
+	}
+	if doc.Histograms[`esidb_http_request_seconds{route="GET /query"}`].Count < 1 {
+		t.Fatalf("json histograms missing query route")
+	}
+}
+
+func TestQueryTrace(t *testing.T) {
+	ts, db := newTestServer(t)
+	baseID, _ := db.InsertImage("b", mmdb.NewFilledImage(8, 8, dataset.Blue))
+	db.InsertEdited("e", &mmdb.Sequence{BaseID: baseID, Ops: []mmdb.Op{mmdb.Modify{}}})
+
+	var resp struct {
+		IDs   []uint64 `json:"ids"`
+		Trace *struct {
+			Phases []struct {
+				Name       string  `json:"name"`
+				DurationUS float64 `json:"duration_us"`
+				Fraction   float64 `json:"fraction"`
+			} `json:"phases"`
+			Counters map[string]int64 `json:"counters"`
+		} `json:"trace"`
+	}
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+50%25+blue&trace=1", nil, "", http.StatusOK, &resp)
+	if resp.Trace == nil {
+		t.Fatal("trace=1 returned no trace")
+	}
+	if len(resp.Trace.Phases) == 0 {
+		t.Fatal("trace has no phases")
+	}
+	names := make(map[string]bool)
+	for _, p := range resp.Trace.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"bwm.main-component", "hydrate"} {
+		if !names[want] {
+			t.Fatalf("trace phases %v missing %q", names, want)
+		}
+	}
+	if resp.Trace.Counters["candidates_examined"] < 1 {
+		t.Fatalf("trace counters %v", resp.Trace.Counters)
+	}
+
+	// Without trace=1 the field is absent.
+	var bare map[string]json.RawMessage
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+50%25+blue", nil, "", http.StatusOK, &bare)
+	if _, ok := bare["trace"]; ok {
+		t.Fatal("trace present without trace=1")
+	}
+}
+
+func TestExplainTrace(t *testing.T) {
+	ts, db := newTestServer(t)
+	baseID, _ := db.InsertImage("b", mmdb.NewFilledImage(8, 8, dataset.Blue))
+	db.InsertEdited("e", &mmdb.Sequence{BaseID: baseID, Ops: []mmdb.Op{mmdb.Modify{}}})
+
+	// Plain explain keeps its original shape (a bare plan).
+	var plan struct {
+		Binaries int `json:"Binaries"`
+	}
+	doJSON(t, "GET", ts.URL+"/explain?q=at+least+50%25+blue", nil, "", http.StatusOK, &plan)
+	if plan.Binaries != 1 {
+		t.Fatalf("plan %+v", plan)
+	}
+
+	// trace=1 wraps it with the measured execution trace.
+	var out struct {
+		Plan struct {
+			Binaries int `json:"Binaries"`
+		} `json:"plan"`
+		Trace struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"trace"`
+	}
+	doJSON(t, "GET", ts.URL+"/explain?q=at+least+50%25+blue&trace=1", nil, "", http.StatusOK, &out)
+	if out.Plan.Binaries != 1 {
+		t.Fatalf("traced plan %+v", out.Plan)
+	}
+	if out.Trace.Counters["candidates_examined"] < 1 {
+		t.Fatalf("traced counters %v", out.Trace.Counters)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(raw, []byte("goroutine")) {
+		t.Fatal("pprof index lists no profiles")
+	}
+}
+
+func TestCachedBoundsMode(t *testing.T) {
+	ts, db := newTestServer(t)
+	baseID, _ := db.InsertImage("b", mmdb.NewFilledImage(8, 8, dataset.Blue))
+	db.InsertEdited("e", &mmdb.Sequence{BaseID: baseID, Ops: []mmdb.Op{mmdb.Modify{}}})
+	var qres struct {
+		IDs []uint64 `json:"ids"`
+	}
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+50%25+blue&mode=cached-bounds", nil, "", http.StatusOK, &qres)
+	if len(qres.IDs) == 0 {
+		t.Fatal("cached-bounds mode returned nothing")
 	}
 }

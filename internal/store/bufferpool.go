@@ -47,10 +47,12 @@ func newBufferPool(pg *pager, capacity int) *bufferPool {
 func (bp *bufferPool) page(id uint32) ([]byte, error) {
 	if el, ok := bp.frames[id]; ok {
 		bp.hits++
+		mPoolHits.Inc()
 		bp.lru.MoveToFront(el)
 		return el.Value.(*frame).buf[:bp.pg.usable()], nil
 	}
 	bp.misses++
+	mPoolMisses.Inc()
 	buf := make([]byte, bp.pg.pageSize)
 	if _, err := bp.pg.readPage(id, buf); err != nil {
 		return nil, err

@@ -15,6 +15,17 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/obs"
+)
+
+// Process-wide store I/O counters (all open stores aggregate): verified
+// page reads off disk and buffer-pool behaviour. Per-store numbers remain
+// available through Store.Stats.
+var (
+	mPagesRead  = obs.Default().Counter("esidb_store_pages_read_total")
+	mPoolHits   = obs.Default().Counter("esidb_store_pool_hits_total")
+	mPoolMisses = obs.Default().Counter("esidb_store_pool_misses_total")
 )
 
 const (
@@ -65,6 +76,7 @@ func (p *pager) readPage(id uint32, buf []byte) ([]byte, error) {
 	if got := crc32.ChecksumIEEE(buf[:p.usable()]); got != want {
 		return nil, fmt.Errorf("%w: page %d", ErrChecksum, id)
 	}
+	mPagesRead.Inc()
 	return buf[:p.usable()], nil
 }
 

@@ -219,6 +219,13 @@ func (db *DB) QueryCompound(text string, mode Mode) (*Result, error) {
 	return db.inner.CompoundQueryText(text, mode)
 }
 
+// QueryCompoundTraced is QueryCompound with per-phase timings and decision
+// counts recorded into tr (see NewTrace); tr may be nil, which disables
+// tracing at zero cost.
+func (db *DB) QueryCompoundTraced(text string, mode Mode, tr *Trace) (*Result, error) {
+	return db.inner.CompoundQueryTextTraced(text, mode, tr)
+}
+
 // CompoundQuery evaluates a structured compound query.
 func (db *DB) CompoundQuery(c Compound, mode Mode) (*Result, error) {
 	return db.inner.CompoundQuery(c, mode)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/editops"
 	"repro/internal/histogram"
 	"repro/internal/imaging"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
 	"repro/internal/rules"
@@ -113,6 +114,14 @@ const (
 	// speed; identical results to RBM/BWM).
 	ModeCachedBounds = core.ModeCachedBounds
 )
+
+// Trace records per-phase timings and decision counts for one query. All
+// methods are nil-safe, so a nil *Trace disables tracing.
+type Trace = obs.Trace
+
+// NewTrace returns an empty query trace for use with the *Traced query
+// variants.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // BIC (border/interior classification) signature types.
 type (
