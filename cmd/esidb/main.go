@@ -9,7 +9,7 @@
 //	esidb insert  -db file -name label image.(ppm|png)
 //	esidb edit    -db file -name label script.txt
 //	esidb augment -db file -id N [-per 3] [-ops 4] [-nonwidening 0.2] [-seed 1]
-//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate|cached-bounds] [-bases] [-trace] "at least 25% blue"
+//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate|cached-bounds] [-bases] [-trace] [-parallelism N] "at least 25% blue"
 //	              (compound: "at least 20% red and at most 10% blue")
 //	esidb similar -db file [-k 5] [-metric l1|l2|intersection] probe.(ppm|png)
 //	esidb delete  -db file -id N
@@ -19,7 +19,7 @@
 //	esidb compact -db file
 //	esidb stats   -db file
 //	esidb metrics -db file [-q "at least 25% blue"] [-mode bwm] [-json]
-//	esidb serve   -db file [-addr :8765] [-log-json]
+//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N]
 //	esidb colors
 package main
 
@@ -301,6 +301,7 @@ func cmdQuery(args []string) error {
 	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
 	bases := fs.Bool("bases", false, "also return the base image of each edited match")
 	trace := fs.Bool("trace", false, "print per-phase timings and decision counts")
+	parallelism := fs.Int("parallelism", 0, "candidate-evaluation workers (0 = all CPUs, 1 = serial)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("missing query text")
@@ -314,6 +315,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer db.Close()
+	db.SetParallelism(*parallelism)
 	var tr *mmdb.Trace
 	if *trace {
 		tr = mmdb.NewTrace()
@@ -648,12 +650,14 @@ func cmdServe(args []string) error {
 	path := fs.String("db", "", "database file")
 	addr := fs.String("addr", ":8765", "listen address")
 	logJSON := fs.Bool("log-json", false, "emit access logs as JSON instead of logfmt text")
+	parallelism := fs.Int("parallelism", 0, "candidate-evaluation workers (0 = all CPUs, 1 = serial)")
 	fs.Parse(args)
 	db, err := openDB(*path)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	db.SetParallelism(*parallelism)
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
 		handler = slog.NewJSONHandler(os.Stderr, nil)

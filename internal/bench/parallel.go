@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// Serial-versus-parallel comparison for the candidate-evaluation engine.
+// The engine guarantees identical result sets at every parallelism setting,
+// so the only question a benchmark can answer is wall time; this harness
+// times the same workload twice on the same database — once with the pool
+// forced serial, once fanned out — with interleaved warmup, and publishes
+// the ratio through the metrics registry.
+
+// ParallelResult is one serial-versus-parallel timing comparison.
+type ParallelResult struct {
+	// Workers is the resolved worker count of the parallel run.
+	Workers int
+	// Serial and Parallel are the minimum workload wall times.
+	Serial   time.Duration
+	Parallel time.Duration
+	// Speedup is Serial/Parallel (>1 means the fan-out won).
+	Speedup float64
+	// SerialTotals and ParallelTotals must agree on Results; the harness
+	// returns them so callers can assert the equivalence alongside timing.
+	SerialTotals   QueryTotals
+	ParallelTotals QueryTotals
+}
+
+// CompareParallel times the corpus workload serially (Parallelism=1) and
+// with workers-wide fan-out (workers<=0 means auto) in the given mode, and
+// publishes the outcome as gauges:
+//
+//	esidb_bench_parallel_serial_seconds{mode=...}
+//	esidb_bench_parallel_parallel_seconds{mode=...}
+//	esidb_bench_parallel_speedup{mode=...}
+//
+// The database's previous parallelism setting is restored before returning.
+func (c *Corpus) CompareParallel(db *core.DB, mode core.Mode, workers int) (*ParallelResult, error) {
+	prev := db.Parallelism()
+	defer db.SetParallelism(prev)
+
+	// One warmup pass per setting so lazily built structures (bounds cache,
+	// page pool) are paid for before either timed run.
+	db.SetParallelism(1)
+	if _, _, err := c.RunWorkload(db, mode); err != nil {
+		return nil, err
+	}
+	db.SetParallelism(workers)
+	if _, _, err := c.RunWorkload(db, mode); err != nil {
+		return nil, err
+	}
+
+	db.SetParallelism(1)
+	serial, serialTot, err := c.timeWorkload(db, mode)
+	if err != nil {
+		return nil, err
+	}
+	db.SetParallelism(workers)
+	parallel, parallelTot, err := c.timeWorkload(db, mode)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &ParallelResult{
+		Workers:        exec.Resolve(workers),
+		Serial:         serial,
+		Parallel:       parallel,
+		SerialTotals:   serialTot,
+		ParallelTotals: parallelTot,
+	}
+	if parallel > 0 {
+		r.Speedup = float64(serial) / float64(parallel)
+	}
+	reg := obs.Default()
+	label := modeLabel(mode)
+	reg.Gauge("esidb_bench_parallel_serial_seconds{mode=" + label + "}").Set(serial.Seconds())
+	reg.Gauge("esidb_bench_parallel_parallel_seconds{mode=" + label + "}").Set(parallel.Seconds())
+	reg.Gauge("esidb_bench_parallel_speedup{mode=" + label + "}").Set(r.Speedup)
+	return r, nil
+}
+
+// modeLabel renders a mode as a metrics label value.
+func modeLabel(mode core.Mode) string {
+	switch mode {
+	case core.ModeRBM:
+		return "\"rbm\""
+	case core.ModeBWM:
+		return "\"bwm\""
+	case core.ModeBWMIndexed:
+		return "\"bwm-indexed\""
+	case core.ModeInstantiate:
+		return "\"instantiate\""
+	case core.ModeCachedBounds:
+		return "\"cached-bounds\""
+	default:
+		return "\"unknown\""
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCompareParallelSmoke exercises the comparison harness end to end on a
+// tiny corpus: results must agree between the two settings and the gauges
+// must be published. It runs on any machine, including single-core CI.
+func TestCompareParallelSmoke(t *testing.T) {
+	c, err := BuildCorpus(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := c.BuildDBAt(len(c.Scripts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetParallelism(3)
+	r, err := c.CompareParallel(db, core.ModeRBM, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", r.Workers)
+	}
+	if r.Serial <= 0 || r.Parallel <= 0 || r.Speedup <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	if r.SerialTotals.Results != r.ParallelTotals.Results {
+		t.Fatalf("result totals diverge: serial %d parallel %d",
+			r.SerialTotals.Results, r.ParallelTotals.Results)
+	}
+	if got := db.Parallelism(); got != 3 {
+		t.Fatalf("parallelism not restored: %d", got)
+	}
+}
+
+// TestParallelSpeedupMultiCore is the acceptance benchmark: on a machine
+// with at least 4 cores, the fanned-out workload must beat the serial one
+// in wall-clock on a corpus big enough to amortize pool startup. Skipped in
+// short mode and on narrow machines, where there is no parallelism to win.
+func TestParallelSpeedupMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup benchmark skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >=4 CPUs for a meaningful speedup, have %d", runtime.NumCPU())
+	}
+	cfg := FlagConfig()
+	cfg.Repetitions = 3
+	c, err := BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := c.BuildDBAt(len(c.Scripts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r, err := c.CompareParallel(db, core.ModeRBM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("workers=%d serial=%v parallel=%v speedup=%.2fx",
+		r.Workers, r.Serial, r.Parallel, r.Speedup)
+	if r.Parallel >= r.Serial {
+		t.Fatalf("parallel (%v) not faster than serial (%v) with %d workers",
+			r.Parallel, r.Serial, r.Workers)
+	}
+}

@@ -12,11 +12,13 @@
 package bwm
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
@@ -176,7 +178,20 @@ type Processor struct {
 	Cat    *catalog.Catalog
 	Engine *rules.Engine
 	Idx    *Index
-	rbm    *rbm.Processor
+	// Parallel, when non-nil, supplies the candidate-evaluation
+	// parallelism knob (0 = auto, 1 = serial); nil keeps the walk serial.
+	// BWM fans out at cluster granularity in the Main Component and at
+	// member granularity in the Unclassified Component.
+	Parallel func() int
+	rbm      *rbm.Processor
+}
+
+// workers resolves the processor's parallelism for one query.
+func (p *Processor) workers() int {
+	if p.Parallel == nil {
+		return 1
+	}
+	return exec.Resolve(p.Parallel())
 }
 
 // New returns a BWM processor over the catalog, engine and index.
@@ -197,41 +212,35 @@ func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*rbm.Result, erro
 	}
 	res := &rbm.Result{}
 	main, unclassified := p.Idx.snapshot()
+	workers := p.workers()
 
-	// Step 4: walk the Main Component clusters.
+	// Step 4: walk the Main Component clusters. Clusters are independent,
+	// so they shard across the worker pool; each cluster's admitted ids
+	// land in an index-ordered slot and per-worker statistics merge
+	// afterwards, keeping the output identical to the serial walk.
 	done := tr.Phase("bwm.main-component")
-	for _, cl := range main {
-		base, err := p.Cat.Binary(cl.baseID)
-		if errors.Is(err, catalog.ErrNotFound) {
-			continue // base deleted since the snapshot (its cluster was empty)
+	slots := make([][]uint64, len(main))
+	stats := make([]rbm.Stats, workers)
+	pst, err := exec.ForEach(context.Background(), workers, len(main), func(w, i int) error {
+		ids, cerr := p.walkCluster(main[i], q, &stats[w], tr)
+		if cerr != nil {
+			return cerr
 		}
-		if err != nil {
-			return nil, err
-		}
-		res.Stats.BinariesChecked++
-		if q.MatchesExact(base.Hist) {
-			// 4.2: the base satisfies the query; every widening-only edited
-			// image in the cluster satisfies it too, rule-free.
-			res.IDs = append(res.IDs, cl.baseID)
-			res.IDs = append(res.IDs, cl.edited...)
-			res.Stats.EditedSkipped += len(cl.edited)
-			mClusterHits.Inc()
-			mFastPathAdmitted.Add(int64(len(cl.edited)))
-			tr.Count(obs.TBaseMatches, 1)
-			tr.Count(obs.TClusterHits, 1)
-			tr.Count(obs.TFastPathAdmitted, int64(len(cl.edited)))
-			continue
-		}
-		// 4.3: base failed; fall back to the rule walk per member.
-		for _, id := range cl.edited {
-			ok, err := p.rbm.CheckEdited(id, q, &res.Stats, tr)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				res.IDs = append(res.IDs, id)
-			}
-		}
+		slots[i] = ids
+		return nil
+	})
+	if pst.Workers > 1 {
+		pst.Record(tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, ids := range slots {
+		res.IDs = append(res.IDs, ids...)
+	}
+	for i := range stats {
+		res.Stats.Add(stats[i])
+		stats[i] = rbm.Stats{}
 	}
 	done()
 
@@ -239,16 +248,61 @@ func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*rbm.Result, erro
 	done = tr.Phase("bwm.unclassified")
 	mUnclassified.Add(int64(len(unclassified)))
 	tr.Count(obs.TUnclassifiedWalked, int64(len(unclassified)))
-	for _, id := range unclassified {
-		ok, err := p.rbm.CheckEdited(id, q, &res.Stats, tr)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			res.IDs = append(res.IDs, id)
-		}
+	matched, pst, err := exec.FilterIDs(context.Background(), workers, unclassified, func(w int, id uint64) (bool, error) {
+		return p.rbm.CheckEdited(id, q, &stats[w], tr)
+	})
+	if pst.Workers > 1 {
+		pst.Record(tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.IDs = append(res.IDs, matched...)
+	for i := range stats {
+		res.Stats.Add(stats[i])
 	}
 	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
+}
+
+// walkCluster evaluates one Main-Component cluster (Fig. 2 steps 4.1–4.3)
+// and returns the admitted ids: the base plus the rule-free members when
+// the base satisfies the query, otherwise the members that pass the rule
+// walk. st must be private to the calling worker.
+func (p *Processor) walkCluster(cl cluster, q query.Range, st *rbm.Stats, tr *obs.Trace) ([]uint64, error) {
+	base, err := p.Cat.Binary(cl.baseID)
+	if errors.Is(err, catalog.ErrNotFound) {
+		return nil, nil // base deleted since the snapshot (its cluster was empty)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.BinariesChecked++
+	if q.MatchesExact(base.Hist) {
+		// 4.2: the base satisfies the query; every widening-only edited
+		// image in the cluster satisfies it too, rule-free.
+		ids := make([]uint64, 0, len(cl.edited)+1)
+		ids = append(ids, cl.baseID)
+		ids = append(ids, cl.edited...)
+		st.EditedSkipped += len(cl.edited)
+		mClusterHits.Inc()
+		mFastPathAdmitted.Add(int64(len(cl.edited)))
+		tr.Count(obs.TBaseMatches, 1)
+		tr.Count(obs.TClusterHits, 1)
+		tr.Count(obs.TFastPathAdmitted, int64(len(cl.edited)))
+		return ids, nil
+	}
+	// 4.3: base failed; fall back to the rule walk per member.
+	var ids []uint64
+	for _, id := range cl.edited {
+		ok, err := p.rbm.CheckEdited(id, q, st, tr)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
 }

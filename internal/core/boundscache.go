@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/editops"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rbm"
@@ -25,45 +26,116 @@ var (
 // The price is memory (bins × edited images) and staleness management; the
 // paper's BWM avoids both while recovering most of the win for
 // widening-only images. ModeCachedBounds makes the tradeoff measurable.
+//
+// The cache is striped into independently locked shards so the parallel
+// candidate walk does not serialize on one mutex, and each entry doubles as
+// a singleflight slot: concurrent misses for the same id wait for the first
+// computation instead of duplicating the rule walk. Entries remember the
+// exact *editops.Sequence they were computed from; because the catalog
+// updates sequences copy-on-write (AppendOps installs a fresh pointer), a
+// pointer mismatch detects a stale vector even if the drop that follows an
+// update raced with a concurrent fill.
+
+// bcShards is the stripe count; ids hash by modulo, which spreads the
+// catalog's sequential ids perfectly.
+const bcShards = 16
 
 // boundsCache lazily materializes per-image bounds vectors.
 type boundsCache struct {
-	mu sync.RWMutex
-	m  map[uint64][]rules.Bounds
+	shards [bcShards]bcShard
+}
+
+type bcShard struct {
+	mu sync.Mutex
+	m  map[uint64]*bcEntry
+}
+
+// bcEntry is one id's cached vector, or the in-flight computation of it.
+// done is closed once b/err are final; readers that join an in-flight entry
+// block on done instead of recomputing.
+type bcEntry struct {
+	seq  *editops.Sequence
+	done chan struct{}
+	b    []rules.Bounds
+	err  error
 }
 
 func newBoundsCache() *boundsCache {
-	return &boundsCache{m: make(map[uint64][]rules.Bounds)}
+	c := &boundsCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*bcEntry)
+	}
+	return c
 }
 
-func (c *boundsCache) get(id uint64) ([]rules.Bounds, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	b, ok := c.m[id]
-	return b, ok
+func (c *boundsCache) shard(id uint64) *bcShard {
+	return &c.shards[id%bcShards]
 }
 
-func (c *boundsCache) put(id uint64, b []rules.Bounds) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[id] = b
+// getOrCompute returns the cached vector for the object's current sequence,
+// computing it (once, however many readers ask concurrently) on a miss.
+// hit reports whether the caller was served without paying for a rule walk
+// — a reader that joined another reader's in-flight computation counts as a
+// hit. A failed computation is not cached; later readers retry.
+func (c *boundsCache) getOrCompute(obj *catalog.Object, compute func() ([]rules.Bounds, error)) (b []rules.Bounds, hit bool, err error) {
+	sh := c.shard(obj.ID)
+	sh.mu.Lock()
+	e := sh.m[obj.ID]
+	if e == nil || e.seq != obj.Seq {
+		// Miss, or a vector computed from a superseded sequence: claim the
+		// slot and compute outside the shard lock.
+		e = &bcEntry{seq: obj.Seq, done: make(chan struct{})}
+		sh.m[obj.ID] = e
+		sh.mu.Unlock()
+		e.b, e.err = compute()
+		if e.err != nil {
+			sh.mu.Lock()
+			if sh.m[obj.ID] == e {
+				delete(sh.m, obj.ID)
+			}
+			sh.mu.Unlock()
+		}
+		close(e.done)
+		return e.b, false, e.err
+	}
+	sh.mu.Unlock()
+	<-e.done
+	if e.err != nil {
+		// The flight we joined failed; compute independently rather than
+		// propagate an error another reader hit.
+		b, err = compute()
+		return b, false, err
+	}
+	return e.b, true, nil
 }
 
 func (c *boundsCache) drop(id uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.m, id)
+	sh := c.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
 }
 
-// size returns (entries, approximate bytes).
+// size returns (entries, approximate bytes). In-flight entries count toward
+// the entry total but contribute no bytes until their vector is final (the
+// done gate is also what makes reading e.b here race-free).
 func (c *boundsCache) size() (int, int64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	var entries int
 	var bytes int64
-	for _, v := range c.m {
-		bytes += int64(len(v)) * 24 // three ints per bin
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		entries += len(sh.m)
+		for _, e := range sh.m {
+			select {
+			case <-e.done:
+				bytes += int64(len(e.b)) * 24 // three ints per bin
+			default:
+			}
+		}
+		sh.mu.Unlock()
 	}
-	return len(c.m), bytes
+	return entries, bytes
 }
 
 // cachedBoundsFor returns the edited image's full bounds vector, computing
@@ -71,24 +143,22 @@ func (c *boundsCache) size() (int, int64) {
 // process registry and (when non-nil) the trace; a miss also counts as a
 // rule walk since it evaluates the full sequence.
 func (db *DB) cachedBoundsFor(obj *catalog.Object, tr *obs.Trace) ([]rules.Bounds, error) {
-	if b, ok := db.bcache.get(obj.ID); ok {
+	b, hit, err := db.bcache.getOrCompute(obj, func() ([]rules.Bounds, error) {
+		base, berr := db.cat.Binary(obj.Seq.BaseID)
+		if berr != nil {
+			return nil, berr
+		}
+		rbm.CountRuleWalk(obj.Seq.Ops, tr)
+		return db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+	})
+	if hit {
 		mBCacheHits.Inc()
 		tr.Count(obs.TBoundsCacheHits, 1)
-		return b, nil
+	} else {
+		mBCacheMisses.Inc()
+		tr.Count(obs.TBoundsCacheMisses, 1)
 	}
-	mBCacheMisses.Inc()
-	tr.Count(obs.TBoundsCacheMisses, 1)
-	base, err := db.cat.Binary(obj.Seq.BaseID)
-	if err != nil {
-		return nil, err
-	}
-	rbm.CountRuleWalk(obj.Seq.Ops, tr)
-	b, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
-	if err != nil {
-		return nil, err
-	}
-	db.bcache.put(obj.ID, b)
-	return b, nil
+	return b, err
 }
 
 // rangeCached answers a range query from the bounds cache: exact histogram
@@ -116,25 +186,28 @@ func (db *DB) rangeCached(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	}
 	done()
 	done = tr.Phase("cached.interval-tests")
-	for _, id := range db.cat.EditedIDs() {
+	matched, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, _ *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+			return false, nil
 		}
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		b, err := db.cachedBoundsFor(obj, tr)
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue // base deleted mid-query
+			return false, nil // base deleted mid-query
 		}
 		if err != nil {
-			return nil, err
+			return false, err
 		}
-		if b[q.Bin].Overlaps(q.PctMin, q.PctMax) {
-			res.IDs = append(res.IDs, id)
-		}
+		return b[q.Bin].Overlaps(q.PctMin, q.PctMax), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.IDs = append(res.IDs, matched...)
+	res.Stats.Add(st)
 	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil

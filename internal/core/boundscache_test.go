@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/rules"
+)
+
+// TestBoundsCacheSingleflight pins the duplicate-suppression contract:
+// concurrent readers missing on the same id share one computation, and the
+// joiners count as hits.
+func TestBoundsCacheSingleflight(t *testing.T) {
+	c := newBoundsCache()
+	obj := &catalog.Object{ID: 7, Seq: &editops.Sequence{BaseID: 1}}
+	var computes atomic.Int32
+	compute := func() ([]rules.Bounds, error) {
+		computes.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the join window
+		return []rules.Bounds{{Min: 1, Max: 2, Total: 4}}, nil
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	var hits atomic.Int32
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, hit, err := c.getOrCompute(obj, compute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(b) != 1 || b[0].Max != 2 {
+				t.Errorf("wrong vector %+v", b)
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	if got := hits.Load(); got != readers-1 {
+		t.Fatalf("%d hits, want %d (everyone but the computing reader)", got, readers-1)
+	}
+}
+
+// TestBoundsCacheFailedComputeNotCached verifies a failed computation is
+// not cached: the next reader retries and can succeed.
+func TestBoundsCacheFailedComputeNotCached(t *testing.T) {
+	c := newBoundsCache()
+	obj := &catalog.Object{ID: 3, Seq: &editops.Sequence{}}
+	boom := errors.New("boom")
+	calls := 0
+	if _, _, err := c.getOrCompute(obj, func() ([]rules.Bounds, error) {
+		calls++
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	b, hit, err := c.getOrCompute(obj, func() ([]rules.Bounds, error) {
+		calls++
+		return []rules.Bounds{{Total: 9}}, nil
+	})
+	if err != nil || hit || len(b) != 1 {
+		t.Fatalf("retry: b=%v hit=%v err=%v", b, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+// TestBoundsCacheStaleSequenceRecomputed verifies the seq-pointer staleness
+// check: a vector computed for a superseded sequence is recomputed even if
+// the drop that normally follows an update never ran.
+func TestBoundsCacheStaleSequenceRecomputed(t *testing.T) {
+	c := newBoundsCache()
+	seq1 := &editops.Sequence{BaseID: 1}
+	obj := &catalog.Object{ID: 5, Seq: seq1}
+	fill := func(total int) func() ([]rules.Bounds, error) {
+		return func() ([]rules.Bounds, error) { return []rules.Bounds{{Total: total}}, nil }
+	}
+	if _, _, err := c.getOrCompute(obj, fill(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Same object identity, fresh sequence pointer — as after AppendOps'
+	// copy-on-write update.
+	obj2 := &catalog.Object{ID: 5, Seq: &editops.Sequence{BaseID: 1}}
+	b, hit, err := c.getOrCompute(obj2, fill(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || b[0].Total != 20 {
+		t.Fatalf("stale entry served: hit=%v b=%+v", hit, b)
+	}
+	// And the fresh entry now hits.
+	b, hit, err = c.getOrCompute(obj2, fill(99))
+	if err != nil || !hit || b[0].Total != 20 {
+		t.Fatalf("fresh entry not cached: hit=%v b=%+v err=%v", hit, b, err)
+	}
+}
+
+// TestCachedBoundsFreshAfterAppendOps is the end-to-end staleness check:
+// ModeCachedBounds answers must track AppendOps updates and keep agreeing
+// with RBM.
+func TestCachedBoundsFreshAfterAppendOps(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 3, 2, 0, 55)
+	if err := db.WarmBoundsCache(); err != nil {
+		t.Fatal(err)
+	}
+	queries, err := dataset.RangeWorkload(dataset.WorkloadConfig{Queries: 12, Seed: 4}, db.Quantizer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, q := range queries {
+			a, err := db.RangeQuery(q, ModeRBM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := db.RangeQuery(q, ModeCachedBounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(a.IDs, b.IDs) {
+				t.Fatalf("%s: cached-bounds diverged for %+v: %v vs %v", stage, q, b.IDs, a.IDs)
+			}
+		}
+	}
+	check("warm")
+	for _, id := range db.EditedIDs() {
+		if err := db.AppendOps(id, []editops.Op{
+			editops.Modify{Old: dataset.Red, New: dataset.Green},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after append")
+}

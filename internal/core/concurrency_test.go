@@ -117,3 +117,131 @@ func TestConcurrentQueriesDuringInserts(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentParallelQueriesAndMutations is the stress companion for the
+// parallel engine: every query surface fans out (Parallelism 8) while one
+// writer inserts, appends operations to existing sequences, and deletes.
+// AppendOps in particular races the bounds cache's staleness check. Run
+// with -race.
+func TestConcurrentParallelQueriesAndMutations(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 4, 3, 0.3, 77)
+	db.SetParallelism(8)
+	queries, err := dataset.RangeWorkload(dataset.WorkloadConfig{Queries: 10, Seed: 8}, db.Quantizer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WarmBoundsCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+
+	// Writer: inserts a base + edit, appends ops to a pre-existing edited
+	// image (invalidating its cached bounds), deletes every third insert.
+	preEdited := db.EditedIDs()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flags := dataset.Flags(12, 16, 12, 11)
+		for i, f := range flags {
+			id, err := db.InsertImage(f.Name, f.Img)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eid, err := db.InsertEdited(f.Name+"-e", &editops.Sequence{BaseID: id, Ops: []editops.Op{
+				editops.Modify{Old: dataset.Red, New: dataset.Blue},
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.AppendOps(preEdited[i%len(preEdited)], []editops.Op{
+				editops.Modify{Old: dataset.Blue, New: dataset.Green},
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if err := db.Delete(eid); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: all five range modes plus multirange, compound and k-NN,
+	// each from its own goroutine, all fanning out internally.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for _, q := range queries {
+					for _, mode := range []Mode{ModeBWM, ModeRBM, ModeBWMIndexed, ModeInstantiate, ModeCachedBounds} {
+						if _, err := db.RangeQuery(q, mode); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for rep := 0; rep < 8; rep++ {
+			mq := query.MultiRange{Bins: []int{0, 3, 9}, PctMin: 0.01, PctMax: 0.9}
+			for _, mode := range []Mode{ModeRBM, ModeBWM, ModeInstantiate, ModeCachedBounds} {
+				if _, err := db.RangeQueryMulti(mq, mode); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			c := query.Compound{Terms: []query.Range{queries[0], queries[1]}, Conn: query.Or}
+			if _, err := db.CompoundQuery(c, ModeBWM); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		probe := dataset.Flags(1, 16, 12, 3)[0].Img
+		target := histogram.Extract(probe, db.Quantizer())
+		for rep := 0; rep < 8; rep++ {
+			if _, _, err := db.KNN(query.KNN{Target: target, K: 4, Metric: query.MetricL2}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := db.WithinDistance(target, 0.5, query.MetricL1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Post-quiesce: all bound modes must agree — including ModeCachedBounds,
+	// whose cache saw AppendOps invalidations mid-run.
+	for _, q := range queries {
+		ref, err := db.RangeQuery(q, ModeRBM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeBWM, ModeBWMIndexed, ModeCachedBounds} {
+			res, err := db.RangeQuery(q, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(ref.IDs, res.IDs) {
+				t.Fatalf("mode %v disagrees with RBM after concurrent phase: %v vs %v", mode, res.IDs, ref.IDs)
+			}
+		}
+	}
+}

@@ -14,16 +14,19 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bwm"
 	"repro/internal/catalog"
 	"repro/internal/colorspace"
 	"repro/internal/editops"
+	"repro/internal/exec"
 	"repro/internal/histogram"
 	"repro/internal/imaging"
 	"repro/internal/obs"
@@ -114,6 +117,12 @@ type Config struct {
 	Store store.Options
 	// RTreeFanout is the signature index node capacity; 0 means 16.
 	RTreeFanout int
+	// Parallelism caps the candidate-evaluation worker pool: 0 (auto)
+	// scales with GOMAXPROCS, 1 forces the serial walk, n > 1 uses exactly
+	// n workers. Results are identical at every setting; only wall time
+	// and the parallel_* trace counters change. Adjustable at runtime via
+	// DB.SetParallelism.
+	Parallelism int
 }
 
 // DB is the augmented image database. All methods are safe for concurrent
@@ -121,6 +130,9 @@ type Config struct {
 type DB struct {
 	mu  sync.RWMutex
 	cfg Config
+	// par is the live Parallelism knob (atomic so queries read it without
+	// the DB lock and tests/operators can retune a running database).
+	par atomic.Int32
 
 	cat     *catalog.Catalog
 	engine  *rules.Engine
@@ -198,8 +210,31 @@ func newDB(cfg Config) *DB {
 	db.engine = rules.NewEngine(cfg.Quantizer, cfg.Background, db.cat)
 	db.rbmProc = rbm.New(db.cat, db.engine)
 	db.bwmProc = bwm.New(db.cat, db.engine, db.idx)
+	db.par.Store(int32(cfg.Parallelism))
+	// The processors read the knob through a callback so SetParallelism
+	// retunes them without re-wiring.
+	par := func() int { return int(db.par.Load()) }
+	db.rbmProc.Parallel = par
+	db.bwmProc.Parallel = par
 	return db
 }
+
+// Parallelism returns the candidate-evaluation knob: 0 = auto (GOMAXPROCS),
+// 1 = serial, n > 1 = exactly n workers.
+func (db *DB) Parallelism() int { return int(db.par.Load()) }
+
+// SetParallelism retunes the candidate-evaluation worker pool at runtime.
+// Negative values are treated as 0 (auto). Queries already in flight keep
+// the worker count they started with.
+func (db *DB) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.par.Store(int32(n))
+}
+
+// workers resolves the knob for one query execution.
+func (db *DB) workers() int { return exec.Resolve(int(db.par.Load())) }
 
 // Quantizer returns the configured quantizer.
 func (db *DB) Quantizer() colorspace.Quantizer { return db.cfg.Quantizer }
@@ -518,27 +553,30 @@ func (db *DB) rangeInstantiate(q query.Range, tr *obs.Trace) (*rbm.Result, error
 	done()
 	done = tr.Phase("instantiate.materialize-edited")
 	env := db.env()
-	for _, id := range db.cat.EditedIDs() {
+	matched, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+			return false, nil
 		}
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		img, err := editops.ApplySequence(obj.Seq, env)
 		if err != nil {
-			return nil, fmt.Errorf("core: instantiate %d: %w", id, err)
+			return false, fmt.Errorf("core: instantiate %d: %w", id, err)
 		}
-		res.Stats.EditedWalked++
+		st.EditedWalked++
 		tr.Count(obs.TEditedInstantiated, 1)
 		if img.Size() == 0 {
-			continue
+			return false, nil
 		}
-		if q.MatchesExact(histogram.Extract(img, db.cfg.Quantizer)) {
-			res.IDs = append(res.IDs, id)
-		}
+		return q.MatchesExact(histogram.Extract(img, db.cfg.Quantizer)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.IDs = append(res.IDs, matched...)
+	res.Stats.Add(st)
 	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
@@ -580,10 +618,15 @@ func (db *DB) rangeIndexed(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	res := &rbm.Result{}
 	res.Stats.BinariesChecked = len(hits) // index probe replaced the scan
 	tr.Count(obs.TBaseMatches, int64(len(hits)))
+	// Per-base cluster walks are independent, so they shard across the
+	// worker pool (satisfied is read-only from here on).
 	done = tr.Phase("indexed.walk-clusters")
-	for _, baseID := range db.cat.Binaries() {
+	bases := db.cat.Binaries()
+	ids, st, err := db.collectSlices(len(bases), tr, func(i int, st *rbm.Stats) ([]uint64, error) {
+		baseID := bases[i]
+		var out []uint64
 		if satisfied[baseID] {
-			res.IDs = append(res.IDs, baseID)
+			out = append(out, baseID)
 		}
 		for _, eid := range db.cat.EditedOf(baseID) {
 			obj, err := db.cat.Edited(eid)
@@ -594,21 +637,27 @@ func (db *DB) rangeIndexed(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 				return nil, err
 			}
 			if obj.Widening && satisfied[baseID] {
-				res.IDs = append(res.IDs, eid)
-				res.Stats.EditedSkipped++
+				out = append(out, eid)
+				st.EditedSkipped++
 				mFastPathAdmitted.Inc()
 				tr.Count(obs.TFastPathAdmitted, 1)
 				continue
 			}
-			ok, err := db.rbmProc.CheckEdited(eid, q, &res.Stats, tr)
+			ok, err := db.rbmProc.CheckEdited(eid, q, st, tr)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				res.IDs = append(res.IDs, eid)
+				out = append(out, eid)
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.IDs = append(res.IDs, ids...)
+	res.Stats.Add(st)
 	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
@@ -629,16 +678,28 @@ func (db *DB) CompoundQueryTraced(c query.Compound, mode Mode, trace *obs.Trace)
 		return nil, err
 	}
 	res := &rbm.Result{}
-	var acc map[uint64]bool
-	for _, term := range c.Terms {
-		tr, err := db.RangeQueryTraced(term, mode, trace)
-		if err != nil {
-			return nil, err
+	// Terms are independent queries, so they run concurrently on the worker
+	// pool (each term's own candidate walk may fan out again underneath).
+	// Combination happens afterwards in term order, which keeps the result
+	// set and accumulated statistics identical to a serial evaluation.
+	results := make([]*rbm.Result, len(c.Terms))
+	pst, err := exec.ForEach(context.Background(), db.workers(), len(c.Terms), func(w, i int) error {
+		r, terr := db.RangeQueryTraced(c.Terms[i], mode, trace)
+		if terr != nil {
+			return terr
 		}
-		res.Stats.BinariesChecked += tr.Stats.BinariesChecked
-		res.Stats.EditedWalked += tr.Stats.EditedWalked
-		res.Stats.OpsEvaluated += tr.Stats.OpsEvaluated
-		res.Stats.EditedSkipped += tr.Stats.EditedSkipped
+		results[i] = r
+		return nil
+	})
+	if pst.Workers > 1 {
+		pst.Record(trace)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var acc map[uint64]bool
+	for _, tr := range results {
+		res.Stats.Add(tr.Stats)
 		cur := make(map[uint64]bool, len(tr.IDs))
 		for _, id := range tr.IDs {
 			cur[id] = true

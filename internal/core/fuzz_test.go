@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+)
+
+// fuzzDB builds one small shared database for the parser fuzz targets: the
+// interesting surface is the parser plus the query dispatch, so the corpus
+// stays tiny and each fuzz iteration cheap. Parallelism is pinned to 2 so
+// the fuzzers also exercise the fan-out path.
+func fuzzDB(f *testing.F) *DB {
+	f.Helper()
+	db, err := Open(Config{Parallelism: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { db.Close() })
+	populate(f, db, 3, 2, 0.4, 42)
+	return db
+}
+
+// FuzzRangeQueryText feeds arbitrary text through the range-query parser
+// and, when it parses, through both BWM and RBM: the parser must never
+// panic, a parsed query must execute, and the two methods must agree.
+func FuzzRangeQueryText(f *testing.F) {
+	db := fuzzDB(f)
+	f.Add("at least 25% blue")
+	f.Add("at most 10% red")
+	f.Add("between 5% and 95% green")
+	f.Add("at least 0% white")
+	f.Add("exactly 100% navy")
+	f.Add("at least 25 blue")
+	f.Add("")
+	f.Add("%%%")
+	f.Fuzz(func(t *testing.T, text string) {
+		bwm, err := db.RangeQueryText(text, ModeBWM)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		rbm, err := db.RangeQueryText(text, ModeRBM)
+		if err != nil {
+			t.Fatalf("parsed under BWM but failed under RBM: %v", err)
+		}
+		if !sameIDs(bwm.IDs, rbm.IDs) {
+			t.Fatalf("BWM %v != RBM %v for %q", bwm.IDs, rbm.IDs, text)
+		}
+		for i := 1; i < len(bwm.IDs); i++ {
+			if bwm.IDs[i-1] >= bwm.IDs[i] {
+				t.Fatalf("ids not strictly ascending: %v", bwm.IDs)
+			}
+		}
+	})
+}
+
+// FuzzCompoundQueryText does the same for the compound-query parser
+// (connective splitting plus per-term parsing).
+func FuzzCompoundQueryText(f *testing.F) {
+	db := fuzzDB(f)
+	f.Add("at least 20% red and at most 10% blue")
+	f.Add("at least 5% green or at least 5% blue")
+	f.Add("at least 1% red and at least 1% blue and at least 1% green")
+	f.Add("at least 20% red and")
+	f.Add("and or and")
+	f.Add("at least 20% red or at most 10% blue and at least 5% green")
+	f.Fuzz(func(t *testing.T, text string) {
+		bwm, err := db.CompoundQueryText(text, ModeBWM)
+		if err != nil {
+			return
+		}
+		rbm, err := db.CompoundQueryText(text, ModeRBM)
+		if err != nil {
+			t.Fatalf("parsed under BWM but failed under RBM: %v", err)
+		}
+		if !sameIDs(bwm.IDs, rbm.IDs) {
+			t.Fatalf("BWM %v != RBM %v for %q", bwm.IDs, rbm.IDs, text)
+		}
+		for i := 1; i < len(bwm.IDs); i++ {
+			if bwm.IDs[i-1] >= bwm.IDs[i] {
+				t.Fatalf("ids not strictly ascending: %v", bwm.IDs)
+			}
+		}
+	})
+}

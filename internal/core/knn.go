@@ -2,13 +2,17 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/editops"
+	"repro/internal/exec"
 	"repro/internal/histogram"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -106,45 +110,52 @@ func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) 
 	// Bound-pruned pass over edited images.
 	done = tr.Phase("knn.prune-edited")
 	env := db.env()
-	for _, id := range db.cat.EditedIDs() {
-		obj, err := db.cat.Edited(id)
-		if errors.Is(err, catalog.ErrNotFound) {
-			continue
-		}
-		if err != nil {
+	ids := db.cat.EditedIDs()
+	if workers := db.workers(); workers > 1 && len(ids) > 1 {
+		if err := db.knnPruneParallel(q, ids, workers, best, push, st, tr, env); err != nil {
 			return nil, nil, err
 		}
-		base, err := db.cat.Binary(obj.Seq.BaseID)
-		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+	} else {
+		for _, id := range ids {
+			obj, err := db.cat.Edited(id)
+			if errors.Is(err, catalog.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			base, err := db.cat.Binary(obj.Seq.BaseID)
+			if errors.Is(err, catalog.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			tr.Count(obs.TCandidatesExamined, 1)
+			rbm.CountRuleWalk(obj.Seq.Ops, tr)
+			bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+			if err != nil {
+				return nil, nil, err
+			}
+			lb := distanceLowerBound(q.Target, bounds, q.Metric)
+			if lb > threshold() {
+				st.EditedPruned++
+				mKNNPruned.Inc()
+				tr.Count(obs.TImagesPruned, 1)
+				continue
+			}
+			img, err := editops.ApplySequence(obj.Seq, env)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: knn instantiate %d: %w", id, err)
+			}
+			st.EditedInstantiated++
+			mKNNInstantiated.Inc()
+			tr.Count(obs.TEditedInstantiated, 1)
+			if img.Size() == 0 {
+				continue
+			}
+			push(id, q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer)))
 		}
-		if err != nil {
-			return nil, nil, err
-		}
-		tr.Count(obs.TCandidatesExamined, 1)
-		rbm.CountRuleWalk(obj.Seq.Ops, tr)
-		bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
-		if err != nil {
-			return nil, nil, err
-		}
-		lb := distanceLowerBound(q.Target, bounds, q.Metric)
-		if lb > threshold() {
-			st.EditedPruned++
-			mKNNPruned.Inc()
-			tr.Count(obs.TImagesPruned, 1)
-			continue
-		}
-		img, err := editops.ApplySequence(obj.Seq, env)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: knn instantiate %d: %w", id, err)
-		}
-		st.EditedInstantiated++
-		mKNNInstantiated.Inc()
-		tr.Count(obs.TEditedInstantiated, 1)
-		if img.Size() == 0 {
-			continue
-		}
-		push(id, q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer)))
 	}
 	done()
 	tr.Count(obs.TImagesReturned, int64(best.Len()))
@@ -153,7 +164,123 @@ func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) 
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(best).(Match)
 	}
+	// Ties in distance are broken by id so the output ordering is fully
+	// deterministic — and identical between serial and parallel runs.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out, st, nil
+}
+
+// knnPruneParallel is the fan-out version of the edited-candidate pass.
+// Workers prune against a shared threshold maintained in a tracker heap:
+// the tracker is seeded with the binary pass's exact distances and
+// tightened by every exact distance any worker computes, so its k-th best
+// is always ≥ the final k-th distance — pruning against it never discards
+// a true neighbor. Each instantiated candidate's exact distance is slotted
+// by catalog index and replayed serially into the result heap afterwards.
+// Because every candidate the serial pass would instantiate is a subset of
+// what the parallel pass instantiates or vice versa only for candidates
+// strictly worse than the final k-th distance, the replayed heap is
+// identical to the serial one; only the pruned/instantiated statistics may
+// differ between runs. The first error cancels the remaining candidate
+// evaluations through the pool's context.
+func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *matchHeap, push func(uint64, float64), st *KNNStats, tr *obs.Trace, env *editops.Env) error {
+	tracker := make(matchHeap, best.Len())
+	copy(tracker, *best)
+	heap.Init(&tracker)
+	var thBits atomic.Uint64
+	var tmu sync.Mutex
+	storeThreshold := func() {
+		if tracker.Len() < q.K {
+			thBits.Store(math.Float64bits(math.Inf(1)))
+		} else {
+			thBits.Store(math.Float64bits(tracker[0].Dist))
+		}
+	}
+	storeThreshold()
+	record := func(id uint64, d float64) {
+		tmu.Lock()
+		if tracker.Len() < q.K {
+			heap.Push(&tracker, Match{ID: id, Dist: d})
+		} else if d < tracker[0].Dist {
+			tracker[0] = Match{ID: id, Dist: d}
+			heap.Fix(&tracker, 0)
+		}
+		storeThreshold()
+		tmu.Unlock()
+	}
+	threshold := func() float64 { return math.Float64frombits(thBits.Load()) }
+
+	type outcome struct {
+		scored bool
+		dist   float64
+	}
+	outs := make([]outcome, len(ids))
+	pruned := make([]int, workers)
+	instantiated := make([]int, workers)
+	pst, err := exec.ForEach(context.Background(), workers, len(ids), func(w, i int) error {
+		id := ids[i]
+		obj, err := db.cat.Edited(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		base, err := db.cat.Binary(obj.Seq.BaseID)
+		if errors.Is(err, catalog.ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		tr.Count(obs.TCandidatesExamined, 1)
+		rbm.CountRuleWalk(obj.Seq.Ops, tr)
+		bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
+		if err != nil {
+			return err
+		}
+		if distanceLowerBound(q.Target, bounds, q.Metric) > threshold() {
+			pruned[w]++
+			mKNNPruned.Inc()
+			tr.Count(obs.TImagesPruned, 1)
+			return nil
+		}
+		img, err := editops.ApplySequence(obj.Seq, env)
+		if err != nil {
+			return fmt.Errorf("core: knn instantiate %d: %w", id, err)
+		}
+		instantiated[w]++
+		mKNNInstantiated.Inc()
+		tr.Count(obs.TEditedInstantiated, 1)
+		if img.Size() == 0 {
+			return nil
+		}
+		d := q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer))
+		outs[i] = outcome{scored: true, dist: d}
+		record(id, d)
+		return nil
+	})
+	pst.Record(tr)
+	if err != nil {
+		return err
+	}
+	for w := 0; w < workers; w++ {
+		st.EditedPruned += pruned[w]
+		st.EditedInstantiated += instantiated[w]
+	}
+	// Deterministic replay: fold the exact distances into the result heap
+	// in catalog order, exactly as the serial loop would have.
+	for i := range outs {
+		if outs[i].scored {
+			push(ids[i], outs[i].dist)
+		}
+	}
+	return nil
 }
 
 // KNNMulti is the multiple-query-image technique the paper contrasts with
@@ -348,40 +475,64 @@ func (db *DB) WithinDistance(target *histogram.Histogram, dist float64, metric q
 			out = append(out, Match{ID: id, Dist: d})
 		}
 	}
+	// The distance threshold is fixed, so edited candidates are independent
+	// of each other and the walk fans out freely; per-index slots keep the
+	// merged output identical to the serial loop.
 	env := db.env()
-	for _, id := range db.cat.EditedIDs() {
-		obj, err := db.cat.Edited(id)
+	ids := db.cat.EditedIDs()
+	workers := db.workers()
+	type wdOutcome struct {
+		in   bool
+		dist float64
+	}
+	outs := make([]wdOutcome, len(ids))
+	pruned := make([]int, workers)
+	instantiated := make([]int, workers)
+	if _, err := exec.ForEach(context.Background(), workers, len(ids), func(w, i int) error {
+		obj, err := db.cat.Edited(ids[i])
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+			return nil
 		}
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		base, err := db.cat.Binary(obj.Seq.BaseID)
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+			return nil
 		}
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		bounds, err := db.engine.BoundsAll(base.Hist, base.W, base.H, obj.Seq.Ops)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		if distanceLowerBound(target, bounds, metric) > dist {
-			st.EditedPruned++
-			continue
+			pruned[w]++
+			return nil
 		}
 		img, err := editops.ApplySequence(obj.Seq, env)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: within-distance instantiate %d: %w", id, err)
+			return fmt.Errorf("core: within-distance instantiate %d: %w", ids[i], err)
 		}
-		st.EditedInstantiated++
+		instantiated[w]++
 		if img.Size() == 0 {
-			continue
+			return nil
 		}
 		if d := metric.Distance(target, histogram.Extract(img, db.cfg.Quantizer)); d <= dist {
-			out = append(out, Match{ID: id, Dist: d})
+			outs[i] = wdOutcome{in: true, dist: d}
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for w := 0; w < workers; w++ {
+		st.EditedPruned += pruned[w]
+		st.EditedInstantiated += instantiated[w]
+	}
+	for i := range outs {
+		if outs[i].in {
+			out = append(out, Match{ID: ids[i], Dist: outs[i].dist})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

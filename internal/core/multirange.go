@@ -110,15 +110,14 @@ func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]ru
 	}
 	done()
 	done = tr.Phase("multi.walk-edited")
-	for _, id := range db.cat.EditedIDs() {
-		ok, err := db.multiCheckEdited(id, q, boundsFn, &res.Stats, tr)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			res.IDs = append(res.IDs, id)
-		}
+	matched, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
+		return db.multiCheckEdited(id, q, boundsFn, st, tr)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.IDs = append(res.IDs, matched...)
+	res.Stats.Add(st)
 	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
@@ -177,30 +176,29 @@ func (db *DB) multiBWM(q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
 		}
 	}
 	done()
+	// matched is read-only from here on, so the edited walk can fan out.
 	done = tr.Phase("multi.walk-edited")
-	for _, id := range db.cat.EditedIDs() {
+	hits, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+			return false, nil
 		}
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if obj.Widening && matched[obj.Seq.BaseID] {
-			res.Stats.EditedSkipped++
-			res.IDs = append(res.IDs, id)
+			st.EditedSkipped++
 			mFastPathAdmitted.Inc()
 			tr.Count(obs.TFastPathAdmitted, 1)
-			continue
+			return true, nil
 		}
-		ok, err := db.multiCheckEdited(id, q, nil, &res.Stats, tr)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			res.IDs = append(res.IDs, id)
-		}
+		return db.multiCheckEdited(id, q, nil, st, tr)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.IDs = append(res.IDs, hits...)
+	res.Stats.Add(st)
 	done()
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
@@ -223,26 +221,29 @@ func (db *DB) multiInstantiate(q query.MultiRange) (*rbm.Result, error) {
 		}
 	}
 	env := db.env()
-	for _, id := range db.cat.EditedIDs() {
+	matched, st, err := db.filterEdited(db.cat.EditedIDs(), nil, func(id uint64, st *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
-			continue
+			return false, nil
 		}
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		img, err := editops.ApplySequence(obj.Seq, env)
 		if err != nil {
-			return nil, fmt.Errorf("core: instantiate %d: %w", id, err)
+			return false, fmt.Errorf("core: instantiate %d: %w", id, err)
 		}
-		res.Stats.EditedWalked++
+		st.EditedWalked++
 		if img.Size() == 0 {
-			continue
+			return false, nil
 		}
-		if q.MatchesExact(histogram.Extract(img, db.cfg.Quantizer)) {
-			res.IDs = append(res.IDs, id)
-		}
+		return q.MatchesExact(histogram.Extract(img, db.cfg.Quantizer)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.IDs = append(res.IDs, matched...)
+	res.Stats.Add(st)
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 	return res, nil
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/rbm"
+)
+
+// Core-side glue for the parallel candidate-evaluation engine
+// (internal/exec). Every query path funnels its per-candidate loop through
+// these helpers, which shard the candidate list across the configured
+// workers, keep one rbm.Stats per worker (so no shared mutable counters),
+// and merge both verdicts and statistics in input order — making parallel
+// results element-for-element identical to the serial walk.
+
+// filterEdited evaluates check over the candidate ids with the database's
+// configured parallelism. check receives a worker-private *rbm.Stats; the
+// merged total is returned. Pool counters are recorded into tr only when
+// the run actually fanned out.
+func (db *DB) filterEdited(ids []uint64, tr *obs.Trace, check func(id uint64, st *rbm.Stats) (bool, error)) ([]uint64, rbm.Stats, error) {
+	workers := db.workers()
+	stats := make([]rbm.Stats, workers)
+	matched, pst, err := exec.FilterIDs(context.Background(), workers, ids, func(w int, id uint64) (bool, error) {
+		return check(id, &stats[w])
+	})
+	if pst.Workers > 1 {
+		pst.Record(tr)
+	}
+	var total rbm.Stats
+	for i := range stats {
+		total.Add(stats[i])
+	}
+	if err != nil {
+		return nil, total, err
+	}
+	return matched, total, nil
+}
+
+// collectSlices evaluates gather over n coarse-grained work items (clusters,
+// bases, query terms), each producing an id slice into its own slot; the
+// slots are concatenated in item order. gather receives a worker-private
+// *rbm.Stats like filterEdited.
+func (db *DB) collectSlices(n int, tr *obs.Trace, gather func(i int, st *rbm.Stats) ([]uint64, error)) ([]uint64, rbm.Stats, error) {
+	workers := db.workers()
+	stats := make([]rbm.Stats, workers)
+	slots := make([][]uint64, n)
+	pst, err := exec.ForEach(context.Background(), workers, n, func(w, i int) error {
+		ids, gerr := gather(i, &stats[w])
+		if gerr != nil {
+			return gerr
+		}
+		slots[i] = ids
+		return nil
+	})
+	if pst.Workers > 1 {
+		pst.Record(tr)
+	}
+	var total rbm.Stats
+	for i := range stats {
+		total.Add(stats[i])
+	}
+	if err != nil {
+		return nil, total, err
+	}
+	var out []uint64
+	for _, ids := range slots {
+		out = append(out, ids...)
+	}
+	return out, total, nil
+}

@@ -1,0 +1,199 @@
+// Package exec is the query engine's bounded worker pool: candidate id
+// sets are sharded across GOMAXPROCS-scaled workers and evaluated
+// concurrently, with deterministic merging left to the caller (results are
+// slotted by input index, so concatenation reproduces the serial order).
+//
+// Scheduling is chunked work-claiming: a shared atomic cursor hands out
+// fixed-size index chunks, so a worker that finishes its claim early
+// "steals" the next chunk instead of idling — cheap dynamic load balancing
+// without per-item contention. The first error cancels the run through a
+// derived context.Context; callers can also pass their own context to stop
+// a run early (the kNN path threads one for top-k work).
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Process-wide pool behaviour, exported through the /metrics registry.
+var (
+	mRuns    = obs.Default().Counter("esidb_parallel_runs_total")
+	mTasks   = obs.Default().Counter("esidb_parallel_tasks_total")
+	mSteals  = obs.Default().Counter("esidb_parallel_steals_total")
+	mCancels = obs.Default().Counter("esidb_parallel_cancels_total")
+)
+
+// chunksPerWorker sizes the claim granularity: each worker's fair share is
+// split this many ways, so the tail of a skewed workload rebalances without
+// making the cursor a hot spot.
+const chunksPerWorker = 4
+
+// Resolve maps the Parallelism knob to a worker count: 0 (auto) becomes
+// GOMAXPROCS, 1 is serial, anything larger is used as given.
+func Resolve(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Stats describes one ForEach run.
+type Stats struct {
+	// Workers is the number of goroutines the run actually used (after
+	// clamping to the task count).
+	Workers int
+	// Tasks is how many items completed evaluation.
+	Tasks int64
+	// Steals counts chunk claims beyond each worker's first — how often a
+	// worker that drained its claim picked up more work.
+	Steals int64
+	// Canceled reports that the run stopped early (context or error).
+	Canceled bool
+}
+
+// Record folds the run's counters into a query trace (nil-safe). Callers
+// record only genuinely parallel runs so serial traces stay unchanged.
+func (s Stats) Record(tr *obs.Trace) {
+	tr.Count(obs.TParallelWorkers, int64(s.Workers))
+	tr.Count(obs.TParallelTasks, s.Tasks)
+	tr.Count(obs.TParallelSteals, s.Steals)
+	if s.Canceled {
+		tr.Count(obs.TParallelCancels, 1)
+	}
+}
+
+// ForEach evaluates fn(worker, i) for every i in [0, n) on up to workers
+// goroutines. fn receives the worker's index (0 ≤ worker < workers) so
+// callers can keep per-worker accumulators and merge them deterministically
+// afterwards. The first error cancels the remaining work and is returned;
+// cancellation of ctx does the same with ctx's error. With workers ≤ 1 (or
+// n ≤ 1) the items run inline on the calling goroutine in index order —
+// byte-for-byte the serial behaviour.
+func ForEach(ctx context.Context, workers, n int, fn func(worker, i int) error) (Stats, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return forEachSerial(ctx, n, fn)
+	}
+	mRuns.Inc()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	chunk := n / (workers * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		cursor, tasks, steals atomic.Int64
+		errOnce               sync.Once
+		firstErr              error
+		wg                    sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for claims := 0; ; claims++ {
+				if ctx.Err() != nil {
+					return
+				}
+				lo := cursor.Add(int64(chunk)) - int64(chunk)
+				if lo >= int64(n) {
+					return
+				}
+				if claims > 0 {
+					steals.Add(1)
+				}
+				hi := lo + int64(chunk)
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					if err := fn(w, int(i)); err != nil {
+						fail(err)
+						return
+					}
+					tasks.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := Stats{Workers: workers, Tasks: tasks.Load(), Steals: steals.Load()}
+	mTasks.Add(st.Tasks)
+	mSteals.Add(st.Steals)
+	if firstErr == nil {
+		// No task failed; the only way the derived context is done here is
+		// that the parent was canceled.
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		st.Canceled = true
+		mCancels.Inc()
+	}
+	return st, firstErr
+}
+
+// forEachSerial is the workers ≤ 1 path: identical to the pre-parallel
+// query loops, plus context cancellation between items.
+func forEachSerial(ctx context.Context, n int, fn func(worker, i int) error) (Stats, error) {
+	st := Stats{Workers: 1}
+	if n < 0 {
+		n = 0
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			st.Canceled = true
+			mCancels.Inc()
+			return st, err
+		}
+		if err := fn(0, i); err != nil {
+			st.Canceled = true
+			mCancels.Inc()
+			return st, err
+		}
+		st.Tasks++
+	}
+	return st, nil
+}
+
+// FilterIDs evaluates pred over every id concurrently and returns the ids
+// that passed, preserving input order — the shape of every range-query
+// candidate walk. Per-item verdicts land in an index-slotted array, so the
+// merged output is identical to a serial scan regardless of completion
+// order.
+func FilterIDs(ctx context.Context, workers int, ids []uint64, pred func(worker int, id uint64) (bool, error)) ([]uint64, Stats, error) {
+	hits := make([]bool, len(ids))
+	st, err := ForEach(ctx, workers, len(ids), func(w, i int) error {
+		ok, perr := pred(w, ids[i])
+		if perr != nil {
+			return perr
+		}
+		hits[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	var out []uint64
+	for i, ok := range hits {
+		if ok {
+			out = append(out, ids[i])
+		}
+	}
+	return out, st, nil
+}

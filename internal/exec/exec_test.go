@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Fatalf("Resolve(1) = %d", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 137
+		var mu sync.Mutex
+		seen := make(map[int]int, n)
+		st, err := ForEach(context.Background(), workers, n, func(w, i int) error {
+			if w < 0 || w >= workers {
+				t.Errorf("worker index %d outside [0,%d)", w, workers)
+			}
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Tasks != n {
+			t.Fatalf("workers=%d: %d tasks, want %d", workers, st.Tasks, n)
+		}
+		if len(seen) != n {
+			t.Fatalf("workers=%d: covered %d indices, want %d", workers, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d evaluated %d times", workers, i, c)
+			}
+		}
+		if workers > n && st.Workers > n {
+			t.Fatalf("workers not clamped: %d for n=%d", st.Workers, n)
+		}
+	}
+}
+
+func TestForEachZeroAndOneItems(t *testing.T) {
+	st, err := ForEach(context.Background(), 8, 0, func(w, i int) error { return nil })
+	if err != nil || st.Tasks != 0 {
+		t.Fatalf("n=0: stats %+v err %v", st, err)
+	}
+	var ran atomic.Int64
+	st, err = ForEach(context.Background(), 8, 1, func(w, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil || st.Tasks != 1 || ran.Load() != 1 {
+		t.Fatalf("n=1: stats %+v err %v ran %d", st, err, ran.Load())
+	}
+	if st.Workers != 1 {
+		t.Fatalf("n=1 should run serially, got %d workers", st.Workers)
+	}
+}
+
+func TestForEachErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	st, err := ForEach(context.Background(), 4, 10_000, func(w, i int) error {
+		if i == 17 {
+			return boom
+		}
+		after.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !st.Canceled {
+		t.Fatal("stats should mark the run canceled")
+	}
+	if after.Load() >= 10_000 {
+		t.Fatal("cancellation did not stop the remaining work")
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	started := make(chan struct{}, 1)
+	stVal := make(chan Stats, 1)
+	errVal := make(chan error, 1)
+	go func() {
+		st, err := ForEach(ctx, 2, 1_000_000, func(w, i int) error {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			ran.Add(1)
+			return nil
+		})
+		stVal <- st
+		errVal <- err
+	}()
+	<-started
+	cancel()
+	st, err := <-stVal, <-errVal
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !st.Canceled {
+		t.Fatal("stats should mark the run canceled")
+	}
+	if ran.Load() >= 1_000_000 {
+		t.Fatal("cancellation did not stop the remaining work")
+	}
+}
+
+func TestFilterIDsPreservesOrder(t *testing.T) {
+	ids := make([]uint64, 500)
+	for i := range ids {
+		ids[i] = uint64(1000 + i)
+	}
+	pred := func(w int, id uint64) (bool, error) { return id%3 == 0, nil }
+	serial, _, err := FilterIDs(context.Background(), 1, ids, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, _, err := FilterIDs(context.Background(), workers, ids, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d ids, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: id[%d] = %d, want %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestStatsRecord(t *testing.T) {
+	tr := obs.NewTrace()
+	Stats{Workers: 4, Tasks: 100, Steals: 7, Canceled: true}.Record(tr)
+	if got := tr.Get(obs.TParallelWorkers); got != 4 {
+		t.Fatalf("workers counter %d", got)
+	}
+	if got := tr.Get(obs.TParallelTasks); got != 100 {
+		t.Fatalf("tasks counter %d", got)
+	}
+	if got := tr.Get(obs.TParallelSteals); got != 7 {
+		t.Fatalf("steals counter %d", got)
+	}
+	if got := tr.Get(obs.TParallelCancels); got != 1 {
+		t.Fatalf("cancels counter %d", got)
+	}
+	// Record is nil-safe like the rest of the trace API.
+	Stats{Workers: 1}.Record(nil)
+}

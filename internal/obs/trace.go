@@ -146,4 +146,12 @@ const (
 	TBoundsCacheMisses  = "bounds_cache_misses"
 	TPagesRead          = "pages_read"
 	TEditedInstantiated = "edited_instantiated"
+	// Parallel-execution counters (recorded only when a query actually
+	// fanned out, so serial traces are unchanged): worker goroutines used,
+	// candidates evaluated by the pool, chunk claims beyond each worker's
+	// first, and early-canceled runs.
+	TParallelWorkers = "parallel_workers"
+	TParallelTasks   = "parallel_tasks"
+	TParallelSteals  = "parallel_steals"
+	TParallelCancels = "parallel_cancels"
 )

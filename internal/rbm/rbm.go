@@ -9,12 +9,14 @@
 package rbm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/editops"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -50,6 +52,16 @@ type Stats struct {
 	EditedSkipped int
 }
 
+// Add folds another execution's counters into s. The parallel walk keeps
+// one Stats per worker and merges them with Add, so totals are independent
+// of scheduling.
+func (s *Stats) Add(o Stats) {
+	s.BinariesChecked += o.BinariesChecked
+	s.EditedWalked += o.EditedWalked
+	s.OpsEvaluated += o.OpsEvaluated
+	s.EditedSkipped += o.EditedSkipped
+}
+
 // Result is a query answer: matching object ids in ascending order plus
 // execution statistics.
 type Result struct {
@@ -61,6 +73,18 @@ type Result struct {
 type Processor struct {
 	Cat    *catalog.Catalog
 	Engine *rules.Engine
+	// Parallel, when non-nil, supplies the candidate-evaluation
+	// parallelism knob (0 = auto, 1 = serial); nil keeps the walk serial.
+	// It is a callback so the owning database can retune a live processor.
+	Parallel func() int
+}
+
+// workers resolves the processor's parallelism for one query.
+func (p *Processor) workers() int {
+	if p.Parallel == nil {
+		return 1
+	}
+	return exec.Resolve(p.Parallel())
 }
 
 // New returns an RBM processor.
@@ -97,15 +121,24 @@ func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*Result, error) {
 		}
 	}
 	done()
+	// The edited walk shards across the worker pool: verdicts are slotted
+	// by candidate index and statistics kept per worker, so the merged
+	// result is identical to the serial loop at any parallelism.
 	done = tr.Phase("rbm.walk-edited")
-	for _, id := range p.Cat.EditedIDs() {
-		ok, err := p.CheckEdited(id, q, &res.Stats, tr)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			res.IDs = append(res.IDs, id)
-		}
+	workers := p.workers()
+	stats := make([]Stats, workers)
+	matched, pst, err := exec.FilterIDs(context.Background(), workers, p.Cat.EditedIDs(), func(w int, id uint64) (bool, error) {
+		return p.CheckEdited(id, q, &stats[w], tr)
+	})
+	if pst.Workers > 1 {
+		pst.Record(tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.IDs = append(res.IDs, matched...)
+	for i := range stats {
+		res.Stats.Add(stats[i])
 	}
 	done()
 	sortIDs(res.IDs)

@@ -1,0 +1,171 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+)
+
+// Fuzzing the Table-1 rule evaluator. The target decodes an arbitrary byte
+// string into a structurally valid operation sequence (constrained
+// parameters, so failures are genuine rule bugs rather than int overflow on
+// absurd geometry) and asserts the BOUNDS invariants that make RBM sound:
+// for every bin, 0 ≤ BOUNDmin ≤ BOUNDmax ≤ total pixels, and the all-bins
+// walk agrees with the per-bin walk.
+
+// fuzzTargetInfo serves two fixed merge targets (ids 1 and 2).
+type fuzzTargetInfo struct {
+	hists map[uint64]*histogram.Histogram
+	dims  map[uint64][2]int
+}
+
+func (f *fuzzTargetInfo) HistogramOf(id uint64) (*histogram.Histogram, error) {
+	h, ok := f.hists[id]
+	if !ok {
+		return nil, fmt.Errorf("fuzz: unknown target %d", id)
+	}
+	return h, nil
+}
+
+func (f *fuzzTargetInfo) DimsOf(id uint64) (w, h int, err error) {
+	d, ok := f.dims[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("fuzz: unknown target %d", id)
+	}
+	return d[0], d[1], nil
+}
+
+// opsFromBytes decodes data into a bounded operation sequence. Every
+// parameter is clamped to a small range so the sequence always passes
+// editops validation and geometry stays near the raster.
+func opsFromBytes(data []byte) []editops.Op {
+	const maxOps = 64
+	var ops []editops.Op
+	i := 0
+	next := func() int {
+		if i >= len(data) {
+			return -1
+		}
+		b := int(data[i])
+		i++
+		return b
+	}
+	for len(ops) < maxOps {
+		b := next()
+		if b < 0 {
+			break
+		}
+		switch b % 5 {
+		case 0:
+			x0, y0 := next(), next()
+			dw, dh := next(), next()
+			if dh < 0 {
+				dh = 0
+			}
+			// Coordinates in [-4, 27], spans in [0, 31]: regions that fall
+			// inside, straddle and miss a ≤16-pixel-wide raster.
+			r := imaging.Rect{X0: x0%32 - 4, Y0: y0%32 - 4}
+			r.X1 = r.X0 + (dw&31+32)%32
+			r.Y1 = r.Y0 + dh%32
+			ops = append(ops, editops.Define{Region: r})
+		case 1:
+			var w [9]float64
+			sum := 0.0
+			for j := range w {
+				w[j] = float64(next()&15) / 4
+				sum += w[j]
+			}
+			if sum <= 0 {
+				w[4] = 1
+			}
+			ops = append(ops, editops.Combine{Weights: w})
+		case 2:
+			ops = append(ops, editops.Modify{
+				Old: imaging.RGB{R: uint8(next() & 0xff), G: uint8(next() & 0xff), B: uint8(next() & 0xff)},
+				New: imaging.RGB{R: uint8(next() & 0xff), G: uint8(next() & 0xff), B: uint8(next() & 0xff)},
+			})
+		case 3:
+			// Affine maps with scales in (0, 2] and translations in [-8, 7]
+			// keep result canvases small while still shrinking, growing,
+			// shearing and translating.
+			sx := float64(next()&7+1) / 4
+			sy := float64(next()&7+1) / 4
+			k1 := float64(next()&3) / 4
+			k2 := float64(next()&3) / 4
+			tx := float64(next()&15 - 8)
+			ty := float64(next()&15 - 8)
+			ops = append(ops, editops.Mutate{M: [9]float64{sx, k1, tx, k2, sy, ty, 0, 0, 1}})
+		default:
+			// Targets 0 (null), 1 and 2 (known), 3 (unknown → engine error,
+			// which the fuzz body tolerates as a rejected input).
+			t := uint64(next() & 3)
+			ops = append(ops, editops.Merge{Target: t, XP: next()%16 - 4, YP: next()%16 - 4})
+		}
+	}
+	return ops
+}
+
+func FuzzBoundsRules(f *testing.F) {
+	quant := colorspace.NewUniformRGB(2)
+	background := imaging.RGB{}
+	t1 := imaging.NewFilled(6, 4, imaging.RGB{R: 200, G: 30, B: 30})
+	t2 := imaging.NewFilled(3, 7, imaging.RGB{R: 20, G: 20, B: 220})
+	info := &fuzzTargetInfo{
+		hists: map[uint64]*histogram.Histogram{
+			1: histogram.Extract(t1, quant),
+			2: histogram.Extract(t2, quant),
+		},
+		dims: map[uint64][2]int{1: {6, 4}, 2: {3, 7}},
+	}
+	engine := NewEngine(quant, background, info)
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{4, 1, 10, 10})                           // merge a known target
+	f.Add([]byte{3, 7, 7, 0, 0, 8, 8})                    // big mutate
+	f.Add([]byte{0, 200, 200, 1, 1, 1, 9, 9, 9, 9, 9, 9}) // off-image DR then combine
+	f.Add([]byte{2, 255, 255, 255, 0, 0, 0, 2, 0, 0, 0, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := opsFromBytes(data)
+		for _, op := range ops {
+			if err := op.Validate(); err != nil {
+				t.Fatalf("generator produced invalid op %v: %v", op, err)
+			}
+		}
+		// Base raster derived from the head of the input, ≤16×16.
+		w, h := 1, 1
+		var c imaging.RGB
+		if len(data) > 0 {
+			w = int(data[0])%16 + 1
+		}
+		if len(data) > 1 {
+			h = int(data[1])%16 + 1
+		}
+		if len(data) > 2 {
+			c = imaging.RGB{R: data[2], G: data[2] / 2, B: 255 - data[2]}
+		}
+		base := histogram.Extract(imaging.NewFilled(w, h, c), quant)
+
+		all, err := engine.BoundsAll(base, w, h, ops)
+		if err != nil {
+			return // e.g. merge of the deliberately unknown target 3
+		}
+		for bin, b := range all {
+			if b.Min < 0 || b.Min > b.Max || b.Max > b.Total || b.Total < 0 {
+				t.Fatalf("bin %d bounds violated: %+v (ops %v)", bin, b, ops)
+			}
+			single, err := engine.BoundsForBin(base, w, h, ops, bin)
+			if err != nil {
+				t.Fatalf("BoundsAll succeeded but BoundsForBin(%d) failed: %v", bin, err)
+			}
+			if single != b {
+				t.Fatalf("bin %d: BoundsAll %+v != BoundsForBin %+v", bin, b, single)
+			}
+		}
+	})
+}

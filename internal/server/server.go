@@ -561,6 +561,7 @@ func (s *Server) publishGauges() {
 	entries, bytes := s.db.BoundsCacheStats()
 	reg.Gauge("esidb_boundscache_entries").Set(float64(entries))
 	reg.Gauge("esidb_boundscache_bytes").Set(float64(bytes))
+	reg.Gauge("esidb_parallelism").Set(float64(s.db.Parallelism()))
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {

@@ -72,6 +72,13 @@ func WithPoolPages(n int) Option {
 	return func(c *core.Config) { c.Store.PoolPages = n }
 }
 
+// WithParallelism sets the candidate-evaluation worker count: 0 (default)
+// sizes the pool to GOMAXPROCS, 1 forces serial execution, n > 1 uses
+// exactly n workers. Query results are identical at every setting.
+func WithParallelism(n int) Option {
+	return func(c *core.Config) { c.Parallelism = n }
+}
+
 // Open creates an in-memory database, or opens/creates a persistent one
 // when WithPath is given.
 func Open(opts ...Option) (*DB, error) {
@@ -103,6 +110,16 @@ func (db *DB) Compact() error { return db.inner.Compact() }
 // CheckStore runs the page-store integrity scan (fsck). In-memory
 // databases return a clean empty result.
 func (db *DB) CheckStore() (StoreCheck, error) { return db.inner.CheckStore() }
+
+// SetParallelism retunes the candidate-evaluation worker count at runtime
+// (0 = GOMAXPROCS, 1 = serial, n > 1 = exactly n). Safe to call while
+// queries are in flight; in-flight queries keep the setting they started
+// with.
+func (db *DB) SetParallelism(n int) { db.inner.SetParallelism(n) }
+
+// Parallelism reports the configured candidate-evaluation parallelism knob
+// (0 means auto-size to GOMAXPROCS).
+func (db *DB) Parallelism() int { return db.inner.Parallelism() }
 
 // WarmBoundsCache precomputes every edited image's per-bin bounds vector so
 // ModeCachedBounds answers without rule walks. BoundsCacheStats reports the
