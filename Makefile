@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench clean
+# Pinned auxiliary linter versions; lint skips them (with a notice) when the
+# tools are not installed, so offline runs still lint with esidb-lint + vet.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build test race vet fmt-check lint lint-tool ci bench clean
 
 all: build
 
@@ -22,7 +27,23 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: fmt-check vet build race
+lint-tool:
+	$(GO) build -o bin/esidb-lint ./cmd/esidb-lint
+
+lint: fmt-check vet lint-tool
+	$(GO) vet -vettool=$(CURDIR)/bin/esidb-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (pin: honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (pin: golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+ci: lint build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

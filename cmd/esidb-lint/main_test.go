@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles esidb-lint into a temp dir and returns the binary path
+// plus the module root the tool should run against.
+func buildTool(t *testing.T) (bin, root string) {
+	t.Helper()
+	bin = filepath.Join(t.TempDir(), "esidb-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building esidb-lint: %v\n%s", err, out)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, root
+}
+
+// TestVettoolProtocol checks the three entry points "go vet" exercises:
+// -V=full, -flags, and a full vet run over the module, which must be clean.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module")
+	}
+	bin, root := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !regexp.MustCompile(`^esidb-lint version devel comments-go-here buildID=[0-9a-f]{64}\n$`).Match(out) {
+		t.Errorf("-V=full output does not satisfy the vet version protocol: %q", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	names := make(map[string]bool)
+	for _, f := range flags {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"opswitch", "lockguard", "boundorder", "ctxflow", "tracenil", "json", "V", "flags"} {
+		if !names[want] {
+			t.Errorf("-flags output missing flag %q", want)
+		}
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool is not clean over ./...: %v\n%s", err, out)
+	}
+}
+
+// TestStandalone checks the multichecker mode: clean over the production
+// tree, firing (exit 1) over a violating fixture package.
+func TestStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and lints the whole module")
+	}
+	bin, root := buildTool(t)
+
+	clean := exec.Command(bin, "./...")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Errorf("standalone run is not clean over ./...: %v\n%s", err, out)
+	}
+
+	dirty := exec.Command(bin, "./internal/analysis/testdata/src/ctxflow")
+	dirty.Dir = root
+	out, err := dirty.CombinedOutput()
+	var exitErr *exec.ExitError
+	if err == nil {
+		t.Fatalf("standalone run over violating fixture exited 0:\n%s", out)
+	} else if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("standalone run over violating fixture: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "[ctxflow]") {
+		t.Errorf("expected ctxflow findings, got:\n%s", out)
+	}
+
+	selective := exec.Command(bin, "-tracenil", "./internal/analysis/testdata/src/ctxflow")
+	selective.Dir = root
+	if out, err := selective.CombinedOutput(); err != nil {
+		t.Errorf("-tracenil run flagged a ctxflow-only fixture: %v\n%s", err, out)
+	}
+}
+
+func TestMainHelpersCoverFiles(t *testing.T) {
+	if firstLine("a\nb") != "a" || firstLine("solo") != "solo" {
+		t.Fatal("firstLine misbehaves")
+	}
+	if _, err := os.Stat("unit.go"); err != nil {
+		t.Fatalf("unit.go missing: %v", err)
+	}
+}

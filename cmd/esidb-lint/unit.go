@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the JSON config "go vet" writes for each package unit; the
+// field set mirrors x/tools' unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // package path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit executes one unitchecker work unit and exits: parse the unit's
+// files, typecheck them against the export data go vet supplies, run the
+// analyzers, and report. Exit status 1 means findings, anything else clean
+// or fatal.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// go vet expects the facts file to exist for every unit even though
+	// these analyzers neither import nor export facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	succeed := func() {
+		writeVetx()
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				succeed() // the compiler owns parse errors
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, compilerOrGC(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			succeed() // the compiler owns type errors
+		}
+		log.Fatal(err)
+	}
+	writeVetx()
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	diags := analysis.RunPackage(fset, files, pkg, info, analyzers)
+	if jsonOut {
+		tree := make(jsonTree)
+		for _, d := range diags {
+			tree.add(cfg.ID, d.Analyzer, fset.Position(d.Pos).String(), d.Message)
+		}
+		tree.print(os.Stdout)
+		os.Exit(0)
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func readVetConfig(filename string) (*vetConfig, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("go vet config %s has no files (SWIG?)", filename)
+	}
+	return cfg, nil
+}
+
+func compilerOrGC(compiler string) string {
+	if compiler == "" {
+		return "gc"
+	}
+	return compiler
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

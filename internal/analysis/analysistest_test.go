@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest contract: fixture
+// packages under testdata/src carry `// want "regexp"` comments on the
+// lines an analyzer must flag; the test fails on any unmatched expectation
+// or unexpected diagnostic. Fixtures import the real repro packages, so
+// they exercise exactly the types the production tree uses.
+
+var wantRe = regexp.MustCompile(`want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantStrRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// loadFixture loads one testdata package and its want expectations.
+func loadFixture(t *testing.T, name string) (*Package, []*expectation) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	pkg := pkgs[0]
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, s := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(s[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return pkg, wants
+}
+
+// checkFixture runs one analyzer over its fixture package and diffs
+// diagnostics against expectations.
+func checkFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	pkg, wants := loadFixture(t, fixture)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want expectations; it cannot prove %s fires", fixture, a.Name)
+	}
+	diags := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*Analyzer{a})
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestOpSwitchFixture(t *testing.T)   { checkFixture(t, OpSwitch, "opswitch") }
+func TestLockGuardFixture(t *testing.T)  { checkFixture(t, LockGuard, "lockguard") }
+func TestBoundOrderFixture(t *testing.T) { checkFixture(t, BoundOrder, "boundorder") }
+func TestCtxFlowFixture(t *testing.T)    { checkFixture(t, CtxFlow, "ctxflow") }
+func TestTraceNilFixture(t *testing.T)   { checkFixture(t, TraceNil, "tracenil") }
+
+// TestSuiteCleanOnTree is the smoke test the acceptance criteria pin: the
+// full suite must exit clean over the production tree (testdata fixtures
+// excluded by ./... expansion).
+func TestSuiteCleanOnTree(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	var report []string
+	for _, pkg := range pkgs {
+		diags := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, All())
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			report = append(report, fmt.Sprintf("%s:%d:%d: [%s] %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message))
+		}
+	}
+	if len(report) > 0 {
+		t.Errorf("esidb-lint is not clean over ./...:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"opswitch,lockguard", "tracenil"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 3 || as[0].Name != "opswitch" || as[2].Name != "tracenil" {
+		t.Fatalf("unexpected resolution: %v", as)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("unknown analyzer name did not error")
+	}
+}
+
+func TestContainsWord(t *testing.T) {
+	cases := []struct {
+		name, word string
+		want       bool
+	}{
+		{"Max", "max", true},
+		{"blockMax", "max", true},
+		{"maxRX", "max", true},
+		{"maximize", "max", false},
+		{"climax", "max", false},
+		{"minmax", "max", false},
+		{"tMax", "max", true},
+		{"MAX", "max", true},
+	}
+	for _, c := range cases {
+		if got := containsWord(c.name, c.word); got != c.want {
+			t.Errorf("containsWord(%q, %q) = %v, want %v", c.name, c.word, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// BoundOrder guards the shape of rules.Bounds values at construction sites.
+// The BOUNDS algorithm's soundness (paper §3.2) requires every bound to be
+// an ordered [min, max] pair tied to the image's exact pixel total; a
+// literal that swaps the two fields, or that invents a Min/Max without
+// deriving the total, produces bounds that silently stop bracketing the
+// true count. Three rules for composite literals of type rules.Bounds:
+//
+//  1. no positional literals (Bounds{a, b, c} invites swapped arguments —
+//     the fields must be named);
+//  2. no crosswise naming (Min: ...max... / Max: ...min... is almost
+//     certainly a swap);
+//  3. a literal that sets Min or Max must set Total too (the zero literal
+//     Bounds{} is allowed — it is the canonical "no value" result).
+var BoundOrder = &Analyzer{
+	Name: "boundorder",
+	Doc: "rules.Bounds literals must use keyed fields in [min, max] order and " +
+		"carry the pixel total",
+	Run: runBoundOrder,
+}
+
+func runBoundOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || !isNamed(tv.Type, "rules", "Bounds") {
+				return true
+			}
+			checkBoundsLit(pass, lit)
+			return true
+		})
+	}
+}
+
+func checkBoundsLit(pass *Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return // Bounds{}: canonical zero value
+	}
+	fields := make(map[string]ast.Expr)
+	for _, e := range lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			pass.Reportf(lit.Pos(), "positional rules.Bounds literal: use keyed fields (Min/Max/Total) so the [min, max] order is explicit")
+			return
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			fields[key.Name] = kv.Value
+		}
+	}
+	if v, ok := fields["Min"]; ok && exprMentions(v, "max") {
+		pass.Reportf(lit.Pos(), "Bounds.Min is assigned from a max-named expression: likely swapped [min, max] pair")
+	}
+	if v, ok := fields["Max"]; ok && exprMentions(v, "min") {
+		pass.Reportf(lit.Pos(), "Bounds.Max is assigned from a min-named expression: likely swapped [min, max] pair")
+	}
+	_, hasMin := fields["Min"]
+	_, hasMax := fields["Max"]
+	_, hasTotal := fields["Total"]
+	if (hasMin || hasMax) && !hasTotal {
+		pass.Reportf(lit.Pos(), "rules.Bounds literal sets Min/Max without Total: bounds are only sound relative to the image's pixel total")
+	}
+}
+
+// exprMentions reports whether any identifier or selector leaf inside e has
+// the given prefix-insensitive word in its name ("blockMax", "maxRX",
+// "Max"). Matching is on name fragments, so `o.Max` and `tMax` both count.
+func exprMentions(e ast.Expr, word string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		default:
+			return true
+		}
+		if containsWord(name, word) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsWord reports whether name contains word as a case-insensitive
+// camel-case fragment: "blockMax" contains "max", but "maximize" does not
+// (the fragment continues with lower-case letters).
+func containsWord(name, word string) bool {
+	lower := strings.ToLower(name)
+	for i := 0; i+len(word) <= len(lower); i++ {
+		if lower[i:i+len(word)] != word {
+			continue
+		}
+		// Fragment start: beginning, or an upper-case letter in the
+		// original at i, or preceding char is not a letter.
+		if i > 0 {
+			prev := name[i-1]
+			if (prev >= 'a' && prev <= 'z') || (prev >= 'A' && prev <= 'Z') {
+				if !(name[i] >= 'A' && name[i] <= 'Z') {
+					continue
+				}
+			}
+		}
+		// Fragment end: end of name, or next char is not a lower-case
+		// letter (so "maxRX" and "Max" match, "maximize" does not).
+		j := i + len(word)
+		if j < len(name) && name[j] >= 'a' && name[j] <= 'z' {
+			continue
+		}
+		return true
+	}
+	return false
+}

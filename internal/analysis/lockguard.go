@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockGuard enforces the `// guarded by <mu>` annotations on struct fields:
+// every access to an annotated field must happen while the named sibling
+// mutex is held in the enclosing function. The bounds-cache shards, the
+// k-NN threshold tracker, the BWM index and the obs registry all rely on
+// this discipline; the compiler and even the race detector only catch
+// violations that happen to interleave, while the annotation makes the
+// protocol machine-checked on every build.
+//
+// The check is intraprocedural and flow-approximate: within one function
+// body (function literals are separate scopes), Lock/RLock calls on the
+// same receiver chain raise the held depth, Unlock/RUnlock calls lower it
+// (deferred unlocks are ignored — they run at return), and every annotated
+// field access needs depth > 0 at its source position. Functions whose
+// names end in "Locked" are exempt by convention: their contract is that
+// the caller holds the mutex.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed with the " +
+		"named mutex held in the enclosing function",
+	Run: runLockGuard,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField is one annotated struct field.
+type guardedField struct {
+	mutex string // sibling mutex field name
+}
+
+func runLockGuard(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		funcScopes(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			if strings.HasSuffix(name, "Locked") {
+				return
+			}
+			checkLockScope(pass, guarded, body)
+		})
+	}
+}
+
+// collectGuardedFields finds annotated fields, validates that the named
+// mutex is a sibling field of a sync mutex type, and returns field object →
+// annotation.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	out := make(map[*types.Var]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]types.Type)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						fieldNames[name.Name] = obj.Type()
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := annotationMutex(fld)
+				if mu == "" {
+					continue
+				}
+				mt, ok := fieldNames[mu]
+				if !ok || !isMutexType(mt) {
+					pass.Reportf(fld.Pos(), "guarded-by annotation names %q, which is not a sibling sync.Mutex/RWMutex field", mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[obj] = guardedField{mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// annotationMutex extracts the mutex name from a field's doc or trailing
+// comment, "" if unannotated.
+func annotationMutex(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// lockEvent is one mutex operation or guarded access, ordered by position.
+type lockEvent struct {
+	pos   token.Pos
+	key   string // "<base>.<mutex>" chain the event concerns
+	kind  int    // 0 lock, 1 unlock, 2 access
+	field string // accessed field name (kind 2)
+	mutex string // mutex field name (kind 2)
+}
+
+// checkLockScope verifies guarded accesses in one function body. Nested
+// function literals are skipped here; funcScopes visits them separately.
+func checkLockScope(pass *Pass, guarded map[*types.Var]guardedField, body *ast.BlockStmt) {
+	var events []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // separate scope
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				if key, locking, ok := mutexOp(n); ok {
+					if locking {
+						events = append(events, lockEvent{pos: n.Pos(), key: key, kind: 0})
+					} else if !deferred {
+						// A deferred unlock releases at return; it never
+						// ends the critical section mid-body.
+						events = append(events, lockEvent{pos: n.Pos(), key: key, kind: 1})
+					}
+					return false // don't treat x.mu as a field access
+				}
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				obj, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				g, ok := guarded[obj]
+				if !ok {
+					return true
+				}
+				base, ok := exprPath(n.X)
+				if !ok {
+					base = "?"
+				}
+				events = append(events, lockEvent{
+					pos: n.Pos(), key: base + "." + g.mutex, kind: 2,
+					field: obj.Name(), mutex: g.mutex,
+				})
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := make(map[string]int)
+	for _, e := range events {
+		switch e.kind {
+		case 0:
+			depth[e.key]++
+		case 1:
+			if depth[e.key] > 0 {
+				depth[e.key]--
+			}
+		case 2:
+			if depth[e.key] == 0 {
+				pass.Reportf(e.pos, "%s is accessed without holding %s (field is annotated `guarded by %s`)", e.field, e.key, e.mutex)
+			}
+		}
+	}
+}
+
+// mutexOp recognizes x.<mu>.Lock/RLock/Unlock/RUnlock calls and returns the
+// "<base>.<mu>" chain plus whether the call acquires.
+func mutexOp(call *ast.CallExpr) (key string, locking, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false, false
+	}
+	key, pathOK := exprPath(sel.X)
+	if !pathOK {
+		return "", false, false
+	}
+	return key, locking, true
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpSwitch enforces the paper's Table-1 exhaustiveness invariant at the
+// switch level. Two rules:
+//
+//  1. An expression switch over an op-kind enum (editops.Kind,
+//     catalog.Kind) must carry an explicit default arm. These enums are
+//     integer types that cross the storage boundary — any byte can be
+//     converted into them — so case coverage of the declared constants is
+//     not enough: corrupt or future kinds must hit a rejecting default, not
+//     fall through silently.
+//  2. A type switch over the editops.Op interface must either carry a
+//     default arm or name every concrete operation type its package
+//     declares (Define, Combine, Modify, Mutate, Merge). The covered set is
+//     derived from the package, so adding a sixth operation makes every
+//     rule-bearing switch in the tree fail until it gains a rule.
+var OpSwitch = &Analyzer{
+	Name: "opswitch",
+	Doc: "op-kind switches must reject unknown kinds (default arm) and op type " +
+		"switches must cover every editing operation or carry a default",
+	Run: runOpSwitch,
+}
+
+// opKindEnums lists the integer enums rule 1 applies to, as
+// (package name, type name) pairs.
+var opKindEnums = [][2]string{
+	{"editops", "Kind"},
+	{"catalog", "Kind"},
+}
+
+func runOpSwitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch sw := n.(type) {
+			case *ast.SwitchStmt:
+				checkKindSwitch(pass, sw)
+			case *ast.TypeSwitchStmt:
+				checkOpTypeSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+}
+
+// checkKindSwitch applies rule 1 to expression switches whose tag is an
+// op-kind enum.
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	var enum string
+	for _, e := range opKindEnums {
+		if isNamed(tv.Type, e[0], e[1]) {
+			enum = e[0] + "." + e[1]
+			break
+		}
+	}
+	if enum == "" {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		if cc, ok := stmt.(*ast.CaseClause); ok && cc.List == nil {
+			return // explicit default arm
+		}
+	}
+	pass.Reportf(sw.Switch, "switch over %s has no default arm: unknown kinds (corrupt storage, future ops) fall through silently", enum)
+}
+
+// checkOpTypeSwitch applies rule 2 to type switches over editops.Op.
+func checkOpTypeSwitch(pass *Pass, sw *ast.TypeSwitchStmt) {
+	subject := typeSwitchSubject(sw)
+	if subject == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[subject]
+	if !ok || !isNamed(tv.Type, "editops", "Op") {
+		return
+	}
+	iface, ok := tv.Type.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	// Every concrete type in the defining package that implements Op is one
+	// editing operation and needs an arm.
+	opPkg := namedType(tv.Type).Obj().Pkg()
+	required := make(map[string]bool)
+	scope := opPkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			required[name] = true
+		}
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default arm present
+		}
+		for _, e := range cc.List {
+			if ct, ok := pass.TypesInfo.Types[e]; ok {
+				if n := namedType(ct.Type); n != nil {
+					covered[n.Obj().Name()] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for name := range required {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch, "type switch over editops.Op misses operation(s) %s and has no default arm: every editing operation needs a rule (Table 1 completeness)",
+		strings.Join(missing, ", "))
+}
+
+// typeSwitchSubject extracts the switched expression x from
+// `switch v := x.(type)` / `switch x.(type)`.
+func typeSwitchSubject(sw *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch assign := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(assign.Rhs) == 1 {
+			e = assign.Rhs[0]
+		}
+	case *ast.ExprStmt:
+		e = assign.X
+	}
+	ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}

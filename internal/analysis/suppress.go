@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A diagnostic may be silenced with
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// placed on the flagged line or on the line immediately above it. The
+// justification is mandatory: a bare ignore is itself reported, so every
+// intentional exception in the tree carries its reasoning. <analyzer> may
+// be a single name or "all".
+
+type suppression struct {
+	analyzer string // analyzer name or "all"
+	file     string
+	line     int // line the directive allows (the directive's own line + 1 for standalone comments)
+}
+
+// collectSuppressions scans the files' comments for lint:ignore directives.
+// Malformed directives (missing analyzer or justification) are returned as
+// diagnostics so they fail the build instead of silently ignoring nothing.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "lint:ignore needs an analyzer name and a justification: //lint:ignore <analyzer> <why>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment-above style).
+				sups = append(sups,
+					suppression{analyzer: fields[0], file: pos.Filename, line: pos.Line},
+					suppression{analyzer: fields[0], file: pos.Filename, line: pos.Line + 1},
+				)
+			}
+		}
+	}
+	return sups, bad
+}
+
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sups, bad := collectSuppressions(fset, files)
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range sups {
+			if s.file == pos.Filename && s.line == pos.Line && (s.analyzer == d.Analyzer || s.analyzer == "all") {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}

@@ -1,0 +1,42 @@
+// Package boundorder holds fixtures for the boundorder analyzer:
+// rules.Bounds construction must keep the [min, max] pair ordered, keyed,
+// and tied to the pixel total.
+package boundorder
+
+import "repro/internal/rules"
+
+// good: keyed literal carrying the total.
+func keyed(lo, hi, total int) rules.Bounds {
+	return rules.Bounds{Min: lo, Max: hi, Total: total}
+}
+
+// good: the zero literal is the canonical "no value" result.
+func zero() (rules.Bounds, error) {
+	return rules.Bounds{}, nil
+}
+
+// bad: positional literal — the field order is implicit.
+func positional(lo, hi, total int) rules.Bounds {
+	return rules.Bounds{lo, hi, total} // want "positional rules.Bounds literal"
+}
+
+// bad: crosswise naming is almost certainly a swapped pair.
+func swapped(blockMin, blockMax, total int) rules.Bounds {
+	return rules.Bounds{Min: blockMax, Max: blockMin, Total: total} // want "Bounds.Min is assigned from a max-named expression" "Bounds.Max is assigned from a min-named expression"
+}
+
+// good: min-derived values feeding Min are the expected shape.
+func straight(blockMin, blockMax, total int) rules.Bounds {
+	return rules.Bounds{Min: blockMin, Max: blockMax, Total: total}
+}
+
+// bad: Min/Max without the total the bounds are relative to.
+func missingTotal(lo, hi int) rules.Bounds {
+	return rules.Bounds{Min: lo, Max: hi} // want "sets Min/Max without Total"
+}
+
+// good: scale factors named minRX/maxRX on their own side (the real
+// resize rule's shape) must not trip the crosswise check.
+func scaleShape(b rules.Bounds, minRX, maxRX, total int) rules.Bounds {
+	return rules.Bounds{Min: b.Min * minRX, Max: b.Max * maxRX, Total: total}
+}

@@ -1,0 +1,57 @@
+// Package ctxflow holds fixtures for the ctxflow analyzer: a function that
+// accepts a context must thread it into internal/exec fan-outs.
+package ctxflow
+
+import (
+	"context"
+
+	"repro/internal/exec"
+)
+
+// bad: the caller's ctx is dropped on the floor.
+func dropped(ctx context.Context, n int) error {
+	_, err := exec.ForEach(context.Background(), 4, n, func(w, i int) error { return nil }) // want "context.Background\(\) passed to exec.ForEach"
+	return err
+}
+
+// bad: TODO is no better.
+func todo(ctx context.Context, ids []uint64) error {
+	_, _, err := exec.FilterIDs(context.TODO(), 4, ids, func(w int, id uint64) (bool, error) { return true, nil }) // want "context.TODO\(\) passed to exec.FilterIDs"
+	return err
+}
+
+// good: the context threads through.
+func threaded(ctx context.Context, n int) error {
+	_, err := exec.ForEach(ctx, 4, n, func(w, i int) error { return nil })
+	return err
+}
+
+// good: no context parameter in scope — a fresh root is the only option.
+func rootCaller(n int) error {
+	_, err := exec.ForEach(context.Background(), 4, n, func(w, i int) error { return nil })
+	return err
+}
+
+// bad: a closure capturing the outer ctx still must use it.
+func captured(ctx context.Context, n int) func() error {
+	return func() error {
+		_, err := exec.ForEach(context.Background(), 2, n, func(w, i int) error { return nil }) // want "context.Background\(\) passed to exec.ForEach"
+		return err
+	}
+}
+
+// bad: a literal with its own ctx parameter inside a ctx-less function.
+func litCtx(n int) func(context.Context) error {
+	return func(ctx context.Context) error {
+		_, err := exec.ForEach(context.Background(), 2, n, func(w, i int) error { return nil }) // want "context.Background\(\) passed to exec.ForEach"
+		return err
+	}
+}
+
+// good: derived contexts are real propagation.
+func derived(ctx context.Context, n int) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_, err := exec.ForEach(c, 4, n, func(w, i int) error { return nil })
+	return err
+}

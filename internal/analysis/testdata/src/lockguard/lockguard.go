@@ -1,0 +1,86 @@
+// Package lockguard holds fixtures for the lockguard analyzer: struct
+// fields annotated `guarded by <mu>` may only be touched while the named
+// mutex is held in the enclosing function.
+package lockguard
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	// m is the shard's entry table.
+	// guarded by mu
+	m map[uint64]int
+	// free is unguarded on purpose: no annotation, no checking.
+	free int
+}
+
+type rwstate struct {
+	mu sync.RWMutex
+	// vals is read under RLock and written under Lock.
+	// guarded by mu
+	vals []int
+}
+
+type broken struct {
+	x int // guarded by missing -- want "not a sibling sync.Mutex/RWMutex field"
+}
+
+// good: plain lock/unlock bracket.
+func (s *shard) get(id uint64) int {
+	s.mu.Lock()
+	v := s.m[id]
+	s.mu.Unlock()
+	return v
+}
+
+// good: deferred unlock holds to the end of the function.
+func (s *shard) put(id uint64, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = v
+	s.free++ // unannotated field: fine anywhere
+}
+
+// bad: no lock at all.
+func (s *shard) raw(id uint64) int {
+	return s.m[id] // want "m is accessed without holding s.mu"
+}
+
+// bad: access after the unlock.
+func (s *shard) late(id uint64) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.m[id] // want "m is accessed without holding s.mu"
+}
+
+// good: reader lock counts.
+func (r *rwstate) sum() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := 0
+	for _, v := range r.vals {
+		t += v
+	}
+	return t
+}
+
+// good: the Locked suffix marks caller-holds-lock helpers.
+func (s *shard) dropLocked(id uint64) {
+	delete(s.m, id)
+}
+
+// good: an intentional exception with its justification rides along.
+func (s *shard) snapshotHack(id uint64) int {
+	//lint:ignore lockguard benign torn read, metric only
+	return s.m[id]
+}
+
+// bad: a function literal is its own scope — the outer lock does not
+// textually protect the closure body, which may run after return.
+func (s *shard) closure() func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int {
+		return s.m[0] // want "m is accessed without holding s.mu"
+	}
+}

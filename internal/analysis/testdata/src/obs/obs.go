@@ -1,0 +1,18 @@
+// Package obs mirrors the real observability package's Trace for the
+// tracenil fixtures: the analyzer matches by package and type name, and the
+// real Trace has no exported fields, so a violating field access would not
+// even compile against it. This stand-in has one exported field to access.
+package obs
+
+// Trace mirrors obs.Trace with an exported field.
+type Trace struct {
+	Hits int64
+}
+
+// Get is nil-safe like every real Trace method.
+func (t *Trace) Get() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.Hits
+}

@@ -1,0 +1,34 @@
+// Package tracenil holds fixtures for the tracenil analyzer: outside
+// package obs, traces are used only through their nil-safe methods.
+package tracenil
+
+import (
+	mobs "repro/internal/analysis/testdata/src/obs"
+	"repro/internal/obs"
+)
+
+// bad: direct field read panics when tracing is off (nil trace).
+func fieldRead(t *mobs.Trace) int64 {
+	return t.Hits // want "direct field access Hits on obs.Trace"
+}
+
+// bad: direct field write, same hazard.
+func fieldWrite(t *mobs.Trace) {
+	t.Hits = 7 // want "direct field access Hits on obs.Trace"
+}
+
+// good: nil-safe method surface.
+func method(t *mobs.Trace) int64 {
+	return t.Get()
+}
+
+// bad: dereferencing copies the trace (and its mutex) and panics on nil.
+func deref(t *obs.Trace) obs.Trace {
+	return *t // want "dereferencing \*obs.Trace"
+}
+
+// good: passing the pointer through is the contract.
+func passthrough(t *obs.Trace) *obs.Trace {
+	t.Count("k", 1)
+	return t
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceNil protects the nil-trace contract. The query engine threads
+// *obs.Trace unconditionally — a nil trace is the "tracing off" state and
+// every Trace method is nil-safe. Direct field access on a Trace value
+// outside package obs would panic the moment tracing is disabled, so only
+// the nil-safe method surface may be used. (Unexported fields are already
+// compiler-enforced; this check keeps the invariant when exported fields
+// are added, and catches dereference-style copies.)
+var TraceNil = &Analyzer{
+	Name: "tracenil",
+	Doc: "outside package obs, *obs.Trace may only be used through its " +
+		"nil-safe methods, never by direct field access or dereference",
+	Run: runTraceNil,
+}
+
+func runTraceNil(pass *Pass) {
+	if pass.Pkg.Name() == "obs" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if isNamed(sel.Recv(), "obs", "Trace") {
+					pass.Reportf(n.Sel.Pos(), "direct field access %s on obs.Trace outside package obs: a nil trace panics here; use the nil-safe methods", n.Sel.Name)
+				}
+			case *ast.StarExpr:
+				// *tr dereference copies the Trace (and its mutex) and
+				// panics on a nil trace. Type expressions like *obs.Trace in
+				// signatures are not values and are skipped.
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok && !tv.IsType() {
+					if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok && isNamed(ptr.Elem(), "obs", "Trace") {
+						pass.Reportf(n.Pos(), "dereferencing *obs.Trace copies the trace and panics when tracing is off (nil trace); pass the pointer through")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

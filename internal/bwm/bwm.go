@@ -40,11 +40,11 @@ type Index struct {
 	mu sync.RWMutex
 	// main holds one cluster per binary image, ordered by base id (the
 	// paper keeps the list sorted to ease locating a specific base).
-	main []cluster
+	main []cluster // guarded by mu
 	// pos locates a base id's cluster within main.
-	pos map[uint64]int
+	pos map[uint64]int // guarded by mu
 	// unclassified lists edited images that contain a non-widening op.
-	unclassified []uint64
+	unclassified []uint64 // guarded by mu
 }
 
 type cluster struct {
@@ -66,6 +66,7 @@ func (x *Index) InsertBinary(id uint64) {
 		return
 	}
 	// Insertion keeping main sorted by base id.
+	//lint:ignore lockguard sort.Search invokes the closure synchronously under the Lock above; it never escapes this call.
 	i := sort.Search(len(x.main), func(i int) bool { return x.main[i].baseID >= id })
 	x.main = append(x.main, cluster{})
 	copy(x.main[i+1:], x.main[i:])

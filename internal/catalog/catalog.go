@@ -66,14 +66,14 @@ var ErrNotFound = errors.New("catalog: object not found")
 // blob store.
 type Catalog struct {
 	mu       sync.RWMutex
-	nextID   uint64
-	objects  map[uint64]*Object
-	binaries []uint64            // insertion-ordered binary ids
-	edited   []uint64            // insertion-ordered edited ids
-	children map[uint64][]uint64 // base id -> edited ids derived from it
+	nextID   uint64              // guarded by mu
+	objects  map[uint64]*Object  // guarded by mu
+	binaries []uint64            // insertion-ordered binary ids; guarded by mu
+	edited   []uint64            // insertion-ordered edited ids; guarded by mu
+	children map[uint64][]uint64 // base id -> edited ids derived from it; guarded by mu
 	// targetRefs counts, per binary image, how many edited sequences use it
 	// as a Merge target; such images cannot be deleted while referenced.
-	targetRefs map[uint64]int
+	targetRefs map[uint64]int // guarded by mu
 }
 
 // New returns an empty catalog. Ids start at 1; 0 is reserved (it is the
@@ -372,6 +372,8 @@ func (c *Catalog) Delete(id uint64) error {
 				delete(c.targetRefs, t)
 			}
 		}
+	default:
+		return fmt.Errorf("catalog: id %d: unknown kind %d", id, obj.Kind)
 	}
 	delete(c.objects, id)
 	return nil

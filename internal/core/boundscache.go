@@ -47,7 +47,7 @@ type boundsCache struct {
 
 type bcShard struct {
 	mu sync.Mutex
-	m  map[uint64]*bcEntry
+	m  map[uint64]*bcEntry // guarded by mu
 }
 
 // bcEntry is one id's cached vector, or the in-flight computation of it.
@@ -63,6 +63,7 @@ type bcEntry struct {
 func newBoundsCache() *boundsCache {
 	c := &boundsCache{}
 	for i := range c.shards {
+		//lint:ignore lockguard construction: the cache is not shared until newBoundsCache returns.
 		c.shards[i].m = make(map[uint64]*bcEntry)
 	}
 	return c

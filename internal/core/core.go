@@ -402,6 +402,8 @@ func (db *DB) Delete(id uint64) error {
 	case catalog.KindEdited:
 		db.idx.DeleteEdited(id, obj.Seq.BaseID)
 		db.bcache.drop(id)
+	default:
+		return fmt.Errorf("core: delete %d: unknown kind %d", id, obj.Kind)
 	}
 	return nil
 }

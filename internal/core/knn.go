@@ -175,6 +175,58 @@ func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) 
 	return out, st, nil
 }
 
+// thresholdTracker maintains the k-th-best exact distance shared by the
+// parallel candidate workers. Exact distances tighten a heap under mu; the
+// resulting threshold is mirrored into thBits so the hot pruning path reads
+// it with one atomic load instead of taking the lock. The threshold only
+// ever decreases, so a stale read prunes less, never incorrectly.
+type thresholdTracker struct {
+	k      int
+	thBits atomic.Uint64 // k-th best distance as float64 bits; +Inf below k
+	mu     sync.Mutex
+	h      matchHeap // guarded by mu
+}
+
+// newThresholdTracker seeds the tracker with the binary pass's exact
+// distances so pruning starts tight.
+func newThresholdTracker(k int, seed matchHeap) *thresholdTracker {
+	t := &thresholdTracker{k: k}
+	t.mu.Lock()
+	t.h = make(matchHeap, seed.Len())
+	copy(t.h, seed)
+	heap.Init(&t.h)
+	t.storeLocked()
+	t.mu.Unlock()
+	return t
+}
+
+// storeLocked mirrors the current k-th best into thBits. Callers hold mu.
+func (t *thresholdTracker) storeLocked() {
+	if t.h.Len() < t.k {
+		t.thBits.Store(math.Float64bits(math.Inf(1)))
+	} else {
+		t.thBits.Store(math.Float64bits(t.h[0].Dist))
+	}
+}
+
+// record folds one exact distance into the tracker.
+func (t *thresholdTracker) record(id uint64, d float64) {
+	t.mu.Lock()
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, Match{ID: id, Dist: d})
+	} else if d < t.h[0].Dist {
+		t.h[0] = Match{ID: id, Dist: d}
+		heap.Fix(&t.h, 0)
+	}
+	t.storeLocked()
+	t.mu.Unlock()
+}
+
+// threshold returns the current pruning threshold.
+func (t *thresholdTracker) threshold() float64 {
+	return math.Float64frombits(t.thBits.Load())
+}
+
 // knnPruneParallel is the fan-out version of the edited-candidate pass.
 // Workers prune against a shared threshold maintained in a tracker heap:
 // the tracker is seeded with the binary pass's exact distances and
@@ -189,31 +241,7 @@ func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) 
 // differ between runs. The first error cancels the remaining candidate
 // evaluations through the pool's context.
 func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *matchHeap, push func(uint64, float64), st *KNNStats, tr *obs.Trace, env *editops.Env) error {
-	tracker := make(matchHeap, best.Len())
-	copy(tracker, *best)
-	heap.Init(&tracker)
-	var thBits atomic.Uint64
-	var tmu sync.Mutex
-	storeThreshold := func() {
-		if tracker.Len() < q.K {
-			thBits.Store(math.Float64bits(math.Inf(1)))
-		} else {
-			thBits.Store(math.Float64bits(tracker[0].Dist))
-		}
-	}
-	storeThreshold()
-	record := func(id uint64, d float64) {
-		tmu.Lock()
-		if tracker.Len() < q.K {
-			heap.Push(&tracker, Match{ID: id, Dist: d})
-		} else if d < tracker[0].Dist {
-			tracker[0] = Match{ID: id, Dist: d}
-			heap.Fix(&tracker, 0)
-		}
-		storeThreshold()
-		tmu.Unlock()
-	}
-	threshold := func() float64 { return math.Float64frombits(thBits.Load()) }
+	tracker := newThresholdTracker(q.K, *best)
 
 	type outcome struct {
 		scored bool
@@ -244,7 +272,7 @@ func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *mat
 		if err != nil {
 			return err
 		}
-		if distanceLowerBound(q.Target, bounds, q.Metric) > threshold() {
+		if distanceLowerBound(q.Target, bounds, q.Metric) > tracker.threshold() {
 			pruned[w]++
 			mKNNPruned.Inc()
 			tr.Count(obs.TImagesPruned, 1)
@@ -262,7 +290,7 @@ func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *mat
 		}
 		d := q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer))
 		outs[i] = outcome{scored: true, dist: d}
-		record(id, d)
+		tracker.record(id, d)
 		return nil
 	})
 	pst.Record(tr)

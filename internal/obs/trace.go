@@ -18,8 +18,8 @@ import (
 // want aggregates.
 type Trace struct {
 	mu       sync.Mutex
-	phases   []PhaseTiming
-	counters map[string]int64
+	phases   []PhaseTiming    // guarded by mu
+	counters map[string]int64 // guarded by mu
 }
 
 // PhaseTiming is one completed phase.

@@ -252,16 +252,19 @@ func pathID(r *http.Request) (uint64, error) {
 	return id, nil
 }
 
+// decodeImageBody decodes a request body as PNG or PPM, dispatching on the
+// Content-Type header; anything that does not look like PNG falls back to
+// the PPM decoder, which rejects malformed input with its own error.
+func decodeImageBody(r *http.Request) (*mmdb.Image, error) {
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "png") {
+		return mmdb.DecodePNG(r.Body)
+	}
+	return mmdb.DecodePPM(r.Body)
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
-	var img *mmdb.Image
-	var err error
-	switch ct := r.Header.Get("Content-Type"); {
-	case strings.Contains(ct, "png"):
-		img, err = mmdb.DecodePNG(r.Body)
-	default:
-		img, err = mmdb.DecodePPM(r.Body)
-	}
+	img, err := decodeImageBody(r)
 	if err != nil {
 		s.writeError(w, badRequest("decode image: %w", err))
 		return
@@ -489,14 +492,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
-	var img *mmdb.Image
-	var err error
-	switch ct := r.Header.Get("Content-Type"); {
-	case strings.Contains(ct, "png"):
-		img, err = mmdb.DecodePNG(r.Body)
-	default:
-		img, err = mmdb.DecodePPM(r.Body)
-	}
+	img, err := decodeImageBody(r)
 	if err != nil {
 		s.writeError(w, badRequest("decode probe: %w", err))
 		return
