@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet fmt-check lint lint-tool ci bench clean
+.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke clean
 
 all: build
 
@@ -43,7 +43,12 @@ lint: fmt-check vet lint-tool
 		echo "govulncheck not installed; skipping (pin: golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: lint build race
+ci: lint build race cluster-smoke
+
+# End-to-end differential check: a 3-shard loopback HTTP cluster must
+# answer range, compound and k-NN queries identically to a single node.
+cluster-smoke:
+	bash scripts/cluster-smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -8,6 +8,7 @@
 //	benchfig -exp table1|table2|fig3|fig4|summary
 //	benchfig -exp ablation-widening|ablation-ops|ablation-baseline|ablation-cache
 //	benchfig -exp ext-knn|ext-rtree|ext-bic
+//	benchfig -exp scale|cluster
 package main
 
 import (
@@ -34,7 +35,7 @@ func run(exp string) error {
 		for _, e := range []string{
 			"table1", "table2", "fig3", "fig4", "summary",
 			"ablation-widening", "ablation-ops", "ablation-baseline", "ablation-cache", "ablation-optimize", "ablation-quantizer",
-			"ext-knn", "ext-rtree", "ext-bic", "scale",
+			"ext-knn", "ext-rtree", "ext-bic", "scale", "cluster",
 		} {
 			if err := run(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
@@ -150,6 +151,20 @@ func run(exp string) error {
 		}
 		bench.WriteScale(out, pts)
 		return nil
+	case "cluster":
+		cfg := bench.FlagConfig()
+		cfg.Queries = 40
+		cfg.Repetitions = 3
+		corpus, err := bench.BuildCorpus(cfg)
+		if err != nil {
+			return err
+		}
+		pts, err := corpus.CompareCluster([]int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		bench.WriteCluster(out, pts)
+		return bench.WriteClusterJSON(out, pts)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

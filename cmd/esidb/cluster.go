@@ -1,0 +1,276 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/cluster"
+)
+
+// cmdCluster dispatches the cluster subcommands: scatter-gather queries
+// against the shards named in a shard-map file.
+//
+//	esidb cluster query   -map map.json [-mode bwm] [-ids] "at least 25% blue"
+//	esidb cluster similar -map map.json [-k 5] [-metric l1] probe.(ppm|png)
+//	esidb cluster load    -map map.json -in dumpdir
+//	esidb cluster stats   -map map.json
+//	esidb cluster health  -map map.json
+func cmdCluster(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing cluster subcommand (query | similar | load | stats | health)")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "query":
+		return cmdClusterQuery(rest)
+	case "similar":
+		return cmdClusterSimilar(rest)
+	case "load":
+		return cmdClusterLoad(rest)
+	case "stats":
+		return cmdClusterStats(rest)
+	case "health":
+		return cmdClusterHealth(rest)
+	default:
+		return fmt.Errorf("unknown cluster subcommand %q", sub)
+	}
+}
+
+// clusterFlags are the flags every cluster subcommand shares.
+func clusterFlags(fs *flag.FlagSet) (mapPath *string, timeout *time.Duration, retries *int) {
+	mapPath = fs.String("map", "", "shard-map file (JSON)")
+	timeout = fs.Duration("timeout", 5*time.Second, "per-shard attempt timeout")
+	retries = fs.Int("retries", 2, "per-shard retries before the shard counts as missed")
+	return
+}
+
+// openCluster builds an HTTP-transport coordinator from a shard-map file.
+// Every shard in the map needs an addr.
+func openCluster(mapPath string, timeout time.Duration, retries int) (*cluster.Coordinator, error) {
+	if mapPath == "" {
+		return nil, fmt.Errorf("missing -map flag")
+	}
+	m, err := cluster.LoadShardMap(mapPath)
+	if err != nil {
+		return nil, err
+	}
+	shards := make(map[string]cluster.Shard, len(m.Shards))
+	for _, info := range m.Shards {
+		if info.Addr == "" {
+			return nil, fmt.Errorf("shard %q has no addr in %s", info.ID, mapPath)
+		}
+		shards[info.ID] = cluster.NewHTTPShard(info.ID, info.Addr, nil)
+	}
+	pol := cluster.DefaultPolicy()
+	pol.Timeout = timeout
+	pol.Retries = retries
+	return cluster.New(m, shards, cluster.Options{Policy: pol})
+}
+
+// reportMissed warns on stderr when an answer is partial, so scripts that
+// parse stdout still see it.
+func reportMissed(partial bool, missed []string) {
+	if partial {
+		fmt.Fprintf(os.Stderr, "WARNING: partial result; missed shards: %v\n", missed)
+	}
+}
+
+func cmdClusterQuery(args []string) error {
+	fs := flag.NewFlagSet("cluster query", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
+	idsOnly := fs.Bool("ids", false, "print bare matching ids, one per line")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("missing query text")
+	}
+	coord, err := openCluster(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	res, err := coord.Query(context.Background(), joinArgs(fs), *modeStr, nil)
+	if err != nil {
+		return err
+	}
+	reportMissed(res.Partial, res.Missed)
+	if *idsOnly {
+		for _, id := range res.IDs {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	for _, id := range res.IDs {
+		fmt.Printf("%6d\n", id)
+	}
+	fmt.Printf("%d matches across %d shards (%d rule evaluations, %d edited skipped)\n",
+		len(res.IDs), len(coord.ShardIDs()), res.Stats.OpsEvaluated, res.Stats.EditedSkipped)
+	return nil
+}
+
+func cmdClusterSimilar(args []string) error {
+	fs := flag.NewFlagSet("cluster similar", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	k := fs.Int("k", 5, "number of neighbors")
+	metric := fs.String("metric", "l1", "l1 | l2 | intersection")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one probe image")
+	}
+	probe, err := readImage(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	coord, err := openCluster(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	res, err := coord.Similar(context.Background(), probe, *k, *metric, nil)
+	if err != nil {
+		return err
+	}
+	reportMissed(res.Partial, res.Missed)
+	for _, m := range res.Matches {
+		fmt.Printf("%6d  dist=%.4f\n", m.ID, m.Dist)
+	}
+	return nil
+}
+
+// cmdClusterLoad imports a dump directory through the coordinator, exactly
+// like `esidb load` does for one node: objects are inserted in manifest
+// order (binaries before edited) so the cluster assigns the same ids a
+// single node loading the same dump would.
+func cmdClusterLoad(args []string) error {
+	fs := flag.NewFlagSet("cluster load", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	in := fs.String("in", "", "dump directory")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("missing -in flag")
+	}
+	coord, err := openCluster(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	entries, err := mmdb.ReadDump(*in)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	idMap := make(map[uint64]uint64, len(entries))
+	perShard := make(map[string]int)
+	for _, e := range entries {
+		var newID uint64
+		var home string
+		switch e.Kind {
+		case "binary":
+			img, err := mmdb.ReadDumpImage(*in, e)
+			if err != nil {
+				return err
+			}
+			newID, home, err = coord.InsertImage(ctx, e.Name, img)
+			if err != nil {
+				return fmt.Errorf("insert binary %q: %w", e.Name, err)
+			}
+		default:
+			seq, err := mmdb.ReadDumpSequence(*in, e)
+			if err != nil {
+				return err
+			}
+			seq, err = mmdb.RemapSequence(seq, idMap)
+			if err != nil {
+				return fmt.Errorf("remap sequence %q: %w", e.Name, err)
+			}
+			newID, home, err = coord.InsertSequence(ctx, e.Name, seq)
+			if err != nil {
+				return fmt.Errorf("insert sequence %q: %w", e.Name, err)
+			}
+		}
+		idMap[e.ID] = newID
+		perShard[home]++
+	}
+	shards := make([]string, 0, len(perShard))
+	for s := range perShard {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards)
+	fmt.Printf("loaded %d objects from %s\n", len(entries), *in)
+	for _, s := range shards {
+		fmt.Printf("  %-8s %d objects\n", s, perShard[s])
+	}
+	return nil
+}
+
+func cmdClusterStats(args []string) error {
+	fs := flag.NewFlagSet("cluster stats", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	fs.Parse(args)
+	coord, err := openCluster(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	st, err := coord.Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	reportMissed(st.Partial, st.Missed)
+	ids := make([]string, 0, len(st.PerShard))
+	for id := range st.PerShard {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var images, binaries, edited int
+	for _, id := range ids {
+		s := st.PerShard[id]
+		fmt.Printf("%-8s %d images (%d binary, %d edited), %d bwm clusters\n",
+			id, s.Catalog.Images, s.Catalog.Binaries, s.Catalog.Edited, s.BWMClusters)
+		images += s.Catalog.Images
+		binaries += s.Catalog.Binaries
+		edited += s.Catalog.Edited
+	}
+	fmt.Printf("total    %d images (%d binary, %d edited) on %d shards\n",
+		images, binaries, edited, len(ids))
+	return nil
+}
+
+func cmdClusterHealth(args []string) error {
+	fs := flag.NewFlagSet("cluster health", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	fs.Parse(args)
+	coord, err := openCluster(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	states := coord.CheckNow(context.Background())
+	ids := make([]string, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	down := 0
+	for _, id := range ids {
+		fmt.Printf("%-8s %s\n", id, states[id])
+		if states[id] != cluster.StateUp {
+			down++
+		}
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d shards not up", down, len(ids))
+	}
+	return nil
+}
+
+func joinArgs(fs *flag.FlagSet) string {
+	out := ""
+	for i, a := range fs.Args() {
+		if i > 0 {
+			out += " "
+		}
+		out += a
+	}
+	return out
+}

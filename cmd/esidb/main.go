@@ -19,21 +19,25 @@
 //	esidb compact -db file
 //	esidb stats   -db file
 //	esidb metrics -db file [-q "at least 25% blue"] [-mode bwm] [-json]
-//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N]
+//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N] [-shard-id s0 -shard-map map.json]
+//	esidb cluster query|similar|stats|health|load -map map.json ...
 //	esidb colors
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
-	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	mmdb "repro"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -82,6 +86,8 @@ func main() {
 		err = cmdMetrics(args)
 	case "serve":
 		err = cmdServe(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "colors":
 		err = cmdColors()
 	case "help", "-h", "--help":
@@ -118,7 +124,8 @@ commands:
   fsck     verify the database file's structural integrity
   stats    print database statistics
   metrics  run a workload probe and print the process metrics registry
-  serve    expose the database over HTTP
+  serve    expose the database over HTTP (optionally as one cluster shard)
+  cluster  query N shards through a scatter-gather coordinator
   colors   list the query color vocabulary`)
 }
 
@@ -301,6 +308,7 @@ func cmdQuery(args []string) error {
 	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
 	bases := fs.Bool("bases", false, "also return the base image of each edited match")
 	trace := fs.Bool("trace", false, "print per-phase timings and decision counts")
+	idsOnly := fs.Bool("ids", false, "print bare matching ids, one per line")
 	parallelism := fs.Int("parallelism", 0, "candidate-evaluation workers (0 = all CPUs, 1 = serial)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
@@ -327,6 +335,12 @@ func cmdQuery(args []string) error {
 	ids := res.IDs
 	if *bases {
 		ids = db.ExpandToBases(ids)
+	}
+	if *idsOnly {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
 	}
 	for _, id := range ids {
 		obj, err := db.Get(id)
@@ -651,6 +665,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8765", "listen address")
 	logJSON := fs.Bool("log-json", false, "emit access logs as JSON instead of logfmt text")
 	parallelism := fs.Int("parallelism", 0, "candidate-evaluation workers (0 = all CPUs, 1 = serial)")
+	shardID := fs.String("shard-id", "", "serve as this shard of a cluster (requires -shard-map)")
+	shardMap := fs.String("shard-map", "", "cluster shard-map file (JSON)")
 	fs.Parse(args)
 	db, err := openDB(*path)
 	if err != nil {
@@ -658,13 +674,29 @@ func cmdServe(args []string) error {
 	}
 	defer db.Close()
 	db.SetParallelism(*parallelism)
+	if (*shardID == "") != (*shardMap == "") {
+		return fmt.Errorf("-shard-id and -shard-map must be used together")
+	}
+	if *shardMap != "" {
+		m, err := cluster.LoadShardMap(*shardMap)
+		if err != nil {
+			return err
+		}
+		info, ok := m.Shard(*shardID)
+		if !ok {
+			return fmt.Errorf("shard %q is not in %s", *shardID, *shardMap)
+		}
+		fmt.Printf("shard %s of %d (map %s, addr %s)\n", info.ID, len(m.Shards), *shardMap, info.Addr)
+	}
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	fmt.Printf("serving %s on %s\n", *path, *addr)
 	srv := server.New(db).WithLogger(slog.New(handler))
-	return http.ListenAndServe(*addr, srv)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return server.Run(ctx, *addr, srv)
 }
 
 // cmdMetrics prints the process metrics registry, optionally after running

@@ -77,17 +77,68 @@ func (db *DB) DumpTo(dir string) error {
 // edited images, and scripts' base and Merge-target references are
 // rewritten through the manifest's id mapping.
 func (db *DB) LoadFrom(dir string) (int, error) {
-	mf, err := os.Open(filepath.Join(dir, manifestName))
+	entries, err := ReadDump(dir)
 	if err != nil {
 		return 0, err
 	}
-	defer mf.Close()
-
-	type entry struct {
-		kind, name, file string
-		oldID            uint64
+	idMap := make(map[uint64]uint64, len(entries))
+	loaded := 0
+	for _, e := range entries {
+		if e.Kind != "binary" {
+			continue
+		}
+		img, err := ReadDumpImage(dir, e)
+		if err != nil {
+			return loaded, err
+		}
+		newID, err := db.InsertImage(e.Name, img)
+		if err != nil {
+			return loaded, err
+		}
+		idMap[e.ID] = newID
+		loaded++
 	}
-	var binaries, edited []entry
+	for _, e := range entries {
+		if e.Kind != "edited" {
+			continue
+		}
+		seq, err := ReadDumpSequence(dir, e)
+		if err != nil {
+			return loaded, err
+		}
+		remapped, err := RemapSequence(seq, idMap)
+		if err != nil {
+			return loaded, fmt.Errorf("mmdb: load %s: %w", e.File, err)
+		}
+		if _, err := db.InsertEdited(e.Name, remapped); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// DumpEntry is one manifest line of a dump directory.
+type DumpEntry struct {
+	// Kind is "binary" or "edited".
+	Kind string
+	// ID is the object's id in the database that wrote the dump.
+	ID uint64
+	// Name is the object label; File is the raster (.ppm) or script
+	// (.esq) file name relative to the dump directory.
+	Name, File string
+}
+
+// ReadDump parses a dump directory's manifest and returns its entries,
+// binaries first, each group in manifest order — the order LoadFrom (and
+// the cluster bulk loader) inserts them in.
+func ReadDump(dir string) ([]DumpEntry, error) {
+	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	var binaries, edited []DumpEntry
 	sc := bufio.NewScanner(mf)
 	lineNo := 0
 	for sc.Scan() {
@@ -98,65 +149,55 @@ func (db *DB) LoadFrom(dir string) (int, error) {
 		}
 		parts := strings.Split(line, "\t")
 		if len(parts) != 4 {
-			return 0, fmt.Errorf("mmdb: manifest line %d: want 4 fields, got %d", lineNo, len(parts))
+			return nil, fmt.Errorf("mmdb: manifest line %d: want 4 fields, got %d", lineNo, len(parts))
 		}
 		oldID, err := strconv.ParseUint(parts[1], 10, 64)
 		if err != nil {
-			return 0, fmt.Errorf("mmdb: manifest line %d: id %q: %v", lineNo, parts[1], err)
+			return nil, fmt.Errorf("mmdb: manifest line %d: id %q: %v", lineNo, parts[1], err)
 		}
-		e := entry{kind: parts[0], oldID: oldID, name: parts[2], file: parts[3]}
-		switch e.kind {
+		e := DumpEntry{Kind: parts[0], ID: oldID, Name: parts[2], File: parts[3]}
+		switch e.Kind {
 		case "binary":
 			binaries = append(binaries, e)
 		case "edited":
 			edited = append(edited, e)
 		default:
-			return 0, fmt.Errorf("mmdb: manifest line %d: unknown kind %q", lineNo, e.kind)
+			return nil, fmt.Errorf("mmdb: manifest line %d: unknown kind %q", lineNo, e.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return 0, err
+		return nil, err
 	}
-
-	idMap := make(map[uint64]uint64, len(binaries))
-	loaded := 0
-	for _, e := range binaries {
-		img, err := imaging.ReadPPMFile(filepath.Join(dir, e.file))
-		if err != nil {
-			return loaded, fmt.Errorf("mmdb: load %s: %w", e.file, err)
-		}
-		newID, err := db.InsertImage(e.name, img)
-		if err != nil {
-			return loaded, err
-		}
-		idMap[e.oldID] = newID
-		loaded++
-	}
-	for _, e := range edited {
-		f, err := os.Open(filepath.Join(dir, e.file))
-		if err != nil {
-			return loaded, err
-		}
-		seq, err := ParseSequence(f)
-		f.Close()
-		if err != nil {
-			return loaded, fmt.Errorf("mmdb: load %s: %w", e.file, err)
-		}
-		remapped, err := remapSequence(seq, idMap)
-		if err != nil {
-			return loaded, fmt.Errorf("mmdb: load %s: %w", e.file, err)
-		}
-		if _, err := db.InsertEdited(e.name, remapped); err != nil {
-			return loaded, err
-		}
-		loaded++
-	}
-	return loaded, nil
+	return append(binaries, edited...), nil
 }
 
-// remapSequence rewrites the base reference and every Merge target through
+// ReadDumpImage loads a binary entry's raster from the dump directory.
+func ReadDumpImage(dir string, e DumpEntry) (*Image, error) {
+	img, err := imaging.ReadPPMFile(filepath.Join(dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("mmdb: load %s: %w", e.File, err)
+	}
+	return img, nil
+}
+
+// ReadDumpSequence loads an edited entry's script from the dump directory
+// (ids are still the dump's; remap with RemapSequence).
+func ReadDumpSequence(dir string, e DumpEntry) (*Sequence, error) {
+	f, err := os.Open(filepath.Join(dir, e.File))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seq, err := ParseSequence(f)
+	if err != nil {
+		return nil, fmt.Errorf("mmdb: load %s: %w", e.File, err)
+	}
+	return seq, nil
+}
+
+// RemapSequence rewrites the base reference and every Merge target through
 // the id mapping.
-func remapSequence(seq *Sequence, idMap map[uint64]uint64) (*Sequence, error) {
+func RemapSequence(seq *Sequence, idMap map[uint64]uint64) (*Sequence, error) {
 	newBase, ok := idMap[seq.BaseID]
 	if !ok {
 		return nil, fmt.Errorf("base %d not in manifest", seq.BaseID)

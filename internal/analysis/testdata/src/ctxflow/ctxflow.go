@@ -55,3 +55,17 @@ func derived(ctx context.Context, n int) error {
 	_, err := exec.ForEach(c, 4, n, func(w, i int) error { return nil })
 	return err
 }
+
+// bad: a scatter-gather fan-out (the cluster coordinator shape) detached
+// from the caller's cancellation.
+func scatterDropped(ctx context.Context, n int) []error {
+	errs, _ := exec.Scatter(context.Background(), 4, n, func(i int) error { return nil }) // want "context.Background\(\) passed to exec.Scatter"
+	return errs
+}
+
+// good: the coordinator shape done right — the per-shard closure sees the
+// caller's ctx because Scatter received it.
+func scatterThreaded(ctx context.Context, n int) []error {
+	errs, _ := exec.Scatter(ctx, 4, n, func(i int) error { return ctx.Err() })
+	return errs
+}

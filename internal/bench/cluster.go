@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// Sharded scatter-gather comparison: the same corpus and range workload
+// run through coordinators over 1, 2 and 4 in-process shards. The
+// coordinator guarantees identical result sets at every shard count (the
+// differential tests assert id-level parity); this harness measures what
+// base-affine partitioning buys in wall time and verifies the match totals
+// agree as a cheap cross-check.
+
+// ClusterResult is one shard-count timing point.
+type ClusterResult struct {
+	// Shards is the cluster width.
+	Shards int `json:"shards"`
+	// Elapsed is the minimum workload wall time across repetitions.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Speedup is the 1-shard time over this point's time (>1 means the
+	// scatter-gather won).
+	Speedup float64 `json:"speedup"`
+	// Results is the total match count over the workload; identical at
+	// every shard count or the run errors out.
+	Results int `json:"results"`
+}
+
+// CompareCluster builds one coordinator per shard count, loads the corpus
+// through it (originals first, then every script as a stored sequence, the
+// same insertion order at each width so ids agree), and times the range
+// workload via scatter-gather MultiRange calls. Results are published as
+// gauges:
+//
+//	esidb_bench_cluster_seconds{shards="N"}
+//	esidb_bench_cluster_speedup{shards="N"}
+func (c *Corpus) CompareCluster(shardCounts []int) ([]ClusterResult, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	ctx := context.Background()
+	var out []ClusterResult
+	for _, n := range shardCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("bench: invalid shard count %d", n)
+		}
+		coord, dbs, err := c.buildCluster(ctx, n)
+		if err != nil {
+			return nil, err
+		}
+		elapsed, results, err := c.timeClusterWorkload(ctx, coord)
+		for _, db := range dbs {
+			db.Close()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d shards: %w", n, err)
+		}
+		out = append(out, ClusterResult{Shards: n, Elapsed: elapsed, Results: results})
+	}
+	base := out[0]
+	for i := range out {
+		if out[i].Results != base.Results {
+			return nil, fmt.Errorf("bench: %d shards found %d results, %d shards found %d",
+				out[i].Shards, out[i].Results, base.Shards, base.Results)
+		}
+		if out[i].Elapsed > 0 {
+			out[i].Speedup = float64(base.Elapsed) / float64(out[i].Elapsed)
+		}
+		reg := obs.Default()
+		label := fmt.Sprintf("{shards=\"%d\"}", out[i].Shards)
+		reg.Gauge("esidb_bench_cluster_seconds" + label).Set(out[i].Elapsed.Seconds())
+		reg.Gauge("esidb_bench_cluster_speedup" + label).Set(out[i].Speedup)
+	}
+	return out, nil
+}
+
+// buildCluster assembles an n-shard in-process coordinator holding the
+// whole corpus as stored sequences.
+func (c *Corpus) buildCluster(ctx context.Context, n int) (*cluster.Coordinator, []*mmdb.DB, error) {
+	m := &cluster.ShardMap{}
+	shards := make(map[string]cluster.Shard, n)
+	dbs := make([]*mmdb.DB, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		db, err := mmdb.Open(mmdb.WithQuantizer(defaultQuantizer))
+		if err != nil {
+			for _, d := range dbs {
+				d.Close()
+			}
+			return nil, nil, err
+		}
+		dbs = append(dbs, db)
+		m.Shards = append(m.Shards, cluster.ShardInfo{ID: id})
+		shards[id] = cluster.NewInProc(id, db)
+	}
+	coord, err := cluster.New(m, shards, cluster.Options{})
+	if err != nil {
+		for _, d := range dbs {
+			d.Close()
+		}
+		return nil, nil, err
+	}
+	for _, o := range c.Originals {
+		if _, _, err := coord.InsertImage(ctx, o.Name, o.Img); err != nil {
+			return nil, dbs, err
+		}
+	}
+	for i, seq := range c.Scripts {
+		name := fmt.Sprintf("%s-seq-%d", c.Config.Name, i)
+		if _, _, err := coord.InsertSequence(ctx, name, seq.Clone()); err != nil {
+			return nil, dbs, err
+		}
+	}
+	return coord, dbs, nil
+}
+
+// timeClusterWorkload runs the range workload through the coordinator
+// (warmup pass, then Repetitions timed passes, minimum wall time). Every
+// query must answer complete — a partial result would time a subset and
+// corrupt the comparison.
+func (c *Corpus) timeClusterWorkload(ctx context.Context, coord *cluster.Coordinator) (time.Duration, int, error) {
+	run := func() (time.Duration, int, error) {
+		results := 0
+		start := time.Now()
+		for _, q := range c.Workload {
+			res, err := coord.MultiRange(ctx, []int{q.Bin}, q.PctMin, q.PctMax, "bwm", nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Partial {
+				return 0, 0, fmt.Errorf("partial result (missed %v)", res.Missed)
+			}
+			results += len(res.IDs)
+		}
+		return time.Since(start), results, nil
+	}
+	if _, _, err := run(); err != nil { // warmup
+		return 0, 0, err
+	}
+	reps := c.Config.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	var best time.Duration
+	var results int
+	for r := 0; r < reps; r++ {
+		d, n, err := run()
+		if err != nil {
+			return 0, 0, err
+		}
+		if r == 0 || d < best {
+			best = d
+		}
+		results = n
+	}
+	return best, results, nil
+}
+
+// WriteCluster renders the shard sweep as a table.
+func WriteCluster(w io.Writer, pts []ClusterResult) {
+	fmt.Fprintln(w, "Cluster scatter-gather (in-process shards, range workload):")
+	fmt.Fprintf(w, "  %-8s %-14s %-10s %s\n", "shards", "workload", "speedup", "results")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-8d %-14s %-10.2f %d\n", p.Shards, p.Elapsed, p.Speedup, p.Results)
+	}
+}
+
+// WriteClusterJSON emits the sweep as one JSON document for downstream
+// tooling.
+func WriteClusterJSON(w io.Writer, pts []ClusterResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string          `json:"experiment"`
+		Points     []ClusterResult `json:"points"`
+	}{Experiment: "cluster", Points: pts})
+}

@@ -61,6 +61,10 @@ type Object struct {
 // ErrNotFound is returned for lookups of unknown object ids.
 var ErrNotFound = errors.New("catalog: object not found")
 
+// ErrIDTaken is returned by the WithID insert variants when the requested
+// id is already occupied.
+var ErrIDTaken = errors.New("catalog: id already in use")
+
 // Catalog is an in-memory object directory safe for concurrent readers and
 // a single writer. Persistence is layered on top by internal/core using the
 // blob store.
@@ -89,6 +93,14 @@ func New() *Catalog {
 
 // AddBinary registers a binary image and returns its id.
 func (c *Catalog) AddBinary(name string, w, h int, hist *histogram.Histogram) (uint64, error) {
+	return c.AddBinaryWithID(0, name, w, h, hist)
+}
+
+// AddBinaryWithID registers a binary image under an explicit id (0 means
+// "allocate the next sequential id", which is AddBinary). Cluster
+// coordinators use explicit ids to keep a single global id space across
+// shards; ErrIDTaken reports collisions.
+func (c *Catalog) AddBinaryWithID(id uint64, name string, w, h int, hist *histogram.Histogram) (uint64, error) {
 	if hist == nil {
 		return 0, errors.New("catalog: binary image needs a histogram")
 	}
@@ -100,8 +112,10 @@ func (c *Catalog) AddBinary(name string, w, h int, hist *histogram.Histogram) (u
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	id := c.nextID
-	c.nextID++
+	id, err := c.claimIDLocked(id)
+	if err != nil {
+		return 0, err
+	}
 	c.objects[id] = &Object{ID: id, Kind: KindBinary, Name: name, W: w, H: h, Hist: hist}
 	c.binaries = append(c.binaries, id)
 	return id, nil
@@ -111,6 +125,12 @@ func (c *Catalog) AddBinary(name string, w, h int, hist *histogram.Histogram) (u
 // targets must already be binary objects; widening is the caller-computed
 // classification (the caller owns the rules dependency).
 func (c *Catalog) AddEdited(name string, seq *editops.Sequence, widening bool) (uint64, error) {
+	return c.AddEditedWithID(0, name, seq, widening)
+}
+
+// AddEditedWithID is AddEdited with an explicit id (0 = allocate); see
+// AddBinaryWithID.
+func (c *Catalog) AddEditedWithID(id uint64, name string, seq *editops.Sequence, widening bool) (uint64, error) {
 	if seq == nil {
 		return 0, errors.New("catalog: edited image needs a sequence")
 	}
@@ -129,13 +149,33 @@ func (c *Catalog) AddEdited(name string, seq *editops.Sequence, widening bool) (
 			return 0, fmt.Errorf("catalog: merge target %d: %w", t, ErrNotFound)
 		}
 	}
-	id := c.nextID
-	c.nextID++
+	id, err := c.claimIDLocked(id)
+	if err != nil {
+		return 0, err
+	}
 	c.objects[id] = &Object{ID: id, Kind: KindEdited, Name: name, Seq: seq, Widening: widening}
 	c.edited = append(c.edited, id)
 	c.children[seq.BaseID] = append(c.children[seq.BaseID], id)
 	for _, t := range seq.MergeTargets() {
 		c.targetRefs[t]++
+	}
+	return id, nil
+}
+
+// claimIDLocked resolves an insert id: 0 allocates the next sequential id,
+// anything else claims that exact id and bumps the allocator past it so
+// later automatic inserts never collide. Callers hold mu.
+func (c *Catalog) claimIDLocked(id uint64) (uint64, error) {
+	if id == 0 {
+		id = c.nextID
+		c.nextID++
+		return id, nil
+	}
+	if _, exists := c.objects[id]; exists {
+		return 0, fmt.Errorf("catalog: id %d: %w", id, ErrIDTaken)
+	}
+	if id >= c.nextID {
+		c.nextID = id + 1
 	}
 	return id, nil
 }

@@ -281,3 +281,49 @@ func TestRestoreObjectRebuildsTargetRefs(t *testing.T) {
 		t.Fatalf("restored refcount missing: %v", err)
 	}
 }
+
+func TestAddBinaryWithID(t *testing.T) {
+	c := New()
+	id, err := c.AddBinaryWithID(7, "seven", 4, 4, histFor(4, 4))
+	if err != nil || id != 7 {
+		t.Fatalf("AddBinaryWithID(7) = %d, %v", id, err)
+	}
+	// The allocator continues past the claimed id.
+	next, err := c.AddBinary("eight", 4, 4, histFor(4, 4))
+	if err != nil || next != 8 {
+		t.Fatalf("next auto id = %d, %v", next, err)
+	}
+	// Claiming a taken id is a distinct, matchable error.
+	if _, err := c.AddBinaryWithID(7, "again", 4, 4, histFor(4, 4)); !errors.Is(err, ErrIDTaken) {
+		t.Fatalf("reclaim error = %v, want ErrIDTaken", err)
+	}
+	// Claiming below the watermark works when the id is free.
+	id, err = c.AddBinaryWithID(3, "three", 4, 4, histFor(4, 4))
+	if err != nil || id != 3 {
+		t.Fatalf("AddBinaryWithID(3) = %d, %v", id, err)
+	}
+	if next, _ := c.AddBinary("nine", 4, 4, histFor(4, 4)); next != 9 {
+		t.Fatalf("low claim must not rewind the allocator: got %d", next)
+	}
+}
+
+func TestAddEditedWithID(t *testing.T) {
+	c := New()
+	base, err := c.AddBinary("base", 4, 4, histFor(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &editops.Sequence{BaseID: base, Ops: []editops.Op{editops.Combine{Weights: [9]float64{1, 0, 0, 0, 0, 0, 0, 0, 0}}}}
+	id, err := c.AddEditedWithID(5, "edit", seq, true)
+	if err != nil || id != 5 {
+		t.Fatalf("AddEditedWithID(5) = %d, %v", id, err)
+	}
+	if _, err := c.AddEditedWithID(5, "dup", seq.Clone(), true); !errors.Is(err, ErrIDTaken) {
+		t.Fatalf("reclaim error = %v, want ErrIDTaken", err)
+	}
+	// Id 0 delegates to the allocator, same as AddEdited.
+	id, err = c.AddEditedWithID(0, "auto", seq.Clone(), true)
+	if err != nil || id != 6 {
+		t.Fatalf("AddEditedWithID(0) = %d, %v", id, err)
+	}
+}

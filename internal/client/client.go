@@ -7,6 +7,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -75,8 +76,14 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
 }
 
+// do is the context-free legacy path; every request really goes through
+// doCtx so coordinator deadlines can cancel in-flight shard calls.
 func (c *Client) do(method, path string, body io.Reader, contentType string, out any) error {
-	req, err := http.NewRequest(method, c.baseURL+path, body)
+	return c.doCtx(context.Background(), method, path, body, contentType, out)
+}
+
+func (c *Client) doCtx(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
 	if err != nil {
 		return err
 	}
@@ -106,12 +113,19 @@ func (c *Client) do(method, path string, body io.Reader, contentType string, out
 
 // InsertImage uploads a raster (as binary PPM) and returns the new object.
 func (c *Client) InsertImage(name string, img *mmdb.Image) (*Object, error) {
+	return c.InsertImageCtx(context.Background(), 0, name, img)
+}
+
+// InsertImageCtx is InsertImage with a context and an optional explicit
+// object id (0 means "let the server allocate"); cluster coordinators push
+// globally assigned ids down to shards this way.
+func (c *Client) InsertImageCtx(ctx context.Context, id uint64, name string, img *mmdb.Image) (*Object, error) {
 	var buf bytes.Buffer
 	if err := mmdb.EncodePPM(&buf, img); err != nil {
 		return nil, err
 	}
 	var obj Object
-	err := c.do("POST", "/objects?name="+url.QueryEscape(name), &buf, "image/x-portable-pixmap", &obj)
+	err := c.doCtx(ctx, "POST", "/objects?"+insertParams(id, name), &buf, "image/x-portable-pixmap", &obj)
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +134,14 @@ func (c *Client) InsertImage(name string, img *mmdb.Image) (*Object, error) {
 
 // InsertSequence uploads an edited image's text script.
 func (c *Client) InsertSequence(name string, seq *mmdb.Sequence) (*Object, error) {
+	return c.InsertSequenceCtx(context.Background(), 0, name, seq)
+}
+
+// InsertSequenceCtx is InsertSequence with a context and an optional
+// explicit object id (see InsertImageCtx).
+func (c *Client) InsertSequenceCtx(ctx context.Context, id uint64, name string, seq *mmdb.Sequence) (*Object, error) {
 	var obj Object
-	err := c.do("POST", "/sequences?name="+url.QueryEscape(name),
+	err := c.doCtx(ctx, "POST", "/sequences?"+insertParams(id, name),
 		strings.NewReader(mmdb.FormatSequence(seq)), "text/plain", &obj)
 	if err != nil {
 		return nil, err
@@ -129,10 +149,24 @@ func (c *Client) InsertSequence(name string, seq *mmdb.Sequence) (*Object, error
 	return &obj, nil
 }
 
+func insertParams(id uint64, name string) string {
+	q := url.Values{}
+	q.Set("name", name)
+	if id != 0 {
+		q.Set("id", strconv.FormatUint(id, 10))
+	}
+	return q.Encode()
+}
+
 // List returns every object's metadata.
 func (c *Client) List() ([]Object, error) {
+	return c.ListCtx(context.Background())
+}
+
+// ListCtx is List with a context.
+func (c *Client) ListCtx(ctx context.Context) ([]Object, error) {
 	var out []Object
-	if err := c.do("GET", "/objects", nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/objects", nil, "", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -141,8 +175,13 @@ func (c *Client) List() ([]Object, error) {
 // Get returns one object's metadata (including the script for edited
 // images).
 func (c *Client) Get(id uint64) (*Object, error) {
+	return c.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get with a context.
+func (c *Client) GetCtx(ctx context.Context, id uint64) (*Object, error) {
 	var obj Object
-	if err := c.do("GET", fmt.Sprintf("/objects/%d", id), nil, "", &obj); err != nil {
+	if err := c.doCtx(ctx, "GET", fmt.Sprintf("/objects/%d", id), nil, "", &obj); err != nil {
 		return nil, err
 	}
 	return &obj, nil
@@ -151,7 +190,16 @@ func (c *Client) Get(id uint64) (*Object, error) {
 // Image downloads an object's raster, instantiating edited images
 // server-side.
 func (c *Client) Image(id uint64) (*mmdb.Image, error) {
-	resp, err := c.http.Get(fmt.Sprintf("%s/objects/%d/image", c.baseURL, id))
+	return c.ImageCtx(context.Background(), id)
+}
+
+// ImageCtx is Image with a context.
+func (c *Client) ImageCtx(ctx context.Context, id uint64) (*mmdb.Image, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/objects/%d/image", c.baseURL, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -188,12 +236,22 @@ func (c *Client) Augment(baseID uint64, opts mmdb.AugmentOptions) ([]uint64, err
 
 // Delete removes an object.
 func (c *Client) Delete(id uint64) error {
-	return c.do("DELETE", fmt.Sprintf("/objects/%d", id), nil, "", nil)
+	return c.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete with a context.
+func (c *Client) DeleteCtx(ctx context.Context, id uint64) error {
+	return c.doCtx(ctx, "DELETE", fmt.Sprintf("/objects/%d", id), nil, "", nil)
 }
 
 // Query runs a textual (possibly compound) range query. mode may be empty
 // for BWM; expandBases adds each match's base image.
 func (c *Client) Query(text, mode string, expandBases bool) (*QueryResult, error) {
+	return c.QueryCtx(context.Background(), text, mode, expandBases)
+}
+
+// QueryCtx is Query with a context.
+func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bool) (*QueryResult, error) {
 	q := url.Values{}
 	q.Set("q", text)
 	if mode != "" {
@@ -203,7 +261,29 @@ func (c *Client) Query(text, mode string, expandBases bool) (*QueryResult, error
 		q.Set("bases", "1")
 	}
 	var out QueryResult
-	if err := c.do("GET", "/query?"+q.Encode(), nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/query?"+q.Encode(), nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MultiRangeCtx runs a structured multi-range query (sum of the given bins'
+// percentages within [pctMin, pctMax]) via GET /multirange. MultiRange has
+// no text form, so unlike Query this endpoint takes the bins directly.
+func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax float64, mode string) (*QueryResult, error) {
+	q := url.Values{}
+	strs := make([]string, len(bins))
+	for i, b := range bins {
+		strs[i] = strconv.Itoa(b)
+	}
+	q.Set("bins", strings.Join(strs, ","))
+	q.Set("min", strconv.FormatFloat(pctMin, 'f', -1, 64))
+	q.Set("max", strconv.FormatFloat(pctMax, 'f', -1, 64))
+	if mode != "" {
+		q.Set("mode", mode)
+	}
+	var out QueryResult
+	if err := c.doCtx(ctx, "GET", "/multirange?"+q.Encode(), nil, "", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -221,6 +301,11 @@ func (c *Client) Explain(text string) (*mmdb.Plan, error) {
 // Similar uploads a probe image and returns its k nearest neighbors.
 // metric may be empty for L1.
 func (c *Client) Similar(probe *mmdb.Image, k int, metric string) ([]Match, error) {
+	return c.SimilarCtx(context.Background(), probe, k, metric)
+}
+
+// SimilarCtx is Similar with a context.
+func (c *Client) SimilarCtx(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]Match, error) {
 	var buf bytes.Buffer
 	if err := mmdb.EncodePPM(&buf, probe); err != nil {
 		return nil, err
@@ -233,7 +318,7 @@ func (c *Client) Similar(probe *mmdb.Image, k int, metric string) ([]Match, erro
 	var out struct {
 		Matches []Match `json:"matches"`
 	}
-	err := c.do("POST", "/similar?"+q.Encode(), &buf, "image/x-portable-pixmap", &out)
+	err := c.doCtx(ctx, "POST", "/similar?"+q.Encode(), &buf, "image/x-portable-pixmap", &out)
 	if err != nil {
 		return nil, err
 	}
@@ -242,11 +327,21 @@ func (c *Client) Similar(probe *mmdb.Image, k int, metric string) ([]Match, erro
 
 // Stats returns the server's database statistics.
 func (c *Client) Stats() (*mmdb.Stats, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats with a context.
+func (c *Client) StatsCtx(ctx context.Context) (*mmdb.Stats, error) {
 	var out mmdb.Stats
-	if err := c.do("GET", "/stats", nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/stats", nil, "", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Health pings GET /healthz; a nil error means the server is serving.
+func (c *Client) Health(ctx context.Context) error {
+	return c.doCtx(ctx, "GET", "/healthz", nil, "", nil)
 }
 
 // Compact asks the server to rewrite its store file.

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -183,5 +184,59 @@ func TestClientExplain(t *testing.T) {
 	}
 	if _, err := c.Explain("gibberish"); err == nil {
 		t.Fatal("bad explain accepted")
+	}
+}
+
+func TestClientContext(t *testing.T) {
+	c, db := newPair(t)
+	img := mmdb.NewFilledImage(8, 8, dataset.Red)
+	if _, err := db.InsertImage("red", img); err != nil {
+		t.Fatal(err)
+	}
+
+	// A canceled context aborts before the request is sent.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ListCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ListCtx with canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := c.QueryCtx(ctx, "at least 0% red", "", false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryCtx with canceled ctx = %v", err)
+	}
+	if err := c.Health(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Health with canceled ctx = %v", err)
+	}
+
+	// Live context: the ctx variants behave like their wrappers.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health = %v", err)
+	}
+	res, err := c.MultiRangeCtx(context.Background(), []int{0, 1}, 0, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) == 0 {
+		t.Fatal("full-range multirange should match the red image")
+	}
+}
+
+func TestClientInsertWithID(t *testing.T) {
+	c, db := newPair(t)
+	img := mmdb.NewFilledImage(8, 8, dataset.Blue)
+	obj, err := c.InsertImageCtx(context.Background(), 41, "blue41", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.ID != 41 {
+		t.Fatalf("explicit id insert returned %d", obj.ID)
+	}
+	if _, err := db.Get(41); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicts surface as APIError 409.
+	_, err = c.InsertImageCtx(context.Background(), 41, "dup", img)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 409 {
+		t.Fatalf("duplicate id error = %v, want 409", err)
 	}
 }

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	mmdb "repro"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// Options tunes a Coordinator.
+type Options struct {
+	// Policy is the per-shard call discipline (zero value = defaults).
+	Policy Policy
+	// Parallelism caps the fan-out worker pool; 0 means one worker per
+	// shard (every shard queried concurrently).
+	Parallelism int
+}
+
+// Coordinator owns the ring and a transport per shard and turns the
+// sharded cluster back into one logical database: it assigns globally
+// unique object ids on insert, routes whole base-clusters to their home
+// shard, scatter-gathers queries and merges the answers.
+type Coordinator struct {
+	pol Policy
+	par int
+
+	mu    sync.RWMutex
+	smap  *ShardMap             // guarded by mu
+	ring  *Ring                 // guarded by mu
+	conns []*shardConn          // guarded by mu; shard-map order
+	byID  map[string]*shardConn // guarded by mu
+
+	health *healthState
+
+	insertMu sync.Mutex
+	lastID   uint64 // guarded by insertMu
+	idSynced bool   // guarded by insertMu
+}
+
+// shardConn pairs a transport with its health accounting and metrics.
+type shardConn struct {
+	shard Shard
+	lat   *obs.Histogram
+	up    *obs.Gauge
+	state *stateMachine
+}
+
+func newShardConn(sh Shard) *shardConn {
+	reg := obs.Default()
+	c := &shardConn{
+		shard: sh,
+		lat:   reg.Histogram(fmt.Sprintf("esidb_cluster_shard_seconds{shard=%q}", sh.ID()), obs.DefBuckets),
+		up:    reg.Gauge(fmt.Sprintf("esidb_cluster_shard_up{shard=%q}", sh.ID())),
+		state: newStateMachine(),
+	}
+	c.publish()
+	return c
+}
+
+// New builds a coordinator over the map using the provided transports
+// (one per shard id in the map).
+func New(m *ShardMap, shards map[string]Shard, opts Options) (*Coordinator, error) {
+	ring, err := NewRing(m)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		pol:    opts.Policy.withDefaults(),
+		par:    opts.Parallelism,
+		health: newHealthState(),
+	}
+	conns := make([]*shardConn, 0, len(m.Shards))
+	byID := make(map[string]*shardConn, len(m.Shards))
+	for _, info := range m.Shards {
+		sh, ok := shards[info.ID]
+		if !ok || sh == nil {
+			return nil, fmt.Errorf("cluster: no transport for shard %q", info.ID)
+		}
+		cc := newShardConn(sh)
+		conns = append(conns, cc)
+		byID[info.ID] = cc
+	}
+	c.mu.Lock()
+	c.smap, c.ring, c.conns, c.byID = m, ring, conns, byID
+	c.mu.Unlock()
+	return c, nil
+}
+
+// NewInProcCluster is the convenience constructor for an n-shard embedded
+// cluster: it opens n in-memory databases under shard ids "s0".."s{n-1}".
+func NewInProcCluster(n int, opts Options) (*Coordinator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", n)
+	}
+	m := &ShardMap{}
+	shards := make(map[string]Shard, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		db, err := mmdb.Open()
+		if err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, ShardInfo{ID: id})
+		shards[id] = NewInProc(id, db)
+	}
+	return New(m, shards, opts)
+}
+
+// Map returns the current shard map.
+func (c *Coordinator) Map() *ShardMap {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.smap
+}
+
+// ShardIDs returns the shard ids in map order.
+func (c *Coordinator) ShardIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.smap.Shards))
+	for i, s := range c.smap.Shards {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// snapshot returns the current ring and connections without holding the
+// lock across network calls.
+func (c *Coordinator) snapshot() (*Ring, []*shardConn) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring, c.conns
+}
+
+func (c *Coordinator) connFor(baseID uint64) (*shardConn, string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id := c.ring.ShardFor(baseID)
+	return c.byID[id], id
+}
+
+func (c *Coordinator) workers(n int) int {
+	if c.par > 0 {
+		return c.par
+	}
+	return n
+}
+
+// gather is the scatter half of every cluster query: fn runs against each
+// live shard under the call policy (timeout, retry, hedge), failures past
+// the retry budget become missed shards rather than errors, and query
+// errors (bad request — deterministic on every shard) fail the whole call.
+// A canceled context also fails the whole call: partial results are for
+// dead shards, not impatient callers.
+func gather[T any](ctx context.Context, c *Coordinator, tr *obs.Trace, fn func(ctx context.Context, sh Shard) (T, error)) (vals []T, ok []bool, missed []string, err error) {
+	_, conns := c.snapshot()
+	var targets []*shardConn
+	for _, cc := range conns {
+		if c.health.active() && cc.state.current() == StateDown {
+			missed = append(missed, cc.shard.ID())
+			continue
+		}
+		targets = append(targets, cc)
+	}
+	tr.Count(obs.TClusterShardsQueried, int64(len(targets)))
+	vals = make([]T, len(targets))
+	ok = make([]bool, len(targets))
+	errs, st := exec.Scatter(ctx, c.workers(len(targets)), len(targets), func(i int) error {
+		cc := targets[i]
+		v, cerr := callShard(ctx, c.pol, true, func(actx context.Context) (T, error) {
+			done := observeSeconds(cc.lat)
+			defer done()
+			return fn(actx, cc.shard)
+		})
+		if cerr == nil {
+			vals[i], ok[i] = v, true
+			cc.noteSuccess()
+		} else if !isQueryError(cerr) && ctx.Err() == nil {
+			cc.noteFailure()
+		}
+		return cerr
+	})
+	if st.Workers > 1 {
+		st.Record(tr)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, nil, nil, cerr
+	}
+	var failed int64
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if isQueryError(e) {
+			return nil, nil, nil, e
+		}
+		failed++
+		missed = append(missed, targets[i].shard.ID())
+	}
+	tr.Count(obs.TClusterShardsFailed, failed)
+	if len(missed) == len(conns) {
+		// Nothing answered; a fully missing result is an outage, not a
+		// degraded answer.
+		for _, e := range errs {
+			if e != nil {
+				return nil, nil, nil, fmt.Errorf("cluster: all %d shards failed: %w", len(conns), e)
+			}
+		}
+		return nil, nil, nil, fmt.Errorf("cluster: all %d shards down", len(conns))
+	}
+	sort.Strings(missed)
+	return vals, ok, missed, nil
+}
+
+// Query scatter-gathers a textual (range or compound) query and returns
+// the deduplicated id union in ascending order.
+func (c *Coordinator) Query(ctx context.Context, text, mode string, tr *obs.Trace) (*Result, error) {
+	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard) (*ShardAnswer, error) {
+		return sh.Query(actx, text, mode)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeAnswers(vals, ok, missed, tr), nil
+}
+
+// MultiRange scatter-gathers a structured multi-bin range query.
+func (c *Coordinator) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, tr *obs.Trace) (*Result, error) {
+	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard) (*ShardAnswer, error) {
+		return sh.MultiRange(actx, bins, pctMin, pctMax, mode)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeAnswers(vals, ok, missed, tr), nil
+}
+
+// Similar scatter-gathers a k-NN query: every shard returns its local
+// top-k, and the global top-k is the k smallest under the (dist,id) total
+// order — identical to a single node holding all the data, because each
+// shard's top-k is the true k-minimum of its partition under the same
+// order.
+func (c *Coordinator) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string, tr *obs.Trace) (*KNNResult, error) {
+	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard) ([]mmdb.Match, error) {
+		return sh.Similar(actx, probe, k, metric)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &KNNResult{Missed: missed, Partial: len(missed) > 0}
+	if res.Partial {
+		tr.Count(obs.TClusterPartialResults, 1)
+	}
+	best := make(map[uint64]mmdb.Match)
+	var dupes int64
+	for i, matches := range vals {
+		if !ok[i] {
+			continue
+		}
+		for _, m := range matches {
+			if prev, seen := best[m.ID]; seen {
+				dupes++
+				// Replicas report identical distances; keep the smaller
+				// (dist,id) defensively.
+				if m.Dist < prev.Dist {
+					best[m.ID] = m
+				}
+				continue
+			}
+			best[m.ID] = m
+		}
+	}
+	tr.Count(obs.TClusterDuplicatesMerged, dupes)
+	merged := make([]mmdb.Match, 0, len(best))
+	for _, m := range best {
+		merged = append(merged, m)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	res.Matches = merged
+	return res, nil
+}
+
+// ClusterStats is the fan-in of per-shard Stats.
+type ClusterStats struct {
+	PerShard map[string]*mmdb.Stats
+	Partial  bool
+	Missed   []string
+}
+
+// Stats collects every live shard's database statistics.
+func (c *Coordinator) Stats(ctx context.Context) (*ClusterStats, error) {
+	_, conns := c.snapshot()
+	ids := make([]string, len(conns))
+	for i, cc := range conns {
+		ids[i] = cc.shard.ID()
+	}
+	vals, ok, missed, err := gather(ctx, c, nil, func(actx context.Context, sh Shard) (*mmdb.Stats, error) {
+		return sh.Stats(actx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterStats{PerShard: make(map[string]*mmdb.Stats), Missed: missed, Partial: len(missed) > 0}
+	j := 0
+	for _, id := range ids {
+		if contains(missed, id) {
+			continue
+		}
+		if j < len(vals) && ok[j] {
+			out.PerShard[id] = vals[j]
+		}
+		j++
+	}
+	return out, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeAnswers set-unions per-shard id lists, dropping duplicates (Merge
+// replicas can match on two shards) and summing the evaluation stats.
+func mergeAnswers(vals []*ShardAnswer, ok []bool, missed []string, tr *obs.Trace) *Result {
+	res := &Result{Missed: missed, Partial: len(missed) > 0}
+	if res.Partial {
+		tr.Count(obs.TClusterPartialResults, 1)
+	}
+	seen := make(map[uint64]bool)
+	var dupes int64
+	for i, a := range vals {
+		if !ok[i] || a == nil {
+			continue
+		}
+		for _, id := range a.IDs {
+			if seen[id] {
+				dupes++
+				continue
+			}
+			seen[id] = true
+			res.IDs = append(res.IDs, id)
+		}
+		res.Stats.BinariesChecked += a.Stats.BinariesChecked
+		res.Stats.EditedWalked += a.Stats.EditedWalked
+		res.Stats.OpsEvaluated += a.Stats.OpsEvaluated
+		res.Stats.EditedSkipped += a.Stats.EditedSkipped
+	}
+	tr.Count(obs.TClusterDuplicatesMerged, dupes)
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res
+}
+
+// ensureIDsLocked seeds the global id allocator from the shards' current
+// contents (max id + 1). Callers hold insertMu. It needs every shard up —
+// allocating ids with part of the id space invisible risks collisions.
+func (c *Coordinator) ensureIDsLocked(ctx context.Context) error {
+	if c.idSynced {
+		return nil
+	}
+	_, conns := c.snapshot()
+	var max uint64
+	for _, cc := range conns {
+		metas, err := callShard(ctx, c.pol, true, func(actx context.Context) ([]ObjectMeta, error) {
+			return cc.shard.List(actx)
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: id sync on shard %s: %w", cc.shard.ID(), err)
+		}
+		for _, m := range metas {
+			if m.ID > max {
+				max = m.ID
+			}
+		}
+	}
+	c.lastID = max
+	c.idSynced = true
+	return nil
+}
+
+// InsertImage stores a binary image cluster-wide: the coordinator assigns
+// the next global id and routes the raster to the id's home shard.
+// Returns the id and the shard it landed on. Inserts are serialized so
+// cluster id assignment matches single-node insertion order exactly.
+func (c *Coordinator) InsertImage(ctx context.Context, name string, img *mmdb.Image) (uint64, string, error) {
+	c.insertMu.Lock()
+	defer c.insertMu.Unlock()
+	if err := c.ensureIDsLocked(ctx); err != nil {
+		return 0, "", err
+	}
+	id := c.lastID + 1
+	conn, home := c.connFor(RouteKey(id, 0))
+	_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+		return struct{}{}, conn.shard.InsertImage(actx, id, name, img)
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	c.lastID = id
+	return id, home, nil
+}
+
+// InsertSequence stores an edited image on its base's home shard (the
+// base-affine invariant). Merge targets homed elsewhere are first
+// replicated onto that shard under their own ids, so sequence evaluation
+// never needs a remote lookup.
+func (c *Coordinator) InsertSequence(ctx context.Context, name string, seq *mmdb.Sequence) (uint64, string, error) {
+	if seq == nil {
+		return 0, "", queryError{fmt.Errorf("cluster: nil sequence")}
+	}
+	c.insertMu.Lock()
+	defer c.insertMu.Unlock()
+	if err := c.ensureIDsLocked(ctx); err != nil {
+		return 0, "", err
+	}
+	conn, home := c.connFor(RouteKey(0, seq.BaseID))
+	if err := c.replicateTargets(ctx, conn, seq); err != nil {
+		return 0, "", err
+	}
+	id := c.lastID + 1
+	_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+		return struct{}{}, conn.shard.InsertSequence(actx, id, name, seq)
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	c.lastID = id
+	return id, home, nil
+}
+
+// replicateTargets copies any Merge-target binaries the sequence
+// references that are not yet present on the destination shard, keeping
+// their global ids (reference replicas).
+func (c *Coordinator) replicateTargets(ctx context.Context, dst *shardConn, seq *mmdb.Sequence) error {
+	for _, t := range seq.MergeTargets() {
+		has, err := callShard(ctx, c.pol, true, func(actx context.Context) (bool, error) {
+			return dst.shard.HasObject(actx, t)
+		})
+		if err != nil {
+			return err
+		}
+		if has {
+			continue
+		}
+		src, srcID := c.connFor(RouteKey(t, 0))
+		if src == dst {
+			// Target homes here but is absent: the insert below will fail
+			// with the shard's own not-found error.
+			continue
+		}
+		img, err := callShard(ctx, c.pol, true, func(actx context.Context) (*mmdb.Image, error) {
+			return src.shard.Image(actx, t)
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: fetch merge target %d from %s: %w", t, srcID, err)
+		}
+		meta, _, err := callShard2(ctx, c.pol, true, func(actx context.Context) (*ObjectMeta, *mmdb.Sequence, error) {
+			return src.shard.Object(actx, t)
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: fetch merge target %d metadata from %s: %w", t, srcID, err)
+		}
+		_, err = callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+			return struct{}{}, dst.shard.InsertImage(actx, t, meta.Name, img)
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: replicate merge target %d to %s: %w", t, dst.shard.ID(), err)
+		}
+	}
+	return nil
+}
+
+// callShard2 is callShard for two-value transports.
+func callShard2[A, B any](ctx context.Context, pol Policy, read bool, fn func(context.Context) (A, B, error)) (A, B, error) {
+	type pair struct {
+		a A
+		b B
+	}
+	p, err := callShard(ctx, pol, read, func(actx context.Context) (pair, error) {
+		a, b, err := fn(actx)
+		return pair{a, b}, err
+	})
+	return p.a, p.b, err
+}
+
+// observeSeconds times a call into a histogram.
+func observeSeconds(h *obs.Histogram) func() {
+	start := nowFunc()
+	return func() { h.Observe(nowFunc().Sub(start).Seconds()) }
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	mmdb "repro"
+	"repro/internal/catalog"
+)
+
+// RebalanceReport summarizes a completed rebalance.
+type RebalanceReport struct {
+	// Moves are the base-clusters that changed home shard.
+	Moves []Move
+	// BinariesMoved and EditedMoved count objects copied to new homes
+	// (replicated merge targets excluded).
+	BinariesMoved int
+	EditedMoved   int
+	// ReplicasCreated counts merge-target replicas materialized on
+	// destination shards.
+	ReplicasCreated int
+	// ReplicasLeft counts source-side binaries that could not be deleted
+	// because sequences staying behind reference them as merge targets —
+	// they were demoted to reference replicas rather than removed.
+	ReplicasLeft int
+}
+
+// AddShard grows the cluster by one shard and rebalances the base-clusters
+// the new ring assigns to it. The shard map is extended with info and sh
+// becomes its transport.
+func (c *Coordinator) AddShard(ctx context.Context, info ShardInfo, sh Shard) (*RebalanceReport, error) {
+	c.mu.RLock()
+	old := c.smap
+	c.mu.RUnlock()
+	return c.Rebalance(ctx, old.WithShard(info), map[string]Shard{info.ID: sh})
+}
+
+// Rebalance moves the cluster from its current shard map to newMap,
+// streaming whole base-clusters (base + its edited derivatives, plus any
+// merge-target replicas they need) to their new home shards. added supplies
+// transports for shard ids new in newMap; existing shards keep theirs.
+//
+// The sequence is copy → swap ring → delete: queries keep answering from
+// the old homes while data streams, the ring swap is atomic, and only then
+// are the moved objects removed from their old shards. Until the deletes
+// finish, a moved object exists on two shards — the same window a
+// merge-target replica always occupies — and the union dedup keeps query
+// answers exact through it. Inserts are held off for the duration so id
+// routing cannot race the swap. Every shard must be reachable; a rebalance
+// with part of the cluster invisible would lose data.
+func (c *Coordinator) Rebalance(ctx context.Context, newMap *ShardMap, added map[string]Shard) (*RebalanceReport, error) {
+	newRing, err := NewRing(newMap)
+	if err != nil {
+		return nil, err
+	}
+
+	c.insertMu.Lock()
+	defer c.insertMu.Unlock()
+
+	c.mu.RLock()
+	oldRing := c.ring
+	oldConns := c.byID
+	c.mu.RUnlock()
+
+	// Assemble the post-rebalance connection set up front so a missing
+	// transport aborts before any data moves.
+	newByID := make(map[string]*shardConn, len(newMap.Shards))
+	newConns := make([]*shardConn, 0, len(newMap.Shards))
+	for _, info := range newMap.Shards {
+		cc := oldConns[info.ID]
+		if cc == nil {
+			sh, ok := added[info.ID]
+			if !ok || sh == nil {
+				return nil, fmt.Errorf("cluster: no transport for new shard %q", info.ID)
+			}
+			cc = newShardConn(sh)
+		}
+		newByID[info.ID] = cc
+		newConns = append(newConns, cc)
+	}
+
+	// Full inventory: every shard lists its objects. Replicas show up on
+	// non-home shards; routing below always consults the ring, so they are
+	// never mistaken for movable bases.
+	type homed struct {
+		meta  ObjectMeta
+		shard string
+	}
+	var binaries, edited []homed
+	for id, cc := range oldConns {
+		metas, err := callShard(ctx, c.pol, true, func(actx context.Context) ([]ObjectMeta, error) {
+			return cc.shard.List(actx)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rebalance inventory on shard %s: %w", id, err)
+		}
+		for _, m := range metas {
+			switch m.Kind {
+			case "binary":
+				if oldRing.ShardFor(RouteKey(m.ID, 0)) == id {
+					binaries = append(binaries, homed{m, id})
+				}
+			default:
+				edited = append(edited, homed{m, id})
+			}
+		}
+	}
+
+	bases := make([]uint64, 0, len(binaries))
+	for _, b := range binaries {
+		bases = append(bases, b.meta.ID)
+	}
+	moves := PlanMoves(oldRing, newRing, bases)
+	rep := &RebalanceReport{Moves: moves}
+	moveTo := make(map[uint64]string, len(moves))
+	for _, mv := range moves {
+		moveTo[mv.Base] = mv.To
+	}
+
+	// Copy phase: stream each moving base-cluster to its new home. Sources
+	// keep serving until the swap, so order does not matter.
+	for _, b := range binaries {
+		to, moving := moveTo[b.meta.ID]
+		if !moving {
+			continue
+		}
+		src, dst := oldConns[b.shard], newByID[to]
+		if err := c.copyBinary(ctx, src, dst, b.meta); err != nil {
+			return nil, err
+		}
+		rep.BinariesMoved++
+	}
+	for _, e := range edited {
+		to, moving := moveTo[e.meta.BaseID]
+		if !moving {
+			continue
+		}
+		src, dst := oldConns[e.shard], newByID[to]
+		n, err := c.copyEdited(ctx, src, dst, e.meta)
+		if err != nil {
+			return nil, err
+		}
+		rep.ReplicasCreated += n
+		rep.EditedMoved++
+	}
+
+	// Swap: from here on the ring routes to the new homes.
+	c.mu.Lock()
+	c.smap, c.ring, c.conns, c.byID = newMap, newRing, newConns, newByID
+	c.mu.Unlock()
+
+	// Delete phase: remove moved objects from their old shards, children
+	// before bases so base deletes see no dangling references. A base still
+	// referenced by sequences that stayed behind (as their merge target)
+	// reports ErrInUse and is left in place as a reference replica.
+	for _, e := range edited {
+		if _, moving := moveTo[e.meta.BaseID]; !moving {
+			continue
+		}
+		src := oldConns[e.shard]
+		if err := c.deleteMoved(ctx, src, e.meta.ID); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range binaries {
+		if _, moving := moveTo[b.meta.ID]; !moving {
+			continue
+		}
+		src := oldConns[b.shard]
+		err := c.deleteMoved(ctx, src, b.meta.ID)
+		if errors.Is(err, catalog.ErrInUse) {
+			rep.ReplicasLeft++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(rep.Moves, func(i, j int) bool { return rep.Moves[i].Base < rep.Moves[j].Base })
+	return rep, nil
+}
+
+// copyBinary materializes a binary on dst under its existing id. Already
+// present (dst held it as a replica) is success.
+func (c *Coordinator) copyBinary(ctx context.Context, src, dst *shardConn, meta ObjectMeta) error {
+	has, err := callShard(ctx, c.pol, true, func(actx context.Context) (bool, error) {
+		return dst.shard.HasObject(actx, meta.ID)
+	})
+	if err != nil {
+		return err
+	}
+	if has {
+		return nil
+	}
+	img, err := callShard(ctx, c.pol, true, func(actx context.Context) (*mmdb.Image, error) {
+		return src.shard.Image(actx, meta.ID)
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: read binary %d from %s: %w", meta.ID, src.shard.ID(), err)
+	}
+	_, err = callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+		return struct{}{}, dst.shard.InsertImage(actx, meta.ID, meta.Name, img)
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: copy binary %d to %s: %w", meta.ID, dst.shard.ID(), err)
+	}
+	return nil
+}
+
+// copyEdited moves one edited object: its merge targets are replicated to
+// dst first (returning how many were created), then the sequence itself is
+// inserted under its existing id.
+func (c *Coordinator) copyEdited(ctx context.Context, src, dst *shardConn, meta ObjectMeta) (int, error) {
+	has, err := callShard(ctx, c.pol, true, func(actx context.Context) (bool, error) {
+		return dst.shard.HasObject(actx, meta.ID)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if has {
+		return 0, nil
+	}
+	_, seq, err := callShard2(ctx, c.pol, true, func(actx context.Context) (*ObjectMeta, *mmdb.Sequence, error) {
+		return src.shard.Object(actx, meta.ID)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cluster: read edited %d from %s: %w", meta.ID, src.shard.ID(), err)
+	}
+	if seq == nil {
+		return 0, fmt.Errorf("cluster: edited %d on %s has no sequence", meta.ID, src.shard.ID())
+	}
+	created := 0
+	for _, t := range seq.MergeTargets() {
+		has, err := callShard(ctx, c.pol, true, func(actx context.Context) (bool, error) {
+			return dst.shard.HasObject(actx, t)
+		})
+		if err != nil {
+			return created, err
+		}
+		if has {
+			continue
+		}
+		tMeta, _, err := callShard2(ctx, c.pol, true, func(actx context.Context) (*ObjectMeta, *mmdb.Sequence, error) {
+			return src.shard.Object(actx, t)
+		})
+		if err != nil {
+			return created, fmt.Errorf("cluster: read merge target %d from %s: %w", t, src.shard.ID(), err)
+		}
+		if err := c.copyBinary(ctx, src, dst, *tMeta); err != nil {
+			return created, err
+		}
+		created++
+	}
+	_, err = callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+		return struct{}{}, dst.shard.InsertSequence(actx, meta.ID, meta.Name, seq)
+	})
+	if err != nil {
+		return created, fmt.Errorf("cluster: copy edited %d to %s: %w", meta.ID, dst.shard.ID(), err)
+	}
+	return created, nil
+}
+
+func (c *Coordinator) deleteMoved(ctx context.Context, src *shardConn, id uint64) error {
+	_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+		return struct{}{}, src.shard.Delete(actx, id)
+	})
+	return err
+}

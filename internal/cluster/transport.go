@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/client"
+	"repro/internal/store"
+)
+
+// ShardAnswer is one shard's contribution to a set-style (range, compound,
+// multirange) query.
+type ShardAnswer struct {
+	IDs   []uint64
+	Stats mmdb.QueryStats
+}
+
+// ObjectMeta is the shard-agnostic slice of catalog metadata the
+// coordinator needs for routing and rebalance: ids, kinds and the base
+// link of edited objects.
+type ObjectMeta struct {
+	ID     uint64
+	Kind   string // "binary" or "edited"
+	Name   string
+	BaseID uint64 // 0 for binaries
+}
+
+// Shard is one partition of the database as the coordinator sees it. Two
+// implementations exist: InProc (embedded *mmdb.DB) and HTTPShard
+// (internal/client against an `esidb serve` process). Mode and metric
+// travel as their wire strings ("bwm", "l1", ...) exactly as the HTTP API
+// takes them; the in-process transport parses them with the same tables.
+type Shard interface {
+	ID() string
+	// Ping is the health probe; nil means the shard is serving.
+	Ping(ctx context.Context) error
+
+	InsertImage(ctx context.Context, id uint64, name string, img *mmdb.Image) error
+	InsertSequence(ctx context.Context, id uint64, name string, seq *mmdb.Sequence) error
+	HasObject(ctx context.Context, id uint64) (bool, error)
+	// Object returns metadata plus, for edited objects, the parsed script.
+	Object(ctx context.Context, id uint64) (*ObjectMeta, *mmdb.Sequence, error)
+	Image(ctx context.Context, id uint64) (*mmdb.Image, error)
+	List(ctx context.Context) ([]ObjectMeta, error)
+	Delete(ctx context.Context, id uint64) error
+
+	Query(ctx context.Context, text, mode string) (*ShardAnswer, error)
+	MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string) (*ShardAnswer, error)
+	Similar(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]mmdb.Match, error)
+	Stats(ctx context.Context) (*mmdb.Stats, error)
+}
+
+// Policy is the per-shard call discipline the coordinator wraps every
+// transport call in.
+type Policy struct {
+	// Timeout bounds each attempt (not the whole retry loop).
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried (so attempts
+	// = Retries+1). Only infra failures retry; query errors (bad request,
+	// not found) surface immediately.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per retry.
+	Backoff time.Duration
+	// Hedge, when > 0, launches a duplicate of a read call that has not
+	// answered within the delay and takes whichever returns first —
+	// tail-latency insurance. Writes are never hedged.
+	Hedge time.Duration
+}
+
+// DefaultPolicy is the coordinator default: tight enough that a dead
+// loopback shard is declared missed in well under a second.
+func DefaultPolicy() Policy {
+	return Policy{Timeout: 5 * time.Second, Retries: 2, Backoff: 50 * time.Millisecond}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.Timeout <= 0 {
+		p.Timeout = d.Timeout
+	}
+	if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = d.Backoff
+	}
+	return p
+}
+
+// queryError marks failures that are the query's (or caller's) fault —
+// parse errors, unknown modes, missing objects. They are deterministic, so
+// retrying is useless and degrading to a partial result would turn a user
+// error into silent data loss; the coordinator fails the whole request.
+type queryError struct{ err error }
+
+func (e queryError) Error() string { return e.err.Error() }
+func (e queryError) Unwrap() error { return e.err }
+
+// asQueryError classifies an error: HTTP 4xx responses and local
+// validation failures are query errors; transport faults, 5xx and a
+// closed shard database are shard failures (retryable, then degradable).
+func isQueryError(err error) bool {
+	var qe queryError
+	if errors.As(err, &qe) {
+		return true
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 400 && ae.Status < 500
+	}
+	return false
+}
+
+// markQueryError wraps local (in-process) errors that cannot heal with a
+// retry, except a closed store, which is how a killed in-process shard
+// presents — that must look like a shard failure so degraded mode kicks
+// in, mirroring a dead HTTP shard.
+func markQueryError(err error) error {
+	if err == nil || errors.Is(err, store.ErrClosed) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return queryError{err}
+}
+
+// callShard runs fn under the policy: per-attempt timeout, bounded retries
+// with doubling backoff for shard failures, and (for reads) an optional
+// hedged duplicate. The context governs the whole loop — once it is done,
+// no more attempts start.
+func callShard[T any](ctx context.Context, pol Policy, read bool, fn func(context.Context) (T, error)) (T, error) {
+	var zero T
+	var err error
+	backoff := pol.Backoff
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			mRetries.Inc()
+			select {
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var v T
+		v, err = attemptShard(ctx, pol, read, fn)
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return zero, err
+		}
+		if isQueryError(err) || attempt >= pol.Retries {
+			return zero, err
+		}
+	}
+}
+
+// attemptShard is one policy attempt: fn under the per-attempt timeout,
+// plus the hedged duplicate for reads.
+func attemptShard[T any](ctx context.Context, pol Policy, read bool, fn func(context.Context) (T, error)) (T, error) {
+	actx, cancel := context.WithTimeout(ctx, pol.Timeout)
+	defer cancel()
+	if !read || pol.Hedge <= 0 {
+		return fn(actx)
+	}
+	type res struct {
+		v   T
+		err error
+	}
+	ch := make(chan res, 2)
+	launch := func() { go func() { v, err := fn(actx); ch <- res{v, err} }() }
+	launch()
+	timer := time.NewTimer(pol.Hedge)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		// Answered (either way) before the hedge delay: no duplicate; the
+		// retry loop owns failures.
+		return r.v, r.err
+	case <-timer.C:
+		mHedges.Inc()
+		launch()
+	}
+	// Two attempts racing; first success wins, else the last error. Reads
+	// are idempotent, so racing duplicates is safe.
+	var lastErr error
+	for inflight := 2; inflight > 0; inflight-- {
+		r := <-ch
+		if r.err == nil {
+			return r.v, nil
+		}
+		lastErr = r.err
+	}
+	var zero T
+	return zero, lastErr
+}

@@ -281,6 +281,14 @@ func (db *DB) Sync() error {
 // the in-memory map), the histogram is extracted into the catalog, the BWM
 // Main Component gains a cluster and the signature index a point.
 func (db *DB) InsertImage(name string, img *imaging.Image) (uint64, error) {
+	return db.InsertImageWithID(0, name, img)
+}
+
+// InsertImageWithID is InsertImage with an explicit object id (0 means
+// "allocate"). A cluster coordinator assigns ids globally and pushes them
+// down so every shard shares one id space; a taken id fails with
+// catalog.ErrIDTaken.
+func (db *DB) InsertImageWithID(id uint64, name string, img *imaging.Image) (uint64, error) {
 	if img == nil || img.Size() == 0 {
 		return 0, errors.New("core: cannot insert an empty image")
 	}
@@ -290,7 +298,7 @@ func (db *DB) InsertImage(name string, img *imaging.Image) (uint64, error) {
 		return 0, store.ErrClosed
 	}
 	hist := histogram.Extract(img, db.cfg.Quantizer)
-	id, err := db.cat.AddBinary(name, img.W, img.H, hist)
+	id, err := db.cat.AddBinaryWithID(id, name, img.W, img.H, hist)
 	if err != nil {
 		return 0, err
 	}
@@ -314,6 +322,12 @@ func (db *DB) InsertImage(name string, img *imaging.Image) (uint64, error) {
 // classified (widening or not) and routed into the BWM structure per the
 // paper's Fig. 1.
 func (db *DB) InsertEdited(name string, seq *editops.Sequence) (uint64, error) {
+	return db.InsertEditedWithID(0, name, seq)
+}
+
+// InsertEditedWithID is InsertEdited with an explicit object id (0 means
+// "allocate"); see InsertImageWithID.
+func (db *DB) InsertEditedWithID(id uint64, name string, seq *editops.Sequence) (uint64, error) {
 	if seq == nil {
 		return 0, errors.New("core: nil sequence")
 	}
@@ -327,7 +341,7 @@ func (db *DB) InsertEdited(name string, seq *editops.Sequence) (uint64, error) {
 		return 0, err
 	}
 	widening := rules.SequenceIsWideningFor(seq.Ops, base.W, base.H)
-	id, err := db.cat.AddEdited(name, seq.Clone(), widening)
+	id, err = db.cat.AddEditedWithID(id, name, seq.Clone(), widening)
 	if err != nil {
 		return 0, err
 	}

@@ -78,8 +78,8 @@ func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) 
 			heap.Push(best, Match{ID: id, Dist: d})
 			return
 		}
-		if d < (*best)[0].Dist {
-			(*best)[0] = Match{ID: id, Dist: d}
+		if m := (Match{ID: id, Dist: d}); worseMatch((*best)[0], m) {
+			(*best)[0] = m
 			heap.Fix(best, 0)
 		}
 	}
@@ -214,8 +214,8 @@ func (t *thresholdTracker) record(id uint64, d float64) {
 	t.mu.Lock()
 	if t.h.Len() < t.k {
 		heap.Push(&t.h, Match{ID: id, Dist: d})
-	} else if d < t.h[0].Dist {
-		t.h[0] = Match{ID: id, Dist: d}
+	} else if m := (Match{ID: id, Dist: d}); worseMatch(t.h[0], m) {
+		t.h[0] = m
 		heap.Fix(&t.h, 0)
 	}
 	t.storeLocked()
@@ -444,11 +444,23 @@ func distanceLowerBound(target *histogram.Histogram, bounds []rules.Bounds, metr
 	}
 }
 
-// matchHeap is a max-heap on distance (root = worst of the best k).
+// worseMatch orders matches by (dist, id) descending lexicographically —
+// the total order the whole kNN path uses. Breaking distance ties by id
+// makes the kept top-k a true k-minimum of a total order, which is what
+// lets a cluster coordinator merge per-shard top-k heaps and provably get
+// the same set a single node would keep.
+func worseMatch(a, b Match) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+// matchHeap is a max-heap on (dist, id) (root = worst of the best k).
 type matchHeap []Match
 
 func (h matchHeap) Len() int            { return len(h) }
-func (h matchHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h matchHeap) Less(i, j int) bool  { return worseMatch(h[i], h[j]) }
 func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *matchHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
 func (h *matchHeap) Pop() interface{} {

@@ -171,6 +171,30 @@ func forEachSerial(ctx context.Context, n int, fn func(worker, i int) error) (St
 	return st, nil
 }
 
+// Scatter evaluates fn(i) for every i in [0, n) concurrently and collects
+// a per-index error slice instead of stopping at the first failure — the
+// fan-out shape a scatter-gather coordinator needs, where one failed shard
+// must not cancel its siblings. Only cancellation of ctx aborts the run;
+// indexes that never got to run are then marked with the context's error
+// so callers can tell "failed" from "not attempted but skipped".
+func Scatter(ctx context.Context, workers, n int, fn func(i int) error) ([]error, Stats) {
+	errs := make([]error, n)
+	ran := make([]bool, n)
+	st, err := ForEach(ctx, workers, n, func(_, i int) error {
+		ran[i] = true
+		errs[i] = fn(i)
+		return nil
+	})
+	if err != nil {
+		for i := range errs {
+			if !ran[i] {
+				errs[i] = err
+			}
+		}
+	}
+	return errs, st
+}
+
 // FilterIDs evaluates pred over every id concurrently and returns the ids
 // that passed, preserving input order — the shape of every range-query
 // candidate walk. Per-item verdicts land in an index-slotted array, so the

@@ -175,3 +175,60 @@ func TestStatsRecord(t *testing.T) {
 	// Record is nil-safe like the rest of the trace API.
 	Stats{Workers: 1}.Record(nil)
 }
+
+func TestScatterCollectsPerIndexErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	errs, st := Scatter(context.Background(), 4, 6, func(i int) error {
+		ran.Add(1)
+		if i%2 == 1 {
+			return boom
+		}
+		return nil
+	})
+	if ran.Load() != 6 {
+		t.Fatalf("ran %d of 6 tasks; Scatter must attempt all", ran.Load())
+	}
+	if st.Canceled {
+		t.Fatal("errors must not cancel the scatter")
+	}
+	for i, err := range errs {
+		if i%2 == 1 && !errors.Is(err, boom) {
+			t.Fatalf("errs[%d] = %v, want boom", i, err)
+		}
+		if i%2 == 0 && err != nil {
+			t.Fatalf("errs[%d] = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestScatterCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs, _ := Scatter(ctx, 2, 4, func(i int) error { return nil })
+	missing := 0
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Fatal("canceled scatter must mark unattempted indexes with ctx error")
+	}
+}
+
+func TestScatterSerial(t *testing.T) {
+	var order []int
+	errs, _ := Scatter(context.Background(), 1, 3, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if len(errs) != 3 {
+		t.Fatalf("errs len %d", len(errs))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial scatter ran out of order: %v", order)
+		}
+	}
+}

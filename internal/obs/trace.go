@@ -154,4 +154,12 @@ const (
 	TParallelTasks   = "parallel_tasks"
 	TParallelSteals  = "parallel_steals"
 	TParallelCancels = "parallel_cancels"
+	// Cluster scatter-gather counters (recorded by the coordinator, not by
+	// individual shards): shards fanned out to, shards that failed past
+	// their retry budget, queries answered partially, and duplicate ids
+	// dropped by the merge (merge-target replicas matching on two shards).
+	TClusterShardsQueried    = "cluster_shards_queried"
+	TClusterShardsFailed     = "cluster_shards_failed"
+	TClusterPartialResults   = "cluster_partial_results"
+	TClusterDuplicatesMerged = "cluster_duplicates_merged"
 )

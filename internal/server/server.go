@@ -4,17 +4,19 @@
 // JSON. Built entirely on net/http (stdlib only, like the rest of the
 // repository).
 //
-//	POST   /objects              insert a raster (body: image/x-portable-pixmap or image/png)
-//	POST   /sequences            insert an edited image (body: text script)
+//	POST   /objects              insert a raster (body: image/x-portable-pixmap or image/png; ?id= pins the object id)
+//	POST   /sequences            insert an edited image (body: text script; ?id= pins the object id)
 //	GET    /objects              list objects
 //	GET    /objects/{id}         object metadata
 //	GET    /objects/{id}/image   materialized raster (?format=ppm|png)
 //	POST   /objects/{id}/augment generate edited versions
 //	DELETE /objects/{id}         delete an object
 //	GET    /query?q=...&mode=... color range query (compound supported; &trace=1 adds a trace)
+//	GET    /multirange?bins=...  structured multi-range query (bins=0,3,7&min=..&max=..; no text form exists)
 //	GET    /explain?q=...        query plan without execution (&trace=1 also runs it and returns the measured trace)
 //	POST   /similar?k=...        query by example (body: image)
 //	GET    /stats                database statistics
+//	GET    /healthz              liveness probe (cluster health checks hit this)
 //	GET    /metrics              process metrics (Prometheus text; ?format=json)
 //	GET    /debug/pprof/         runtime profiles (heap, cpu, goroutine, ...)
 //	POST   /compact              rewrite the store file
@@ -67,9 +69,11 @@ func New(db *mmdb.DB) *Server {
 	s.mux.HandleFunc("POST /objects/{id}/augment", s.handleAugment)
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /multirange", s.handleMultiRange)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /similar", s.handleSimilar)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /compact", s.handleCompact)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -221,7 +225,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, catalog.ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, catalog.ErrInUse):
+	case errors.Is(err, catalog.ErrInUse), errors.Is(err, catalog.ErrIDTaken):
 		status = http.StatusConflict
 	case isBadRequest(err):
 		status = http.StatusBadRequest
@@ -252,6 +256,20 @@ func pathID(r *http.Request) (uint64, error) {
 	return id, nil
 }
 
+// idParam reads the optional explicit-id insert parameter; absent means 0
+// ("allocate"). Id 0 itself is rejected — it is the reserved null id.
+func idParam(r *http.Request) (uint64, error) {
+	v := r.URL.Query().Get("id")
+	if v == "" {
+		return 0, nil
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || id == 0 {
+		return 0, badRequest("invalid explicit id %q", v)
+	}
+	return id, nil
+}
+
 // decodeImageBody decodes a request body as PNG or PPM, dispatching on the
 // Content-Type header; anything that does not look like PNG falls back to
 // the PPM decoder, which rejects malformed input with its own error.
@@ -273,7 +291,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "unnamed"
 	}
-	id, err := s.db.InsertImage(name, img)
+	wantID, err := idParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	id, err := s.db.InsertImageWithID(wantID, name, img)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -297,7 +320,12 @@ func (s *Server) handleInsertSequence(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "edited"
 	}
-	id, err := s.db.InsertEdited(name, seq)
+	wantID, err := idParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	id, err := s.db.InsertEditedWithID(wantID, name, seq)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -456,6 +484,76 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMultiRange answers structured multi-range queries. MultiRange has
+// no text grammar, so the bins arrive directly as a comma-separated list;
+// the cluster coordinator depends on this endpoint to scatter multirange
+// queries to HTTP shards.
+func (s *Server) handleMultiRange(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var bins []int
+	for _, f := range strings.Split(q.Get("bins"), ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		b, err := strconv.Atoi(f)
+		if err != nil {
+			s.writeError(w, badRequest("invalid bin %q", f))
+			return
+		}
+		bins = append(bins, b)
+	}
+	if len(bins) == 0 {
+		s.writeError(w, badRequest("missing bins parameter"))
+		return
+	}
+	pctMin, pctMax, err := floatRange(q.Get("min"), q.Get("max"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	mode, err := parseMode(q.Get("mode"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, err := s.db.RangeQueryMulti(mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	var resp queryResponse
+	resp.IDs = res.IDs
+	for _, id := range res.IDs {
+		obj, err := s.db.Get(id)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.Objects = append(resp.Objects, toJSON(obj, false))
+	}
+	resp.Stats.BinariesChecked = res.Stats.BinariesChecked
+	resp.Stats.EditedWalked = res.Stats.EditedWalked
+	resp.Stats.OpsEvaluated = res.Stats.OpsEvaluated
+	resp.Stats.EditedSkipped = res.Stats.EditedSkipped
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func floatRange(minStr, maxStr string) (float64, float64, error) {
+	pctMin, err := strconv.ParseFloat(minStr, 64)
+	if minStr == "" {
+		pctMin, err = 0, nil
+	}
+	if err != nil {
+		return 0, 0, badRequest("invalid min %q", minStr)
+	}
+	pctMax, err := strconv.ParseFloat(maxStr, 64)
+	if err != nil {
+		return 0, 0, badRequest("invalid max %q", maxStr)
+	}
+	return pctMin, pctMax, nil
+}
+
 // handleExplain returns the static query plan; with trace=1 it also
 // executes the query (in the requested mode) and returns the measured
 // trace next to the prediction as {"plan": ..., "trace": ...}.
@@ -520,6 +618,17 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		out.Matches = append(out.Matches, matchJSON{ID: m.ID, Dist: m.Dist})
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is the liveness probe: it answers 200 while the database
+// is open. The cluster health checker polls it to flip shards between
+// up/suspect/down.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.db.Stats(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -503,3 +503,75 @@ func TestCachedBoundsMode(t *testing.T) {
 		t.Fatal("cached-bounds mode returned nothing")
 	}
 }
+
+func TestInsertWithExplicitID(t *testing.T) {
+	ts, db := newTestServer(t)
+	img := mmdb.NewFilledImage(6, 6, dataset.Red)
+
+	var obj struct {
+		ID uint64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/objects?name=five&id=5", ppmBody(t, img), "image/x-portable-pixmap", http.StatusCreated, &obj)
+	if obj.ID != 5 {
+		t.Fatalf("explicit insert got id %d", obj.ID)
+	}
+	// Reusing the id conflicts.
+	doJSON(t, "POST", ts.URL+"/objects?name=again&id=5", ppmBody(t, img), "image/x-portable-pixmap", http.StatusConflict, nil)
+	// id=0 is not a valid explicit id.
+	doJSON(t, "POST", ts.URL+"/objects?name=zero&id=0", ppmBody(t, img), "image/x-portable-pixmap", http.StatusBadRequest, nil)
+	// Garbage ids are 400.
+	doJSON(t, "POST", ts.URL+"/objects?name=bad&id=xyz", ppmBody(t, img), "image/x-portable-pixmap", http.StatusBadRequest, nil)
+	// The allocator continues past the claim.
+	doJSON(t, "POST", ts.URL+"/objects?name=auto", ppmBody(t, img), "image/x-portable-pixmap", http.StatusCreated, &obj)
+	if obj.ID != 6 {
+		t.Fatalf("auto insert after claim got id %d", obj.ID)
+	}
+
+	// Sequences take explicit ids too.
+	script := strings.NewReader("base 5\ndefine 0 0 6 6\nmodify #ff0000 #00ff00\n")
+	var seq struct {
+		ID uint64 `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/sequences?name=seq&id=9", script, "text/plain", http.StatusCreated, &seq)
+	if seq.ID != 9 {
+		t.Fatalf("explicit sequence insert got id %d", seq.ID)
+	}
+	if _, err := db.Get(9); err != nil {
+		t.Fatalf("sequence 9 not in db: %v", err)
+	}
+}
+
+func TestMultiRangeEndpoint(t *testing.T) {
+	ts, db := newTestServer(t)
+	if _, err := db.InsertImage("red", mmdb.NewFilledImage(8, 8, dataset.Red)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertImage("blue", mmdb.NewFilledImage(8, 8, dataset.Blue)); err != nil {
+		t.Fatal(err)
+	}
+
+	// All-bin query over the full range matches everything.
+	var res struct {
+		IDs []uint64 `json:"ids"`
+	}
+	doJSON(t, "GET", ts.URL+"/multirange?bins=0,1,2&min=0&max=1", nil, "", http.StatusOK, &res)
+
+	// Bad inputs are 400s: missing bins, junk bins, junk percentages,
+	// unknown mode.
+	doJSON(t, "GET", ts.URL+"/multirange", nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/multirange?bins=a,b", nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/multirange?bins=0&min=zz", nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/multirange?bins=0&max=2", nil, "", http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/multirange?bins=0&mode=warp", nil, "", http.StatusBadRequest, nil)
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body struct {
+		OK bool `json:"ok"`
+	}
+	doJSON(t, "GET", ts.URL+"/healthz", nil, "", http.StatusOK, &body)
+	if !body.OK {
+		t.Fatal("healthz should report ok on a live db")
+	}
+}

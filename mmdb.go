@@ -139,10 +139,23 @@ func (db *DB) InsertImage(name string, img *Image) (uint64, error) {
 	return db.inner.InsertImage(name, img)
 }
 
+// InsertImageWithID is InsertImage with an explicit object id (0 means
+// "allocate"). Cluster coordinators assign ids globally and push them down
+// so all shards share one id space.
+func (db *DB) InsertImageWithID(id uint64, name string, img *Image) (uint64, error) {
+	return db.inner.InsertImageWithID(id, name, img)
+}
+
 // InsertEdited stores an edited image as its operation sequence and routes
 // it into the Bound-Widening data structure.
 func (db *DB) InsertEdited(name string, seq *Sequence) (uint64, error) {
 	return db.inner.InsertEdited(name, seq)
+}
+
+// InsertEditedWithID is InsertEdited with an explicit object id (0 means
+// "allocate"); see InsertImageWithID.
+func (db *DB) InsertEditedWithID(id uint64, name string, seq *Sequence) (uint64, error) {
+	return db.inner.InsertEditedWithID(id, name, seq)
 }
 
 // AppendOps extends a stored edited image's sequence with more operations,
