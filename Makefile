@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke clean
+.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke crash-matrix clean
 
 all: build
 
@@ -43,12 +43,18 @@ lint: fmt-check vet lint-tool
 		echo "govulncheck not installed; skipping (pin: golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: lint build race cluster-smoke
+ci: lint build race cluster-smoke crash-matrix
 
 # End-to-end differential check: a 3-shard loopback HTTP cluster must
 # answer range, compound and k-NN queries identically to a single node.
 cluster-smoke:
 	bash scripts/cluster-smoke.sh
+
+# Durability fault matrix: kill the store at every write/fsync budget,
+# recover, and assert no acked write is lost, no unacked write half-applies,
+# and the recovered store matches an uncrashed twin.
+crash-matrix:
+	$(GO) test -race -count=1 -run 'Crash|Recovery|WAL|Compact|Drain' ./internal/core/ ./internal/store/ ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -8,7 +8,7 @@
 //	benchfig -exp table1|table2|fig3|fig4|summary
 //	benchfig -exp ablation-widening|ablation-ops|ablation-baseline|ablation-cache
 //	benchfig -exp ext-knn|ext-rtree|ext-bic
-//	benchfig -exp scale|cluster
+//	benchfig -exp scale|cluster|commit
 package main
 
 import (
@@ -151,6 +151,13 @@ func run(exp string) error {
 		}
 		bench.WriteScale(out, pts)
 		return nil
+	case "commit":
+		pts, err := bench.CompareCommit(16, 32)
+		if err != nil {
+			return err
+		}
+		bench.WriteCommit(out, pts)
+		return bench.WriteCommitJSON(out, pts)
 	case "cluster":
 		cfg := bench.FlagConfig()
 		cfg.Queries = 40

@@ -17,6 +17,7 @@
 //	esidb show    -db file -id N
 //	esidb ls      -db file
 //	esidb compact -db file
+//	esidb wal     stats|checkpoint -db file
 //	esidb stats   -db file
 //	esidb metrics -db file [-q "at least 25% blue"] [-mode bwm] [-json]
 //	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N] [-shard-id s0 -shard-map map.json]
@@ -84,6 +85,8 @@ func main() {
 		err = cmdStats(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "wal":
+		err = cmdWAL(args)
 	case "serve":
 		err = cmdServe(args)
 	case "cluster":
@@ -122,6 +125,7 @@ commands:
   load     import a dump directory (ids remapped)
   compact  rewrite the database file, reclaiming deleted space
   fsck     verify the database file's structural integrity
+  wal      write-ahead-log operations: stats, checkpoint
   stats    print database statistics
   metrics  run a workload probe and print the process metrics registry
   serve    expose the database over HTTP (optionally as one cluster shard)
@@ -209,7 +213,7 @@ func cmdInsert(args []string) error {
 		return err
 	}
 	defer db.Close()
-	id, err := db.InsertImage(*name, img)
+	id, err := db.InsertImageCtx(context.Background(), *name, img)
 	if err != nil {
 		return err
 	}
@@ -248,7 +252,7 @@ func cmdEdit(args []string) error {
 		}
 		fmt.Printf("optimized script: %d -> %d ops\n", before, len(seq.Ops))
 	}
-	id, err := db.InsertEdited(*name, seq)
+	id, err := db.InsertEditedCtx(context.Background(), *name, seq)
 	if err != nil {
 		return err
 	}
@@ -577,6 +581,51 @@ func cmdLoad(args []string) error {
 	}
 	fmt.Printf("loaded %d objects from %s\n", n, *in)
 	return nil
+}
+
+// cmdWAL groups write-ahead-log operations: `wal stats` prints log
+// activity, `wal checkpoint` forces a durability checkpoint (persist +
+// fsync + log truncation).
+func cmdWAL(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: esidb wal stats|checkpoint -db file")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("wal "+sub, flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(rest)
+	db, err := openDB(*path)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	switch sub {
+	case "stats":
+		st, ok := db.WALStats()
+		if !ok {
+			return fmt.Errorf("database has no write-ahead log")
+		}
+		fmt.Printf("log size:          %d bytes\n", st.SizeBytes)
+		fmt.Printf("live records:      %d\n", st.Records)
+		fmt.Printf("last lsn:          %d\n", st.LastLSN)
+		fmt.Printf("fsyncs:            %d\n", st.Fsyncs)
+		fmt.Printf("checkpoints:       %d\n", st.Checkpoints)
+		fmt.Printf("replayed on open:  %d\n", st.Replayed)
+		fmt.Printf("torn tail dropped: %d bytes\n", st.TornBytes)
+		if st.Fsyncs > 0 {
+			fmt.Printf("records per fsync: %.2f\n", float64(st.LastLSN)/float64(st.Fsyncs))
+		}
+		return nil
+	case "checkpoint":
+		if err := db.WALCheckpoint(); err != nil {
+			return err
+		}
+		st, _ := db.WALStats()
+		fmt.Printf("checkpointed; log size now %d bytes\n", st.SizeBytes)
+		return nil
+	default:
+		return fmt.Errorf("unknown wal subcommand %q (want stats or checkpoint)", sub)
+	}
 }
 
 func cmdCompact(args []string) error {

@@ -2,6 +2,7 @@ package mmdb
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -91,7 +92,7 @@ func (db *DB) LoadFrom(dir string) (int, error) {
 		if err != nil {
 			return loaded, err
 		}
-		newID, err := db.InsertImage(e.Name, img)
+		newID, err := db.InsertImageCtx(context.Background(), e.Name, img, WithNoAugment())
 		if err != nil {
 			return loaded, err
 		}
@@ -110,7 +111,7 @@ func (db *DB) LoadFrom(dir string) (int, error) {
 		if err != nil {
 			return loaded, fmt.Errorf("mmdb: load %s: %w", e.File, err)
 		}
-		if _, err := db.InsertEdited(e.Name, remapped); err != nil {
+		if _, err := db.InsertEditedCtx(context.Background(), e.Name, remapped); err != nil {
 			return loaded, err
 		}
 		loaded++

@@ -5,19 +5,22 @@ import (
 	"strings"
 )
 
-// CtxFlow enforces context propagation into the parallel candidate-
-// evaluation engine. A function that accepts a context.Context and fans out
-// through internal/exec must pass that context on; calling
-// exec.ForEach/FilterIDs with context.Background() (or context.TODO())
-// detaches the fan-out from the caller's cancellation, so an abandoned
-// query keeps burning workers. The check fires on any call into the exec
-// package that passes a fresh Background/TODO context while a
-// context.Context parameter is in scope (including captured parameters in
-// nested function literals).
+// CtxFlow enforces context propagation into the cancellation-sensitive
+// seams. A function that accepts a context.Context and fans out through
+// internal/exec must pass that context on; calling exec.ForEach/FilterIDs
+// with context.Background() (or context.TODO()) detaches the fan-out from
+// the caller's cancellation, so an abandoned query keeps burning workers.
+// The same applies to the durable write path: internal/store's
+// WALTicket.Wait blocks until the group-commit fsync lands, and waiting on
+// it with a fresh root context makes the commit wait uncancellable. The
+// check fires on any such call that passes a fresh Background/TODO context
+// while a context.Context parameter is in scope (including captured
+// parameters in nested function literals).
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "functions that accept a context.Context must thread it into " +
-		"internal/exec fan-outs instead of context.Background()",
+		"internal/exec fan-outs and internal/store commit waits instead " +
+		"of context.Background()",
 	Run: runCtxFlow,
 }
 
@@ -72,25 +75,44 @@ func checkLitsWithOwnCtx(pass *Pass, body *ast.BlockStmt) {
 	})
 }
 
-// checkCtxCalls flags exec-package calls passing a fresh Background/TODO
-// context anywhere under body.
+// checkCtxCalls flags cancellation-sensitive calls passing a fresh
+// Background/TODO context anywhere under body.
 func checkCtxCalls(pass *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		pkg := pkgOfCall(pass.TypesInfo, call)
-		if pkg == nil || pkg.Name() != "exec" || !strings.HasSuffix(pkg.Path(), "internal/exec") {
+		if !ctxSensitiveCallee(pass, call) {
 			return true
 		}
 		for _, arg := range call.Args {
 			if name, fresh := freshContextCall(pass, arg); fresh {
-				pass.Reportf(arg.Pos(), "context.%s() passed to %s while a context.Context is in scope: pass the caller's ctx so cancellation reaches the worker pool", name, callName(call))
+				pass.Reportf(arg.Pos(), "context.%s() passed to %s while a context.Context is in scope: pass the caller's ctx so cancellation propagates", name, callName(call))
 			}
 		}
 		return true
 	})
+}
+
+// ctxSensitiveCallee reports whether the call's target honors context
+// cancellation in a way worth enforcing: any function in internal/exec (the
+// worker-pool fan-outs), or a Wait method in internal/store (the WAL ticket
+// blocking until the group-commit fsync).
+func ctxSensitiveCallee(pass *Pass, call *ast.CallExpr) bool {
+	pkg := pkgOfCall(pass.TypesInfo, call)
+	if pkg == nil {
+		return false
+	}
+	if pkg.Name() == "exec" && strings.HasSuffix(pkg.Path(), "internal/exec") {
+		return true
+	}
+	if strings.HasSuffix(pkg.Path(), "internal/store") {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			return true
+		}
+	}
+	return false
 }
 
 // freshContextCall reports whether e is a direct context.Background() or

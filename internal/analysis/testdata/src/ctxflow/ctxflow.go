@@ -1,11 +1,13 @@
 // Package ctxflow holds fixtures for the ctxflow analyzer: a function that
-// accepts a context must thread it into internal/exec fan-outs.
+// accepts a context must thread it into internal/exec fan-outs and
+// internal/store commit waits.
 package ctxflow
 
 import (
 	"context"
 
 	"repro/internal/exec"
+	"repro/internal/store"
 )
 
 // bad: the caller's ctx is dropped on the floor.
@@ -68,4 +70,20 @@ func scatterDropped(ctx context.Context, n int) []error {
 func scatterThreaded(ctx context.Context, n int) []error {
 	errs, _ := exec.Scatter(ctx, 4, n, func(i int) error { return ctx.Err() })
 	return errs
+}
+
+// bad: waiting for the group-commit fsync with a fresh root makes the
+// commit wait uncancellable even though the caller handed us a context.
+func commitDropped(ctx context.Context, tk *store.WALTicket) error {
+	return tk.Wait(context.Background()) // want "context.Background\(\) passed to tk.Wait"
+}
+
+// good: the commit wait is bounded by the caller's context.
+func commitThreaded(ctx context.Context, tk *store.WALTicket) error {
+	return tk.Wait(ctx)
+}
+
+// good: no context parameter in scope, so a root wait is the only option.
+func commitRoot(tk *store.WALTicket) error {
+	return tk.Wait(context.Background())
 }

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/imaging"
+	"repro/internal/obs"
+)
+
+// Commit-path comparison: the same concurrent insert workload against a
+// write-ahead log that fsyncs every append individually versus one that
+// group-commits. Both modes give identical durability (an acked insert has
+// been fsynced either way); the experiment measures what batching
+// concurrent writers into one fsync buys in throughput, which is the whole
+// point of the group-commit window.
+
+// CommitResult is one commit-mode timing point.
+type CommitResult struct {
+	// Mode names the configuration: "per-append" or "group".
+	Mode string `json:"mode"`
+	// Writers is the number of concurrent inserters.
+	Writers int `json:"writers"`
+	// Inserts is the total acknowledged inserts across all writers.
+	Inserts int `json:"inserts"`
+	// Elapsed is the workload wall time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Fsyncs is how many WAL fsyncs the workload cost.
+	Fsyncs int64 `json:"fsyncs"`
+	// PerSec is acknowledged inserts per second.
+	PerSec float64 `json:"inserts_per_sec"`
+	// Speedup is the per-append time over this point's time (>1 means
+	// group commit won).
+	Speedup float64 `json:"speedup"`
+}
+
+// CompareCommit runs writers concurrent inserters, each inserting
+// perWriter images, against two file-backed databases: one whose WAL
+// fsyncs every append (MaxBatch=1, the classical commit path) and one with
+// group commit at the default batch size. Results are published as gauges:
+//
+//	esidb_bench_commit_seconds{mode="..."}
+//	esidb_bench_commit_fsyncs{mode="..."}
+//	esidb_bench_commit_speedup{mode="..."}
+func CompareCommit(writers, perWriter int) ([]CommitResult, error) {
+	if writers <= 0 || perWriter <= 0 {
+		return nil, fmt.Errorf("bench: commit needs positive writers (%d) and perWriter (%d)", writers, perWriter)
+	}
+	configs := []struct {
+		mode     string
+		window   time.Duration
+		maxBatch int
+	}{
+		{"per-append", 0, 1},
+		{"group", 0, 0}, // no window: batches form naturally from concurrent waiters
+	}
+	var out []CommitResult
+	for _, cfg := range configs {
+		res, err := timeCommitWorkload(cfg.mode, cfg.window, cfg.maxBatch, writers, perWriter)
+		if err != nil {
+			return nil, fmt.Errorf("bench: commit mode %s: %w", cfg.mode, err)
+		}
+		out = append(out, res)
+	}
+	base := out[0]
+	reg := obs.Default()
+	for i := range out {
+		if out[i].Elapsed > 0 {
+			out[i].Speedup = float64(base.Elapsed) / float64(out[i].Elapsed)
+			out[i].PerSec = float64(out[i].Inserts) / out[i].Elapsed.Seconds()
+		}
+		label := fmt.Sprintf("{mode=%q}", out[i].Mode)
+		reg.Gauge("esidb_bench_commit_seconds" + label).Set(out[i].Elapsed.Seconds())
+		reg.Gauge("esidb_bench_commit_fsyncs" + label).Set(float64(out[i].Fsyncs))
+		reg.Gauge("esidb_bench_commit_speedup" + label).Set(out[i].Speedup)
+	}
+	return out, nil
+}
+
+// timeCommitWorkload runs one mode's workload against a fresh file-backed
+// database in a temporary directory.
+func timeCommitWorkload(mode string, window time.Duration, maxBatch, writers, perWriter int) (CommitResult, error) {
+	dir, err := os.MkdirTemp("", "esidb-commit-")
+	if err != nil {
+		return CommitResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := mmdb.Open(
+		mmdb.WithPath(filepath.Join(dir, "commit.db")),
+		mmdb.WithGroupCommit(window, maxBatch),
+	)
+	if err != nil {
+		return CommitResult{}, err
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			img := commitImage(w)
+			for i := 0; i < perWriter; i++ {
+				name := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := db.InsertImageCtx(ctx, name, img); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return CommitResult{}, err
+	default:
+	}
+	st, ok := db.WALStats()
+	if !ok {
+		return CommitResult{}, fmt.Errorf("file-backed database reported no WAL")
+	}
+	return CommitResult{
+		Mode:    mode,
+		Writers: writers,
+		Inserts: writers * perWriter,
+		Elapsed: elapsed,
+		Fsyncs:  st.Fsyncs,
+	}, nil
+}
+
+// commitImage builds a writer's small distinct raster so each insert pays
+// realistic histogram-extraction and WAL-payload costs.
+func commitImage(seed int) *mmdb.Image {
+	img := imaging.New(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			img.Set(x, y, imaging.RGB{
+				R: uint8(31*seed + 17*x),
+				G: uint8(53*seed + 11*y),
+				B: uint8(97*seed + 7*x*y),
+			})
+		}
+	}
+	return img
+}
+
+// WriteCommit renders the comparison as a table.
+func WriteCommit(w io.Writer, pts []CommitResult) {
+	fmt.Fprintln(w, "Commit path (concurrent inserts, file-backed WAL):")
+	fmt.Fprintf(w, "  %-12s %-8s %-8s %-14s %-8s %-12s %s\n",
+		"mode", "writers", "inserts", "workload", "fsyncs", "inserts/s", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-12s %-8d %-8d %-14s %-8d %-12.0f %.2f\n",
+			p.Mode, p.Writers, p.Inserts, p.Elapsed, p.Fsyncs, p.PerSec, p.Speedup)
+	}
+}
+
+// WriteCommitJSON emits the comparison as one JSON document for downstream
+// tooling.
+func WriteCommitJSON(w io.Writer, pts []CommitResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string         `json:"experiment"`
+		Points     []CommitResult `json:"points"`
+	}{Experiment: "commit", Points: pts})
+}

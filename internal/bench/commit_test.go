@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestCompareCommitSmoke runs a tiny commit comparison end to end: both
+// modes must complete all inserts, and group commit must spend strictly
+// fewer fsyncs than the per-append baseline. Wall-clock speedup is not
+// asserted — it depends on the device — only the fsync accounting that
+// produces it.
+func TestCompareCommitSmoke(t *testing.T) {
+	pts, err := CompareCommit(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 points, got %d", len(pts))
+	}
+	base, group := pts[0], pts[1]
+	if base.Mode != "per-append" || group.Mode != "group" {
+		t.Fatalf("unexpected modes %q, %q", base.Mode, group.Mode)
+	}
+	for _, p := range pts {
+		if p.Inserts != 32 {
+			t.Errorf("%s: %d inserts, want 32", p.Mode, p.Inserts)
+		}
+		if p.Fsyncs <= 0 || p.Elapsed <= 0 {
+			t.Errorf("%s: implausible point %+v", p.Mode, p)
+		}
+	}
+	// The baseline fsyncs at least once per insert; group commit's whole
+	// purpose is to do strictly better under concurrency.
+	if base.Fsyncs < int64(base.Inserts) {
+		t.Errorf("per-append fsyncs %d < inserts %d", base.Fsyncs, base.Inserts)
+	}
+	if group.Fsyncs >= base.Fsyncs {
+		t.Errorf("group fsyncs %d not fewer than per-append %d", group.Fsyncs, base.Fsyncs)
+	}
+}

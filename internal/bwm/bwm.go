@@ -208,6 +208,13 @@ func (p *Processor) Range(q query.Range) (*rbm.Result, error) {
 // RangeTraced is Range with per-phase timings and decision counts recorded
 // into tr (nil disables tracing at no cost).
 func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
+	return p.RangeTracedCtx(context.Background(), q, tr)
+}
+
+// RangeTracedCtx is RangeTraced with the caller's ctx propagated into the
+// candidate-evaluation worker pool, so cancelling the query stops both the
+// cluster walk and the unclassified walk.
+func (p *Processor) RangeTracedCtx(ctx context.Context, q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(p.Engine.Quant.Bins()); err != nil {
 		return nil, err
 	}
@@ -222,7 +229,7 @@ func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*rbm.Result, erro
 	done := tr.Phase("bwm.main-component")
 	slots := make([][]uint64, len(main))
 	stats := make([]rbm.Stats, workers)
-	pst, err := exec.ForEach(context.Background(), workers, len(main), func(w, i int) error {
+	pst, err := exec.ForEach(ctx, workers, len(main), func(w, i int) error {
 		ids, cerr := p.walkCluster(main[i], q, &stats[w], tr)
 		if cerr != nil {
 			return cerr
@@ -249,7 +256,7 @@ func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*rbm.Result, erro
 	done = tr.Phase("bwm.unclassified")
 	mUnclassified.Add(int64(len(unclassified)))
 	tr.Count(obs.TUnclassifiedWalked, int64(len(unclassified)))
-	matched, pst, err := exec.FilterIDs(context.Background(), workers, unclassified, func(w int, id uint64) (bool, error) {
+	matched, pst, err := exec.FilterIDs(ctx, workers, unclassified, func(w int, id uint64) (bool, error) {
 		return p.rbm.CheckEdited(id, q, &stats[w], tr)
 	})
 	if pst.Workers > 1 {

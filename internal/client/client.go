@@ -1,14 +1,17 @@
 // Package client is a Go client for the ESIDB HTTP API (internal/server):
 // remote tools insert rasters and scripts, run range/compound queries and
 // similarity searches, and administer the database without linking the
-// engine. Wire formats match the server exactly and are covered by tests
-// that run both ends in-process.
+// engine. The client speaks the versioned /v1 surface and decodes the
+// server's uniform error envelope into typed *APIError values. Wire formats
+// match the server exactly and are covered by tests that run both ends
+// in-process.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -65,15 +68,47 @@ type Match struct {
 	Dist float64 `json:"dist"`
 }
 
-// APIError carries a non-2xx response.
+// APIError carries a non-2xx response, decoded from the server's uniform
+// error envelope. Code is the stable machine-readable slug ("not_found",
+// "conflict", "bad_request", "too_large", "internal"); RequestID correlates
+// the failure with the server's access log.
 type APIError struct {
-	Status  int
-	Message string
+	Status    int
+	Code      string
+	Message   string
+	RequestID string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsNotFound reports whether err is an APIError with code "not_found".
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == "not_found"
+}
+
+// apiError decodes the error envelope from a non-2xx body, falling back to
+// the raw body for non-JSON responses (e.g. a proxy in the way).
+func apiError(resp *http.Response) *APIError {
+	var env struct {
+		Error     string `json:"error"`
+		Code      string `json:"code"`
+		RequestID string `json:"request_id"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(raw, &env) != nil || env.Error == "" {
+		env.Error = strings.TrimSpace(string(raw))
+	}
+	if env.RequestID == "" {
+		env.RequestID = resp.Header.Get("X-Request-ID")
+	}
+	return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Error, RequestID: env.RequestID}
 }
 
 // do is the context-free legacy path; every request really goes through
@@ -96,14 +131,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body io.Reader,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var msg struct {
-			Error string `json:"error"`
-		}
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(raw, &msg) != nil || msg.Error == "" {
-			msg.Error = strings.TrimSpace(string(raw))
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg.Error}
+		return apiError(resp)
 	}
 	if out == nil {
 		return nil
@@ -125,7 +153,7 @@ func (c *Client) InsertImageCtx(ctx context.Context, id uint64, name string, img
 		return nil, err
 	}
 	var obj Object
-	err := c.doCtx(ctx, "POST", "/objects?"+insertParams(id, name), &buf, "image/x-portable-pixmap", &obj)
+	err := c.doCtx(ctx, "POST", "/v1/objects?"+insertParams(id, name), &buf, "image/x-portable-pixmap", &obj)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +169,7 @@ func (c *Client) InsertSequence(name string, seq *mmdb.Sequence) (*Object, error
 // explicit object id (see InsertImageCtx).
 func (c *Client) InsertSequenceCtx(ctx context.Context, id uint64, name string, seq *mmdb.Sequence) (*Object, error) {
 	var obj Object
-	err := c.doCtx(ctx, "POST", "/sequences?"+insertParams(id, name),
+	err := c.doCtx(ctx, "POST", "/v1/sequences?"+insertParams(id, name),
 		strings.NewReader(mmdb.FormatSequence(seq)), "text/plain", &obj)
 	if err != nil {
 		return nil, err
@@ -166,7 +194,7 @@ func (c *Client) List() ([]Object, error) {
 // ListCtx is List with a context.
 func (c *Client) ListCtx(ctx context.Context) ([]Object, error) {
 	var out []Object
-	if err := c.doCtx(ctx, "GET", "/objects", nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/v1/objects", nil, "", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -181,7 +209,7 @@ func (c *Client) Get(id uint64) (*Object, error) {
 // GetCtx is Get with a context.
 func (c *Client) GetCtx(ctx context.Context, id uint64) (*Object, error) {
 	var obj Object
-	if err := c.doCtx(ctx, "GET", fmt.Sprintf("/objects/%d", id), nil, "", &obj); err != nil {
+	if err := c.doCtx(ctx, "GET", fmt.Sprintf("/v1/objects/%d", id), nil, "", &obj); err != nil {
 		return nil, err
 	}
 	return &obj, nil
@@ -195,7 +223,7 @@ func (c *Client) Image(id uint64) (*mmdb.Image, error) {
 
 // ImageCtx is Image with a context.
 func (c *Client) ImageCtx(ctx context.Context, id uint64) (*mmdb.Image, error) {
-	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/objects/%d/image", c.baseURL, id), nil)
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/objects/%d/image", c.baseURL, id), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +233,7 @@ func (c *Client) ImageCtx(ctx context.Context, id uint64) (*mmdb.Image, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, &APIError{Status: resp.StatusCode, Message: string(raw)}
+		return nil, apiError(resp)
 	}
 	return mmdb.DecodePPM(resp.Body)
 }
@@ -227,7 +254,7 @@ func (c *Client) Augment(baseID uint64, opts mmdb.AugmentOptions) ([]uint64, err
 	var out struct {
 		Edited []uint64 `json:"edited"`
 	}
-	err := c.do("POST", fmt.Sprintf("/objects/%d/augment?%s", baseID, q.Encode()), nil, "", &out)
+	err := c.do("POST", fmt.Sprintf("/v1/objects/%d/augment?%s", baseID, q.Encode()), nil, "", &out)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +268,7 @@ func (c *Client) Delete(id uint64) error {
 
 // DeleteCtx is Delete with a context.
 func (c *Client) DeleteCtx(ctx context.Context, id uint64) error {
-	return c.doCtx(ctx, "DELETE", fmt.Sprintf("/objects/%d", id), nil, "", nil)
+	return c.doCtx(ctx, "DELETE", fmt.Sprintf("/v1/objects/%d", id), nil, "", nil)
 }
 
 // Query runs a textual (possibly compound) range query. mode may be empty
@@ -261,7 +288,7 @@ func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bo
 		q.Set("bases", "1")
 	}
 	var out QueryResult
-	if err := c.doCtx(ctx, "GET", "/query?"+q.Encode(), nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/v1/query?"+q.Encode(), nil, "", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -283,7 +310,7 @@ func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax f
 		q.Set("mode", mode)
 	}
 	var out QueryResult
-	if err := c.doCtx(ctx, "GET", "/multirange?"+q.Encode(), nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/v1/multirange?"+q.Encode(), nil, "", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -292,7 +319,7 @@ func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax f
 // Explain fetches a query's plan without running it.
 func (c *Client) Explain(text string) (*mmdb.Plan, error) {
 	var out mmdb.Plan
-	if err := c.do("GET", "/explain?q="+url.QueryEscape(text), nil, "", &out); err != nil {
+	if err := c.do("GET", "/v1/explain?q="+url.QueryEscape(text), nil, "", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -318,7 +345,7 @@ func (c *Client) SimilarCtx(ctx context.Context, probe *mmdb.Image, k int, metri
 	var out struct {
 		Matches []Match `json:"matches"`
 	}
-	err := c.doCtx(ctx, "POST", "/similar?"+q.Encode(), &buf, "image/x-portable-pixmap", &out)
+	err := c.doCtx(ctx, "POST", "/v1/similar?"+q.Encode(), &buf, "image/x-portable-pixmap", &out)
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +360,7 @@ func (c *Client) Stats() (*mmdb.Stats, error) {
 // StatsCtx is Stats with a context.
 func (c *Client) StatsCtx(ctx context.Context) (*mmdb.Stats, error) {
 	var out mmdb.Stats
-	if err := c.doCtx(ctx, "GET", "/stats", nil, "", &out); err != nil {
+	if err := c.doCtx(ctx, "GET", "/v1/stats", nil, "", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -346,5 +373,24 @@ func (c *Client) Health(ctx context.Context) error {
 
 // Compact asks the server to rewrite its store file.
 func (c *Client) Compact() error {
-	return c.do("POST", "/compact", nil, "", nil)
+	return c.do("POST", "/v1/compact", nil, "", nil)
+}
+
+// WALStats fetches write-ahead-log statistics; enabled is false when the
+// server's database is in-memory (no log).
+func (c *Client) WALStats(ctx context.Context) (stats *mmdb.WALStats, enabled bool, err error) {
+	var out struct {
+		Enabled bool           `json:"enabled"`
+		Stats   *mmdb.WALStats `json:"stats"`
+	}
+	if err := c.doCtx(ctx, "GET", "/v1/wal", nil, "", &out); err != nil {
+		return nil, false, err
+	}
+	return out.Stats, out.Enabled, nil
+}
+
+// Checkpoint forces a durability checkpoint on the server (persist +
+// fsync + WAL truncate).
+func (c *Client) Checkpoint(ctx context.Context) error {
+	return c.doCtx(ctx, "POST", "/v1/checkpoint", nil, "", nil)
 }

@@ -64,7 +64,7 @@ func (s *InProc) InsertImage(ctx context.Context, id uint64, name string, img *m
 	if err := s.check(ctx); err != nil {
 		return err
 	}
-	_, err := s.db.InsertImageWithID(id, name, img)
+	_, err := s.db.InsertImageCtx(ctx, name, img, mmdb.WithID(id), mmdb.WithNoAugment())
 	return markQueryError(err)
 }
 
@@ -73,7 +73,7 @@ func (s *InProc) InsertSequence(ctx context.Context, id uint64, name string, seq
 	if err := s.check(ctx); err != nil {
 		return err
 	}
-	_, err := s.db.InsertEditedWithID(id, name, seq)
+	_, err := s.db.InsertEditedCtx(ctx, name, seq, mmdb.WithID(id))
 	return markQueryError(err)
 }
 

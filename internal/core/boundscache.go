@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -165,7 +166,7 @@ func (db *DB) cachedBoundsFor(obj *catalog.Object, tr *obs.Trace) ([]rules.Bound
 // rangeCached answers a range query from the bounds cache: exact histogram
 // tests for binary images, one interval test per edited image. Results are
 // identical to RBM/BWM (the cached vectors are the same BOUNDS values).
-func (db *DB) rangeCached(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
+func (db *DB) rangeCached(ctx context.Context, q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -187,7 +188,7 @@ func (db *DB) rangeCached(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	}
 	done()
 	done = tr.Phase("cached.interval-tests")
-	matched, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, _ *rbm.Stats) (bool, error) {
+	matched, st, err := db.filterEdited(ctx, db.cat.EditedIDs(), tr, func(id uint64, _ *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
 			return false, nil

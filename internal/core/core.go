@@ -123,6 +123,11 @@ type Config struct {
 	// and the parallel_* trace counters change. Adjustable at runtime via
 	// DB.SetParallelism.
 	Parallelism int
+	// WAL tunes the write-ahead log's group-commit behaviour when Path is
+	// set (the log lives at Path+".wal"). The zero value flushes as soon as
+	// the flusher is free and batches up to store.DefaultWALMaxBatch
+	// commits per fsync.
+	WAL store.WALOptions
 }
 
 // DB is the augmented image database. All methods are safe for concurrent
@@ -142,6 +147,7 @@ type DB struct {
 	sig     *rtree.Tree
 
 	st         *store.Store // nil when in-memory
+	wal        *store.WAL   // nil when in-memory
 	rasters    map[uint64]*imaging.Image
 	rasterRecs map[uint64]store.RecordID
 	bcache     *boundsCache
@@ -190,6 +196,21 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	// The store's rollback journal has already rewound the file to its last
+	// checkpoint; now redo every acknowledged mutation since then from the
+	// write-ahead log.
+	wal, recs, err := store.OpenWAL(cfg.Path+".wal", cfg.WAL)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	db.wal = wal
+	db, err = db.replayWAL(recs, defaulted)
+	if err != nil {
+		wal.Abandon()
 		st.Close()
 		return nil, err
 	}
@@ -242,8 +263,9 @@ func (db *DB) Quantizer() colorspace.Quantizer { return db.cfg.Quantizer }
 // Background returns the configured background color.
 func (db *DB) Background() imaging.RGB { return db.cfg.Background }
 
-// Close persists the catalog (when backed by a store) and releases the
-// file. The DB is unusable afterwards.
+// Close persists the catalog (when backed by a store), truncates the
+// write-ahead log — a clean shutdown is a checkpoint — and releases the
+// files. The DB is unusable afterwards.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -254,14 +276,27 @@ func (db *DB) Close() error {
 	if db.st == nil {
 		return nil
 	}
-	if err := db.persistCatalogLocked(); err != nil {
-		db.st.Close()
-		return err
+	err := db.persistCatalogLocked()
+	if err == nil {
+		err = db.st.Sync()
 	}
-	return db.st.Close()
+	if err == nil && db.wal != nil {
+		err = db.wal.Checkpoint()
+	}
+	if db.wal != nil {
+		if cerr := db.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if cerr := db.st.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// Sync persists the catalog and fsyncs the store. A no-op in memory mode.
+// Sync persists the catalog, fsyncs the store and checkpoints the
+// write-ahead log (everything the log guarded is now in the store, so the
+// log restarts empty). A no-op in memory mode.
 func (db *DB) Sync() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -274,14 +309,17 @@ func (db *DB) Sync() error {
 	if err := db.persistCatalogLocked(); err != nil {
 		return err
 	}
-	return db.st.Sync()
+	if err := db.st.Sync(); err != nil {
+		return err
+	}
+	return db.walCheckpointLocked()
 }
 
 // InsertImage stores a binary image: the raster goes to the blob store (or
 // the in-memory map), the histogram is extracted into the catalog, the BWM
 // Main Component gains a cluster and the signature index a point.
 func (db *DB) InsertImage(name string, img *imaging.Image) (uint64, error) {
-	return db.InsertImageWithID(0, name, img)
+	return db.InsertImageCtx(context.Background(), 0, name, img)
 }
 
 // InsertImageWithID is InsertImage with an explicit object id (0 means
@@ -289,14 +327,41 @@ func (db *DB) InsertImage(name string, img *imaging.Image) (uint64, error) {
 // down so every shard shares one id space; a taken id fails with
 // catalog.ErrIDTaken.
 func (db *DB) InsertImageWithID(id uint64, name string, img *imaging.Image) (uint64, error) {
+	return db.InsertImageCtx(context.Background(), id, name, img)
+}
+
+// InsertImageCtx is the canonical insert: it applies the mutation, logs it
+// to the write-ahead log, and returns only once the log record is fsynced
+// (the durability acknowledgement). Concurrent inserts share fsyncs via
+// group commit. ctx bounds only the durability wait: on cancellation the
+// insert is already applied and its record already written — it may still
+// commit — so the caller must treat the write's fate as unknown.
+func (db *DB) InsertImageCtx(ctx context.Context, id uint64, name string, img *imaging.Image) (uint64, error) {
 	if img == nil || img.Size() == 0 {
 		return 0, errors.New("core: cannot insert an empty image")
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return 0, store.ErrClosed
 	}
+	id, err := db.applyInsertBinaryLocked(id, name, img)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	tk, err := db.walAppendLocked(func() []byte { return encodeWALInsertBinary(id, name, img) })
+	db.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, tk.Wait(ctx)
+}
+
+// applyInsertBinaryLocked performs the in-memory and store side of a
+// binary insert. Shared by the public write path and WAL replay; caller
+// holds db.mu.
+func (db *DB) applyInsertBinaryLocked(id uint64, name string, img *imaging.Image) (uint64, error) {
 	hist := histogram.Extract(img, db.cfg.Quantizer)
 	id, err := db.cat.AddBinaryWithID(id, name, img.W, img.H, hist)
 	if err != nil {
@@ -322,20 +387,42 @@ func (db *DB) InsertImageWithID(id uint64, name string, img *imaging.Image) (uin
 // classified (widening or not) and routed into the BWM structure per the
 // paper's Fig. 1.
 func (db *DB) InsertEdited(name string, seq *editops.Sequence) (uint64, error) {
-	return db.InsertEditedWithID(0, name, seq)
+	return db.InsertEditedCtx(context.Background(), 0, name, seq)
 }
 
 // InsertEditedWithID is InsertEdited with an explicit object id (0 means
 // "allocate"); see InsertImageWithID.
 func (db *DB) InsertEditedWithID(id uint64, name string, seq *editops.Sequence) (uint64, error) {
+	return db.InsertEditedCtx(context.Background(), id, name, seq)
+}
+
+// InsertEditedCtx is the canonical edited insert; see InsertImageCtx for
+// the durability contract.
+func (db *DB) InsertEditedCtx(ctx context.Context, id uint64, name string, seq *editops.Sequence) (uint64, error) {
 	if seq == nil {
 		return 0, errors.New("core: nil sequence")
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return 0, store.ErrClosed
 	}
+	id, err := db.applyInsertEditedLocked(id, name, seq)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	tk, err := db.walAppendLocked(func() []byte { return encodeWALInsertEdited(id, name, seq) })
+	db.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, tk.Wait(ctx)
+}
+
+// applyInsertEditedLocked performs the in-memory side of an edited insert.
+// Shared by the public write path and WAL replay; caller holds db.mu.
+func (db *DB) applyInsertEditedLocked(id uint64, name string, seq *editops.Sequence) (uint64, error) {
 	base, err := db.cat.Binary(seq.BaseID)
 	if err != nil {
 		return 0, err
@@ -354,21 +441,50 @@ func (db *DB) InsertEditedWithID(id uint64, name string, seq *editops.Sequence) 
 // scratch, the image re-routed between the BWM components if its
 // classification changed, and its cached bounds dropped.
 func (db *DB) AppendOps(id uint64, ops []editops.Op) error {
+	return db.AppendOpsCtx(context.Background(), id, ops)
+}
+
+// AppendOpsCtx is AppendOps with the durability wait bounded by ctx; see
+// InsertImageCtx for the contract. The WAL record carries the full
+// post-append sequence, so recovery needs no pre-state.
+func (db *DB) AppendOpsCtx(ctx context.Context, id uint64, ops []editops.Op) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return store.ErrClosed
 	}
 	obj, err := db.cat.Edited(id)
 	if err != nil {
-		return err
-	}
-	base, err := db.cat.Binary(obj.Seq.BaseID)
-	if err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	newSeq := obj.Seq.Clone()
 	newSeq.Ops = append(newSeq.Ops, ops...)
+	if err := db.applySetSequenceLocked(id, newSeq); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	tk, err := db.walAppendLocked(func() []byte { return encodeWALUpdateSeq(id, newSeq) })
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return tk.Wait(ctx)
+}
+
+// applySetSequenceLocked replaces an edited image's sequence wholesale:
+// re-classify, re-route between BWM components if the classification
+// changed, drop cached bounds. Shared by AppendOpsCtx and WAL replay;
+// caller holds db.mu.
+func (db *DB) applySetSequenceLocked(id uint64, newSeq *editops.Sequence) error {
+	obj, err := db.cat.Edited(id)
+	if err != nil {
+		return err
+	}
+	base, err := db.cat.Binary(newSeq.BaseID)
+	if err != nil {
+		return err
+	}
 	oldWidening := obj.Widening
 	widening := rules.SequenceIsWideningFor(newSeq.Ops, base.W, base.H)
 	if err := db.cat.UpdateEdited(id, newSeq, widening); err != nil {
@@ -388,11 +504,32 @@ func (db *DB) AppendOps(id uint64, ops []editops.Op) error {
 // raster record is reclaimed immediately; the catalog record shrinks at the
 // next Sync/Close.
 func (db *DB) Delete(id uint64) error {
+	return db.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete with the durability wait bounded by ctx; see
+// InsertImageCtx for the contract.
+func (db *DB) DeleteCtx(ctx context.Context, id uint64) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return store.ErrClosed
 	}
+	if err := db.applyDeleteLocked(id); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	tk, err := db.walAppendLocked(func() []byte { return encodeWALDelete(id) })
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return tk.Wait(ctx)
+}
+
+// applyDeleteLocked performs the in-memory and store side of a delete.
+// Shared by the public write path and WAL replay; caller holds db.mu.
+func (db *DB) applyDeleteLocked(id uint64) error {
 	obj, err := db.cat.Get(id)
 	if err != nil {
 		return err
@@ -499,27 +636,40 @@ func (db *DB) RangeQuery(q query.Range, mode Mode) (*rbm.Result, error) {
 	return db.RangeQueryTraced(q, mode, nil)
 }
 
+// RangeQueryCtx is RangeQuery with the caller's ctx propagated into the
+// candidate-evaluation worker pool, so cancelling the request stops the
+// walk.
+func (db *DB) RangeQueryCtx(ctx context.Context, q query.Range, mode Mode) (*rbm.Result, error) {
+	return db.RangeQueryTracedCtx(ctx, q, mode, nil)
+}
+
 // RangeQueryTraced is RangeQuery with per-phase timings and decision counts
 // recorded into tr; a nil tr disables tracing. Latency and query-count
 // metrics are always recorded into the process registry. The trace's
 // pages_read counter is the process-wide store-read delta across the query,
 // so concurrent queries' page reads can bleed into each other's traces.
 func (db *DB) RangeQueryTraced(q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	return db.RangeQueryTracedCtx(context.Background(), q, mode, tr)
+}
+
+// RangeQueryTracedCtx is the canonical range-query entry point: traced,
+// mode-dispatched, and ctx-aware.
+func (db *DB) RangeQueryTracedCtx(ctx context.Context, q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	pagesBefore := mPagesRead.Value()
 	start := time.Now()
 	var res *rbm.Result
 	var err error
 	switch mode {
 	case ModeBWM:
-		res, err = db.bwmProc.RangeTraced(q, tr)
+		res, err = db.bwmProc.RangeTracedCtx(ctx, q, tr)
 	case ModeRBM:
-		res, err = db.rbmProc.RangeTraced(q, tr)
+		res, err = db.rbmProc.RangeTracedCtx(ctx, q, tr)
 	case ModeBWMIndexed:
-		res, err = db.rangeIndexed(q, tr)
+		res, err = db.rangeIndexed(ctx, q, tr)
 	case ModeInstantiate:
-		res, err = db.rangeInstantiate(q, tr)
+		res, err = db.rangeInstantiate(ctx, q, tr)
 	case ModeCachedBounds:
-		res, err = db.rangeCached(q, tr)
+		res, err = db.rangeCached(ctx, q, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
 	}
@@ -544,9 +694,18 @@ func (db *DB) RangeQueryText(text string, mode Mode) (*rbm.Result, error) {
 	return db.RangeQuery(q, mode)
 }
 
+// RangeQueryTextCtx parses and executes a textual range query under ctx.
+func (db *DB) RangeQueryTextCtx(ctx context.Context, text string, mode Mode) (*rbm.Result, error) {
+	q, err := query.ParseRange(text, db.cfg.Quantizer)
+	if err != nil {
+		return nil, err
+	}
+	return db.RangeQueryCtx(ctx, q, mode)
+}
+
 // rangeInstantiate is the ground-truth baseline: every edited image is
 // materialized and matched exactly.
-func (db *DB) rangeInstantiate(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
+func (db *DB) rangeInstantiate(ctx context.Context, q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -569,7 +728,7 @@ func (db *DB) rangeInstantiate(q query.Range, tr *obs.Trace) (*rbm.Result, error
 	done()
 	done = tr.Phase("instantiate.materialize-edited")
 	env := db.env()
-	matched, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
+	matched, st, err := db.filterEdited(ctx, db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
 			return false, nil
@@ -601,7 +760,7 @@ func (db *DB) rangeInstantiate(q query.Range, tr *obs.Trace) (*rbm.Result, error
 // rangeIndexed runs the BWM algorithm but finds query-satisfying bases via
 // an R-tree window probe on the queried bin instead of scanning all base
 // histograms. Results are identical to ModeBWM.
-func (db *DB) rangeIndexed(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
+func (db *DB) rangeIndexed(ctx context.Context, q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -638,7 +797,7 @@ func (db *DB) rangeIndexed(q query.Range, tr *obs.Trace) (*rbm.Result, error) {
 	// worker pool (satisfied is read-only from here on).
 	done = tr.Phase("indexed.walk-clusters")
 	bases := db.cat.Binaries()
-	ids, st, err := db.collectSlices(len(bases), tr, func(i int, st *rbm.Stats) ([]uint64, error) {
+	ids, st, err := db.collectSlices(ctx, len(bases), tr, func(i int, st *rbm.Stats) ([]uint64, error) {
 		baseID := bases[i]
 		var out []uint64
 		if satisfied[baseID] {
@@ -690,6 +849,17 @@ func (db *DB) CompoundQuery(c query.Compound, mode Mode) (*rbm.Result, error) {
 // CompoundQueryTraced is CompoundQuery with tracing: each term's execution
 // records into the same trace, and the set combination gets its own phase.
 func (db *DB) CompoundQueryTraced(c query.Compound, mode Mode, trace *obs.Trace) (*rbm.Result, error) {
+	return db.CompoundQueryTracedCtx(context.Background(), c, mode, trace)
+}
+
+// CompoundQueryCtx is CompoundQuery under the caller's ctx.
+func (db *DB) CompoundQueryCtx(ctx context.Context, c query.Compound, mode Mode) (*rbm.Result, error) {
+	return db.CompoundQueryTracedCtx(ctx, c, mode, nil)
+}
+
+// CompoundQueryTracedCtx is the canonical compound entry point: ctx flows
+// into the term fan-out and each term's own candidate walk.
+func (db *DB) CompoundQueryTracedCtx(ctx context.Context, c query.Compound, mode Mode, trace *obs.Trace) (*rbm.Result, error) {
 	if err := c.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -699,8 +869,8 @@ func (db *DB) CompoundQueryTraced(c query.Compound, mode Mode, trace *obs.Trace)
 	// Combination happens afterwards in term order, which keeps the result
 	// set and accumulated statistics identical to a serial evaluation.
 	results := make([]*rbm.Result, len(c.Terms))
-	pst, err := exec.ForEach(context.Background(), db.workers(), len(c.Terms), func(w, i int) error {
-		r, terr := db.RangeQueryTraced(c.Terms[i], mode, trace)
+	pst, err := exec.ForEach(ctx, db.workers(), len(c.Terms), func(w, i int) error {
+		r, terr := db.RangeQueryTracedCtx(ctx, c.Terms[i], mode, trace)
 		if terr != nil {
 			return terr
 		}
@@ -754,13 +924,19 @@ func (db *DB) CompoundQueryText(text string, mode Mode) (*rbm.Result, error) {
 // CompoundQueryTextTraced parses and evaluates a textual compound query
 // with tracing, recording the parse as its own phase.
 func (db *DB) CompoundQueryTextTraced(text string, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	return db.CompoundQueryTextTracedCtx(context.Background(), text, mode, tr)
+}
+
+// CompoundQueryTextTracedCtx parses and evaluates a textual compound query
+// with tracing under the caller's ctx.
+func (db *DB) CompoundQueryTextTracedCtx(ctx context.Context, text string, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	done := tr.Phase("parse")
 	c, err := query.ParseCompound(text, db.cfg.Quantizer)
 	done()
 	if err != nil {
 		return nil, err
 	}
-	return db.CompoundQueryTraced(c, mode, tr)
+	return db.CompoundQueryTracedCtx(ctx, c, mode, tr)
 }
 
 // ExpandToBases augments a result id set with the base image of every

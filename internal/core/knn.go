@@ -61,9 +61,20 @@ func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
 	return db.KNNTraced(q, nil)
 }
 
+// KNNCtx is KNN under the caller's ctx: cancellation stops the parallel
+// prune-and-instantiate pass.
+func (db *DB) KNNCtx(ctx context.Context, q query.KNN) ([]Match, *KNNStats, error) {
+	return db.KNNTracedCtx(ctx, q, nil)
+}
+
 // KNNTraced is KNN with phase timings and pruning decisions recorded into
 // tr (nil disables tracing).
 func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
+	return db.KNNTracedCtx(context.Background(), q, tr)
+}
+
+// KNNTracedCtx is the canonical k-NN entry point: traced and ctx-aware.
+func (db *DB) KNNTracedCtx(ctx context.Context, q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -112,7 +123,7 @@ func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) 
 	env := db.env()
 	ids := db.cat.EditedIDs()
 	if workers := db.workers(); workers > 1 && len(ids) > 1 {
-		if err := db.knnPruneParallel(q, ids, workers, best, push, st, tr, env); err != nil {
+		if err := db.knnPruneParallel(ctx, q, ids, workers, best, push, st, tr, env); err != nil {
 			return nil, nil, err
 		}
 	} else {
@@ -240,7 +251,7 @@ func (t *thresholdTracker) threshold() float64 {
 // identical to the serial one; only the pruned/instantiated statistics may
 // differ between runs. The first error cancels the remaining candidate
 // evaluations through the pool's context.
-func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *matchHeap, push func(uint64, float64), st *KNNStats, tr *obs.Trace, env *editops.Env) error {
+func (db *DB) knnPruneParallel(ctx context.Context, q query.KNN, ids []uint64, workers int, best *matchHeap, push func(uint64, float64), st *KNNStats, tr *obs.Trace, env *editops.Env) error {
 	tracker := newThresholdTracker(q.K, *best)
 
 	type outcome struct {
@@ -250,7 +261,7 @@ func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *mat
 	outs := make([]outcome, len(ids))
 	pruned := make([]int, workers)
 	instantiated := make([]int, workers)
-	pst, err := exec.ForEach(context.Background(), workers, len(ids), func(w, i int) error {
+	pst, err := exec.ForEach(ctx, workers, len(ids), func(w, i int) error {
 		id := ids[i]
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
@@ -319,13 +330,18 @@ func (db *DB) knnPruneParallel(q query.KNN, ids []uint64, workers int, best *mat
 // accumulated across the per-probe searches, which makes the cost of the
 // approach visible: feature extraction and search run once per probe.
 func (db *DB) KNNMulti(targets []*histogram.Histogram, k int, metric query.Metric) ([]Match, *KNNStats, error) {
+	return db.KNNMultiCtx(context.Background(), targets, k, metric)
+}
+
+// KNNMultiCtx is KNNMulti under the caller's ctx.
+func (db *DB) KNNMultiCtx(ctx context.Context, targets []*histogram.Histogram, k int, metric query.Metric) ([]Match, *KNNStats, error) {
 	if len(targets) == 0 {
 		return nil, nil, fmt.Errorf("core: knn-multi needs at least one probe")
 	}
 	total := &KNNStats{}
 	best := make(map[uint64]float64)
 	for _, target := range targets {
-		matches, st, err := db.KNN(query.KNN{Target: target, K: k, Metric: metric})
+		matches, st, err := db.KNNCtx(ctx, query.KNN{Target: target, K: k, Metric: metric})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -494,6 +510,11 @@ func (db *DB) BICIndex() (*signature.Index, error) {
 // bound-derived lower bound and instantiated only when the lower bound is
 // within range.
 func (db *DB) WithinDistance(target *histogram.Histogram, dist float64, metric query.Metric) ([]Match, *KNNStats, error) {
+	return db.WithinDistanceCtx(context.Background(), target, dist, metric)
+}
+
+// WithinDistanceCtx is WithinDistance under the caller's ctx.
+func (db *DB) WithinDistanceCtx(ctx context.Context, target *histogram.Histogram, dist float64, metric query.Metric) ([]Match, *KNNStats, error) {
 	if target == nil {
 		return nil, nil, fmt.Errorf("core: within-distance target histogram is nil")
 	}
@@ -528,7 +549,7 @@ func (db *DB) WithinDistance(target *histogram.Histogram, dist float64, metric q
 	outs := make([]wdOutcome, len(ids))
 	pruned := make([]int, workers)
 	instantiated := make([]int, workers)
-	if _, err := exec.ForEach(context.Background(), workers, len(ids), func(w, i int) error {
+	if _, err := exec.ForEach(ctx, workers, len(ids), func(w, i int) error {
 		obj, err := db.cat.Edited(ids[i])
 		if errors.Is(err, catalog.ErrNotFound) {
 			return nil

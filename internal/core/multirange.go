@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -57,21 +58,32 @@ func (db *DB) RangeQueryMulti(q query.MultiRange, mode Mode) (*rbm.Result, error
 	return db.RangeQueryMultiTraced(q, mode, nil)
 }
 
+// RangeQueryMultiCtx is RangeQueryMulti under the caller's ctx.
+func (db *DB) RangeQueryMultiCtx(ctx context.Context, q query.MultiRange, mode Mode) (*rbm.Result, error) {
+	return db.RangeQueryMultiTracedCtx(ctx, q, mode, nil)
+}
+
 // RangeQueryMultiTraced is RangeQueryMulti with decision counts and phase
 // timings recorded into tr (nil disables tracing).
 func (db *DB) RangeQueryMultiTraced(q query.MultiRange, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	return db.RangeQueryMultiTracedCtx(context.Background(), q, mode, tr)
+}
+
+// RangeQueryMultiTracedCtx is the canonical multi-bin entry point: traced,
+// mode-dispatched, and ctx-aware.
+func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q query.MultiRange, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
 	switch mode {
 	case ModeRBM:
-		return db.multiWalk(q, nil, tr)
+		return db.multiWalk(ctx, q, nil, tr)
 	case ModeBWM, ModeBWMIndexed:
-		return db.multiBWM(q, tr)
+		return db.multiBWM(ctx, q, tr)
 	case ModeInstantiate:
-		return db.multiInstantiate(q)
+		return db.multiInstantiate(ctx, q)
 	case ModeCachedBounds:
-		return db.multiWalk(q, func(obj *catalog.Object) ([]rules.Bounds, error) {
+		return db.multiWalk(ctx, q, func(obj *catalog.Object) ([]rules.Bounds, error) {
 			return db.cachedBoundsFor(obj, tr)
 		}, tr)
 	default:
@@ -82,16 +94,21 @@ func (db *DB) RangeQueryMultiTraced(q query.MultiRange, mode Mode, tr *obs.Trace
 // RangeQueryColorFamily resolves a named color's bin family and runs the
 // multi-bin query: "at least 25% blue-ish".
 func (db *DB) RangeQueryColorFamily(name string, pctMin, pctMax float64, mode Mode) (*rbm.Result, error) {
+	return db.RangeQueryColorFamilyCtx(context.Background(), name, pctMin, pctMax, mode)
+}
+
+// RangeQueryColorFamilyCtx is RangeQueryColorFamily under the caller's ctx.
+func (db *DB) RangeQueryColorFamilyCtx(ctx context.Context, name string, pctMin, pctMax float64, mode Mode) (*rbm.Result, error) {
 	bins, err := colorspace.FamilyForName(name, db.cfg.Quantizer)
 	if err != nil {
 		return nil, err
 	}
-	return db.RangeQueryMulti(query.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
+	return db.RangeQueryMultiCtx(ctx, query.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
 }
 
 // multiWalk is the RBM-shaped scan; boundsFn overrides the bounds source
 // (nil = fresh BoundsAll walk, cache lookup for ModeCachedBounds).
-func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error), tr *obs.Trace) (*rbm.Result, error) {
+func (db *DB) multiWalk(ctx context.Context, q query.MultiRange, boundsFn func(*catalog.Object) ([]rules.Bounds, error), tr *obs.Trace) (*rbm.Result, error) {
 	res := &rbm.Result{}
 	done := tr.Phase("multi.scan-binaries")
 	for _, id := range db.cat.Binaries() {
@@ -110,7 +127,7 @@ func (db *DB) multiWalk(q query.MultiRange, boundsFn func(*catalog.Object) ([]ru
 	}
 	done()
 	done = tr.Phase("multi.walk-edited")
-	matched, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
+	matched, st, err := db.filterEdited(ctx, db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
 		return db.multiCheckEdited(id, q, boundsFn, st, tr)
 	})
 	if err != nil {
@@ -156,7 +173,7 @@ func (db *DB) multiCheckEdited(id uint64, q query.MultiRange, boundsFn func(*cat
 
 // multiBWM applies the cluster-skip: widening-only members of clusters
 // whose base's exact SUM satisfies the query are admitted rule-free.
-func (db *DB) multiBWM(q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
+func (db *DB) multiBWM(ctx context.Context, q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
 	res := &rbm.Result{}
 	matched := make(map[uint64]bool)
 	done := tr.Phase("multi.scan-binaries")
@@ -178,7 +195,7 @@ func (db *DB) multiBWM(q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
 	done()
 	// matched is read-only from here on, so the edited walk can fan out.
 	done = tr.Phase("multi.walk-edited")
-	hits, st, err := db.filterEdited(db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
+	hits, st, err := db.filterEdited(ctx, db.cat.EditedIDs(), tr, func(id uint64, st *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
 			return false, nil
@@ -205,7 +222,7 @@ func (db *DB) multiBWM(q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
 }
 
 // multiInstantiate is the exact ground truth.
-func (db *DB) multiInstantiate(q query.MultiRange) (*rbm.Result, error) {
+func (db *DB) multiInstantiate(ctx context.Context, q query.MultiRange) (*rbm.Result, error) {
 	res := &rbm.Result{}
 	for _, id := range db.cat.Binaries() {
 		obj, err := db.cat.Binary(id)
@@ -221,7 +238,7 @@ func (db *DB) multiInstantiate(q query.MultiRange) (*rbm.Result, error) {
 		}
 	}
 	env := db.env()
-	matched, st, err := db.filterEdited(db.cat.EditedIDs(), nil, func(id uint64, st *rbm.Stats) (bool, error) {
+	matched, st, err := db.filterEdited(ctx, db.cat.EditedIDs(), nil, func(id uint64, st *rbm.Stats) (bool, error) {
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
 			return false, nil

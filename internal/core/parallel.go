@@ -16,13 +16,14 @@ import (
 // results element-for-element identical to the serial walk.
 
 // filterEdited evaluates check over the candidate ids with the database's
-// configured parallelism. check receives a worker-private *rbm.Stats; the
-// merged total is returned. Pool counters are recorded into tr only when
-// the run actually fanned out.
-func (db *DB) filterEdited(ids []uint64, tr *obs.Trace, check func(id uint64, st *rbm.Stats) (bool, error)) ([]uint64, rbm.Stats, error) {
+// configured parallelism, propagating the query's ctx into the worker
+// pool. check receives a worker-private *rbm.Stats; the merged total is
+// returned. Pool counters are recorded into tr only when the run actually
+// fanned out.
+func (db *DB) filterEdited(ctx context.Context, ids []uint64, tr *obs.Trace, check func(id uint64, st *rbm.Stats) (bool, error)) ([]uint64, rbm.Stats, error) {
 	workers := db.workers()
 	stats := make([]rbm.Stats, workers)
-	matched, pst, err := exec.FilterIDs(context.Background(), workers, ids, func(w int, id uint64) (bool, error) {
+	matched, pst, err := exec.FilterIDs(ctx, workers, ids, func(w int, id uint64) (bool, error) {
 		return check(id, &stats[w])
 	})
 	if pst.Workers > 1 {
@@ -42,11 +43,11 @@ func (db *DB) filterEdited(ids []uint64, tr *obs.Trace, check func(id uint64, st
 // bases, query terms), each producing an id slice into its own slot; the
 // slots are concatenated in item order. gather receives a worker-private
 // *rbm.Stats like filterEdited.
-func (db *DB) collectSlices(n int, tr *obs.Trace, gather func(i int, st *rbm.Stats) ([]uint64, error)) ([]uint64, rbm.Stats, error) {
+func (db *DB) collectSlices(ctx context.Context, n int, tr *obs.Trace, gather func(i int, st *rbm.Stats) ([]uint64, error)) ([]uint64, rbm.Stats, error) {
 	workers := db.workers()
 	stats := make([]rbm.Stats, workers)
 	slots := make([][]uint64, n)
-	pst, err := exec.ForEach(context.Background(), workers, n, func(w, i int) error {
+	pst, err := exec.ForEach(ctx, workers, n, func(w, i int) error {
 		ids, gerr := gather(i, &stats[w])
 		if gerr != nil {
 			return gerr

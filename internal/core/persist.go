@@ -414,5 +414,9 @@ func (db *DB) Compact() error {
 		return fmt.Errorf("core: compact: reopen after rename: %w", err)
 	}
 	db.st = reopened
-	return nil
+	// The compacted file absorbed every logged mutation (the catalog was
+	// persisted into it before the rename), so the log restarts empty. A
+	// crash between the rename and this truncation is safe: replay over the
+	// already-compacted state is idempotent.
+	return db.walCheckpointLocked()
 }

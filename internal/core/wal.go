@@ -1,0 +1,343 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/colorspace"
+	"repro/internal/editops"
+	"repro/internal/imaging"
+	"repro/internal/store"
+)
+
+// Logical redo records for the write-ahead log. The page store's rollback
+// journal guarantees that after a crash the file reverts to its last
+// checkpoint (Sync/Close); every acknowledged mutation since then lives in
+// the WAL as one of these records and is redone at Open. Records carry
+// everything replay needs to rebuild the operation from a
+// checkpoint-consistent store — including raster bytes, since the store
+// rolls uncheckpointed raster pages back.
+//
+// Replay is idempotent by construction: inserts of an id already in the
+// catalog are skipped, deletes of an absent id are skipped, and sequence
+// updates carry the full post-update sequence (not a delta), so applying
+// the log twice leaves the same state as applying it once. Idempotence is
+// what makes the recovery protocol safe against crashes during recovery
+// itself and against a checkpoint racing a crash: a record that was
+// already absorbed into a checkpoint replays as a no-op.
+
+const (
+	// walRecConfig declares the quantizer and background a fresh log
+	// segment was written under; replay verifies (or, for a defaulted
+	// configuration, adopts) it before applying mutations.
+	walRecConfig       byte = 1
+	walRecInsertBinary byte = 2
+	walRecInsertEdited byte = 3
+	// walRecUpdateSeq carries an edited image's full replacement sequence
+	// (AppendOps logs the result, not the appended suffix, for idempotence).
+	walRecUpdateSeq byte = 4
+	walRecDelete    byte = 5
+)
+
+func encodeWALConfig(qname string, bg imaging.RGB) []byte {
+	buf := []byte{walRecConfig}
+	buf = appendString(buf, qname)
+	return append(buf, bg.R, bg.G, bg.B)
+}
+
+func encodeWALInsertBinary(id uint64, name string, img *imaging.Image) []byte {
+	buf := []byte{walRecInsertBinary}
+	buf = binary.AppendUvarint(buf, id)
+	buf = appendString(buf, name)
+	buf = binary.AppendUvarint(buf, uint64(img.W))
+	buf = binary.AppendUvarint(buf, uint64(img.H))
+	for _, p := range img.Pix {
+		buf = append(buf, p.R, p.G, p.B)
+	}
+	return buf
+}
+
+func encodeWALInsertEdited(id uint64, name string, seq *editops.Sequence) []byte {
+	buf := []byte{walRecInsertEdited}
+	buf = binary.AppendUvarint(buf, id)
+	buf = appendString(buf, name)
+	enc := editops.EncodeBinary(seq)
+	buf = binary.AppendUvarint(buf, uint64(len(enc)))
+	return append(buf, enc...)
+}
+
+func encodeWALUpdateSeq(id uint64, seq *editops.Sequence) []byte {
+	buf := []byte{walRecUpdateSeq}
+	buf = binary.AppendUvarint(buf, id)
+	enc := editops.EncodeBinary(seq)
+	buf = binary.AppendUvarint(buf, uint64(len(enc)))
+	return append(buf, enc...)
+}
+
+func encodeWALDelete(id uint64) []byte {
+	buf := []byte{walRecDelete}
+	return binary.AppendUvarint(buf, id)
+}
+
+// walAppendLocked logs one mutation. enc runs only when a WAL is attached,
+// so in-memory databases pay nothing. Caller holds db.mu; the returned
+// ticket (nil without a WAL) is waited on after the lock is released so
+// concurrent writers share fsyncs.
+func (db *DB) walAppendLocked(enc func() []byte) (*store.WALTicket, error) {
+	if db.wal == nil {
+		return nil, nil
+	}
+	return db.wal.Append(enc())
+}
+
+// walLogConfig ensures a log that is empty (fresh or just checkpointed)
+// opens with a configuration record, so recovery of a never-checkpointed
+// database still knows its quantizer. Fire-and-forget: the record only
+// matters alongside later mutations, and any fsync that commits those
+// commits this earlier frame too.
+func (db *DB) walLogConfig() error {
+	if db.wal == nil || !db.wal.Empty() {
+		return nil
+	}
+	_, err := db.wal.Append(encodeWALConfig(db.cfg.Quantizer.Name(), db.cfg.Background))
+	return err
+}
+
+// walCheckpointLocked truncates the log after the caller has made the
+// store durable (catalog persisted, pages flushed, file fsynced), then
+// re-seeds the configuration record. Caller holds db.mu.
+func (db *DB) walCheckpointLocked() error {
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Checkpoint(); err != nil {
+		return err
+	}
+	return db.walLogConfig()
+}
+
+// replayWAL applies the recovered records in order and, if any mutated the
+// database, immediately checkpoints so the next open starts from a clean
+// log. Returns the DB to use afterwards — replay of a configuration record
+// may rebuild it around an adopted quantizer.
+func (db *DB) replayWAL(recs []store.WALRecord, defaulted bool) (*DB, error) {
+	mutated := false
+	for _, rec := range recs {
+		m, rebuilt, err := db.applyWALRecord(rec.Payload, defaulted)
+		if err != nil {
+			return nil, fmt.Errorf("core: wal replay lsn %d: %w", rec.LSN, err)
+		}
+		if rebuilt != nil {
+			db = rebuilt
+		}
+		mutated = mutated || m
+	}
+	if mutated {
+		db.mu.Lock()
+		err := db.persistCatalogLocked()
+		if err == nil {
+			err = db.st.Sync()
+		}
+		if err == nil {
+			err = db.walCheckpointLocked()
+		}
+		db.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("core: post-replay checkpoint: %w", err)
+		}
+		return db, nil
+	}
+	return db, db.walLogConfig()
+}
+
+// applyWALRecord redoes one logical record idempotently. It reports
+// whether the database actually changed and, for an adopted configuration
+// record, the rebuilt DB.
+func (db *DB) applyWALRecord(payload []byte, defaulted bool) (bool, *DB, error) {
+	r := &sliceReader{data: payload}
+	typ, err := r.take(1)
+	if err != nil {
+		return false, nil, err
+	}
+	switch typ[0] {
+	case walRecConfig:
+		qname, err := r.readString()
+		if err != nil {
+			return false, nil, err
+		}
+		bgb, err := r.take(3)
+		if err != nil {
+			return false, nil, err
+		}
+		bg := imaging.RGB{R: bgb[0], G: bgb[1], B: bgb[2]}
+		if qname != db.cfg.Quantizer.Name() {
+			if !defaulted {
+				return false, nil, &quantizerMismatchError{stored: qname, configured: db.cfg.Quantizer.Name()}
+			}
+			q, perr := colorspace.ParseQuantizer(qname)
+			if perr != nil {
+				return false, nil, fmt.Errorf("%w: %v", ErrIncompatible, perr)
+			}
+			cfg := db.cfg
+			cfg.Quantizer = q
+			cfg.Background = bg
+			nd := newDB(cfg)
+			nd.st, nd.wal = db.st, db.wal
+			if err := nd.load(); err != nil {
+				return false, nil, err
+			}
+			return false, nd, nil
+		}
+		if bg != db.cfg.Background {
+			return false, nil, fmt.Errorf("%w: wal background %v, config %v", ErrIncompatible, bg, db.cfg.Background)
+		}
+		return false, nil, nil
+
+	case walRecInsertBinary:
+		id, err := r.readUvarint()
+		if err != nil {
+			return false, nil, err
+		}
+		name, err := r.readString()
+		if err != nil {
+			return false, nil, err
+		}
+		w, err := r.readUvarint()
+		if err != nil {
+			return false, nil, err
+		}
+		h, err := r.readUvarint()
+		if err != nil {
+			return false, nil, err
+		}
+		pix, err := r.take(3 * int(w) * int(h))
+		if err != nil {
+			return false, nil, err
+		}
+		if _, err := db.cat.Get(id); err == nil {
+			return false, nil, nil // already absorbed into a checkpoint
+		}
+		img := imaging.New(int(w), int(h))
+		for i := range img.Pix {
+			img.Pix[i] = imaging.RGB{R: pix[3*i], G: pix[3*i+1], B: pix[3*i+2]}
+		}
+		db.mu.Lock()
+		_, err = db.applyInsertBinaryLocked(id, name, img)
+		db.mu.Unlock()
+		return true, nil, err
+
+	case walRecInsertEdited:
+		id, err := r.readUvarint()
+		if err != nil {
+			return false, nil, err
+		}
+		name, err := r.readString()
+		if err != nil {
+			return false, nil, err
+		}
+		seq, err := r.readSequence()
+		if err != nil {
+			return false, nil, err
+		}
+		if _, err := db.cat.Get(id); err == nil {
+			return false, nil, nil
+		}
+		db.mu.Lock()
+		_, err = db.applyInsertEditedLocked(id, name, seq)
+		db.mu.Unlock()
+		return true, nil, err
+
+	case walRecUpdateSeq:
+		id, err := r.readUvarint()
+		if err != nil {
+			return false, nil, err
+		}
+		seq, err := r.readSequence()
+		if err != nil {
+			return false, nil, err
+		}
+		if _, err := db.cat.Edited(id); errors.Is(err, catalog.ErrNotFound) {
+			return false, nil, nil // deleted later in the log, or never checkpointed
+		} else if err != nil {
+			return false, nil, err
+		}
+		db.mu.Lock()
+		err = db.applySetSequenceLocked(id, seq)
+		db.mu.Unlock()
+		return true, nil, err
+
+	case walRecDelete:
+		id, err := r.readUvarint()
+		if err != nil {
+			return false, nil, err
+		}
+		if _, err := db.cat.Get(id); errors.Is(err, catalog.ErrNotFound) {
+			return false, nil, nil
+		} else if err != nil {
+			return false, nil, err
+		}
+		db.mu.Lock()
+		err = db.applyDeleteLocked(id)
+		db.mu.Unlock()
+		return true, nil, err
+
+	default:
+		return false, nil, fmt.Errorf("core: unknown wal record type %d", typ[0])
+	}
+}
+
+// readSequence reads a length-prefixed binary-encoded operation sequence.
+func (r *sliceReader) readSequence() (*editops.Sequence, error) {
+	n, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return editops.DecodeBinary(raw)
+}
+
+// WALStats snapshots the write-ahead log counters; ok is false for
+// in-memory databases (which have no log).
+func (db *DB) WALStats() (st store.WALStats, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return store.WALStats{}, false
+	}
+	return db.wal.Stats(), true
+}
+
+// Crash abandons the database without flushing the page cache, the
+// catalog or the log — the files are left exactly as a kill -9 would
+// leave them, and a subsequent Open must recover. For crash tests; a
+// production shutdown is Close.
+func (db *DB) Crash() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	if db.wal != nil {
+		if err := db.wal.Abandon(); err != nil {
+			first = err
+		}
+	}
+	if db.st != nil {
+		if err := db.st.Abandon(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DurableSince reports whether the given WAL ticket has committed; tests
+// use it to distinguish acknowledged from in-flight writes at crash time.
+func DurableSince(t *store.WALTicket, ctx context.Context) error { return t.Wait(ctx) }

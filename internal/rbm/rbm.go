@@ -101,6 +101,13 @@ func (p *Processor) Range(q query.Range) (*Result, error) {
 // RangeTraced is Range with per-phase timings and decision counts recorded
 // into tr (nil disables tracing at no cost).
 func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*Result, error) {
+	return p.RangeTracedCtx(context.Background(), q, tr)
+}
+
+// RangeTracedCtx is RangeTraced with the caller's ctx propagated into the
+// candidate-evaluation worker pool, so cancelling the query stops the
+// edited walk.
+func (p *Processor) RangeTracedCtx(ctx context.Context, q query.Range, tr *obs.Trace) (*Result, error) {
 	if err := q.Validate(p.Engine.Quant.Bins()); err != nil {
 		return nil, err
 	}
@@ -127,7 +134,7 @@ func (p *Processor) RangeTraced(q query.Range, tr *obs.Trace) (*Result, error) {
 	done = tr.Phase("rbm.walk-edited")
 	workers := p.workers()
 	stats := make([]Stats, workers)
-	matched, pst, err := exec.FilterIDs(context.Background(), workers, p.Cat.EditedIDs(), func(w int, id uint64) (bool, error) {
+	matched, pst, err := exec.FilterIDs(ctx, workers, p.Cat.EditedIDs(), func(w int, id uint64) (bool, error) {
 		return p.CheckEdited(id, q, &stats[w], tr)
 	})
 	if pst.Workers > 1 {

@@ -4,22 +4,39 @@
 // JSON. Built entirely on net/http (stdlib only, like the rest of the
 // repository).
 //
-//	POST   /objects              insert a raster (body: image/x-portable-pixmap or image/png; ?id= pins the object id)
-//	POST   /sequences            insert an edited image (body: text script; ?id= pins the object id)
-//	GET    /objects              list objects
-//	GET    /objects/{id}         object metadata
-//	GET    /objects/{id}/image   materialized raster (?format=ppm|png)
-//	POST   /objects/{id}/augment generate edited versions
-//	DELETE /objects/{id}         delete an object
-//	GET    /query?q=...&mode=... color range query (compound supported; &trace=1 adds a trace)
-//	GET    /multirange?bins=...  structured multi-range query (bins=0,3,7&min=..&max=..; no text form exists)
-//	GET    /explain?q=...        query plan without execution (&trace=1 also runs it and returns the measured trace)
-//	POST   /similar?k=...        query by example (body: image)
-//	GET    /stats                database statistics
+// The API is versioned under /v1:
+//
+//	POST   /v1/objects              insert a raster (body: image/x-portable-pixmap or image/png; ?id= pins the object id)
+//	POST   /v1/sequences            insert an edited image (body: text script; ?id= pins the object id)
+//	GET    /v1/objects              list objects
+//	GET    /v1/objects/{id}         object metadata
+//	GET    /v1/objects/{id}/image   materialized raster (?format=ppm|png)
+//	POST   /v1/objects/{id}/augment generate edited versions
+//	DELETE /v1/objects/{id}         delete an object
+//	GET    /v1/query?q=...&mode=... color range query (compound supported; &trace=1 adds a trace)
+//	GET    /v1/multirange?bins=...  structured multi-range query (bins=0,3,7&min=..&max=..; no text form exists)
+//	GET    /v1/explain?q=...        query plan without execution (&trace=1 also runs it and returns the measured trace)
+//	POST   /v1/similar?k=...        query by example (body: image)
+//	GET    /v1/stats                database statistics
+//	GET    /v1/wal                  write-ahead-log statistics
+//	POST   /v1/checkpoint           force a durability checkpoint (truncates the WAL)
+//	POST   /v1/compact              rewrite the store file
+//
+// The same paths without the /v1 prefix are served as deprecated aliases:
+// they answer identically but carry a "Deprecation: true" response header.
+// Operational endpoints are unversioned (and not deprecated):
+//
 //	GET    /healthz              liveness probe (cluster health checks hit this)
 //	GET    /metrics              process metrics (Prometheus text; ?format=json)
 //	GET    /debug/pprof/         runtime profiles (heap, cpu, goroutine, ...)
-//	POST   /compact              rewrite the store file
+//
+// Errors use one JSON envelope on every route:
+//
+//	{"error": "...", "code": "not_found|conflict|bad_request|too_large|internal", "request_id": "req-000042"}
+//
+// Mutating requests are acknowledged only after the write-ahead log has
+// fsynced them (group commit); cancelling a request's context abandons the
+// wait but the write may still commit.
 //
 // Every request is tagged with an X-Request-ID, timed into per-route
 // latency histograms (esidb_http_request_seconds{route=...}) and status
@@ -61,27 +78,41 @@ type Server struct {
 // WithLogger overrides it.
 func New(db *mmdb.DB) *Server {
 	s := &Server{db: db, mux: http.NewServeMux(), logger: slog.Default()}
-	s.mux.HandleFunc("POST /objects", s.handleInsert)
-	s.mux.HandleFunc("POST /sequences", s.handleInsertSequence)
-	s.mux.HandleFunc("GET /objects", s.handleList)
-	s.mux.HandleFunc("GET /objects/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /objects/{id}/image", s.handleImage)
-	s.mux.HandleFunc("POST /objects/{id}/augment", s.handleAugment)
-	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("GET /multirange", s.handleMultiRange)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("POST /similar", s.handleSimilar)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.api("POST", "/objects", s.handleInsert)
+	s.api("POST", "/sequences", s.handleInsertSequence)
+	s.api("GET", "/objects", s.handleList)
+	s.api("GET", "/objects/{id}", s.handleGet)
+	s.api("GET", "/objects/{id}/image", s.handleImage)
+	s.api("POST", "/objects/{id}/augment", s.handleAugment)
+	s.api("DELETE", "/objects/{id}", s.handleDelete)
+	s.api("GET", "/query", s.handleQuery)
+	s.api("GET", "/multirange", s.handleMultiRange)
+	s.api("GET", "/explain", s.handleExplain)
+	s.api("POST", "/similar", s.handleSimilar)
+	s.api("GET", "/stats", s.handleStats)
+	s.api("GET", "/wal", s.handleWALStats)
+	s.api("POST", "/checkpoint", s.handleCheckpoint)
+	s.api("POST", "/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /compact", s.handleCompact)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// api registers an API route at its canonical /v1 path and at the legacy
+// unversioned path. The alias answers identically but marks itself
+// deprecated so clients can migrate before the alias is removed.
+func (s *Server) api(method, path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" /v1"+path, h)
+	s.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+path+">; rel=\"successor-version\"")
+		h(w, r)
+	})
 }
 
 // WithLogger makes the server log one structured line per request to l
@@ -108,8 +139,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	if r.ContentLength > MaxUploadBytes {
-		s.writeJSON(rec, http.StatusRequestEntityTooLarge, map[string]string{
-			"error": fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, int64(MaxUploadBytes)),
+		s.writeJSON(rec, http.StatusRequestEntityTooLarge, errorEnvelope{
+			Error:     fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, int64(MaxUploadBytes)),
+			Code:      "too_large",
+			RequestID: reqID,
 		})
 	} else {
 		if r.Body != nil {
@@ -216,21 +249,33 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// errorEnvelope is the uniform error body every route answers with. Code is
+// a stable machine-readable slug; the message is for humans and may change.
+type errorEnvelope struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	RequestID string `json:"request_id"`
+}
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, "internal"
 	sr, _ := w.(*statusRecorder)
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &mbe), sr != nil && sr.limitHit:
-		status = http.StatusRequestEntityTooLarge
+		status, code = http.StatusRequestEntityTooLarge, "too_large"
 	case errors.Is(err, catalog.ErrNotFound):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, catalog.ErrInUse), errors.Is(err, catalog.ErrIDTaken):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, "conflict"
 	case isBadRequest(err):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_request"
 	}
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.writeJSON(w, status, errorEnvelope{
+		Error:     err.Error(),
+		Code:      code,
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // badRequestError marks client errors.
@@ -296,7 +341,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	id, err := s.db.InsertImageWithID(wantID, name, img)
+	id, err := s.db.InsertImageCtx(r.Context(), name, img, mmdb.WithID(wantID))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -325,7 +370,7 @@ func (s *Server) handleInsertSequence(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	id, err := s.db.InsertEditedWithID(wantID, name, seq)
+	id, err := s.db.InsertEditedCtx(r.Context(), name, seq, mmdb.WithID(wantID))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -405,7 +450,7 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.NonWideningFrac = f
 	}
-	ids, err := s.db.Augment(id, opts)
+	ids, err := s.db.AugmentCtx(r.Context(), id, opts)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -419,7 +464,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if err := s.db.Delete(id); err != nil {
+	if err := s.db.DeleteCtx(r.Context(), id); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -455,7 +500,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("trace") == "1" {
 		tr = mmdb.NewTrace()
 	}
-	res, err := s.db.QueryCompoundTraced(text, mode, tr)
+	res, err := s.db.QueryCompoundTracedCtx(r.Context(), text, mode, tr)
 	if err != nil {
 		s.writeError(w, badRequest("%v", err))
 		return
@@ -517,7 +562,7 @@ func (s *Server) handleMultiRange(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	res, err := s.db.RangeQueryMulti(mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
+	res, err := s.db.RangeQueryMultiCtx(r.Context(), mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
 	if err != nil {
 		s.writeError(w, badRequest("%v", err))
 		return
@@ -578,7 +623,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := mmdb.NewTrace()
-	if _, err := s.db.QueryCompoundTraced(text, mode, tr); err != nil {
+	if _, err := s.db.QueryCompoundTracedCtx(r.Context(), text, mode, tr); err != nil {
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
@@ -601,7 +646,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	matches, st, err := s.db.QueryByExample(img, k, metric)
+	matches, st, err := s.db.QueryByExampleCtx(r.Context(), img, k, metric)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -667,6 +712,34 @@ func (s *Server) publishGauges() {
 	reg.Gauge("esidb_boundscache_entries").Set(float64(entries))
 	reg.Gauge("esidb_boundscache_bytes").Set(float64(bytes))
 	reg.Gauge("esidb_parallelism").Set(float64(s.db.Parallelism()))
+}
+
+// handleWALStats reports write-ahead-log activity; in-memory databases
+// (which have no log) answer {"enabled": false}.
+func (s *Server) handleWALStats(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.db.WALStats()
+	s.writeJSON(w, http.StatusOK, struct {
+		Enabled bool           `json:"enabled"`
+		Stats   *mmdb.WALStats `json:"stats,omitempty"`
+	}{Enabled: ok, Stats: ptrIf(ok, st)})
+}
+
+// ptrIf returns &v when ok, else nil — keeps optional JSON fields omitted.
+func ptrIf[T any](ok bool, v T) *T {
+	if !ok {
+		return nil
+	}
+	return &v
+}
+
+// handleCheckpoint forces a durability checkpoint: catalog and store are
+// persisted and the write-ahead log truncated.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.WALCheckpoint(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {

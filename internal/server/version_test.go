@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	mmdb "repro"
+)
+
+// TestV1AndLegacyAliases pins the versioned surface: /v1 paths are
+// canonical, the unversioned paths answer identically but carry the
+// Deprecation header, and ops endpoints stay unversioned and undeprecated.
+func TestV1AndLegacyAliases(t *testing.T) {
+	db, err := mmdb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := get("/v1/stats"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", resp.StatusCode)
+	} else if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1 route must not be deprecated")
+	}
+	resp := get("/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy alias must set Deprecation: true")
+	}
+	if link := resp.Header.Get("Link"); link != `</v1/stats>; rel="successor-version"` {
+		t.Fatalf("legacy alias Link = %q", link)
+	}
+	if resp := get("/healthz"); resp.Header.Get("Deprecation") != "" {
+		t.Fatal("ops endpoint must not be deprecated")
+	}
+
+	if resp := get("/v1/wal"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/wal: %d", resp.StatusCode)
+	} else {
+		var out struct {
+			Enabled bool `json:"enabled"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Enabled {
+			t.Fatal("in-memory database reported an enabled WAL")
+		}
+	}
+}
+
+// TestErrorEnvelope pins the uniform error body: every failing route
+// answers {"error", "code", "request_id"} with a stable code slug.
+func TestErrorEnvelope(t *testing.T) {
+	db, err := mmdb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ts := httptest.NewServer(New(db))
+	defer ts.Close()
+
+	cases := []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/objects/999", http.StatusNotFound, "not_found"},
+		{"/v1/objects/bogus", http.StatusBadRequest, "bad_request"},
+		{"/v1/query", http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Error     string `json:"error"`
+			Code      string `json:"code"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("%s: decode: %v", c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.path, resp.StatusCode, c.status)
+		}
+		if env.Code != c.code {
+			t.Errorf("%s: code %q, want %q", c.path, env.Code, c.code)
+		}
+		if env.Error == "" || env.RequestID == "" {
+			t.Errorf("%s: incomplete envelope %+v", c.path, env)
+		}
+		if got := resp.Header.Get("X-Request-ID"); got != env.RequestID {
+			t.Errorf("%s: envelope request_id %q != header %q", c.path, env.RequestID, got)
+		}
+	}
+}

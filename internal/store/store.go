@@ -99,6 +99,13 @@ func Create(path string, opts Options) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	// Flush the header frame before journaling is wired in: a store that
+	// crashes before its first Sync must still present valid magic on disk
+	// so recovery can open it and replay any WAL it left behind.
+	if err := s.pool.flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	if err := s.pg.sync(); err != nil {
 		f.Close()
 		return nil, err
@@ -570,6 +577,23 @@ func (s *Store) Close() error {
 			s.pg.close()
 			return err
 		}
+	}
+	return s.pg.close()
+}
+
+// Abandon releases the file handles without flushing dirty pages or
+// checkpointing the journal: the on-disk state is left exactly as a crash
+// would leave it, and the next Open rolls back to the last checkpoint.
+// For crash-recovery tests.
+func (s *Store) Abandon() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.jl != nil {
+		s.jl.close()
 	}
 	return s.pg.close()
 }

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Crash-point fault injection for the WAL write path. A FaultFile wraps
+// the real WALFile and dies at a chosen point: after a byte budget is
+// exhausted mid-Write (leaving a torn frame on disk, exactly what a crash
+// between write() calls leaves) or after a sync budget is exhausted (the
+// commit never became durable). Once dead, every operation except Close
+// fails with ErrInjectedFault — the moral equivalent of the process being
+// gone. Tests then reopen the store from disk and assert the recovery
+// invariants.
+//
+// The other two crash shapes — a tail that was written but never reached
+// the platter, and a flipped bit from a failing sector — do not need a
+// seam: tests produce them post-mortem by truncating or mutating the .wal
+// file bytes directly before reopening.
+
+// ErrInjectedFault is returned by every operation on a FaultFile past its
+// kill point.
+var ErrInjectedFault = errors.New("store: injected fault")
+
+// FaultFile is a WALFile that fails on schedule.
+type FaultFile struct {
+	mu    sync.Mutex
+	inner WALFile
+	// writeBudget is how many more bytes may reach the inner file; a Write
+	// that would exceed it lands partially and kills the file. <0 means
+	// unlimited.
+	writeBudget int64
+	// syncBudget is how many more Syncs may succeed; the next one past the
+	// budget kills the file before reaching the inner Sync. <0 means
+	// unlimited.
+	syncBudget int64
+	dead       bool
+}
+
+// NewFaultFile wraps inner with the given budgets (writeBudget in bytes,
+// syncBudget in calls; negative means unlimited).
+func NewFaultFile(inner WALFile, writeBudget, syncBudget int64) *FaultFile {
+	return &FaultFile{inner: inner, writeBudget: writeBudget, syncBudget: syncBudget}
+}
+
+// Dead reports whether the kill point has been reached.
+func (f *FaultFile) Dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// Write forwards to the inner file until the byte budget runs out; the
+// crossing write lands only partially (a torn frame) and kills the file.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, ErrInjectedFault
+	}
+	if f.writeBudget >= 0 && int64(len(p)) > f.writeBudget {
+		n := f.writeBudget
+		f.dead = true
+		if n > 0 {
+			f.inner.Write(p[:n])
+		}
+		return int(n), ErrInjectedFault
+	}
+	if f.writeBudget >= 0 {
+		f.writeBudget -= int64(len(p))
+	}
+	return f.inner.Write(p)
+}
+
+// Sync forwards until the sync budget runs out, then kills the file.
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return ErrInjectedFault
+	}
+	if f.syncBudget == 0 {
+		f.dead = true
+		return ErrInjectedFault
+	}
+	if f.syncBudget > 0 {
+		f.syncBudget--
+	}
+	return f.inner.Sync()
+}
+
+// Truncate forwards unless the file is dead.
+func (f *FaultFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return ErrInjectedFault
+	}
+	return f.inner.Truncate(size)
+}
+
+// Close always closes the inner file so tests do not leak descriptors.
+func (f *FaultFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inner.Close()
+}

@@ -1,7 +1,9 @@
 package mmdb
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/colorspace"
 	"repro/internal/core"
@@ -12,35 +14,43 @@ import (
 
 // DB is the augmented multimedia database. It is safe for concurrent use.
 type DB struct {
-	inner *core.DB
+	inner       *core.DB
+	autoAugment *AugmentOptions // nil unless WithAutoAugment was given
+}
+
+// openConfig collects Open's settings: the core engine configuration plus
+// facade-level behaviour that the engine does not know about.
+type openConfig struct {
+	core        core.Config
+	autoAugment *AugmentOptions
 }
 
 // Option configures Open.
-type Option func(*core.Config)
+type Option func(*openConfig)
 
 // WithPath backs the database with a page-store file (created if absent).
 func WithPath(path string) Option {
-	return func(c *core.Config) { c.Path = path }
+	return func(c *openConfig) { c.core.Path = path }
 }
 
 // WithQuantizer selects the color quantizer. Without this option new
 // databases use uniform RGB with 4 divisions per channel (64 bins) and
 // existing databases adopt whatever quantizer they were created with.
 func WithQuantizer(q Quantizer) Option {
-	return func(c *core.Config) { c.Quantizer = q }
+	return func(c *openConfig) { c.core.Quantizer = q }
 }
 
 // WithQuantizerName selects the quantizer by its persisted name, e.g.
 // "rgb4", "hsv18x3x3" or "luv4x6". It returns an error through Open if the
 // name does not parse.
 func WithQuantizerName(name string) Option {
-	return func(c *core.Config) {
+	return func(c *openConfig) {
 		q, err := colorspace.ParseQuantizer(name)
 		if err != nil {
-			c.Quantizer = badQuantizer{name: name, err: err}
+			c.core.Quantizer = badQuantizer{name: name, err: err}
 			return
 		}
-		c.Quantizer = q
+		c.core.Quantizer = q
 	}
 }
 
@@ -59,48 +69,88 @@ func (b badQuantizer) Validate() error { return b.err }
 // WithBackground sets the background color used by Mutate vacancies and
 // Merge gaps (default black).
 func WithBackground(bg RGB) Option {
-	return func(c *core.Config) { c.Background = bg }
+	return func(c *openConfig) { c.core.Background = bg }
 }
 
 // WithPageSize sets the store page size (persistent databases only).
 func WithPageSize(bytes int) Option {
-	return func(c *core.Config) { c.Store.PageSize = bytes }
+	return func(c *openConfig) { c.core.Store.PageSize = bytes }
 }
 
 // WithPoolPages sets the buffer-pool capacity in pages.
 func WithPoolPages(n int) Option {
-	return func(c *core.Config) { c.Store.PoolPages = n }
+	return func(c *openConfig) { c.core.Store.PoolPages = n }
 }
 
 // WithParallelism sets the candidate-evaluation worker count: 0 (default)
 // sizes the pool to GOMAXPROCS, 1 forces serial execution, n > 1 uses
 // exactly n workers. Query results are identical at every setting.
 func WithParallelism(n int) Option {
-	return func(c *core.Config) { c.Parallelism = n }
+	return func(c *openConfig) { c.core.Parallelism = n }
+}
+
+// WithGroupCommit tunes the write-ahead log's group commit (persistent
+// databases only). window is how long an append waits for companions before
+// forcing an fsync; maxBatch caps how many appends one fsync may commit
+// (0 = default, 1 = fsync every append individually). The defaults —
+// no window, batches of up to 64 — already coalesce concurrent writers;
+// a small window (e.g. 2ms) trades single-writer latency for throughput
+// under bursty load.
+func WithGroupCommit(window time.Duration, maxBatch int) Option {
+	return func(c *openConfig) {
+		c.core.WAL.Window = window
+		c.core.WAL.MaxBatch = maxBatch
+	}
+}
+
+// WithAutoAugment makes every InsertImage/InsertImageCtx automatically
+// generate edited versions of the new image per opts (the paper's database
+// augmentation, §2), unless the individual insert opts out with
+// WithNoAugment. Off by default.
+func WithAutoAugment(opts AugmentOptions) Option {
+	return func(c *openConfig) { c.autoAugment = &opts }
 }
 
 // Open creates an in-memory database, or opens/creates a persistent one
 // when WithPath is given.
 func Open(opts ...Option) (*DB, error) {
-	var cfg core.Config
+	var cfg openConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if bad, ok := cfg.Quantizer.(badQuantizer); ok {
+	if bad, ok := cfg.core.Quantizer.(badQuantizer); ok {
 		return nil, fmt.Errorf("mmdb: quantizer %q: %w", bad.name, bad.err)
 	}
-	inner, err := core.Open(cfg)
+	inner, err := core.Open(cfg.core)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner}, nil
+	return &DB{inner: inner, autoAugment: cfg.autoAugment}, nil
 }
 
 // Close persists (when file-backed) and releases the database.
 func (db *DB) Close() error { return db.inner.Close() }
 
-// Sync persists the catalog and fsyncs the store file.
+// Sync persists the catalog, fsyncs the store file, and checkpoints the
+// write-ahead log (everything the log held is now in the store, so it is
+// truncated).
 func (db *DB) Sync() error { return db.inner.Sync() }
+
+// WALStats reports write-ahead-log activity: fsyncs, appended and replayed
+// records, current log size. ok is false for in-memory databases, which
+// have no log.
+func (db *DB) WALStats() (st WALStats, ok bool) { return db.inner.WALStats() }
+
+// WALCheckpoint forces a durability checkpoint: the catalog and store are
+// persisted and the write-ahead log truncated. Equivalent to Sync; exposed
+// under this name for operational tooling (`esidb wal checkpoint`).
+func (db *DB) WALCheckpoint() error { return db.inner.Sync() }
+
+// Crash abandons the database without flushing anything: buffered store
+// pages and the group-commit queue are dropped exactly as a process kill
+// would drop them. The next Open recovers from the journal and write-ahead
+// log. It exists for crash-recovery tests and durability drills.
+func (db *DB) Crash() error { return db.inner.Crash() }
 
 // Compact rewrites a persistent database into a fresh file, reclaiming the
 // space of deleted objects and catalog churn. No-op for in-memory
@@ -134,33 +184,113 @@ func (db *DB) BoundsCacheStats() (entries int, bytes int64) {
 // Quantizer returns the database's color quantizer.
 func (db *DB) Quantizer() Quantizer { return db.inner.Quantizer() }
 
+// insertConfig is the resolved form of a call's InsertOptions.
+type insertConfig struct {
+	id        uint64
+	noAugment bool
+}
+
+// InsertOption customizes a single insert.
+type InsertOption func(*insertConfig)
+
+// WithID pins the new object's id instead of allocating one (0 keeps the
+// allocator). Cluster coordinators assign ids globally and push them down so
+// all shards share one id space.
+func WithID(id uint64) InsertOption {
+	return func(c *insertConfig) { c.id = id }
+}
+
+// WithNoAugment suppresses WithAutoAugment for this insert only — used by
+// bulk restore paths (dump load, cluster rebalance) that re-insert edited
+// versions explicitly and must not generate fresh ones.
+func WithNoAugment() InsertOption {
+	return func(c *insertConfig) { c.noAugment = true }
+}
+
+// InsertImageCtx stores a binary image and returns its object id. The
+// insert is applied and logged under the database lock; the call then waits
+// for the write-ahead log's group commit to make it durable before
+// returning. Cancelling ctx abandons the wait — the write may still commit.
+// If the database was opened WithAutoAugment, edited versions are generated
+// after the insert commits unless WithNoAugment is given.
+func (db *DB) InsertImageCtx(ctx context.Context, name string, img *Image, opts ...InsertOption) (uint64, error) {
+	var ic insertConfig
+	for _, o := range opts {
+		o(&ic)
+	}
+	id, err := db.inner.InsertImageCtx(ctx, ic.id, name, img)
+	if err != nil {
+		return 0, err
+	}
+	if db.autoAugment != nil && !ic.noAugment {
+		if _, err := db.AugmentCtx(ctx, id, *db.autoAugment); err != nil {
+			return id, fmt.Errorf("mmdb: auto-augment of %d: %w", id, err)
+		}
+	}
+	return id, nil
+}
+
+// InsertEditedCtx stores an edited image as its operation sequence and
+// routes it into the Bound-Widening data structure. Durability semantics
+// match InsertImageCtx. Auto-augment never applies to edited inserts.
+func (db *DB) InsertEditedCtx(ctx context.Context, name string, seq *Sequence, opts ...InsertOption) (uint64, error) {
+	var ic insertConfig
+	for _, o := range opts {
+		o(&ic)
+	}
+	return db.inner.InsertEditedCtx(ctx, ic.id, name, seq)
+}
+
+// AppendOpsCtx extends a stored edited image's sequence with more
+// operations, re-classifying and re-routing it in the Bound-Widening
+// structure. Durability semantics match InsertImageCtx.
+func (db *DB) AppendOpsCtx(ctx context.Context, id uint64, ops []Op) error {
+	return db.inner.AppendOpsCtx(ctx, id, ops)
+}
+
+// DeleteCtx removes an object. Edited images are always deletable; binary
+// images only once nothing references them (delete the edited versions
+// first). Durability semantics match InsertImageCtx.
+func (db *DB) DeleteCtx(ctx context.Context, id uint64) error {
+	return db.inner.DeleteCtx(ctx, id)
+}
+
 // InsertImage stores a binary image and returns its object id.
+//
+// Deprecated: use InsertImageCtx.
 func (db *DB) InsertImage(name string, img *Image) (uint64, error) {
-	return db.inner.InsertImage(name, img)
+	return db.InsertImageCtx(context.Background(), name, img)
 }
 
 // InsertImageWithID is InsertImage with an explicit object id (0 means
-// "allocate"). Cluster coordinators assign ids globally and push them down
-// so all shards share one id space.
+// "allocate").
+//
+// Deprecated: use InsertImageCtx with WithID.
 func (db *DB) InsertImageWithID(id uint64, name string, img *Image) (uint64, error) {
-	return db.inner.InsertImageWithID(id, name, img)
+	return db.InsertImageCtx(context.Background(), name, img, WithID(id))
 }
 
-// InsertEdited stores an edited image as its operation sequence and routes
-// it into the Bound-Widening data structure.
+// InsertEdited stores an edited image as its operation sequence.
+//
+// Deprecated: use InsertEditedCtx.
 func (db *DB) InsertEdited(name string, seq *Sequence) (uint64, error) {
-	return db.inner.InsertEdited(name, seq)
+	return db.InsertEditedCtx(context.Background(), name, seq)
 }
 
 // InsertEditedWithID is InsertEdited with an explicit object id (0 means
-// "allocate"); see InsertImageWithID.
+// "allocate").
+//
+// Deprecated: use InsertEditedCtx with WithID.
 func (db *DB) InsertEditedWithID(id uint64, name string, seq *Sequence) (uint64, error) {
-	return db.inner.InsertEditedWithID(id, name, seq)
+	return db.InsertEditedCtx(context.Background(), name, seq, WithID(id))
 }
 
-// AppendOps extends a stored edited image's sequence with more operations,
-// re-classifying and re-routing it in the Bound-Widening structure.
-func (db *DB) AppendOps(id uint64, ops []Op) error { return db.inner.AppendOps(id, ops) }
+// AppendOps extends a stored edited image's sequence with more operations.
+//
+// Deprecated: use AppendOpsCtx.
+func (db *DB) AppendOps(id uint64, ops []Op) error {
+	return db.AppendOpsCtx(context.Background(), id, ops)
+}
 
 // OptimizeSequence rewrites a sequence into an equivalent shorter one for
 // its base image (dead Defines, no-op recolors, empty-region edits and
@@ -190,11 +320,19 @@ type AugmentOptions struct {
 	Seed int64
 }
 
-// Augment implements the paper's database augmentation (§2): it generates
-// edited versions of the given base image with realistic editing scripts
-// and inserts them, returning the new ids. Merge targets for non-widening
-// scripts are drawn from the other binary images already in the database.
+// Augment implements the paper's database augmentation (§2).
+//
+// Deprecated: use AugmentCtx.
 func (db *DB) Augment(baseID uint64, opts AugmentOptions) ([]uint64, error) {
+	return db.AugmentCtx(context.Background(), baseID, opts)
+}
+
+// AugmentCtx implements the paper's database augmentation (§2): it
+// generates edited versions of the given base image with realistic editing
+// scripts and inserts them, returning the new ids. Merge targets for
+// non-widening scripts are drawn from the other binary images already in
+// the database.
+func (db *DB) AugmentCtx(ctx context.Context, baseID uint64, opts AugmentOptions) ([]uint64, error) {
 	img, err := db.inner.Image(baseID)
 	if err != nil {
 		return nil, err
@@ -217,7 +355,7 @@ func (db *DB) Augment(baseID uint64, opts AugmentOptions) ([]uint64, error) {
 	}
 	var out []uint64
 	for i, seq := range aug.ScriptsFor(baseID, img, others) {
-		id, err := db.inner.InsertEdited(fmt.Sprintf("%s-edit-%d", obj.Name, i), seq)
+		id, err := db.inner.InsertEditedCtx(ctx, 0, fmt.Sprintf("%s-edit-%d", obj.Name, i), seq)
 		if err != nil {
 			return nil, err
 		}
@@ -226,51 +364,109 @@ func (db *DB) Augment(baseID uint64, opts AugmentOptions) ([]uint64, error) {
 	return out, nil
 }
 
-// Query parses a textual range query ("at least 25% blue", "between 10%
-// and 30% red") and answers it with the Bound-Widening Method.
+// QueryCtx parses a textual range query ("at least 25% blue", "between 10%
+// and 30% red") and answers it with the Bound-Widening Method. Cancelling
+// ctx stops the candidate walk.
+func (db *DB) QueryCtx(ctx context.Context, text string) (*Result, error) {
+	return db.inner.RangeQueryTextCtx(ctx, text, core.ModeBWM)
+}
+
+// QueryModeCtx is QueryCtx with an explicit execution mode.
+func (db *DB) QueryModeCtx(ctx context.Context, text string, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryTextCtx(ctx, text, mode)
+}
+
+// RangeQueryCtx answers a structured range query in the given mode.
+func (db *DB) RangeQueryCtx(ctx context.Context, q Range, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryCtx(ctx, q, mode)
+}
+
+// QueryCompoundCtx parses and evaluates a multi-predicate query joined by a
+// single connective: "at least 20% red and at most 10% blue", or "at least
+// 40% green or at least 40% teal".
+func (db *DB) QueryCompoundCtx(ctx context.Context, text string, mode Mode) (*Result, error) {
+	return db.inner.CompoundQueryTextTracedCtx(ctx, text, mode, nil)
+}
+
+// QueryCompoundTracedCtx is QueryCompoundCtx with per-phase timings and
+// decision counts recorded into tr (see NewTrace); tr may be nil, which
+// disables tracing at zero cost.
+func (db *DB) QueryCompoundTracedCtx(ctx context.Context, text string, mode Mode, tr *Trace) (*Result, error) {
+	return db.inner.CompoundQueryTextTracedCtx(ctx, text, mode, tr)
+}
+
+// CompoundQueryCtx evaluates a structured compound query.
+func (db *DB) CompoundQueryCtx(ctx context.Context, c Compound, mode Mode) (*Result, error) {
+	return db.inner.CompoundQueryCtx(ctx, c, mode)
+}
+
+// QueryColorFamilyCtx runs a multi-bin range query over a named color's
+// whole bin family ("blue-ish"): under fine quantizers a perceptual color
+// spans several bins, and the family query constrains their summed
+// percentage.
+func (db *DB) QueryColorFamilyCtx(ctx context.Context, name string, pctMin, pctMax float64, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryColorFamilyCtx(ctx, name, pctMin, pctMax, mode)
+}
+
+// RangeQueryMultiCtx evaluates a structured multi-bin range query.
+func (db *DB) RangeQueryMultiCtx(ctx context.Context, q MultiRange, mode Mode) (*Result, error) {
+	return db.inner.RangeQueryMultiCtx(ctx, q, mode)
+}
+
+// Query answers a textual range query with the Bound-Widening Method.
+//
+// Deprecated: use QueryCtx.
 func (db *DB) Query(text string) (*Result, error) {
-	return db.inner.RangeQueryText(text, core.ModeBWM)
+	return db.QueryCtx(context.Background(), text)
 }
 
 // QueryMode is Query with an explicit execution mode.
+//
+// Deprecated: use QueryModeCtx.
 func (db *DB) QueryMode(text string, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryText(text, mode)
+	return db.QueryModeCtx(context.Background(), text, mode)
 }
 
 // RangeQuery answers a structured range query in the given mode.
+//
+// Deprecated: use RangeQueryCtx.
 func (db *DB) RangeQuery(q Range, mode Mode) (*Result, error) {
-	return db.inner.RangeQuery(q, mode)
+	return db.RangeQueryCtx(context.Background(), q, mode)
 }
 
-// QueryCompound parses and evaluates a multi-predicate query joined by a
-// single connective: "at least 20% red and at most 10% blue", or "at least
-// 40% green or at least 40% teal".
+// QueryCompound parses and evaluates a multi-predicate query.
+//
+// Deprecated: use QueryCompoundCtx.
 func (db *DB) QueryCompound(text string, mode Mode) (*Result, error) {
-	return db.inner.CompoundQueryText(text, mode)
+	return db.QueryCompoundCtx(context.Background(), text, mode)
 }
 
-// QueryCompoundTraced is QueryCompound with per-phase timings and decision
-// counts recorded into tr (see NewTrace); tr may be nil, which disables
-// tracing at zero cost.
+// QueryCompoundTraced is QueryCompound with tracing.
+//
+// Deprecated: use QueryCompoundTracedCtx.
 func (db *DB) QueryCompoundTraced(text string, mode Mode, tr *Trace) (*Result, error) {
-	return db.inner.CompoundQueryTextTraced(text, mode, tr)
+	return db.QueryCompoundTracedCtx(context.Background(), text, mode, tr)
 }
 
 // CompoundQuery evaluates a structured compound query.
+//
+// Deprecated: use CompoundQueryCtx.
 func (db *DB) CompoundQuery(c Compound, mode Mode) (*Result, error) {
-	return db.inner.CompoundQuery(c, mode)
+	return db.CompoundQueryCtx(context.Background(), c, mode)
 }
 
-// QueryColorFamily runs a multi-bin range query over a named color's whole
-// bin family ("blue-ish"): under fine quantizers a perceptual color spans
-// several bins, and the family query constrains their summed percentage.
+// QueryColorFamily runs a multi-bin range query over a named color's family.
+//
+// Deprecated: use QueryColorFamilyCtx.
 func (db *DB) QueryColorFamily(name string, pctMin, pctMax float64, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryColorFamily(name, pctMin, pctMax, mode)
+	return db.QueryColorFamilyCtx(context.Background(), name, pctMin, pctMax, mode)
 }
 
 // RangeQueryMulti evaluates a structured multi-bin range query.
+//
+// Deprecated: use RangeQueryMultiCtx.
 func (db *DB) RangeQueryMulti(q MultiRange, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryMulti(q, mode)
+	return db.RangeQueryMultiCtx(context.Background(), q, mode)
 }
 
 // ColorFamily returns the histogram bins a named color's family covers
@@ -290,37 +486,67 @@ func (db *DB) ParseQuery(text string) (Range, error) {
 // method would evaluate.
 func (db *DB) Explain(text string) (*Plan, error) { return db.inner.ExplainText(text) }
 
-// QueryByExample runs a k-nearest-neighbor search using a probe image:
+// QueryByExampleCtx runs a k-nearest-neighbor search using a probe image:
 // "find the K images most similar to this one". Edited images participate
 // via bound-based pruning.
-func (db *DB) QueryByExample(probe *Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+func (db *DB) QueryByExampleCtx(ctx context.Context, probe *Image, k int, metric Metric) ([]Match, *KNNStats, error) {
 	target := ExtractHistogram(probe, db.inner.Quantizer())
-	return db.inner.KNN(query.KNN{Target: target, K: k, Metric: metric})
+	return db.inner.KNNCtx(ctx, query.KNN{Target: target, K: k, Metric: metric})
 }
 
-// KNN runs a k-nearest-neighbor search from a histogram target.
-func (db *DB) KNN(q KNN) ([]Match, *KNNStats, error) { return db.inner.KNN(q) }
+// KNNCtx runs a k-nearest-neighbor search from a histogram target.
+func (db *DB) KNNCtx(ctx context.Context, q KNN) ([]Match, *KNNStats, error) {
+	return db.inner.KNNCtx(ctx, q)
+}
 
-// QueryByExamples is the multiple-query-image technique the paper
+// QueryByExamplesCtx is the multiple-query-image technique the paper
 // contrasts with augmentation: each probe is searched independently and the
 // rankings fused (minimum distance per object). Note the cost scales with
 // the probe count — which is the paper's argument for augmentation.
-func (db *DB) QueryByExamples(probes []*Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+func (db *DB) QueryByExamplesCtx(ctx context.Context, probes []*Image, k int, metric Metric) ([]Match, *KNNStats, error) {
 	targets := make([]*Histogram, len(probes))
 	for i, p := range probes {
 		targets[i] = ExtractHistogram(p, db.inner.Quantizer())
 	}
-	return db.inner.KNNMulti(targets, k, metric)
+	return db.inner.KNNMultiCtx(ctx, targets, k, metric)
+}
+
+// WithinDistanceCtx returns every image within dist of the probe under the
+// metric, with bound-based pruning of edited images.
+func (db *DB) WithinDistanceCtx(ctx context.Context, probe *Image, dist float64, metric Metric) ([]Match, *KNNStats, error) {
+	target := ExtractHistogram(probe, db.inner.Quantizer())
+	return db.inner.WithinDistanceCtx(ctx, target, dist, metric)
+}
+
+// QueryByExample runs a k-nearest-neighbor search using a probe image.
+//
+// Deprecated: use QueryByExampleCtx.
+func (db *DB) QueryByExample(probe *Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+	return db.QueryByExampleCtx(context.Background(), probe, k, metric)
+}
+
+// KNN runs a k-nearest-neighbor search from a histogram target.
+//
+// Deprecated: use KNNCtx.
+func (db *DB) KNN(q KNN) ([]Match, *KNNStats, error) {
+	return db.KNNCtx(context.Background(), q)
+}
+
+// QueryByExamples fuses independent searches for several probe images.
+//
+// Deprecated: use QueryByExamplesCtx.
+func (db *DB) QueryByExamples(probes []*Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+	return db.QueryByExamplesCtx(context.Background(), probes, k, metric)
 }
 
 // KNNBinary ranks only binary images (R-tree accelerated for L2).
 func (db *DB) KNNBinary(q KNN) ([]Match, error) { return db.inner.KNNBinary(q) }
 
-// WithinDistance returns every image within dist of the probe under the
-// metric, with bound-based pruning of edited images.
+// WithinDistance returns every image within dist of the probe.
+//
+// Deprecated: use WithinDistanceCtx.
 func (db *DB) WithinDistance(probe *Image, dist float64, metric Metric) ([]Match, *KNNStats, error) {
-	target := ExtractHistogram(probe, db.inner.Quantizer())
-	return db.inner.WithinDistance(target, dist, metric)
+	return db.WithinDistanceCtx(context.Background(), probe, dist, metric)
 }
 
 // BuildBICIndex builds a Border/Interior Classification index over the
@@ -333,10 +559,10 @@ func (db *DB) BuildBICIndex() (*BICIndex, error) { return db.inner.BICIndex() }
 // connection that returns the original x whenever an edited op(x) matches.
 func (db *DB) ExpandToBases(ids []uint64) []uint64 { return db.inner.ExpandToBases(ids) }
 
-// Delete removes an object. Edited images are always deletable; binary
-// images only once nothing references them (delete the edited versions
-// first).
-func (db *DB) Delete(id uint64) error { return db.inner.Delete(id) }
+// Delete removes an object.
+//
+// Deprecated: use DeleteCtx.
+func (db *DB) Delete(id uint64) error { return db.DeleteCtx(context.Background(), id) }
 
 // Image materializes any object: binary rasters directly, edited images by
 // executing their sequence.

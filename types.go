@@ -150,6 +150,8 @@ type (
 	Stats = core.DBStats
 	// StoreCheck is the result of a page-store integrity scan.
 	StoreCheck = store.CheckResult
+	// WALStats reports write-ahead-log activity (see DB.WALStats).
+	WALStats = store.WALStats
 	// Plan is a range-query execution plan (see DB.Explain).
 	Plan = core.Plan
 )
