@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke crash-matrix clean
+.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke crash-matrix obs-overhead-smoke clean
 
 all: build
 
@@ -43,12 +43,17 @@ lint: fmt-check vet lint-tool
 		echo "govulncheck not installed; skipping (pin: golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: lint build race cluster-smoke crash-matrix
+ci: lint build race cluster-smoke crash-matrix obs-overhead-smoke
 
 # End-to-end differential check: a 3-shard loopback HTTP cluster must
 # answer range, compound and k-NN queries identically to a single node.
 cluster-smoke:
 	bash scripts/cluster-smoke.sh
+
+# Observability cost gate: always-on query statistics (tracing off) must
+# cost the range-query hot path less than 3%.
+obs-overhead-smoke:
+	bash scripts/obs-overhead-smoke.sh
 
 # Durability fault matrix: kill the store at every write/fsync budget,
 # recover, and assert no acked write is lost, no unacked write half-applies,

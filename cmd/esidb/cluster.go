@@ -2,14 +2,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	mmdb "repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // cmdCluster dispatches the cluster subcommands: scatter-gather queries
@@ -85,6 +88,8 @@ func cmdClusterQuery(args []string) error {
 	mapPath, timeout, retries := clusterFlags(fs)
 	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
 	idsOnly := fs.Bool("ids", false, "print bare matching ids, one per line")
+	trace := fs.Bool("trace", false, "collect and print the merged distributed span tree")
+	traceJSON := fs.Bool("trace-json", false, "print the merged trace as raw JSON (implies -trace)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("missing query text")
@@ -93,11 +98,23 @@ func cmdClusterQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := coord.Query(context.Background(), joinArgs(fs), *modeStr, nil)
+	var tr *mmdb.Trace
+	if *trace || *traceJSON {
+		tr = mmdb.NewTrace()
+	}
+	res, err := coord.Query(context.Background(), joinArgs(fs), *modeStr, tr)
 	if err != nil {
 		return err
 	}
 	reportMissed(res.Partial, res.Missed)
+	if *traceJSON {
+		// Machine-readable mode: the whole stdout is one JSON document
+		// (the merged trace), so scripts can parse it without stripping
+		// the id listing.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tr)
+	}
 	if *idsOnly {
 		for _, id := range res.IDs {
 			fmt.Println(id)
@@ -109,7 +126,44 @@ func cmdClusterQuery(args []string) error {
 	}
 	fmt.Printf("%d matches across %d shards (%d rule evaluations, %d edited skipped)\n",
 		len(res.IDs), len(coord.ShardIDs()), res.Stats.OpsEvaluated, res.Stats.EditedSkipped)
+	if *trace {
+		printSpanTree(tr)
+	}
 	return nil
+}
+
+// printSpanTree renders a distributed trace as an indented tree: one line
+// per span with its duration and attributes, then the whole-tree counters.
+// Remote subtrees adopted from shards appear inline because every span in
+// the tree shares the coordinator's trace id.
+func printSpanTree(tr *mmdb.Trace) {
+	root := tr.Root()
+	if root == nil {
+		return
+	}
+	fmt.Printf("trace %s:\n", tr.TraceID())
+	var walk func(sp *obs.Span, depth int)
+	walk = func(sp *obs.Span, depth int) {
+		attrs := ""
+		for _, a := range sp.Attrs() {
+			attrs += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		fmt.Printf("  %s%-*s %10s%s\n",
+			strings.Repeat("  ", depth), 32-2*depth, sp.Name(), sp.Duration().Round(time.Microsecond), attrs)
+		for _, c := range sp.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	counters := tr.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  #%-33s %10d\n", name, counters[name])
+	}
 }
 
 func cmdClusterSimilar(args []string) error {

@@ -20,7 +20,8 @@
 //	esidb wal     stats|checkpoint -db file
 //	esidb stats   -db file
 //	esidb metrics -db file [-q "at least 25% blue"] [-mode bwm] [-json]
-//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N] [-shard-id s0 -shard-map map.json]
+//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N] [-slow-query-threshold 100ms] [-shard-id s0 -shard-map map.json]
+//	esidb querylog [-addr http://localhost:8765] [-threshold 100ms] [-json]
 //	esidb cluster query|similar|stats|health|load -map map.json ...
 //	esidb colors
 package main
@@ -89,6 +90,8 @@ func main() {
 		err = cmdWAL(args)
 	case "serve":
 		err = cmdServe(args)
+	case "querylog":
+		err = cmdQueryLog(args)
 	case "cluster":
 		err = cmdCluster(args)
 	case "colors":
@@ -129,6 +132,7 @@ commands:
   stats    print database statistics
   metrics  run a workload probe and print the process metrics registry
   serve    expose the database over HTTP (optionally as one cluster shard)
+  querylog fetch a serving node's slow-query log
   cluster  query N shards through a scatter-gather coordinator
   colors   list the query color vocabulary`)
 }
@@ -714,9 +718,14 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8765", "listen address")
 	logJSON := fs.Bool("log-json", false, "emit access logs as JSON instead of logfmt text")
 	parallelism := fs.Int("parallelism", 0, "candidate-evaluation workers (0 = all CPUs, 1 = serial)")
+	slowThreshold := fs.Duration("slow-query-threshold", 0, "latency at which a query enters the slow-query log (0 = every query is slow-eligible)")
 	shardID := fs.String("shard-id", "", "serve as this shard of a cluster (requires -shard-map)")
 	shardMap := fs.String("shard-map", "", "cluster shard-map file (JSON)")
 	fs.Parse(args)
+	if *slowThreshold < 0 {
+		return fmt.Errorf("-slow-query-threshold must not be negative")
+	}
+	obs.DefaultQueryLog().SetThreshold(*slowThreshold)
 	db, err := openDB(*path)
 	if err != nil {
 		return err

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// cmdQueryLog fetches a serving node's slow-query log (/debug/querylog)
+// and renders it: the N slowest queries first, then the head/tail-sampled
+// recent stream. -threshold retunes the server's slow threshold in the
+// same request.
+func cmdQueryLog(args []string) error {
+	fs := flag.NewFlagSet("querylog", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8765", "server base URL")
+	threshold := fs.Duration("threshold", -1, "set the server's slow-query threshold (negative leaves it unchanged)")
+	asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+	fs.Parse(args)
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u := strings.TrimRight(base, "/") + "/debug/querylog"
+	if *threshold >= 0 {
+		u += "?threshold=" + url.QueryEscape(threshold.String())
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	var snap obs.QueryLogSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decode query log: %w", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	fmt.Printf("threshold: %s   events: %d offered, %d sampled\n",
+		time.Duration(snap.ThresholdNS), snap.Total, snap.Sampled)
+	fmt.Printf("\nslowest (%d):\n", len(snap.Slowest))
+	printQueryEvents(snap.Slowest)
+	fmt.Printf("\nrecent (%d, newest first):\n", len(snap.Recent))
+	printQueryEvents(snap.Recent)
+	return nil
+}
+
+// printQueryEvents renders wide events one per line, with the counters and
+// span digest on indented continuation lines when present.
+func printQueryEvents(events []obs.QueryEvent) {
+	if len(events) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	for _, ev := range events {
+		flags := ""
+		if ev.Partial {
+			flags += " PARTIAL"
+		}
+		if ev.Error != "" {
+			flags += " error=" + ev.Error
+		}
+		fmt.Printf("  %s %10s %-18s %-14s %4d results  %q%s\n",
+			ev.Time.Format("15:04:05.000"), ev.Duration.Round(time.Microsecond),
+			ev.Kind, ev.Strategy, ev.Results, ev.Query, flags)
+		if ev.RequestID != "" || ev.TraceIDHex != "" {
+			fmt.Printf("      %s", ev.RequestID)
+			if ev.TraceIDHex != "" {
+				fmt.Printf("  trace=%s", ev.TraceIDHex)
+			}
+			fmt.Println()
+		}
+		if len(ev.Counters) > 0 {
+			names := make([]string, 0, len(ev.Counters))
+			for name := range ev.Counters {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, name := range names {
+				parts = append(parts, fmt.Sprintf("%s=%d", name, ev.Counters[name]))
+			}
+			fmt.Printf("      %s\n", strings.Join(parts, " "))
+		}
+		if ev.SpanDigest != "" {
+			fmt.Printf("      spans: %s\n", ev.SpanDigest)
+		}
+	}
+}

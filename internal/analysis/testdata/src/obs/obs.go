@@ -16,3 +16,17 @@ func (t *Trace) Get() int64 {
 	}
 	return t.Hits
 }
+
+// Span mirrors obs.Span: the distributed-tracing node type with the same
+// nil-means-off contract as Trace, again with an exported field to access.
+type Span struct {
+	Kids int
+}
+
+// Children is nil-safe like every real Span method.
+func (s *Span) Children() int {
+	if s == nil {
+		return 0
+	}
+	return s.Kids
+}

@@ -32,3 +32,28 @@ func passthrough(t *obs.Trace) *obs.Trace {
 	t.Count("k", 1)
 	return t
 }
+
+// bad: direct field read on a span — nil span is the tracing-off state.
+func spanFieldRead(s *mobs.Span) int {
+	return s.Kids // want "direct field access Kids on obs.Span"
+}
+
+// bad: direct field write on a span.
+func spanFieldWrite(s *mobs.Span) {
+	s.Kids = 2 // want "direct field access Kids on obs.Span"
+}
+
+// good: nil-safe span method surface.
+func spanMethod(s *mobs.Span) int {
+	return s.Children()
+}
+
+// bad: dereferencing copies the span (and its mutex) and panics on nil.
+func spanDeref(s *obs.Span) obs.Span {
+	return *s // want "dereferencing \*obs.Span"
+}
+
+// good: span pointers pass through, children come from StartChild.
+func spanPassthrough(s *obs.Span) *obs.Span {
+	return s.StartChild("child")
+}

@@ -6,22 +6,34 @@ import (
 )
 
 // TraceNil protects the nil-trace contract. The query engine threads
-// *obs.Trace unconditionally — a nil trace is the "tracing off" state and
-// every Trace method is nil-safe. Direct field access on a Trace value
+// *obs.Trace — and since the distributed tracing work, *obs.Span —
+// unconditionally: a nil pointer is the "tracing off" state and every
+// method on both types is nil-safe. Direct field access on either type
 // outside package obs would panic the moment tracing is disabled, so only
 // the nil-safe method surface may be used. (Unexported fields are already
 // compiler-enforced; this check keeps the invariant when exported fields
 // are added, and catches dereference-style copies.)
 var TraceNil = &Analyzer{
 	Name: "tracenil",
-	Doc: "outside package obs, *obs.Trace may only be used through its " +
-		"nil-safe methods, never by direct field access or dereference",
+	Doc: "outside package obs, *obs.Trace and *obs.Span may only be used " +
+		"through their nil-safe methods, never by direct field access or dereference",
 	Run: runTraceNil,
 }
+
+// traceNilTypes are the obs types whose nil pointer means "tracing off".
+var traceNilTypes = []string{"Trace", "Span"}
 
 func runTraceNil(pass *Pass) {
 	if pass.Pkg.Name() == "obs" {
 		return
+	}
+	tracedType := func(t types.Type) string {
+		for _, name := range traceNilTypes {
+			if isNamed(t, "obs", name) {
+				return name
+			}
+		}
+		return ""
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -31,16 +43,18 @@ func runTraceNil(pass *Pass) {
 				if !ok || sel.Kind() != types.FieldVal {
 					return true
 				}
-				if isNamed(sel.Recv(), "obs", "Trace") {
-					pass.Reportf(n.Sel.Pos(), "direct field access %s on obs.Trace outside package obs: a nil trace panics here; use the nil-safe methods", n.Sel.Name)
+				if name := tracedType(sel.Recv()); name != "" {
+					pass.Reportf(n.Sel.Pos(), "direct field access %s on obs.%s outside package obs: a nil %s panics here; use the nil-safe methods", n.Sel.Name, name, name)
 				}
 			case *ast.StarExpr:
-				// *tr dereference copies the Trace (and its mutex) and
-				// panics on a nil trace. Type expressions like *obs.Trace in
+				// *tr dereference copies the value (and its mutex) and
+				// panics on nil. Type expressions like *obs.Trace in
 				// signatures are not values and are skipped.
 				if tv, ok := pass.TypesInfo.Types[n.X]; ok && !tv.IsType() {
-					if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok && isNamed(ptr.Elem(), "obs", "Trace") {
-						pass.Reportf(n.Pos(), "dereferencing *obs.Trace copies the trace and panics when tracing is off (nil trace); pass the pointer through")
+					if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+						if name := tracedType(ptr.Elem()); name != "" {
+							pass.Reportf(n.Pos(), "dereferencing *obs.%s copies it and panics when tracing is off (nil %s); pass the pointer through", name, name)
+						}
 					}
 				}
 			}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	mmdb "repro"
+	"repro/internal/obs"
 )
 
 // Client talks to one ESIDB server.
@@ -50,7 +51,9 @@ type Object struct {
 	Script   string `json:"script,omitempty"`
 }
 
-// QueryResult is the wire form of a range-query answer.
+// QueryResult is the wire form of a range-query answer. Trace is non-nil
+// only when the request carried trace context (a span in the ctx) or asked
+// for ?trace=1 — it is the server-side span tree for the query.
 type QueryResult struct {
 	IDs     []uint64 `json:"ids"`
 	Objects []Object `json:"objects"`
@@ -60,6 +63,7 @@ type QueryResult struct {
 		OpsEvaluated    int `json:"ops_evaluated"`
 		EditedSkipped   int `json:"edited_skipped"`
 	} `json:"stats"`
+	Trace *mmdb.Trace `json:"trace,omitempty"`
 }
 
 // Match is one similarity-search result.
@@ -124,6 +128,16 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body io.Reader,
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	// Propagate observability context: a span in the ctx becomes a
+	// traceparent header (the server continues the same trace id), and a
+	// request id rides along so one id correlates coordinator and shard
+	// access logs.
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		req.Header.Set("traceparent", sp.Traceparent())
+	}
+	if rid := obs.RequestIDFromContext(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -277,7 +291,8 @@ func (c *Client) Query(text, mode string, expandBases bool) (*QueryResult, error
 	return c.QueryCtx(context.Background(), text, mode, expandBases)
 }
 
-// QueryCtx is Query with a context.
+// QueryCtx is Query with a context. A span in the ctx upgrades the call to
+// a traced one: the server returns its span tree in QueryResult.Trace.
 func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bool) (*QueryResult, error) {
 	q := url.Values{}
 	q.Set("q", text)
@@ -286,6 +301,9 @@ func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bo
 	}
 	if expandBases {
 		q.Set("bases", "1")
+	}
+	if obs.SpanFromContext(ctx) != nil {
+		q.Set("trace", "1")
 	}
 	var out QueryResult
 	if err := c.doCtx(ctx, "GET", "/v1/query?"+q.Encode(), nil, "", &out); err != nil {
@@ -308,6 +326,9 @@ func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax f
 	q.Set("max", strconv.FormatFloat(pctMax, 'f', -1, 64))
 	if mode != "" {
 		q.Set("mode", mode)
+	}
+	if obs.SpanFromContext(ctx) != nil {
+		q.Set("trace", "1")
 	}
 	var out QueryResult
 	if err := c.doCtx(ctx, "GET", "/v1/multirange?"+q.Encode(), nil, "", &out); err != nil {
@@ -333,23 +354,35 @@ func (c *Client) Similar(probe *mmdb.Image, k int, metric string) ([]Match, erro
 
 // SimilarCtx is Similar with a context.
 func (c *Client) SimilarCtx(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]Match, error) {
+	matches, _, err := c.SimilarTracedCtx(ctx, probe, k, metric)
+	return matches, err
+}
+
+// SimilarTracedCtx is SimilarCtx returning the server-side span tree as
+// well; the trace is non-nil only when the ctx carries a span (which turns
+// on ?trace=1 and the traceparent header).
+func (c *Client) SimilarTracedCtx(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]Match, *mmdb.Trace, error) {
 	var buf bytes.Buffer
 	if err := mmdb.EncodePPM(&buf, probe); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	q := url.Values{}
 	q.Set("k", strconv.Itoa(k))
 	if metric != "" {
 		q.Set("metric", metric)
 	}
+	if obs.SpanFromContext(ctx) != nil {
+		q.Set("trace", "1")
+	}
 	var out struct {
-		Matches []Match `json:"matches"`
+		Matches []Match     `json:"matches"`
+		Trace   *mmdb.Trace `json:"trace,omitempty"`
 	}
 	err := c.doCtx(ctx, "POST", "/v1/similar?"+q.Encode(), &buf, "image/x-portable-pixmap", &out)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out.Matches, nil
+	return out.Matches, out.Trace, nil
 }
 
 // Stats returns the server's database statistics.

@@ -396,11 +396,11 @@ type flakyShard struct {
 	remaining atomic.Int32
 }
 
-func (f *flakyShard) Query(ctx context.Context, text, mode string) (*ShardAnswer, error) {
+func (f *flakyShard) Query(ctx context.Context, text, mode string, sp *obs.Span) (*ShardAnswer, error) {
 	if f.remaining.Add(-1) >= 0 {
 		return nil, store.ErrClosed
 	}
-	return f.InProc.Query(ctx, text, mode)
+	return f.InProc.Query(ctx, text, mode, sp)
 }
 
 // TestClusterRetry: a shard that fails once inside the retry budget still

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	mmdb "repro"
 	"repro/internal/exec"
@@ -156,7 +157,7 @@ func (c *Coordinator) workers(n int) int {
 // errors (bad request — deterministic on every shard) fail the whole call.
 // A canceled context also fails the whole call: partial results are for
 // dead shards, not impatient callers.
-func gather[T any](ctx context.Context, c *Coordinator, tr *obs.Trace, fn func(ctx context.Context, sh Shard) (T, error)) (vals []T, ok []bool, missed []string, err error) {
+func gather[T any](ctx context.Context, c *Coordinator, tr *obs.Trace, fn func(ctx context.Context, sh Shard, sp *obs.Span) (T, error)) (vals []T, ok []bool, missed []string, err error) {
 	_, conns := c.snapshot()
 	var targets []*shardConn
 	for _, cc := range conns {
@@ -171,17 +172,27 @@ func gather[T any](ctx context.Context, c *Coordinator, tr *obs.Trace, fn func(c
 	ok = make([]bool, len(targets))
 	errs, st := exec.Scatter(ctx, c.workers(len(targets)), len(targets), func(i int) error {
 		cc := targets[i]
-		v, cerr := callShard(ctx, c.pol, true, func(actx context.Context) (T, error) {
+		shardID := cc.shard.ID()
+		// One span per fan-out leg; the transport hangs the shard-side tree
+		// (and callShardSpan its attempt spans) underneath it.
+		sp := tr.StartSpan("shard:" + shardID)
+		start := nowFunc()
+		v, cerr := callShardSpan(ctx, c.pol, true, sp, func(actx context.Context, asp *obs.Span) (T, error) {
 			done := observeSeconds(cc.lat)
 			defer done()
-			return fn(actx, cc.shard)
+			return fn(actx, cc.shard, asp)
 		})
+		obs.DefaultStats().RecordShardCall(shardID, nowFunc().Sub(start), cerr != nil)
 		if cerr == nil {
 			vals[i], ok[i] = v, true
 			cc.noteSuccess()
-		} else if !isQueryError(cerr) && ctx.Err() == nil {
-			cc.noteFailure()
+		} else {
+			sp.SetAttr("error", cerr.Error())
+			if !isQueryError(cerr) && ctx.Err() == nil {
+				cc.noteFailure()
+			}
 		}
+		sp.End()
 		return cerr
 	})
 	if st.Workers > 1 {
@@ -216,27 +227,70 @@ func gather[T any](ctx context.Context, c *Coordinator, tr *obs.Trace, fn func(c
 	return vals, ok, missed, nil
 }
 
+// ensureRequestID gives the fan-out a request id if the edge did not mint
+// one (CLI callers): every shard leg and the query-log event share it.
+func ensureRequestID(ctx context.Context) context.Context {
+	if obs.RequestIDFromContext(ctx) != "" {
+		return ctx
+	}
+	return obs.ContextWithRequestID(ctx, obs.NewRequestID())
+}
+
+// logClusterQuery emits the fan-out's wide event into the process query
+// log — always on, independent of whether the call was traced.
+func logClusterQuery(ctx context.Context, start time.Time, kind, strategy, query string, tr *obs.Trace, results int, partial bool, err error) {
+	ev := obs.QueryEvent{
+		Time:       start,
+		RequestID:  obs.RequestIDFromContext(ctx),
+		Kind:       kind,
+		Strategy:   strategy,
+		Query:      query,
+		Duration:   time.Since(start),
+		Results:    results,
+		Partial:    partial,
+		SpanDigest: tr.Root().Digest(),
+		Counters:   tr.Counters(),
+	}
+	if tr != nil {
+		ev.TraceIDHex = tr.TraceID().String()
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	obs.DefaultQueryLog().Record(ev)
+}
+
 // Query scatter-gathers a textual (range or compound) query and returns
 // the deduplicated id union in ascending order.
 func (c *Coordinator) Query(ctx context.Context, text, mode string, tr *obs.Trace) (*Result, error) {
-	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard) (*ShardAnswer, error) {
-		return sh.Query(actx, text, mode)
+	ctx = ensureRequestID(ctx)
+	start := time.Now()
+	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard, sp *obs.Span) (*ShardAnswer, error) {
+		return sh.Query(actx, text, mode, sp)
 	})
 	if err != nil {
+		logClusterQuery(ctx, start, "cluster.query", mode, text, tr, 0, false, err)
 		return nil, err
 	}
-	return mergeAnswers(vals, ok, missed, tr), nil
+	res := mergeAnswers(vals, ok, missed, tr)
+	logClusterQuery(ctx, start, "cluster.query", mode, text, tr, len(res.IDs), res.Partial, nil)
+	return res, nil
 }
 
 // MultiRange scatter-gathers a structured multi-bin range query.
 func (c *Coordinator) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, tr *obs.Trace) (*Result, error) {
-	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard) (*ShardAnswer, error) {
-		return sh.MultiRange(actx, bins, pctMin, pctMax, mode)
+	ctx = ensureRequestID(ctx)
+	start := time.Now()
+	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard, sp *obs.Span) (*ShardAnswer, error) {
+		return sh.MultiRange(actx, bins, pctMin, pctMax, mode, sp)
 	})
 	if err != nil {
+		logClusterQuery(ctx, start, "cluster.multirange", mode, fmt.Sprintf("bins=%v min=%g max=%g", bins, pctMin, pctMax), tr, 0, false, err)
 		return nil, err
 	}
-	return mergeAnswers(vals, ok, missed, tr), nil
+	res := mergeAnswers(vals, ok, missed, tr)
+	logClusterQuery(ctx, start, "cluster.multirange", mode, fmt.Sprintf("bins=%v min=%g max=%g", bins, pctMin, pctMax), tr, len(res.IDs), res.Partial, nil)
+	return res, nil
 }
 
 // Similar scatter-gathers a k-NN query: every shard returns its local
@@ -245,10 +299,13 @@ func (c *Coordinator) MultiRange(ctx context.Context, bins []int, pctMin, pctMax
 // shard's top-k is the true k-minimum of its partition under the same
 // order.
 func (c *Coordinator) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string, tr *obs.Trace) (*KNNResult, error) {
-	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard) ([]mmdb.Match, error) {
-		return sh.Similar(actx, probe, k, metric)
+	ctx = ensureRequestID(ctx)
+	start := time.Now()
+	vals, ok, missed, err := gather(ctx, c, tr, func(actx context.Context, sh Shard, sp *obs.Span) ([]mmdb.Match, error) {
+		return sh.Similar(actx, probe, k, metric, sp)
 	})
 	if err != nil {
+		logClusterQuery(ctx, start, "cluster.similar", metric, fmt.Sprintf("k=%d", k), tr, 0, false, err)
 		return nil, err
 	}
 	res := &KNNResult{Missed: missed, Partial: len(missed) > 0}
@@ -289,6 +346,7 @@ func (c *Coordinator) Similar(ctx context.Context, probe *mmdb.Image, k int, met
 		merged = merged[:k]
 	}
 	res.Matches = merged
+	logClusterQuery(ctx, start, "cluster.similar", metric, fmt.Sprintf("k=%d", k), tr, len(res.Matches), res.Partial, nil)
 	return res, nil
 }
 
@@ -306,7 +364,7 @@ func (c *Coordinator) Stats(ctx context.Context) (*ClusterStats, error) {
 	for i, cc := range conns {
 		ids[i] = cc.shard.ID()
 	}
-	vals, ok, missed, err := gather(ctx, c, nil, func(actx context.Context, sh Shard) (*mmdb.Stats, error) {
+	vals, ok, missed, err := gather(ctx, c, nil, func(actx context.Context, sh Shard, _ *obs.Span) (*mmdb.Stats, error) {
 		return sh.Stats(actx)
 	})
 	if err != nil {

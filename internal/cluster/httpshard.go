@@ -8,6 +8,7 @@ import (
 
 	mmdb "repro"
 	"repro/internal/client"
+	"repro/internal/obs"
 )
 
 // HTTPShard is the network transport: the shard is an `esidb serve`
@@ -98,29 +99,40 @@ func (s *HTTPShard) Delete(ctx context.Context, id uint64) error {
 	return s.c.DeleteCtx(ctx, id)
 }
 
-// Query implements Shard.
-func (s *HTTPShard) Query(ctx context.Context, text, mode string) (*ShardAnswer, error) {
-	res, err := s.c.QueryCtx(ctx, text, mode, false)
+// Query implements Shard. A non-nil sp rides to the shard as a traceparent
+// header (plus ?trace=1); the span tree the shard returns is adopted under
+// sp so the coordinator holds one merged tree.
+func (s *HTTPShard) Query(ctx context.Context, text, mode string, sp *obs.Span) (*ShardAnswer, error) {
+	res, err := s.c.QueryCtx(obs.ContextWithSpan(ctx, sp), text, mode, false)
 	if err != nil {
 		return nil, err
+	}
+	if res.Trace != nil {
+		sp.Adopt(res.Trace.Root())
 	}
 	return toAnswer(res), nil
 }
 
 // MultiRange implements Shard.
-func (s *HTTPShard) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string) (*ShardAnswer, error) {
-	res, err := s.c.MultiRangeCtx(ctx, bins, pctMin, pctMax, mode)
+func (s *HTTPShard) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, sp *obs.Span) (*ShardAnswer, error) {
+	res, err := s.c.MultiRangeCtx(obs.ContextWithSpan(ctx, sp), bins, pctMin, pctMax, mode)
 	if err != nil {
 		return nil, err
+	}
+	if res.Trace != nil {
+		sp.Adopt(res.Trace.Root())
 	}
 	return toAnswer(res), nil
 }
 
 // Similar implements Shard.
-func (s *HTTPShard) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]mmdb.Match, error) {
-	matches, err := s.c.SimilarCtx(ctx, probe, k, metric)
+func (s *HTTPShard) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string, sp *obs.Span) ([]mmdb.Match, error) {
+	matches, tr, err := s.c.SimilarTracedCtx(obs.ContextWithSpan(ctx, sp), probe, k, metric)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		sp.Adopt(tr.Root())
 	}
 	out := make([]mmdb.Match, len(matches))
 	for i, m := range matches {

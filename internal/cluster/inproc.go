@@ -7,6 +7,7 @@ import (
 
 	mmdb "repro"
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -150,8 +151,9 @@ func (s *InProc) Delete(ctx context.Context, id uint64) error {
 	return markQueryError(s.db.Delete(id))
 }
 
-// Query implements Shard.
-func (s *InProc) Query(ctx context.Context, text, mode string) (*ShardAnswer, error) {
+// Query implements Shard. A non-nil sp records the engine's span tree
+// directly under the coordinator's shard span — no serialization hop.
+func (s *InProc) Query(ctx context.Context, text, mode string, sp *obs.Span) (*ShardAnswer, error) {
 	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
@@ -159,7 +161,7 @@ func (s *InProc) Query(ctx context.Context, text, mode string) (*ShardAnswer, er
 	if err != nil {
 		return nil, queryError{err}
 	}
-	res, err := s.db.QueryCompound(text, m)
+	res, err := s.db.QueryCompoundTracedCtx(ctx, text, m, obs.TraceForSpan(sp))
 	if err != nil {
 		return nil, markQueryError(err)
 	}
@@ -167,7 +169,7 @@ func (s *InProc) Query(ctx context.Context, text, mode string) (*ShardAnswer, er
 }
 
 // MultiRange implements Shard.
-func (s *InProc) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string) (*ShardAnswer, error) {
+func (s *InProc) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, sp *obs.Span) (*ShardAnswer, error) {
 	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
@@ -175,7 +177,7 @@ func (s *InProc) MultiRange(ctx context.Context, bins []int, pctMin, pctMax floa
 	if err != nil {
 		return nil, queryError{err}
 	}
-	res, err := s.db.RangeQueryMulti(mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, m)
+	res, err := s.db.RangeQueryMultiTracedCtx(ctx, mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, m, obs.TraceForSpan(sp))
 	if err != nil {
 		return nil, markQueryError(err)
 	}
@@ -183,7 +185,7 @@ func (s *InProc) MultiRange(ctx context.Context, bins []int, pctMin, pctMax floa
 }
 
 // Similar implements Shard.
-func (s *InProc) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]mmdb.Match, error) {
+func (s *InProc) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string, sp *obs.Span) ([]mmdb.Match, error) {
 	if err := s.check(ctx); err != nil {
 		return nil, err
 	}
@@ -191,7 +193,7 @@ func (s *InProc) Similar(ctx context.Context, probe *mmdb.Image, k int, metric s
 	if err != nil {
 		return nil, queryError{err}
 	}
-	matches, _, err := s.db.QueryByExample(probe, k, m)
+	matches, _, err := s.db.QueryByExampleTracedCtx(ctx, probe, k, m, obs.TraceForSpan(sp))
 	if err != nil {
 		return nil, markQueryError(err)
 	}

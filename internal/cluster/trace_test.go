@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	mmdb "repro"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// spansNamed collects every span in tr's tree whose name equals name.
+func spansNamed(tr *obs.Trace, name string) []*obs.Span {
+	var out []*obs.Span
+	tr.Root().Walk(func(s *obs.Span) {
+		if s.Name() == name {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// assertOneTraceID walks the whole tree and fails if any span carries a
+// trace id other than the root's — the single-trace-id merge contract.
+func assertOneTraceID(t *testing.T, tr *obs.Trace) {
+	t.Helper()
+	want := tr.TraceID()
+	if want == (obs.TraceID{}) {
+		t.Fatal("trace has a zero trace id")
+	}
+	tr.Root().Walk(func(s *obs.Span) {
+		if s.Trace() != want {
+			t.Errorf("span %q has trace id %s, want %s", s.Name(), s.Trace(), want)
+		}
+	})
+}
+
+// TestClusterTraceInProc: a traced scatter-gather query over the embedded
+// transport yields one span tree: a shard:<id> child per shard, each with
+// at least one attempt span that itself holds the shard engine's phases,
+// all under a single trace id.
+func TestClusterTraceInProc(t *testing.T) {
+	c := makeCorpus(6, 2, 31)
+	coord, _ := newInProcCluster(t, 3)
+	c.seedCluster(t, coord)
+
+	tr := obs.NewTrace()
+	res, err := coord.Query(context.Background(), "at least 5% red", "bwm", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("healthy cluster answered partially: missed %v", res.Missed)
+	}
+	assertOneTraceID(t, tr)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("shard:s%d", i)
+		shardSpans := spansNamed(tr, name)
+		if len(shardSpans) != 1 {
+			t.Fatalf("want exactly one %s span, got %d", name, len(shardSpans))
+		}
+		attempts := 0
+		for _, a := range shardSpans[0].Children() {
+			if a.Name() != "attempt" {
+				continue
+			}
+			attempts++
+			if len(a.Children()) == 0 {
+				t.Errorf("%s attempt span has no engine child spans", name)
+			}
+		}
+		if attempts == 0 {
+			t.Errorf("%s has no attempt spans", name)
+		}
+	}
+	if got := tr.Get(obs.TClusterShardsQueried); got != 3 {
+		t.Errorf("cluster_shards_queried = %d, want 3", got)
+	}
+}
+
+// TestClusterTraceHTTP runs the same contract over the network transport
+// with WAL-backed shards: the traceparent header propagates the trace id to
+// each shard server, the shard's span tree (including its wal.commit-barrier
+// span) comes back in the response, and the coordinator adopts it into one
+// merged tree under one trace id.
+func TestClusterTraceHTTP(t *testing.T) {
+	c := makeCorpus(5, 2, 37)
+	m := &ShardMap{}
+	shards := make(map[string]Shard, 2)
+	dir := t.TempDir()
+	var servers []*httptest.Server
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("s%d", i)
+		db, err := mmdb.Open(mmdb.WithPath(filepath.Join(dir, id+".db")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		ts := httptest.NewServer(server.New(db))
+		t.Cleanup(ts.Close)
+		servers = append(servers, ts)
+		m.Shards = append(m.Shards, ShardInfo{ID: id, Addr: ts.URL})
+		shards[id] = NewHTTPShard(id, ts.URL, ts.Client())
+	}
+	coord, err := New(m, shards, Options{Policy: testPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.seedCluster(t, coord)
+
+	tr := obs.NewTrace()
+	res, err := coord.Query(context.Background(), "at least 5% red", "bwm", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("healthy cluster answered partially: missed %v", res.Missed)
+	}
+	assertOneTraceID(t, tr)
+	if got := len(spansNamed(tr, "shard:s0")) + len(spansNamed(tr, "shard:s1")); got != 2 {
+		t.Fatalf("want 2 shard spans, got %d", got)
+	}
+	// WAL-backed shards record the read-your-writes barrier on every traced
+	// query; the adopted remote subtrees must carry it.
+	if got := len(spansNamed(tr, "wal.commit-barrier")); got < 2 {
+		t.Fatalf("want a wal.commit-barrier span from each shard, got %d", got)
+	}
+
+	// Partial answers keep the responding shards' spans: kill one server and
+	// the other shard's subtree still lands in the merged tree, while the
+	// dead shard's span records the failure.
+	servers[0].Close()
+	tr2 := obs.NewTrace()
+	res, err = coord.Query(context.Background(), "at least 5% red", "bwm", tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("want partial answer with one shard down")
+	}
+	assertOneTraceID(t, tr2)
+	live := spansNamed(tr2, "shard:s1")
+	if len(live) != 1 || len(live[0].Children()) == 0 {
+		t.Fatalf("responding shard's span subtree missing from partial answer: %v", live)
+	}
+	if got := len(spansNamed(tr2, "wal.commit-barrier")); got < 1 {
+		t.Fatal("responding shard's wal.commit-barrier span missing from partial answer")
+	}
+	dead := spansNamed(tr2, "shard:s0")
+	if len(dead) != 1 || dead[0].Attr("error") == "" {
+		t.Fatal("failed shard's span should record its error")
+	}
+}
+
+// TestNilSpanAllocs pins the tracing-off cost: the whole nil-span surface
+// the cluster fan-out path touches per shard call must allocate nothing.
+func TestNilSpanAllocs(t *testing.T) {
+	var sp *obs.Span
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c := sp.StartChild("attempt")
+		c.SetAttr("try", "1")
+		c.Count(obs.TClusterRetries, 1)
+		if obs.TraceForSpan(c) != nil {
+			t.Fatal("nil span must yield a nil trace")
+		}
+		if obs.ContextWithSpan(ctx, c) != ctx {
+			t.Fatal("nil span must not wrap the context")
+		}
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span fan-out path allocates %.1f times per call, want 0", allocs)
+	}
+}

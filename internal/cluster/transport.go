@@ -3,10 +3,12 @@ package cluster
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
 	mmdb "repro"
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -46,9 +48,15 @@ type Shard interface {
 	List(ctx context.Context) ([]ObjectMeta, error)
 	Delete(ctx context.Context, id uint64) error
 
-	Query(ctx context.Context, text, mode string) (*ShardAnswer, error)
-	MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string) (*ShardAnswer, error)
-	Similar(ctx context.Context, probe *mmdb.Image, k int, metric string) ([]mmdb.Match, error)
+	// The read-query methods take an optional parent span (nil disables
+	// tracing): transports attach the shard-side span tree under it — the
+	// in-process transport records directly, the HTTP transport propagates
+	// the trace context via a traceparent header and adopts the span tree
+	// the shard returns. Either way the coordinator ends up holding one
+	// merged tree under a single trace id.
+	Query(ctx context.Context, text, mode string, sp *obs.Span) (*ShardAnswer, error)
+	MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, sp *obs.Span) (*ShardAnswer, error)
+	Similar(ctx context.Context, probe *mmdb.Image, k int, metric string, sp *obs.Span) ([]mmdb.Match, error)
 	Stats(ctx context.Context) (*mmdb.Stats, error)
 }
 
@@ -125,17 +133,27 @@ func markQueryError(err error) error {
 	return queryError{err}
 }
 
-// callShard runs fn under the policy: per-attempt timeout, bounded retries
-// with doubling backoff for shard failures, and (for reads) an optional
-// hedged duplicate. The context governs the whole loop — once it is done,
-// no more attempts start.
+// callShard is callShardSpan without tracing — the form the management
+// paths (inserts, id sync, rebalance) use, since only queries are traced.
 func callShard[T any](ctx context.Context, pol Policy, read bool, fn func(context.Context) (T, error)) (T, error) {
+	return callShardSpan(ctx, pol, read, nil, func(actx context.Context, _ *obs.Span) (T, error) {
+		return fn(actx)
+	})
+}
+
+// callShardSpan runs fn under the policy: per-attempt timeout, bounded
+// retries with doubling backoff for shard failures, and (for reads) an
+// optional hedged duplicate. The context governs the whole loop — once it
+// is done, no more attempts start. sp (nil-safe) collects one child span
+// per attempt, so a traced query shows its retries, hedges and timeouts.
+func callShardSpan[T any](ctx context.Context, pol Policy, read bool, sp *obs.Span, fn func(context.Context, *obs.Span) (T, error)) (T, error) {
 	var zero T
 	var err error
 	backoff := pol.Backoff
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			mRetries.Inc()
+			sp.Count(obs.TClusterRetries, 1)
 			select {
 			case <-ctx.Done():
 				return zero, ctx.Err()
@@ -144,7 +162,7 @@ func callShard[T any](ctx context.Context, pol Policy, read bool, fn func(contex
 			backoff *= 2
 		}
 		var v T
-		v, err = attemptShard(ctx, pol, read, fn)
+		v, err = attemptShard(ctx, pol, read, sp, attempt, fn)
 		if err == nil {
 			return v, nil
 		}
@@ -158,20 +176,37 @@ func callShard[T any](ctx context.Context, pol Policy, read bool, fn func(contex
 }
 
 // attemptShard is one policy attempt: fn under the per-attempt timeout,
-// plus the hedged duplicate for reads.
-func attemptShard[T any](ctx context.Context, pol Policy, read bool, fn func(context.Context) (T, error)) (T, error) {
+// plus the hedged duplicate for reads. Each launch (primary or hedge) gets
+// its own "attempt" span recording try number, hedge status and error.
+func attemptShard[T any](ctx context.Context, pol Policy, read bool, sp *obs.Span, attempt int, fn func(context.Context, *obs.Span) (T, error)) (T, error) {
 	actx, cancel := context.WithTimeout(ctx, pol.Timeout)
 	defer cancel()
+	run := func(hedged bool) (T, error) {
+		asp := sp.StartChild("attempt")
+		asp.SetAttr("try", strconv.Itoa(attempt+1))
+		if hedged {
+			asp.SetAttr("hedged", "true")
+		}
+		v, err := fn(actx, asp)
+		if err != nil {
+			asp.SetAttr("error", err.Error())
+			if errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+				asp.SetAttr("timeout", pol.Timeout.String())
+			}
+		}
+		asp.End()
+		return v, err
+	}
 	if !read || pol.Hedge <= 0 {
-		return fn(actx)
+		return run(false)
 	}
 	type res struct {
 		v   T
 		err error
 	}
 	ch := make(chan res, 2)
-	launch := func() { go func() { v, err := fn(actx); ch <- res{v, err} }() }
-	launch()
+	launch := func(hedged bool) { go func() { v, err := run(hedged); ch <- res{v, err} }() }
+	launch(false)
 	timer := time.NewTimer(pol.Hedge)
 	defer timer.Stop()
 	select {
@@ -181,7 +216,8 @@ func attemptShard[T any](ctx context.Context, pol Policy, read bool, fn func(con
 		return r.v, r.err
 	case <-timer.C:
 		mHedges.Inc()
-		launch()
+		sp.Count(obs.TClusterHedges, 1)
+		launch(true)
 	}
 	// Two attempts racing; first success wins, else the last error. Reads
 	// are idempotent, so racing duplicates is safe.

@@ -214,8 +214,19 @@ func Open(cfg Config) (*DB, error) {
 		st.Close()
 		return nil, err
 	}
+	// Restore the observed-statistics distributions the last clean shutdown
+	// snapshotted, so the planner's input survives restarts. Best-effort: a
+	// missing or corrupt snapshot just starts the distributions cold.
+	_ = obs.DefaultStats().LoadFile(StatsSnapshotPath(cfg.Path))
 	return db, nil
 }
+
+// StatsSnapshotPath is where a database at path persists the process-wide
+// observed-statistics recorder (obs.DefaultStats) across restarts. The
+// recorder is process-global — one snapshot file reflects every database
+// the process queried — which is the right grain for the planner: it wants
+// the workload the process serves, and a server process serves one DB.
+func StatsSnapshotPath(path string) string { return path + ".stats.json" }
 
 // newDB builds the in-memory structures for a resolved configuration.
 func newDB(cfg Config) *DB {
@@ -291,7 +302,24 @@ func (db *DB) Close() error {
 	if cerr := db.st.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	// A clean shutdown snapshots the observed statistics (a crash loses at
+	// most the distributions since the last Sync — they are advisory).
+	_ = obs.DefaultStats().SaveFile(StatsSnapshotPath(db.cfg.Path))
 	return err
+}
+
+// SaveQueryStats persists the process-wide query-statistics snapshot next
+// to the store file (see StatsSnapshotPath). A no-op for in-memory
+// databases. The HTTP server calls it on a timer so a crash loses at most
+// one interval of observed distributions.
+func (db *DB) SaveQueryStats() error {
+	db.mu.RLock()
+	backed := db.st != nil && !db.closed
+	db.mu.RUnlock()
+	if !backed {
+		return nil
+	}
+	return obs.DefaultStats().SaveFile(StatsSnapshotPath(db.cfg.Path))
 }
 
 // Sync persists the catalog, fsyncs the store and checkpoints the
@@ -312,7 +340,11 @@ func (db *DB) Sync() error {
 	if err := db.st.Sync(); err != nil {
 		return err
 	}
-	return db.walCheckpointLocked()
+	if err := db.walCheckpointLocked(); err != nil {
+		return err
+	}
+	_ = obs.DefaultStats().SaveFile(StatsSnapshotPath(db.cfg.Path))
+	return nil
 }
 
 // InsertImage stores a binary image: the raster goes to the blob store (or
@@ -350,7 +382,7 @@ func (db *DB) InsertImageCtx(ctx context.Context, id uint64, name string, img *i
 		db.mu.Unlock()
 		return 0, err
 	}
-	tk, err := db.walAppendLocked(func() []byte { return encodeWALInsertBinary(id, name, img) })
+	tk, err := db.walAppendLocked(ctx, func() []byte { return encodeWALInsertBinary(id, name, img) })
 	db.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -412,7 +444,7 @@ func (db *DB) InsertEditedCtx(ctx context.Context, id uint64, name string, seq *
 		db.mu.Unlock()
 		return 0, err
 	}
-	tk, err := db.walAppendLocked(func() []byte { return encodeWALInsertEdited(id, name, seq) })
+	tk, err := db.walAppendLocked(ctx, func() []byte { return encodeWALInsertEdited(id, name, seq) })
 	db.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -464,7 +496,7 @@ func (db *DB) AppendOpsCtx(ctx context.Context, id uint64, ops []editops.Op) err
 		db.mu.Unlock()
 		return err
 	}
-	tk, err := db.walAppendLocked(func() []byte { return encodeWALUpdateSeq(id, newSeq) })
+	tk, err := db.walAppendLocked(ctx, func() []byte { return encodeWALUpdateSeq(id, newSeq) })
 	db.mu.Unlock()
 	if err != nil {
 		return err
@@ -519,7 +551,7 @@ func (db *DB) DeleteCtx(ctx context.Context, id uint64) error {
 		db.mu.Unlock()
 		return err
 	}
-	tk, err := db.walAppendLocked(func() []byte { return encodeWALDelete(id) })
+	tk, err := db.walAppendLocked(ctx, func() []byte { return encodeWALDelete(id) })
 	db.mu.Unlock()
 	if err != nil {
 		return err
@@ -657,6 +689,9 @@ func (db *DB) RangeQueryTraced(q query.Range, mode Mode, tr *obs.Trace) (*rbm.Re
 func (db *DB) RangeQueryTracedCtx(ctx context.Context, q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	pagesBefore := mPagesRead.Value()
 	start := time.Now()
+	if err := db.walQueryBarrier(ctx, tr); err != nil {
+		return nil, err
+	}
 	var res *rbm.Result
 	var err error
 	switch mode {
@@ -676,12 +711,40 @@ func (db *DB) RangeQueryTracedCtx(ctx context.Context, q query.Range, mode Mode,
 	if err != nil {
 		return nil, err
 	}
-	mQueryDur[mode].ObserveDuration(time.Since(start))
+	elapsed := time.Since(start)
+	mQueryDur[mode].ObserveDuration(elapsed)
 	mQueryCount[mode].Inc()
 	tr.Count(obs.TPagesRead, mPagesRead.Value()-pagesBefore)
 	tr.Count(obs.TCandidatesExamined, int64(res.Stats.BinariesChecked+res.Stats.EditedWalked+res.Stats.EditedSkipped))
 	tr.Count(obs.TImagesReturned, int64(len(res.IDs)))
+	db.recordQueryStats(mode.String(), elapsed, res)
 	return res, nil
+}
+
+// recordQueryStats feeds the always-on statistics recorder — the observed
+// distributions the cost-based planner reads (selectivity, edited share of
+// the candidate set, widening-shortcut applicability). Fractions with an
+// empty denominator are skipped (-1) rather than recorded as zero.
+func (db *DB) recordQueryStats(strategy string, elapsed time.Duration, res *rbm.Result) {
+	st := obs.DefaultStats()
+	if !st.Enabled() {
+		return
+	}
+	bins, edited := db.cat.Len()
+	sel := -1.0
+	if corpus := bins + edited; corpus > 0 {
+		sel = float64(len(res.IDs)) / float64(corpus)
+	}
+	editedSeen := res.Stats.EditedWalked + res.Stats.EditedSkipped
+	editedFrac := -1.0
+	if cand := res.Stats.BinariesChecked + editedSeen; cand > 0 {
+		editedFrac = float64(editedSeen) / float64(cand)
+	}
+	widening := -1.0
+	if editedSeen > 0 {
+		widening = float64(res.Stats.EditedSkipped) / float64(editedSeen)
+	}
+	st.RecordQuery(strategy, elapsed, sel, editedFrac, widening)
 }
 
 // RangeQueryText parses a textual range query ("at least 25% blue") and

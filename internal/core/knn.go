@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/editops"
@@ -81,6 +82,7 @@ func (db *DB) KNNTracedCtx(ctx context.Context, q query.KNN, tr *obs.Trace) ([]M
 	if q.Target.Bins() != db.cfg.Quantizer.Bins() {
 		return nil, nil, fmt.Errorf("core: knn target has %d bins, database uses %d", q.Target.Bins(), db.cfg.Quantizer.Bins())
 	}
+	start := time.Now()
 	st := &KNNStats{}
 	best := &matchHeap{} // max-heap of current best k
 	heap.Init(best)
@@ -183,7 +185,29 @@ func (db *DB) KNNTracedCtx(ctx context.Context, q query.KNN, tr *obs.Trace) ([]M
 		}
 		return out[i].ID < out[j].ID
 	})
+	db.recordKNNStats("knn:"+q.Metric.String(), time.Since(start), len(out), st)
 	return out, st, nil
+}
+
+// recordKNNStats feeds the always-on recorder for k-NN answers: latency,
+// selectivity (k results over the corpus) and the edited share of the
+// candidates scored. The widening fraction does not apply to k-NN.
+func (db *DB) recordKNNStats(strategy string, elapsed time.Duration, results int, st *KNNStats) {
+	rec := obs.DefaultStats()
+	if !rec.Enabled() {
+		return
+	}
+	bins, edited := db.cat.Len()
+	sel := -1.0
+	if corpus := bins + edited; corpus > 0 {
+		sel = float64(results) / float64(corpus)
+	}
+	editedSeen := st.EditedPruned + st.EditedInstantiated
+	editedFrac := -1.0
+	if cand := st.BinariesScored + editedSeen; cand > 0 {
+		editedFrac = float64(editedSeen) / float64(cand)
+	}
+	rec.RecordQuery(strategy, elapsed, sel, editedFrac, -1)
 }
 
 // thresholdTracker maintains the k-th-best exact distance shared by the

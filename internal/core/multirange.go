@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/colorspace"
@@ -75,20 +76,31 @@ func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q query.MultiRange, 
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
+	if err := db.walQueryBarrier(ctx, tr); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res *rbm.Result
+	var err error
 	switch mode {
 	case ModeRBM:
-		return db.multiWalk(ctx, q, nil, tr)
+		res, err = db.multiWalk(ctx, q, nil, tr)
 	case ModeBWM, ModeBWMIndexed:
-		return db.multiBWM(ctx, q, tr)
+		res, err = db.multiBWM(ctx, q, tr)
 	case ModeInstantiate:
-		return db.multiInstantiate(ctx, q)
+		res, err = db.multiInstantiate(ctx, q)
 	case ModeCachedBounds:
-		return db.multiWalk(ctx, q, func(obj *catalog.Object) ([]rules.Bounds, error) {
+		res, err = db.multiWalk(ctx, q, func(obj *catalog.Object) ([]rules.Bounds, error) {
 			return db.cachedBoundsFor(obj, tr)
 		}, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
 	}
+	if err != nil {
+		return nil, err
+	}
+	db.recordQueryStats("multi:"+mode.String(), time.Since(start), res)
+	return res, nil
 }
 
 // RangeQueryColorFamily resolves a named color's bin family and runs the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/colorspace"
 	"repro/internal/editops"
 	"repro/internal/imaging"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -85,12 +86,52 @@ func encodeWALDelete(id uint64) []byte {
 // walAppendLocked logs one mutation. enc runs only when a WAL is attached,
 // so in-memory databases pay nothing. Caller holds db.mu; the returned
 // ticket (nil without a WAL) is waited on after the lock is released so
-// concurrent writers share fsyncs.
-func (db *DB) walAppendLocked(enc func() []byte) (*store.WALTicket, error) {
+// concurrent writers share fsyncs. A traced request (ctx carries an obs
+// span) gets a "wal.append" child covering the encode+frame write; the
+// durability wait is timed separately by WALTicket.Wait.
+func (db *DB) walAppendLocked(ctx context.Context, enc func() []byte) (*store.WALTicket, error) {
 	if db.wal == nil {
 		return nil, nil
 	}
-	return db.wal.Append(enc())
+	sp := obs.SpanFromContext(ctx).StartChild("wal.append")
+	tk, err := db.wal.Append(enc())
+	sp.Count(obs.TWALRecords, 1)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return tk, err
+}
+
+// walQueryBarrier is the read-your-writes seam on the query path: when the
+// WAL has acknowledged-but-unsynced records in flight, the query waits for
+// the group commit covering them before scanning, so a reader never races
+// the durability of writes it just made. On an idle log this is one mutex
+// acquisition. The wait is recorded on the trace as a "wal.commit-barrier"
+// span (with the fsync-wait child from internal/store under it); a barrier
+// failure degrades to a span attribute rather than failing the read — the
+// scan serves from memory regardless — but a canceled ctx still aborts.
+func (db *DB) walQueryBarrier(ctx context.Context, tr *obs.Trace) error {
+	if db.wal == nil {
+		return nil
+	}
+	tk := db.wal.Barrier()
+	sp := tr.StartSpan("wal.commit-barrier")
+	if tk == nil {
+		sp.SetAttr("pending", "false")
+		sp.End()
+		return nil
+	}
+	sp.SetAttr("pending", "true")
+	err := tk.Wait(obs.ContextWithSpan(ctx, sp))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // walLogConfig ensures a log that is empty (fresh or just checkpointed)

@@ -85,18 +85,107 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// histogramJSON is the JSON wire form of one histogram.
-type histogramJSON struct {
+// HistogramSnapshot is the JSON wire form of one histogram: raw cumulative
+// buckets plus the p50/p90/p99 quantile summaries, so consumers (bench
+// reports, /v1/stats clients) read quantiles directly instead of
+// re-deriving them from the buckets.
+type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// SnapshotHistogram captures one histogram in wire form.
+func SnapshotHistogram(h *Histogram) HistogramSnapshot {
+	bounds, cum := h.Buckets()
+	hs := HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Buckets: make(map[string]int64, len(cum)),
+	}
+	for i, b := range bounds {
+		hs.Buckets[formatFloat(b)] = cum[i]
+	}
+	hs.Buckets["+Inf"] = cum[len(cum)-1]
+	return hs
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank. Observations
+// are assumed non-negative (ours are latencies and fractions); values in
+// the +Inf bucket report the largest finite bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum := h.Buckets()
+	total := cum[len(cum)-1]
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, b := range bounds {
+		if float64(cum[i]) >= rank {
+			lower := 0.0
+			prev := int64(0)
+			if i > 0 {
+				lower = bounds[i-1]
+				prev = cum[i-1]
+			}
+			in := cum[i] - prev
+			if in == 0 {
+				return b
+			}
+			return lower + (b-lower)*(rank-float64(prev))/float64(in)
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// absorb folds a snapshot's counts into the histogram (the restart path).
+// Buckets are matched by their formatted upper bound; counts under bounds
+// this histogram does not have land in the next wider bucket.
+func (h *Histogram) absorb(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	// Rebuild per-interval counts from the cumulative wire form, in bound
+	// order.
+	keys := make([]string, 0, len(h.bounds)+1)
+	for _, b := range h.bounds {
+		keys = append(keys, formatFloat(b))
+	}
+	keys = append(keys, "+Inf")
+	var prev int64
+	for i, k := range keys {
+		c, ok := s.Buckets[k]
+		if !ok {
+			continue
+		}
+		if d := c - prev; d > 0 {
+			h.counts[i].Add(d)
+		}
+		prev = c
+	}
+	h.sum.Add(s.Sum)
+	h.count.Add(s.Count)
 }
 
 // registryJSON is the JSON wire form of the whole registry.
 type registryJSON struct {
-	Counters   map[string]int64         `json:"counters"`
-	Gauges     map[string]float64       `json:"gauges"`
-	Histograms map[string]histogramJSON `json:"histograms"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // WriteJSON renders the registry as a JSON document with counters, gauges
@@ -105,22 +194,20 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	out := registryJSON{
 		Counters:   r.SnapshotCounters(),
 		Gauges:     make(map[string]float64),
-		Histograms: make(map[string]histogramJSON),
+		Histograms: make(map[string]HistogramSnapshot),
 	}
 	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
 	for name, g := range r.gauges {
 		out.Gauges[name] = g.Value()
 	}
-	for name, h := range r.hists {
-		bounds, cum := h.Buckets()
-		hj := histogramJSON{Count: h.Count(), Sum: h.Sum(), Buckets: make(map[string]int64, len(cum))}
-		for i, b := range bounds {
-			hj.Buckets[formatFloat(b)] = cum[i]
-		}
-		hj.Buckets["+Inf"] = cum[len(cum)-1]
-		out.Histograms[name] = hj
-	}
 	r.mu.RUnlock()
+	for name, h := range hists {
+		out.Histograms[name] = SnapshotHistogram(h)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

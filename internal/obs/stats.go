@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the always-on query-statistics recorder — the planner's input
+// contract (ROADMAP item 4). For every answered query it maintains, keyed
+// by strategy (the answer mode: bwm, rbm, indexed, instantiate, cached,
+// knn:<metric>, multi:<mode>):
+//
+//   - a latency histogram (seconds, DefBuckets)
+//   - a selectivity histogram: result size / corpus size at query time
+//   - an edited-fraction histogram: edited candidates / candidates examined
+//     (how much of the work was sequence-bound rather than histogram-bound)
+//   - a widening-fraction histogram: fast-path admissions / edited
+//     candidates (how often the BWM widening shortcut applied)
+//
+// and, keyed by shard id, a per-shard fan-out cost histogram (seconds per
+// shard call, recorded by the cluster coordinator).
+//
+// Recording is lock-striped: the strategy→record map is split over
+// statsStripes stripes each behind its own RWMutex, and hits after the
+// first take only an RLock plus atomic histogram adds. A sampling knob
+// (SetSampleEvery) thins recording for extreme throughputs; the default
+// records every query — the obsoverhead benchmark holds that below 3% of
+// the range-query hot path.
+//
+// When constructed over a Registry the histograms are also registered
+// there (esidb_query_stats_* families), so /metrics exposes them for free
+// and a snapshot restart restores both views at once.
+type Stats struct {
+	enabled atomic.Bool
+	sample  atomic.Int64 // record 1 in N (<=1: every query)
+	seq     atomic.Uint64
+	reg     *Registry // nil: standalone histograms (tests)
+
+	strategies [statsStripes]statsStripe[*StrategyStats]
+	shards     [statsStripes]statsStripe[*ShardStats]
+}
+
+const statsStripes = 8
+
+type statsStripe[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T // guarded by mu
+}
+
+// FracBuckets are histogram bounds for values in [0,1] (selectivity and
+// fraction distributions): fine near 0 where range queries live, coarse
+// above.
+var FracBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1,
+}
+
+// StrategyStats is one strategy's distributions.
+type StrategyStats struct {
+	Queries      Counter
+	Latency      *Histogram
+	Selectivity  *Histogram
+	EditedFrac   *Histogram
+	WideningFrac *Histogram
+}
+
+// ShardStats is one shard's fan-out cost distribution.
+type ShardStats struct {
+	Calls   Counter
+	Errors  Counter
+	Latency *Histogram
+}
+
+// NewStats returns a recorder. A non-nil registry co-registers every
+// histogram under esidb_query_stats_* names; nil keeps them private (unit
+// tests).
+func NewStats(reg *Registry) *Stats {
+	s := &Stats{reg: reg}
+	s.enabled.Store(true)
+	s.sample.Store(1)
+	return s
+}
+
+var defaultStats = NewStats(Default())
+
+// DefaultStats returns the process-wide recorder the query engine records
+// into and /v1/stats exposes.
+func DefaultStats() *Stats { return defaultStats }
+
+// SetEnabled toggles recording (the obsoverhead benchmark's baseline).
+func (s *Stats) SetEnabled(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether recording is on.
+func (s *Stats) Enabled() bool { return s.enabled.Load() }
+
+// SetSampleEvery records only one in every n queries (n <= 1 restores
+// record-everything).
+func (s *Stats) SetSampleEvery(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	s.sample.Store(n)
+}
+
+// admit applies the enabled flag and the sampling knob.
+func (s *Stats) admit() bool {
+	if s == nil || !s.enabled.Load() {
+		return false
+	}
+	if n := s.sample.Load(); n > 1 {
+		return s.seq.Add(1)%uint64(n) == 0
+	}
+	return true
+}
+
+func stripeFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % statsStripes)
+}
+
+func (s *Stats) histogram(name string, bounds []float64) *Histogram {
+	if s.reg != nil {
+		return s.reg.Histogram(name, bounds)
+	}
+	return newHistogram(bounds)
+}
+
+// strategy returns the record for a strategy, creating it on first use.
+func (s *Stats) strategy(name string) *StrategyStats {
+	st := &s.strategies[stripeFor(name)]
+	st.mu.RLock()
+	rec, ok := st.m[name]
+	st.mu.RUnlock()
+	if ok {
+		return rec
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rec, ok := st.m[name]; ok {
+		return rec
+	}
+	rec = &StrategyStats{
+		Latency:      s.histogram(withLabel("esidb_query_stats_latency_seconds", "strategy", name), DefBuckets),
+		Selectivity:  s.histogram(withLabel("esidb_query_stats_selectivity", "strategy", name), FracBuckets),
+		EditedFrac:   s.histogram(withLabel("esidb_query_stats_edited_fraction", "strategy", name), FracBuckets),
+		WideningFrac: s.histogram(withLabel("esidb_query_stats_widening_fraction", "strategy", name), FracBuckets),
+	}
+	if st.m == nil {
+		st.m = make(map[string]*StrategyStats)
+	}
+	st.m[name] = rec
+	return rec
+}
+
+// shard returns the record for a shard id, creating it on first use.
+func (s *Stats) shard(id string) *ShardStats {
+	st := &s.shards[stripeFor(id)]
+	st.mu.RLock()
+	rec, ok := st.m[id]
+	st.mu.RUnlock()
+	if ok {
+		return rec
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rec, ok := st.m[id]; ok {
+		return rec
+	}
+	rec = &ShardStats{
+		Latency: s.histogram(withLabel("esidb_query_stats_shard_seconds", "shard", id), DefBuckets),
+	}
+	if st.m == nil {
+		st.m = make(map[string]*ShardStats)
+	}
+	st.m[id] = rec
+	return rec
+}
+
+// RecordQuery records one answered query. Fractions outside [0,1] are
+// clamped; pass a negative fraction to skip that distribution (e.g. a
+// query that examined no edited candidates has no widening fraction).
+func (s *Stats) RecordQuery(strategy string, d time.Duration, selectivity, editedFrac, wideningFrac float64) {
+	if !s.admit() {
+		return
+	}
+	rec := s.strategy(strategy)
+	rec.Queries.Inc()
+	rec.Latency.ObserveDuration(d)
+	if selectivity >= 0 {
+		rec.Selectivity.Observe(clamp01(selectivity))
+	}
+	if editedFrac >= 0 {
+		rec.EditedFrac.Observe(clamp01(editedFrac))
+	}
+	if wideningFrac >= 0 {
+		rec.WideningFrac.Observe(clamp01(wideningFrac))
+	}
+}
+
+// RecordShardCall records one coordinator→shard call (fan-out cost).
+func (s *Stats) RecordShardCall(shard string, d time.Duration, failed bool) {
+	if !s.admit() {
+		return
+	}
+	rec := s.shard(shard)
+	rec.Calls.Inc()
+	rec.Latency.ObserveDuration(d)
+	if failed {
+		rec.Errors.Inc()
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// StrategySnapshot is the JSON form of one strategy's distributions.
+type StrategySnapshot struct {
+	Queries      int64             `json:"queries"`
+	Latency      HistogramSnapshot `json:"latency_seconds"`
+	Selectivity  HistogramSnapshot `json:"selectivity"`
+	EditedFrac   HistogramSnapshot `json:"edited_fraction"`
+	WideningFrac HistogramSnapshot `json:"widening_fraction"`
+}
+
+// ShardSnapshot is the JSON form of one shard's fan-out cost.
+type ShardSnapshot struct {
+	Calls   int64             `json:"calls"`
+	Errors  int64             `json:"errors"`
+	Latency HistogramSnapshot `json:"latency_seconds"`
+}
+
+// StatsSnapshot is the JSON document /v1/stats embeds and the periodic
+// snapshot file persists. SavedAt stamps the file write; zero in live
+// responses.
+type StatsSnapshot struct {
+	Enabled     bool                        `json:"enabled"`
+	SampleEvery int64                       `json:"sample_every"`
+	SavedAt     time.Time                   `json:"saved_at"`
+	Strategies  map[string]StrategySnapshot `json:"strategies"`
+	Shards      map[string]ShardSnapshot    `json:"shards,omitempty"`
+}
+
+// Snapshot captures every distribution.
+func (s *Stats) Snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		Enabled:     s.Enabled(),
+		SampleEvery: s.sample.Load(),
+		Strategies:  make(map[string]StrategySnapshot),
+	}
+	for i := range s.strategies {
+		st := &s.strategies[i]
+		st.mu.RLock()
+		for name, rec := range st.m {
+			out.Strategies[name] = StrategySnapshot{
+				Queries:      rec.Queries.Value(),
+				Latency:      SnapshotHistogram(rec.Latency),
+				Selectivity:  SnapshotHistogram(rec.Selectivity),
+				EditedFrac:   SnapshotHistogram(rec.EditedFrac),
+				WideningFrac: SnapshotHistogram(rec.WideningFrac),
+			}
+		}
+		st.mu.RUnlock()
+	}
+	for i := range s.shards {
+		st := &s.shards[i]
+		st.mu.RLock()
+		for id, rec := range st.m {
+			if out.Shards == nil {
+				out.Shards = make(map[string]ShardSnapshot)
+			}
+			out.Shards[id] = ShardSnapshot{
+				Calls:   rec.Calls.Value(),
+				Errors:  rec.Errors.Value(),
+				Latency: SnapshotHistogram(rec.Latency),
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+// StrategyNames returns the strategies seen so far, sorted.
+func (s *Stats) StrategyNames() []string {
+	var out []string
+	for i := range s.strategies {
+		st := &s.strategies[i]
+		st.mu.RLock()
+		for name := range st.m {
+			out = append(out, name)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Absorb folds a snapshot's counts back into the recorder — the restart
+// path: distributions continue across process lifetimes instead of
+// starting cold.
+func (s *Stats) Absorb(snap StatsSnapshot) {
+	for name, ss := range snap.Strategies {
+		rec := s.strategy(name)
+		rec.Queries.Add(ss.Queries)
+		rec.Latency.absorb(ss.Latency)
+		rec.Selectivity.absorb(ss.Selectivity)
+		rec.EditedFrac.absorb(ss.EditedFrac)
+		rec.WideningFrac.absorb(ss.WideningFrac)
+	}
+	for id, ss := range snap.Shards {
+		rec := s.shard(id)
+		rec.Calls.Add(ss.Calls)
+		rec.Errors.Add(ss.Errors)
+		rec.Latency.absorb(ss.Latency)
+	}
+}
+
+// SaveFile atomically writes the snapshot as indented JSON (write to a
+// temp file in the same directory, then rename).
+func (s *Stats) SaveFile(path string) error {
+	snap := s.Snapshot()
+	snap.SavedAt = time.Now().UTC()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".stats-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile absorbs a snapshot file. A missing file is not an error (fresh
+// database); a malformed one is.
+func (s *Stats) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("obs: stats snapshot %s: %w", path, err)
+	}
+	s.Absorb(snap)
+	return nil
+}

@@ -95,6 +95,7 @@ func New(db *mmdb.DB) *Server {
 	s.api("POST", "/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/querylog", s.handleQueryLog)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -124,14 +125,19 @@ func (s *Server) WithLogger(l *slog.Logger) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. It assigns a request ID, applies the
-// body-size cap (declared oversize is rejected up front with 413; chunked
-// oversize fails mid-read via MaxBytesReader), serves the route, then
-// records per-route latency/status metrics and a structured access log
-// line.
+// ServeHTTP implements http.Handler. It assigns a request ID — honoring an
+// incoming X-Request-ID so a cluster coordinator's id shows up verbatim in
+// every shard's access log and error envelope — applies the body-size cap
+// (declared oversize is rejected up front with 413; chunked oversize fails
+// mid-read via MaxBytesReader), serves the route, then records per-route
+// latency/status metrics and a structured access log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+	reqID := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+	if reqID == "" {
+		reqID = fmt.Sprintf("req-%06d", s.reqID.Add(1))
+	}
 	w.Header().Set("X-Request-ID", reqID)
+	r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	_, route := s.mux.Handler(r)
 	if route == "" {
@@ -161,6 +167,59 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"duration", dur.Round(time.Microsecond),
 		"request_id", reqID,
 	)
+}
+
+// sanitizeRequestID accepts a caller-supplied request id only when it is
+// short and printable — the id is echoed into headers, logs and error
+// envelopes, so junk must not pass through.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x21 || c > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// edgeTrace builds the trace for a ?trace=1 request. A valid traceparent
+// header continues the caller's trace (same 128-bit trace id, caller's
+// span recorded as the parent) so a coordinator can merge shard trees into
+// one tree; otherwise a fresh trace id is minted here at the edge.
+func edgeTrace(r *http.Request) *mmdb.Trace {
+	if r.URL.Query().Get("trace") != "1" {
+		return nil
+	}
+	if trace, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return obs.NewTraceWithParent(trace, parent)
+	}
+	return mmdb.NewTrace()
+}
+
+// logQuery emits a wide event for one query request into the process query
+// log — always on, whether or not the request was traced.
+func logQuery(r *http.Request, start time.Time, kind, strategy, query string, tr *mmdb.Trace, results int, err error) {
+	ev := obs.QueryEvent{
+		Time:       start,
+		RequestID:  obs.RequestIDFromContext(r.Context()),
+		Kind:       kind,
+		Strategy:   strategy,
+		Query:      query,
+		Duration:   time.Since(start),
+		Results:    results,
+		SpanDigest: tr.Root().Digest(),
+		Counters:   tr.Counters(),
+	}
+	if tr != nil {
+		ev.TraceIDHex = tr.TraceID().String()
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	obs.DefaultQueryLog().Record(ev)
 }
 
 // routeSeconds and routeStatus look up (or create) the per-route metrics.
@@ -496,12 +555,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	var tr *mmdb.Trace
-	if r.URL.Query().Get("trace") == "1" {
-		tr = mmdb.NewTrace()
-	}
+	tr := edgeTrace(r)
+	start := time.Now()
 	res, err := s.db.QueryCompoundTracedCtx(r.Context(), text, mode, tr)
 	if err != nil {
+		logQuery(r, start, "query", r.URL.Query().Get("mode"), text, tr, 0, err)
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
@@ -526,6 +584,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.OpsEvaluated = res.Stats.OpsEvaluated
 	resp.Stats.EditedSkipped = res.Stats.EditedSkipped
 	resp.Trace = tr
+	logQuery(r, start, "query", r.URL.Query().Get("mode"), text, tr, len(ids), nil)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -562,8 +621,11 @@ func (s *Server) handleMultiRange(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	res, err := s.db.RangeQueryMultiCtx(r.Context(), mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
+	tr := edgeTrace(r)
+	start := time.Now()
+	res, err := s.db.RangeQueryMultiTracedCtx(r.Context(), mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode, tr)
 	if err != nil {
+		logQuery(r, start, "multirange", q.Get("mode"), q.Get("bins"), tr, 0, err)
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
@@ -581,6 +643,8 @@ func (s *Server) handleMultiRange(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.EditedWalked = res.Stats.EditedWalked
 	resp.Stats.OpsEvaluated = res.Stats.OpsEvaluated
 	resp.Stats.EditedSkipped = res.Stats.EditedSkipped
+	resp.Trace = tr
+	logQuery(r, start, "multirange", q.Get("mode"), q.Get("bins"), tr, len(res.IDs), nil)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -646,8 +710,11 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	matches, st, err := s.db.QueryByExampleCtx(r.Context(), img, k, metric)
+	tr := edgeTrace(r)
+	start := time.Now()
+	matches, st, err := s.db.QueryByExampleTracedCtx(r.Context(), img, k, metric, tr)
 	if err != nil {
+		logQuery(r, start, "similar", r.URL.Query().Get("metric"), fmt.Sprintf("k=%d", k), tr, 0, err)
 		s.writeError(w, err)
 		return
 	}
@@ -658,10 +725,12 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		Matches []matchJSON `json:"matches"`
 		Pruned  int         `json:"edited_pruned"`
-	}{Pruned: st.EditedPruned}
+		Trace   *mmdb.Trace `json:"trace,omitempty"`
+	}{Pruned: st.EditedPruned, Trace: tr}
 	for _, m := range matches {
 		out.Matches = append(out.Matches, matchJSON{ID: m.ID, Dist: m.Dist})
 	}
+	logQuery(r, start, "similar", r.URL.Query().Get("metric"), fmt.Sprintf("k=%d", k), tr, len(matches), nil)
 	s.writeJSON(w, http.StatusOK, out)
 }
 
@@ -682,7 +751,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, st)
+	// The database-shape stats gain an always-on "query_stats" section —
+	// the per-strategy latency/selectivity distributions the planner reads.
+	// Extra fields are ignored by older clients decoding mmdb.Stats.
+	qs := obs.DefaultStats().Snapshot()
+	s.writeJSON(w, http.StatusOK, struct {
+		mmdb.Stats
+		QueryStats obs.StatsSnapshot `json:"query_stats"`
+	}{st, qs})
+}
+
+// handleQueryLog exposes the process slow-query log: the N slowest queries
+// since start plus a head/tail-sampled stream of recent wide events.
+// ?threshold=<duration> retunes the slowness cutoff at runtime (e.g.
+// ?threshold=250ms; 0 disables the latency filter so every event competes
+// by duration only).
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			s.writeError(w, badRequest("invalid threshold %q", v))
+			return
+		}
+		obs.DefaultQueryLog().SetThreshold(d)
+	}
+	s.writeJSON(w, http.StatusOK, obs.DefaultQueryLog().Snapshot())
 }
 
 // handleMetrics exposes the process metrics registry. Default is the

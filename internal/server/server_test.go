@@ -575,3 +575,51 @@ func TestHealthzEndpoint(t *testing.T) {
 		t.Fatal("healthz should report ok on a live db")
 	}
 }
+
+// TestStatsQueryStatsPopulated pins the always-on statistics contract: after
+// serving queries, /v1/stats must report non-empty per-strategy latency and
+// selectivity distributions (the planner's input), with quantiles present.
+func TestStatsQueryStatsPopulated(t *testing.T) {
+	ts, db := newTestServer(t)
+	db.InsertImage("b", mmdb.NewFilledImage(8, 8, dataset.Blue))
+	db.InsertImage("r", mmdb.NewFilledImage(8, 8, dataset.Red))
+
+	var qres struct {
+		IDs []uint64 `json:"ids"`
+	}
+	doJSON(t, "GET", ts.URL+"/query?q=at+least+50%25+blue", nil, "", http.StatusOK, &qres)
+	if len(qres.IDs) != 1 {
+		t.Fatalf("query ids %v", qres.IDs)
+	}
+
+	var st struct {
+		QueryStats struct {
+			Enabled    bool `json:"enabled"`
+			Strategies map[string]struct {
+				Queries int64 `json:"queries"`
+				Latency struct {
+					Count int64   `json:"count"`
+					P50   float64 `json:"p50"`
+				} `json:"latency_seconds"`
+				Selectivity struct {
+					Count int64 `json:"count"`
+				} `json:"selectivity"`
+			} `json:"strategies"`
+		} `json:"query_stats"`
+	}
+	doJSON(t, "GET", ts.URL+"/stats", nil, "", http.StatusOK, &st)
+	if !st.QueryStats.Enabled {
+		t.Fatal("query stats should be enabled by default")
+	}
+	if len(st.QueryStats.Strategies) == 0 {
+		t.Fatal("query_stats.strategies is empty after serving a query")
+	}
+	// The global stats sink is shared across tests in this process, so don't
+	// pin exact counts — but every recorded strategy must carry matching
+	// latency and selectivity observations.
+	for name, s := range st.QueryStats.Strategies {
+		if s.Queries <= 0 || s.Latency.Count <= 0 || s.Selectivity.Count <= 0 {
+			t.Fatalf("strategy %q has empty distributions: %+v", name, s)
+		}
+	}
+}

@@ -113,13 +113,14 @@ type WALStats struct {
 // WALTicket is one writer's pending commit. A nil ticket Waits as already
 // durable (used when the WAL is disabled).
 type WALTicket struct {
-	done chan struct{}
-	err  error
+	done  chan struct{}
+	err   error // written by the flusher before done closes
+	batch int   // written by the flusher before done closes
 }
 
 // resolvedTicket is returned by synchronous commits (MaxBatch 1).
 func resolvedTicket(err error) *WALTicket {
-	t := &WALTicket{done: make(chan struct{}), err: err}
+	t := &WALTicket{done: make(chan struct{}), err: err, batch: 1}
 	close(t.done)
 	return t
 }
@@ -127,15 +128,42 @@ func resolvedTicket(err error) *WALTicket {
 // Wait blocks until the record's batch is durable (or the WAL failed) and
 // returns the commit error. A ctx cancellation abandons the wait — the
 // record may still become durable afterwards, like a timed-out commit.
+//
+// When ctx carries an obs span (a traced request), the wait is recorded as
+// a "wal.fsync-wait" child span counting the group-commit batch the fsync
+// rode on, so a trace attributes commit latency to the durability wait
+// rather than the write itself.
 func (t *WALTicket) Wait(ctx context.Context) error {
 	if t == nil {
 		return nil
 	}
+	sp := obs.SpanFromContext(ctx).StartChild("wal.fsync-wait")
 	select {
 	case <-t.done:
+		sp.Count(obs.TWALGroupSize, int64(t.batch))
+		if t.err != nil {
+			sp.SetAttr("error", t.err.Error())
+		}
+		sp.End()
 		return t.err
 	case <-ctx.Done():
+		sp.SetAttr("error", "abandoned: "+ctx.Err().Error())
+		sp.End()
 		return ctx.Err()
+	}
+}
+
+// BatchSize returns the group-commit batch the ticket's fsync covered
+// (valid once Wait has returned; 0 while pending).
+func (t *WALTicket) BatchSize() int {
+	if t == nil {
+		return 0
+	}
+	select {
+	case <-t.done:
+		return t.batch
+	default:
+		return 0
 	}
 }
 
@@ -405,8 +433,32 @@ func (w *WAL) flushOnce() {
 	mWALGroupSize.Observe(float64(len(batch)))
 	for _, t := range batch {
 		t.err = err
+		t.batch = len(batch)
 		close(t.done)
 	}
+}
+
+// Barrier returns a ticket that resolves once every record appended before
+// the call is fsync-durable — the read-your-writes seam: a reader that
+// must not observe an unacknowledged tail waits on it. When nothing is
+// pending (the common idle case, and always with MaxBatch 1) it returns
+// nil, which Waits as already durable; the check is one mutex acquisition.
+// The barrier joins the in-flight group commit rather than forcing an
+// early fsync, so it never shrinks batches.
+func (w *WAL) Barrier() *WALTicket {
+	w.mu.Lock()
+	if w.closed || w.err != nil || len(w.pending) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	t := &WALTicket{done: make(chan struct{})}
+	w.pending = append(w.pending, t)
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return t
 }
 
 // Checkpoint truncates the log back to its header. The caller must first
@@ -493,6 +545,7 @@ func (w *WAL) Abandon() error {
 	w.mu.Unlock()
 	for _, t := range batch {
 		t.err = ErrClosed
+		t.batch = len(batch)
 		close(t.done)
 	}
 	close(w.quit)

@@ -136,6 +136,10 @@ func (db *DB) Close() error { return db.inner.Close() }
 // truncated).
 func (db *DB) Sync() error { return db.inner.Sync() }
 
+// SaveQueryStats persists the always-on query-statistics snapshot next to
+// the store file (no-op for in-memory databases).
+func (db *DB) SaveQueryStats() error { return db.inner.SaveQueryStats() }
+
 // WALStats reports write-ahead-log activity: fsyncs, appended and replayed
 // records, current log size. ok is false for in-memory databases, which
 // have no log.
@@ -413,6 +417,12 @@ func (db *DB) RangeQueryMultiCtx(ctx context.Context, q MultiRange, mode Mode) (
 	return db.inner.RangeQueryMultiCtx(ctx, q, mode)
 }
 
+// RangeQueryMultiTracedCtx is RangeQueryMultiCtx with per-phase timings and
+// decision counts recorded into tr (nil disables tracing).
+func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q MultiRange, mode Mode, tr *Trace) (*Result, error) {
+	return db.inner.RangeQueryMultiTracedCtx(ctx, q, mode, tr)
+}
+
 // Query answers a textual range query with the Bound-Widening Method.
 //
 // Deprecated: use QueryCtx.
@@ -497,6 +507,13 @@ func (db *DB) QueryByExampleCtx(ctx context.Context, probe *Image, k int, metric
 // KNNCtx runs a k-nearest-neighbor search from a histogram target.
 func (db *DB) KNNCtx(ctx context.Context, q KNN) ([]Match, *KNNStats, error) {
 	return db.inner.KNNCtx(ctx, q)
+}
+
+// QueryByExampleTracedCtx is QueryByExampleCtx with per-phase timings and
+// decision counts recorded into tr (nil disables tracing).
+func (db *DB) QueryByExampleTracedCtx(ctx context.Context, probe *Image, k int, metric Metric, tr *Trace) ([]Match, *KNNStats, error) {
+	target := ExtractHistogram(probe, db.inner.Quantizer())
+	return db.inner.KNNTracedCtx(ctx, query.KNN{Target: target, K: k, Metric: metric}, tr)
 }
 
 // QueryByExamplesCtx is the multiple-query-image technique the paper

@@ -118,6 +118,47 @@ for metric in l1 l2; do
   fi
 done
 
+echo "== distributed trace"
+# A traced scatter-gather query must come back as ONE merged span tree:
+# a single trace id shared by the coordinator and every shard subtree
+# (propagated via the traceparent header), a shard:<id> span per shard,
+# and — since the shard stores are WAL-backed — each shard's
+# wal.commit-barrier span adopted into the tree.
+"$ESIDB" cluster query -map "$WORK/map.json" -trace-json \
+  "at least 25% blue" > "$WORK/trace.json"
+# The trace document also carries a legacy flat "phases" view that repeats
+# span names; count spans only inside the "spans" tree.
+sed -n '/"spans":/,$p' "$WORK/trace.json" > "$WORK/spans.json"
+trace_ids=$(grep -o '"trace_id": *"[0-9a-f]*"' "$WORK/trace.json" | sort -u | wc -l)
+shard_spans=$(grep -c '"name": *"shard:' "$WORK/spans.json" || true)
+wal_spans=$(grep -c '"name": *"wal.commit-barrier"' "$WORK/spans.json" || true)
+if [ "$trace_ids" -ne 1 ]; then
+  echo "FAIL: merged trace carries $trace_ids distinct trace ids, want 1" >&2
+  fail=1
+elif [ "$shard_spans" -ne 3 ]; then
+  echo "FAIL: merged trace has $shard_spans shard spans, want 3" >&2
+  fail=1
+elif [ "$wal_spans" -lt 3 ]; then
+  echo "FAIL: merged trace has $wal_spans wal.commit-barrier spans, want >= 3" >&2
+  fail=1
+else
+  echo "ok trace: 1 trace id, $shard_spans shard spans, $wal_spans WAL-commit spans"
+fi
+
+echo "== slow-query log"
+# Always-on wide events: after the workload above, the serving shards'
+# /debug/querylog must hold recorded query events.
+# Capture first: grep -q closing the pipe early would SIGPIPE the CLI and
+# trip pipefail even on a match.
+qlog=$("$ESIDB" querylog -addr "http://127.0.0.1:$P0")
+if ! echo "$qlog" | grep -q "query"; then
+  echo "FAIL: shard s0 query log is empty after the workload" >&2
+  echo "$qlog" >&2
+  fail=1
+else
+  echo "ok querylog: shard s0 recorded query events"
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "cluster-smoke: FAILED" >&2
   exit 1
