@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke crash-matrix obs-overhead-smoke clean
+.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke replication-smoke crash-matrix obs-overhead-smoke clean
 
 all: build
 
@@ -43,12 +43,18 @@ lint: fmt-check vet lint-tool
 		echo "govulncheck not installed; skipping (pin: golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: lint build race cluster-smoke crash-matrix obs-overhead-smoke
+ci: lint build race cluster-smoke replication-smoke crash-matrix obs-overhead-smoke
 
 # End-to-end differential check: a 3-shard loopback HTTP cluster must
 # answer range, compound and k-NN queries identically to a single node.
 cluster-smoke:
 	bash scripts/cluster-smoke.sh
+
+# Replication fault drill: 2 shards × 2 replicas over loopback HTTP, load
+# through the coordinator (semi-sync follower acks), kill a leader,
+# promote its follower, and assert whole answers + accepted writes after.
+replication-smoke:
+	bash scripts/replication-smoke.sh
 
 # Observability cost gate: always-on query statistics (tracing off) must
 # cost the range-query hot path less than 3%.
@@ -57,9 +63,11 @@ obs-overhead-smoke:
 
 # Durability fault matrix: kill the store at every write/fsync budget,
 # recover, and assert no acked write is lost, no unacked write half-applies,
-# and the recovered store matches an uncrashed twin.
+# and the recovered store matches an uncrashed twin. The cluster package
+# adds the replication legs: followers crashing mid-catch-up reopen and
+# converge back to leader parity.
 crash-matrix:
-	$(GO) test -race -count=1 -run 'Crash|Recovery|WAL|Compact|Drain' ./internal/core/ ./internal/store/ ./internal/server/
+	$(GO) test -race -count=1 -run 'Crash|Recovery|WAL|Compact|Drain' ./internal/core/ ./internal/store/ ./internal/server/ ./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

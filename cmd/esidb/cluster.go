@@ -18,14 +18,16 @@ import (
 // cmdCluster dispatches the cluster subcommands: scatter-gather queries
 // against the shards named in a shard-map file.
 //
-//	esidb cluster query   -map map.json [-mode bwm] [-ids] "at least 25% blue"
-//	esidb cluster similar -map map.json [-k 5] [-metric l1] probe.(ppm|png)
-//	esidb cluster load    -map map.json -in dumpdir
-//	esidb cluster stats   -map map.json
-//	esidb cluster health  -map map.json
+//	esidb cluster query    -map map.json [-mode bwm] [-ids] "at least 25% blue"
+//	esidb cluster similar  -map map.json [-k 5] [-metric l1] probe.(ppm|png)
+//	esidb cluster load     -map map.json -in dumpdir
+//	esidb cluster stats    -map map.json
+//	esidb cluster health   -map map.json
+//	esidb cluster replicas -map map.json
+//	esidb cluster promote  -map map.json -shard s0
 func cmdCluster(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing cluster subcommand (query | similar | load | stats | health)")
+		return fmt.Errorf("missing cluster subcommand (query | similar | load | stats | health | replicas | promote)")
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
@@ -39,6 +41,10 @@ func cmdCluster(args []string) error {
 		return cmdClusterStats(rest)
 	case "health":
 		return cmdClusterHealth(rest)
+	case "replicas":
+		return cmdClusterReplicas(rest)
+	case "promote":
+		return cmdClusterPromote(rest)
 	default:
 		return fmt.Errorf("unknown cluster subcommand %q", sub)
 	}
@@ -52,9 +58,30 @@ func clusterFlags(fs *flag.FlagSet) (mapPath *string, timeout *time.Duration, re
 	return
 }
 
+// clusterHandles is everything a subcommand may need from a shard-map
+// file: the map itself, a scatter-gather coordinator, and the replica
+// sets keyed by shard id (only shards whose map entry lists replicas).
+type clusterHandles struct {
+	m     *cluster.ShardMap
+	coord *cluster.Coordinator
+	sets  map[string]*cluster.ReplicaSet
+}
+
 // openCluster builds an HTTP-transport coordinator from a shard-map file.
 // Every shard in the map needs an addr.
 func openCluster(mapPath string, timeout time.Duration, retries int) (*cluster.Coordinator, error) {
+	h, err := openClusterHandles(mapPath, timeout, retries)
+	if err != nil {
+		return nil, err
+	}
+	return h.coord, nil
+}
+
+// openClusterHandles loads a shard map and builds the coordinator over
+// it. A shard entry with replicas becomes a ReplicaSet of HTTP replicas
+// (writes to the leader, reads to fresh followers); a plain entry stays a
+// single HTTPShard.
+func openClusterHandles(mapPath string, timeout time.Duration, retries int) (*clusterHandles, error) {
 	if mapPath == "" {
 		return nil, fmt.Errorf("missing -map flag")
 	}
@@ -63,16 +90,44 @@ func openCluster(mapPath string, timeout time.Duration, retries int) (*cluster.C
 		return nil, err
 	}
 	shards := make(map[string]cluster.Shard, len(m.Shards))
+	sets := make(map[string]*cluster.ReplicaSet)
 	for _, info := range m.Shards {
 		if info.Addr == "" {
 			return nil, fmt.Errorf("shard %q has no addr in %s", info.ID, mapPath)
 		}
-		shards[info.ID] = cluster.NewHTTPShard(info.ID, info.Addr, nil)
+		if len(info.Replicas) == 0 {
+			shards[info.ID] = cluster.NewHTTPShard(info.ID, info.Addr, nil)
+			continue
+		}
+		members := make([]cluster.ReplicaMember, 0, len(info.Replicas)+1)
+		members = append(members, cluster.ReplicaMember{
+			ID: info.ID, Addr: info.Addr,
+			Conn: cluster.NewHTTPReplica(info.ID, info.Addr, nil),
+		})
+		for _, r := range info.Replicas {
+			if r.Addr == "" {
+				return nil, fmt.Errorf("replica %q of shard %q has no addr in %s", r.ID, info.ID, mapPath)
+			}
+			members = append(members, cluster.ReplicaMember{
+				ID: r.ID, Addr: r.Addr,
+				Conn: cluster.NewHTTPReplica(r.ID, r.Addr, nil),
+			})
+		}
+		rs, err := cluster.NewReplicaSet(info.ID, members...)
+		if err != nil {
+			return nil, err
+		}
+		shards[info.ID] = rs
+		sets[info.ID] = rs
 	}
 	pol := cluster.DefaultPolicy()
 	pol.Timeout = timeout
 	pol.Retries = retries
-	return cluster.New(m, shards, cluster.Options{Policy: pol})
+	coord, err := cluster.New(m, shards, cluster.Options{Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterHandles{m: m, coord: coord, sets: sets}, nil
 }
 
 // reportMissed warns on stderr when an answer is partial, so scripts that
@@ -315,6 +370,96 @@ func cmdClusterHealth(args []string) error {
 	if down > 0 {
 		return fmt.Errorf("%d of %d shards not up", down, len(ids))
 	}
+	return nil
+}
+
+// cmdClusterReplicas probes every replica in the map and prints each
+// set's view: role, reachability, applied LSN and lag.
+func cmdClusterReplicas(args []string) error {
+	fs := flag.NewFlagSet("cluster replicas", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	fs.Parse(args)
+	h, err := openClusterHandles(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	stale := 0
+	for _, info := range h.m.Shards {
+		rs, ok := h.sets[info.ID]
+		if !ok {
+			fmt.Printf("%-8s unreplicated  %s\n", info.ID, info.Addr)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		infos := rs.Probe(ctx)
+		cancel()
+		fmt.Printf("%-8s leader=%s\n", info.ID, rs.LeaderID())
+		for _, ri := range infos {
+			state := "up"
+			if !ri.Up {
+				state = "DOWN"
+				stale++
+			}
+			// ri.Role is the set's view from the map; self= is what the
+			// node itself reports, so a promoted-but-not-yet-remapped
+			// follower is visible.
+			fmt.Printf("  %-10s %-8s %-4s self=%-8s applied=%-8d lag=%-6d resyncs=%-3d %s\n",
+				ri.ID, ri.Role, state, ri.Status.Role, ri.Status.AppliedLSN, ri.Status.Lag, ri.Status.Resyncs, ri.Addr)
+		}
+	}
+	if stale > 0 {
+		return fmt.Errorf("%d replicas unreachable", stale)
+	}
+	return nil
+}
+
+// cmdClusterPromote fails a replicated shard over by hand: the
+// most-caught-up reachable follower becomes leader and the rest retarget.
+func cmdClusterPromote(args []string) error {
+	fs := flag.NewFlagSet("cluster promote", flag.ExitOnError)
+	mapPath, timeout, retries := clusterFlags(fs)
+	shard := fs.String("shard", "", "replicated shard id to fail over")
+	fs.Parse(args)
+	if *shard == "" {
+		return fmt.Errorf("missing -shard flag")
+	}
+	h, err := openClusterHandles(*mapPath, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	rs, ok := h.sets[*shard]
+	if !ok {
+		return fmt.Errorf("shard %q has no replicas in %s", *shard, *mapPath)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	newLeader, err := rs.PromoteNow(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %s: promoted %s to leader\n", *shard, newLeader)
+	// Rewrite the map so later invocations route writes at the new
+	// leader. The old leader leaves the entry entirely — it must rejoin
+	// as a follower (it may hold unacked writes the new leader never saw).
+	for i := range h.m.Shards {
+		info := &h.m.Shards[i]
+		if info.ID != *shard {
+			continue
+		}
+		rest := make([]cluster.ShardInfo, 0, len(info.Replicas))
+		for _, r := range info.Replicas {
+			if r.ID == newLeader {
+				info.Addr = r.Addr
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		info.Replicas = rest
+	}
+	if err := h.m.Save(*mapPath); err != nil {
+		return fmt.Errorf("promoted, but rewriting %s failed: %w", *mapPath, err)
+	}
+	fmt.Printf("map %s updated: shard %s served by %s\n", *mapPath, *shard, newLeader)
 	return nil
 }
 

@@ -20,7 +20,7 @@
 //	esidb wal     stats|checkpoint -db file
 //	esidb stats   -db file
 //	esidb metrics -db file [-q "at least 25% blue"] [-mode bwm] [-json]
-//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N] [-slow-query-threshold 100ms] [-shard-id s0 -shard-map map.json]
+//	esidb serve   -db file [-addr :8765] [-log-json] [-parallelism N] [-slow-query-threshold 100ms] [-shard-id s0 -shard-map map.json] [-replica-of http://leader:8765 -replica-id s0-r1]
 //	esidb querylog [-addr http://localhost:8765] [-threshold 100ms] [-json]
 //	esidb cluster query|similar|stats|health|load -map map.json ...
 //	esidb colors
@@ -721,6 +721,8 @@ func cmdServe(args []string) error {
 	slowThreshold := fs.Duration("slow-query-threshold", 0, "latency at which a query enters the slow-query log (0 = every query is slow-eligible)")
 	shardID := fs.String("shard-id", "", "serve as this shard of a cluster (requires -shard-map)")
 	shardMap := fs.String("shard-map", "", "cluster shard-map file (JSON)")
+	replicaOf := fs.String("replica-of", "", "start as a follower tailing this leader's base URL")
+	replicaID := fs.String("replica-id", "", "this replica's name in status output (default: the listen addr)")
 	fs.Parse(args)
 	if *slowThreshold < 0 {
 		return fmt.Errorf("-slow-query-threshold must not be negative")
@@ -754,6 +756,23 @@ func cmdServe(args []string) error {
 	srv := server.New(db).WithLogger(slog.New(handler))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Every serving node carries a replication runtime so it can be
+	// promoted, retargeted with POST /v1/follow, or queried for status —
+	// -replica-of only decides whether it starts out tailing a leader.
+	rid := *replicaID
+	if rid == "" {
+		if *shardID != "" {
+			rid = *shardID
+		} else {
+			rid = *addr
+		}
+	}
+	rep := cluster.NewReplicator(ctx, rid, db)
+	srv.WithReplication(cluster.ServeReplication{R: rep})
+	if *replicaOf != "" {
+		fmt.Printf("replica %s following %s\n", rid, *replicaOf)
+		rep.Follow(*replicaOf, cluster.NewHTTPReplica(*replicaOf, *replicaOf, nil))
+	}
 	return server.Run(ctx, *addr, srv)
 }
 

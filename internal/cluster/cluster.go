@@ -37,8 +37,10 @@ import (
 // Process-wide transport counters (per-shard latency lives in labeled
 // histograms created on first use).
 var (
-	mRetries = obs.Default().Counter("esidb_cluster_retries_total")
-	mHedges  = obs.Default().Counter("esidb_cluster_hedged_calls_total")
+	mRetries    = obs.Default().Counter("esidb_cluster_retries_total")
+	mHedges     = obs.Default().Counter("esidb_cluster_hedged_calls_total")
+	mResyncs    = obs.Default().Counter("esidb_replica_resyncs_total")
+	mPromotions = obs.Default().Counter("esidb_replica_promotions_total")
 )
 
 // Result is a merged set-query (range/compound/multirange) answer.

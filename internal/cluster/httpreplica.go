@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/client"
+)
+
+// HTTPReplica is the network replica transport: an HTTPShard plus the
+// replication verbs, against an `esidb serve` process that was started
+// with replication wired in. It implements ReplicaConn (and therefore
+// LeaderConn), so HTTP replica sets and `serve -replica-of` followers run
+// the same ReplicaSet/Replicator code as the in-process ones.
+type HTTPReplica struct {
+	*HTTPShard
+	c *client.Client
+}
+
+// NewHTTPReplica returns a replica connection named id at baseURL.
+// httpClient may be nil for http.DefaultClient.
+func NewHTTPReplica(id, baseURL string, httpClient *http.Client) *HTTPReplica {
+	sh := NewHTTPShard(id, baseURL, httpClient)
+	return &HTTPReplica{HTTPShard: sh, c: sh.c}
+}
+
+// WALTail implements LeaderConn. The client maps the server's
+// wal_truncated error code back to store.ErrWALTruncated, so the
+// replicator's resync trigger works identically over the wire.
+func (s *HTTPReplica) WALTail(ctx context.Context, from uint64, max int, wait time.Duration) (mmdb.WALTailResult, error) {
+	return s.c.WALTail(ctx, from, max, wait)
+}
+
+// WALStatus implements LeaderConn.
+func (s *HTTPReplica) WALStatus(ctx context.Context) (mmdb.WALStats, error) {
+	st, enabled, err := s.c.WALStats(ctx)
+	if err != nil {
+		return mmdb.WALStats{}, err
+	}
+	if !enabled || st == nil {
+		return mmdb.WALStats{}, fmt.Errorf("cluster: replica %s has no write-ahead log", s.ID())
+	}
+	return *st, nil
+}
+
+func replStatusFromWire(w client.ReplicationStatus) ReplStatus {
+	return ReplStatus{
+		ID:         w.ID,
+		Role:       w.Role,
+		Leader:     w.Leader,
+		AppliedLSN: w.AppliedLSN,
+		LeaderLSN:  w.LeaderLSN,
+		Lag:        w.Lag,
+		DurableLSN: w.DurableLSN,
+		BaseLSN:    w.BaseLSN,
+		Resyncs:    w.Resyncs,
+		Epoch:      w.Epoch,
+	}
+}
+
+// ReplStatus implements ReplicaConn.
+func (s *HTTPReplica) ReplStatus(ctx context.Context) (ReplStatus, error) {
+	w, err := s.c.ReplicationStatusCtx(ctx, 0, 0)
+	return replStatusFromWire(w), err
+}
+
+// WaitApplied implements ReplicaConn as a server-side long poll.
+func (s *HTTPReplica) WaitApplied(ctx context.Context, lsn uint64, wait time.Duration) (ReplStatus, error) {
+	w, err := s.c.ReplicationStatusCtx(ctx, lsn, wait)
+	return replStatusFromWire(w), err
+}
+
+// Promote implements ReplicaConn.
+func (s *HTTPReplica) Promote(ctx context.Context) error {
+	return s.c.Promote(ctx)
+}
+
+// Follow implements ReplicaConn. Over HTTP the leader travels by address;
+// the in-process connection is ignored.
+func (s *HTTPReplica) Follow(ctx context.Context, leaderID, leaderAddr string, _ LeaderConn) error {
+	if leaderAddr == "" {
+		return fmt.Errorf("cluster: http follow needs the leader's address")
+	}
+	return s.c.Follow(ctx, leaderID, leaderAddr)
+}
+
+// ServeReplication adapts a Replicator to the server package's
+// structural Replication interface: status values pass through as-is,
+// and Follow resolves the leader's address to an HTTP connection. This
+// is what `esidb serve` hands to server.WithReplication.
+type ServeReplication struct {
+	R *Replicator
+}
+
+// Status implements server.Replication.
+func (a ServeReplication) Status() any { return a.R.Status() }
+
+// WaitApplied implements server.Replication.
+func (a ServeReplication) WaitApplied(ctx context.Context, lsn uint64, wait time.Duration) (any, error) {
+	return a.R.WaitApplied(ctx, lsn, wait)
+}
+
+// Promote implements server.Replication.
+func (a ServeReplication) Promote() { a.R.Promote() }
+
+// Follow implements server.Replication.
+func (a ServeReplication) Follow(leaderID, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("cluster: follow needs the leader's address")
+	}
+	a.R.Follow(leaderID, NewHTTPReplica(leaderID, addr, nil))
+	return nil
+}

@@ -21,6 +21,10 @@ const DefaultVNodes = 64
 type ShardInfo struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr,omitempty"`
+	// Replicas lists the shard's followers (the entry itself is the
+	// initial leader). Replica ids must be unique cluster-wide; nested
+	// replicas are not allowed.
+	Replicas []ShardInfo `json:"replicas,omitempty"`
 }
 
 // ShardMap is the explicit cluster layout, serialized as JSON for the
@@ -47,6 +51,18 @@ func (m *ShardMap) Validate() error {
 			return fmt.Errorf("cluster: duplicate shard id %q", s.ID)
 		}
 		seen[s.ID] = true
+		for _, r := range s.Replicas {
+			if r.ID == "" {
+				return fmt.Errorf("cluster: shard %q has a replica with empty id", s.ID)
+			}
+			if seen[r.ID] {
+				return fmt.Errorf("cluster: duplicate replica id %q", r.ID)
+			}
+			seen[r.ID] = true
+			if len(r.Replicas) > 0 {
+				return fmt.Errorf("cluster: replica %q of shard %q has nested replicas", r.ID, s.ID)
+			}
+		}
 	}
 	return nil
 }

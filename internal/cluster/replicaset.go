@@ -1,0 +1,556 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mmdb "repro"
+	"repro/internal/obs"
+)
+
+// A ReplicaSet presents one shard's replicas — a single leader plus N
+// followers — to the coordinator as an ordinary Shard, so scatter-gather,
+// retries, hedging and health checking all apply unchanged. Inside the
+// set:
+//
+//   - Writes go to the leader, then block until at least one follower has
+//     applied the write's durable LSN (semi-synchronous ack). A write the
+//     caller saw succeed therefore exists on ≥2 replicas, which is what
+//     makes promote-on-failure lossless under a single failure.
+//   - Reads prefer fresh followers — lag ≤ FreshnessBound, round-robin —
+//     falling back to the leader and finally to stale followers, so one
+//     replica dying mid-query degrades to a slower answer, not a partial
+//     one.
+//   - The monitor declares the leader down after consecutive probe
+//     failures and promotes the most-caught-up follower; any-follower-ack
+//     on writes plus max-applied-wins on promotion is exactly the pair
+//     that preserves every acknowledged write.
+
+// ErrNoAck reports a write that reached the leader but was not applied by
+// any follower within AckTimeout. The write may surface after a retry (the
+// redo stream is idempotent) but it is not yet promotion-safe, so the
+// caller must treat it as failed.
+var ErrNoAck = errors.New("cluster: write not acknowledged by any follower")
+
+// ErrNoLeader reports a replica set whose leader is unknown or gone with
+// no follower eligible for promotion.
+var ErrNoLeader = errors.New("cluster: replica set has no leader")
+
+// ReplicaConn is one replica as the set's manager sees it: the full shard
+// surface, the log-tail surface (any replica may become the leader), and
+// the replication control verbs.
+type ReplicaConn interface {
+	LeaderConn
+	// ReplStatus snapshots the replica's replication state.
+	ReplStatus(ctx context.Context) (ReplStatus, error)
+	// WaitApplied blocks until the replica has applied lsn, wait elapses,
+	// or ctx is done; the caller inspects AppliedLSN.
+	WaitApplied(ctx context.Context, lsn uint64, wait time.Duration) (ReplStatus, error)
+	// Promote makes the replica a leader (idempotent).
+	Promote(ctx context.Context) error
+	// Follow retargets the replica at a new leader, given both its
+	// in-process connection and, for HTTP replicas, its address.
+	Follow(ctx context.Context, leaderID, leaderAddr string, conn LeaderConn) error
+}
+
+// ReplicaMember names one replica of a set. Addr is the serving address
+// for HTTP replicas (empty in process).
+type ReplicaMember struct {
+	ID   string
+	Addr string
+	Conn ReplicaConn
+}
+
+// rsMember is a member plus the set's cached view of it.
+type rsMember struct {
+	ReplicaMember
+	sm       stateMachine
+	lag      atomic.Uint64
+	reached  atomic.Bool // a status probe has succeeded at least once
+	lagGauge *obs.Gauge
+	upGauge  *obs.Gauge
+}
+
+func (m *rsMember) noteStatus(st ReplStatus, err error) {
+	if err != nil {
+		m.sm.failure()
+		m.upGauge.Set(m.sm.current().gaugeValue())
+		return
+	}
+	m.sm.success()
+	m.reached.Store(true)
+	m.lag.Store(st.Lag)
+	m.lagGauge.Set(float64(st.Lag))
+	m.upGauge.Set(m.sm.current().gaugeValue())
+}
+
+// ReplicaSet implements Shard over a leader plus followers. Construct with
+// NewReplicaSet; the first member is the initial leader.
+type ReplicaSet struct {
+	id string
+
+	// FreshnessBound is the largest leader_lsn - follower_lsn at which a
+	// follower still serves reads. Staler followers are skipped (the read
+	// redirects to the leader).
+	FreshnessBound uint64
+	// AckTimeout bounds the semi-synchronous wait for a follower ack.
+	AckTimeout time.Duration
+
+	mu        sync.RWMutex
+	leader    *rsMember
+	followers []*rsMember
+	rr        atomic.Uint64
+	promoteMu sync.Mutex
+}
+
+// DefaultFreshnessBound and DefaultAckTimeout are the ReplicaSet defaults.
+const (
+	DefaultFreshnessBound uint64 = 64
+	DefaultAckTimeout            = 5 * time.Second
+)
+
+// NewReplicaSet groups members into a replica set with id; members[0] is
+// the initial leader. Followers are assumed to already follow the leader
+// (Bootstrap wires them when the caller has not).
+func NewReplicaSet(id string, members ...ReplicaMember) (*ReplicaSet, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: replica set %q needs at least one member", id)
+	}
+	rs := &ReplicaSet{
+		id:             id,
+		FreshnessBound: DefaultFreshnessBound,
+		AckTimeout:     DefaultAckTimeout,
+	}
+	for i, m := range members {
+		mem := rs.newMember(m)
+		if i == 0 {
+			rs.leader = mem
+		} else {
+			rs.followers = append(rs.followers, mem)
+		}
+	}
+	return rs, nil
+}
+
+func (rs *ReplicaSet) newMember(m ReplicaMember) *rsMember {
+	reg := obs.Default()
+	return &rsMember{
+		ReplicaMember: m,
+		lagGauge:      reg.Gauge(fmt.Sprintf("esidb_cluster_replica_lag{set=%q,replica=%q}", rs.id, m.ID)),
+		upGauge:       reg.Gauge(fmt.Sprintf("esidb_cluster_replica_up{set=%q,replica=%q}", rs.id, m.ID)),
+	}
+}
+
+// Bootstrap points every follower at the current leader. In-process sets
+// call this once after construction; HTTP sets usually rely on each
+// `esidb serve -replica-of` process wiring itself instead.
+func (rs *ReplicaSet) Bootstrap(ctx context.Context) error {
+	leader, followers := rs.snapshot()
+	if leader == nil {
+		return ErrNoLeader
+	}
+	for _, f := range followers {
+		if err := f.Conn.Follow(ctx, leader.ID, leader.Addr, leader.Conn); err != nil {
+			return fmt.Errorf("cluster: follower %s: %w", f.ID, err)
+		}
+	}
+	return nil
+}
+
+// ID implements Shard.
+func (rs *ReplicaSet) ID() string { return rs.id }
+
+func (rs *ReplicaSet) snapshot() (*rsMember, []*rsMember) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	fs := make([]*rsMember, len(rs.followers))
+	copy(fs, rs.followers)
+	return rs.leader, fs
+}
+
+// LeaderID reports the current leader's id ("" when leaderless).
+func (rs *ReplicaSet) LeaderID() string {
+	leader, _ := rs.snapshot()
+	if leader == nil {
+		return ""
+	}
+	return leader.ID
+}
+
+// Ping implements Shard: the set is serving if any replica answers.
+func (rs *ReplicaSet) Ping(ctx context.Context) error {
+	var lastErr error = ErrNoLeader
+	for _, m := range rs.members() {
+		if err := m.Conn.Ping(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+func (rs *ReplicaSet) members() []*rsMember {
+	leader, followers := rs.snapshot()
+	out := make([]*rsMember, 0, len(followers)+1)
+	if leader != nil {
+		out = append(out, leader)
+	}
+	return append(out, followers...)
+}
+
+// --- Writes: leader + semi-synchronous follower ack ---------------------
+
+// InsertImage implements Shard.
+func (rs *ReplicaSet) InsertImage(ctx context.Context, id uint64, name string, img *mmdb.Image) error {
+	return rs.insert(ctx, id, func(leader ReplicaConn) error {
+		return leader.InsertImage(ctx, id, name, img)
+	})
+}
+
+// InsertSequence implements Shard.
+func (rs *ReplicaSet) InsertSequence(ctx context.Context, id uint64, name string, seq *mmdb.Sequence) error {
+	return rs.insert(ctx, id, func(leader ReplicaConn) error {
+		return leader.InsertSequence(ctx, id, name, seq)
+	})
+}
+
+// insert is write plus retry absorption: when a previous attempt reached
+// the leader but missed its follower ack, the retry's insert fails as a
+// duplicate. If the leader already holds the id, the record is the one we
+// are retrying (ids are caller-allocated and never reused), so the retry
+// only needs to finish the ack.
+func (rs *ReplicaSet) insert(ctx context.Context, id uint64, op func(leader ReplicaConn) error) error {
+	leader, followers := rs.snapshot()
+	if leader == nil {
+		return ErrNoLeader
+	}
+	if err := op(leader.Conn); err != nil {
+		if !isQueryError(err) {
+			return err
+		}
+		if ok, herr := leader.Conn.HasObject(ctx, id); herr != nil || !ok {
+			return err
+		}
+	}
+	return rs.ackWrite(ctx, leader, followers)
+}
+
+// Delete implements Shard (a write: it must replicate like one).
+func (rs *ReplicaSet) Delete(ctx context.Context, id uint64) error {
+	return rs.write(ctx, func(leader ReplicaConn) error {
+		return leader.Delete(ctx, id)
+	})
+}
+
+func (rs *ReplicaSet) write(ctx context.Context, op func(leader ReplicaConn) error) error {
+	leader, followers := rs.snapshot()
+	if leader == nil {
+		return ErrNoLeader
+	}
+	if err := op(leader.Conn); err != nil {
+		return err
+	}
+	return rs.ackWrite(ctx, leader, followers)
+}
+
+// ackWrite is the semi-synchronous barrier: sample the leader's durable
+// horizon (≥ the write's LSN — the leader's insert waited for its own WAL
+// durability) and block until some follower has applied it. With no
+// followers the set is running single-copy and the leader's fsync is the
+// only guarantee available.
+func (rs *ReplicaSet) ackWrite(ctx context.Context, leader *rsMember, followers []*rsMember) error {
+	if len(followers) == 0 {
+		return nil
+	}
+	wst, err := leader.Conn.WALStatus(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster: write durable on leader but ack horizon unknown: %w", err)
+	}
+	lsn := wst.DurableLSN
+	ackCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type ackResult struct {
+		m  *rsMember
+		st ReplStatus
+		ok bool
+	}
+	results := make(chan ackResult, len(followers))
+	for _, f := range followers {
+		f := f
+		go func() {
+			st, err := f.Conn.WaitApplied(ackCtx, lsn, rs.AckTimeout)
+			if err == nil {
+				f.noteStatus(st, nil)
+			}
+			results <- ackResult{f, st, err == nil && st.AppliedLSN >= lsn}
+		}()
+	}
+	for range followers {
+		select {
+		case r := <-results:
+			if r.ok {
+				return nil
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return ErrNoAck
+}
+
+// --- Reads ---------------------------------------------------------------
+
+// fresh reports whether a follower is close enough to the leader to serve
+// reads. A follower that has never been probed is trusted: the monitor (or
+// the write path) corrects the view within one tick.
+func (rs *ReplicaSet) fresh(m *rsMember) bool {
+	if m.sm.current() == StateDown {
+		return false
+	}
+	return !m.reached.Load() || m.lag.Load() <= rs.FreshnessBound
+}
+
+// readOrder is the follower-read policy: fresh followers first (rotated so
+// load spreads), then the leader, then stale followers as a last resort —
+// a stale answer beats a Partial one only after everything fresher failed.
+func (rs *ReplicaSet) readOrder() []*rsMember {
+	leader, followers := rs.snapshot()
+	var freshF, stale []*rsMember
+	for _, f := range followers {
+		if rs.fresh(f) {
+			freshF = append(freshF, f)
+		} else {
+			stale = append(stale, f)
+		}
+	}
+	if n := len(freshF); n > 1 {
+		off := int(rs.rr.Add(1)) % n
+		freshF = append(freshF[off:], freshF[:off]...)
+	}
+	order := freshF
+	if leader != nil {
+		order = append(order, leader)
+	}
+	return append(order, stale...)
+}
+
+// leaderOrder is the metadata-read policy: leader first (it has every
+// acknowledged write by definition), replicas only as failover.
+func (rs *ReplicaSet) leaderOrder() []*rsMember {
+	return rs.members()
+}
+
+// readFrom tries members in order until one answers. Query errors (bad
+// request — every replica would refuse identically) return immediately;
+// infra errors move on to the next replica. sp gains one child span per
+// replica tried, tagged with the replica id and role.
+func readFrom[T any](ctx context.Context, rs *ReplicaSet, order []*rsMember, sp *obs.Span,
+	call func(ReplicaConn, *obs.Span) (T, error)) (T, error) {
+	var zero T
+	if len(order) == 0 {
+		return zero, ErrNoLeader
+	}
+	leaderID := rs.LeaderID()
+	var lastErr error
+	for _, m := range order {
+		csp := sp.StartChild("replica:" + m.ID)
+		role := RoleFollower
+		if m.ID == leaderID {
+			role = RoleLeader
+		}
+		csp.SetAttr("role", role)
+		v, err := call(m.Conn, csp)
+		if err != nil {
+			csp.SetAttr("error", err.Error())
+			csp.End()
+			if isQueryError(err) {
+				return zero, err
+			}
+			m.noteStatus(ReplStatus{}, err)
+			lastErr = err
+			continue
+		}
+		csp.End()
+		return v, nil
+	}
+	return zero, lastErr
+}
+
+// Query implements Shard.
+func (rs *ReplicaSet) Query(ctx context.Context, text, mode string, sp *obs.Span) (*ShardAnswer, error) {
+	return readFrom(ctx, rs, rs.readOrder(), sp, func(c ReplicaConn, csp *obs.Span) (*ShardAnswer, error) {
+		return c.Query(ctx, text, mode, csp)
+	})
+}
+
+// MultiRange implements Shard.
+func (rs *ReplicaSet) MultiRange(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, sp *obs.Span) (*ShardAnswer, error) {
+	return readFrom(ctx, rs, rs.readOrder(), sp, func(c ReplicaConn, csp *obs.Span) (*ShardAnswer, error) {
+		return c.MultiRange(ctx, bins, pctMin, pctMax, mode, csp)
+	})
+}
+
+// Similar implements Shard.
+func (rs *ReplicaSet) Similar(ctx context.Context, probe *mmdb.Image, k int, metric string, sp *obs.Span) ([]mmdb.Match, error) {
+	return readFrom(ctx, rs, rs.readOrder(), sp, func(c ReplicaConn, csp *obs.Span) ([]mmdb.Match, error) {
+		return c.Similar(ctx, probe, k, metric, csp)
+	})
+}
+
+// Stats implements Shard.
+func (rs *ReplicaSet) Stats(ctx context.Context) (*mmdb.Stats, error) {
+	return readFrom(ctx, rs, rs.leaderOrder(), nil, func(c ReplicaConn, _ *obs.Span) (*mmdb.Stats, error) {
+		return c.Stats(ctx)
+	})
+}
+
+// HasObject implements Shard. Object-identity reads go leader-first: the
+// id allocator seeds from them, so they must see every acknowledged write.
+func (rs *ReplicaSet) HasObject(ctx context.Context, id uint64) (bool, error) {
+	return readFrom(ctx, rs, rs.leaderOrder(), nil, func(c ReplicaConn, _ *obs.Span) (bool, error) {
+		return c.HasObject(ctx, id)
+	})
+}
+
+// Object implements Shard.
+func (rs *ReplicaSet) Object(ctx context.Context, id uint64) (*ObjectMeta, *mmdb.Sequence, error) {
+	type pair struct {
+		m *ObjectMeta
+		s *mmdb.Sequence
+	}
+	p, err := readFrom(ctx, rs, rs.leaderOrder(), nil, func(c ReplicaConn, _ *obs.Span) (pair, error) {
+		m, s, err := c.Object(ctx, id)
+		return pair{m, s}, err
+	})
+	return p.m, p.s, err
+}
+
+// Image implements Shard.
+func (rs *ReplicaSet) Image(ctx context.Context, id uint64) (*mmdb.Image, error) {
+	return readFrom(ctx, rs, rs.leaderOrder(), nil, func(c ReplicaConn, _ *obs.Span) (*mmdb.Image, error) {
+		return c.Image(ctx, id)
+	})
+}
+
+// List implements Shard.
+func (rs *ReplicaSet) List(ctx context.Context) ([]ObjectMeta, error) {
+	return readFrom(ctx, rs, rs.leaderOrder(), nil, func(c ReplicaConn, _ *obs.Span) ([]ObjectMeta, error) {
+		return c.List(ctx)
+	})
+}
+
+// --- Status, monitor and promotion --------------------------------------
+
+// ReplicaInfo is one replica's state as the set reports it (CLI, tests).
+type ReplicaInfo struct {
+	ID     string     `json:"id"`
+	Addr   string     `json:"addr,omitempty"`
+	Role   string     `json:"role"`
+	Up     bool       `json:"up"`
+	Status ReplStatus `json:"status"`
+}
+
+// Probe polls every member's replication status once, refreshing the
+// cached lag/health view the read path routes on, and returns the result.
+func (rs *ReplicaSet) Probe(ctx context.Context) []ReplicaInfo {
+	leaderID := rs.LeaderID()
+	members := rs.members()
+	out := make([]ReplicaInfo, 0, len(members))
+	for _, m := range members {
+		st, err := m.Conn.ReplStatus(ctx)
+		m.noteStatus(st, err)
+		role := RoleFollower
+		if m.ID == leaderID {
+			role = RoleLeader
+		}
+		out = append(out, ReplicaInfo{
+			ID: m.ID, Addr: m.Addr, Role: role,
+			Up:     err == nil,
+			Status: st,
+		})
+	}
+	return out
+}
+
+// StartMonitor runs the probe/promote loop until ctx is done: every
+// interval it refreshes replica statuses, and once the leader has failed
+// enough consecutive probes to be Down (the health state machine's
+// window), it promotes. Promotion latency is therefore bounded by
+// downAfter probe intervals plus one promotion round-trip.
+func (rs *ReplicaSet) StartMonitor(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				rs.tick(ctx)
+			}
+		}
+	}()
+}
+
+func (rs *ReplicaSet) tick(ctx context.Context) {
+	rs.Probe(ctx)
+	leader, followers := rs.snapshot()
+	if leader == nil || leader.sm.current() != StateDown || len(followers) == 0 {
+		return
+	}
+	_, _ = rs.PromoteNow(ctx)
+}
+
+// PromoteNow fails over immediately: the most-caught-up reachable follower
+// becomes leader, the remaining followers retarget at it, and the old
+// leader leaves the set (a revived old leader must rejoin as a follower —
+// it may hold unacknowledged writes the new leader never saw, and
+// re-seeding is the only safe way back in). Returns the new leader's id.
+func (rs *ReplicaSet) PromoteNow(ctx context.Context) (string, error) {
+	rs.promoteMu.Lock()
+	defer rs.promoteMu.Unlock()
+	oldLeader, followers := rs.snapshot()
+	var best *rsMember
+	var bestSt ReplStatus
+	for _, f := range followers {
+		st, err := f.Conn.ReplStatus(ctx)
+		f.noteStatus(st, err)
+		if err != nil {
+			continue
+		}
+		if best == nil || st.AppliedLSN > bestSt.AppliedLSN {
+			best, bestSt = f, st
+		}
+	}
+	if best == nil {
+		return "", fmt.Errorf("cluster: set %s: %w", rs.id, ErrNoLeader)
+	}
+	if err := best.Conn.Promote(ctx); err != nil {
+		return "", fmt.Errorf("cluster: promote %s: %w", best.ID, err)
+	}
+	mPromotions.Inc()
+	remaining := make([]*rsMember, 0, len(followers))
+	for _, f := range followers {
+		if f == best {
+			continue
+		}
+		remaining = append(remaining, f)
+		// Best effort: an unreachable follower re-wires when it comes back
+		// through the same Follow verb.
+		_ = f.Conn.Follow(ctx, best.ID, best.Addr, best.Conn)
+	}
+	rs.mu.Lock()
+	rs.leader = best
+	rs.followers = remaining
+	rs.mu.Unlock()
+	_ = oldLeader // dropped from the set; see doc comment
+	return best.ID, nil
+}

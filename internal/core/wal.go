@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/colorspace"
@@ -341,6 +342,59 @@ func (r *sliceReader) readSequence() (*editops.Sequence, error) {
 		return nil, err
 	}
 	return editops.DecodeBinary(raw)
+}
+
+// ErrNoWAL reports a replication operation on a database without a
+// write-ahead log (in-memory databases have nothing to ship or apply).
+var ErrNoWAL = errors.New("core: database has no write-ahead log")
+
+// WALTail serves one page of the replication stream: durable log frames
+// with LSN above the cursor (see store.WAL.TailFrom for the full cursor
+// contract, including ErrWALTruncated below the checkpoint floor).
+func (db *DB) WALTail(ctx context.Context, from uint64, max int, wait time.Duration) (store.WALTailResult, error) {
+	db.mu.RLock()
+	wal, closed := db.wal, db.closed
+	db.mu.RUnlock()
+	if closed {
+		return store.WALTailResult{}, store.ErrClosed
+	}
+	if wal == nil {
+		return store.WALTailResult{}, ErrNoWAL
+	}
+	return wal.TailFrom(ctx, from, max, wait)
+}
+
+// ApplyRedoRecord applies one shipped log record to a live database — the
+// follower half of WAL shipping. The record goes through the same
+// idempotent redo machinery crash recovery uses (insert of a present id
+// and delete of an absent one are no-ops; configuration records verify the
+// quantizer instead of adopting it), then is re-logged to this database's
+// own WAL so a follower crash recovers locally without re-seeding from
+// zero. The re-log is fire-and-forget: follower durability rides the next
+// group commit, and a follower that loses its tail re-tails idempotently.
+func (db *DB) ApplyRedoRecord(ctx context.Context, payload []byte) error {
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return store.ErrClosed
+	}
+	mutated, rebuilt, err := db.applyWALRecord(payload, false)
+	if err != nil {
+		return err
+	}
+	if rebuilt != nil {
+		// defaulted=false never adopts a foreign quantizer; a rebuild here
+		// would mean the follower silently diverged from its own config.
+		return fmt.Errorf("core: replicated config record rebuilt database")
+	}
+	if !mutated || db.wal == nil {
+		return nil
+	}
+	db.mu.Lock()
+	_, err = db.walAppendLocked(ctx, func() []byte { return payload })
+	db.mu.Unlock()
+	return err
 }
 
 // WALStats snapshots the write-ahead log counters; ok is false for

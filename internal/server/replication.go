@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	mmdb "repro"
+)
+
+// Replication endpoints. The WAL tail is pure database surface and always
+// serves (it is how followers pull the redo stream); the control verbs —
+// status, promote, follow — need the replication runtime a `serve` process
+// wires in with WithReplication.
+//
+//	GET  /v1/wal/tail?from=&max=&wait_ms=   durable log frames above the cursor (long-poll)
+//	GET  /v1/replication?min_applied=&wait_ms=  replica status (long-poll on applied LSN)
+//	POST /v1/promote                        become leader
+//	POST /v1/follow {"leader":addr}         (re)target a leader and start tailing
+
+// maxTailWait caps a single long-poll so dead clients cannot park requests
+// forever; clients just re-poll.
+const maxTailWait = 30 * time.Second
+
+// Replication is the replication runtime the control endpoints drive.
+// It is a structural interface (rather than *cluster.Replicator) so the
+// server package stays import-free of the cluster layer;
+// cluster.ServeReplication adapts a Replicator to it.
+type Replication interface {
+	// Status snapshots the replica's state; the value is JSON-encoded
+	// verbatim (the cluster layer's ReplStatus wire form).
+	Status() any
+	// WaitApplied blocks until the applied LSN reaches lsn, wait elapses,
+	// or ctx is done, then returns the status snapshot.
+	WaitApplied(ctx context.Context, lsn uint64, wait time.Duration) (any, error)
+	// Promote makes this node a leader (idempotent).
+	Promote()
+	// Follow retargets this node at the leader serving at addr and starts
+	// tailing its WAL.
+	Follow(leaderID, addr string) error
+}
+
+// WithReplication attaches the replication runtime the control endpoints
+// operate on (nil leaves them answering errors).
+func (s *Server) WithReplication(rep Replication) *Server {
+	s.rep = rep
+	return s
+}
+
+func queryUint(r *http.Request, key string) (uint64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, badRequest("invalid %s %q", key, v)
+	}
+	return n, nil
+}
+
+func queryWait(r *http.Request) (time.Duration, error) {
+	ms, err := queryUint(r, "wait_ms")
+	if err != nil {
+		return 0, err
+	}
+	wait := time.Duration(ms) * time.Millisecond
+	if wait > maxTailWait {
+		wait = maxTailWait
+	}
+	return wait, nil
+}
+
+func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
+	from, err := queryUint(r, "from")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	max64, err := queryUint(r, "max")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	wait, err := queryWait(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	max := int(max64) // 0 means the store default
+	if max64 > 4096 {
+		max = 4096
+	}
+	res, err := s.db.WALTail(r.Context(), from, max, wait)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if res.Frames == nil {
+		res.Frames = []mmdb.WALFrame{} // empty page, not null
+	}
+	s.writeJSON(w, 200, res)
+}
+
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	minApplied, err := queryUint(r, "min_applied")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	wait, err := queryWait(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if s.rep == nil {
+		s.writeError(w, badRequest("replication not configured on this server"))
+		return
+	}
+	if minApplied > 0 || wait > 0 {
+		st, err := s.rep.WaitApplied(r.Context(), minApplied, wait)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, 200, st)
+		return
+	}
+	s.writeJSON(w, 200, s.rep.Status())
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.rep == nil {
+		s.writeError(w, badRequest("replication not configured on this server"))
+		return
+	}
+	s.rep.Promote()
+	s.writeJSON(w, 200, s.rep.Status())
+}
+
+// followRequest is the POST /v1/follow body.
+type followRequest struct {
+	// Leader is the leader's base URL, e.g. "http://db1:8765".
+	Leader string `json:"leader"`
+	// LeaderID optionally names the leader for status output.
+	LeaderID string `json:"leader_id,omitempty"`
+}
+
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	if s.rep == nil {
+		s.writeError(w, badRequest("replication not configured on this server"))
+		return
+	}
+	defer r.Body.Close()
+	var req followRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, badRequest("invalid follow body: %v", err))
+		return
+	}
+	if req.Leader == "" {
+		s.writeError(w, badRequest("follow needs a leader address"))
+		return
+	}
+	name := req.LeaderID
+	if name == "" {
+		name = req.Leader
+	}
+	if err := s.rep.Follow(name, req.Leader); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, 200, s.rep.Status())
+}

@@ -19,6 +19,10 @@
 //	POST   /v1/similar?k=...        query by example (body: image)
 //	GET    /v1/stats                database statistics
 //	GET    /v1/wal                  write-ahead-log statistics
+//	GET    /v1/wal/tail             durable WAL frames above a cursor (replication stream; long-poll)
+//	GET    /v1/replication          replica role/lag status (long-poll on applied LSN)
+//	POST   /v1/promote              become the replica set's leader
+//	POST   /v1/follow               start tailing a leader (body: {"leader": url})
 //	POST   /v1/checkpoint           force a durability checkpoint (truncates the WAL)
 //	POST   /v1/compact              rewrite the store file
 //
@@ -72,6 +76,7 @@ type Server struct {
 	mux    *http.ServeMux
 	logger *slog.Logger
 	reqID  atomic.Uint64
+	rep    Replication // nil unless WithReplication wired it
 }
 
 // New returns a handler over db. Requests log to slog.Default() unless
@@ -91,6 +96,10 @@ func New(db *mmdb.DB) *Server {
 	s.api("POST", "/similar", s.handleSimilar)
 	s.api("GET", "/stats", s.handleStats)
 	s.api("GET", "/wal", s.handleWALStats)
+	s.api("GET", "/wal/tail", s.handleWALTail)
+	s.api("GET", "/replication", s.handleReplication)
+	s.api("POST", "/promote", s.handlePromote)
+	s.api("POST", "/follow", s.handleFollow)
 	s.api("POST", "/checkpoint", s.handleCheckpoint)
 	s.api("POST", "/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -327,6 +336,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, catalog.ErrInUse), errors.Is(err, catalog.ErrIDTaken):
 		status, code = http.StatusConflict, "conflict"
+	case errors.Is(err, mmdb.ErrWALTruncated):
+		// The follower's tail cursor fell below the checkpoint floor; it
+		// must re-seed from a snapshot. A distinct code lets the client
+		// map this back to the sentinel.
+		status, code = http.StatusConflict, "wal_truncated"
+	case errors.Is(err, mmdb.ErrNoWAL):
+		status, code = http.StatusNotFound, "no_wal"
 	case isBadRequest(err):
 		status, code = http.StatusBadRequest, "bad_request"
 	}

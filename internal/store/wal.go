@@ -52,6 +52,11 @@ const DefaultWALMaxBatch = 64
 // only; OpenWAL handles truncation itself and does not return it.
 var ErrWALTorn = errors.New("store: torn WAL tail")
 
+// ErrWALTruncated reports that a tail cursor points below the log's base
+// LSN: the frames it asks for were checkpointed away. A follower receiving
+// it cannot catch up from the log alone and must re-seed from a snapshot.
+var ErrWALTruncated = errors.New("store: wal tail truncated by checkpoint")
+
 var (
 	mWALFsyncs    = obs.Default().Counter("esidb_wal_fsyncs_total")
 	mWALRecords   = obs.Default().Counter("esidb_wal_records_total")
@@ -87,14 +92,20 @@ type WALOptions struct {
 
 // WALRecord is one replayed log record.
 type WALRecord struct {
-	LSN     uint64
-	Payload []byte
+	LSN     uint64 `json:"lsn"`
+	Payload []byte `json:"payload"` // base64 on the wire (encoding/json default)
 }
 
 // WALStats is a point-in-time log snapshot.
 type WALStats struct {
 	// LastLSN is the most recently assigned log sequence number.
 	LastLSN uint64 `json:"last_lsn"`
+	// DurableLSN is the highest LSN covered by a completed fsync — the
+	// replication horizon: tails never serve past it.
+	DurableLSN uint64 `json:"durable_lsn"`
+	// BaseLSN is the checkpoint floor: on-disk frames cover (BaseLSN,
+	// DurableLSN]. A tail cursor below it gets ErrWALTruncated.
+	BaseLSN uint64 `json:"base_lsn"`
 	// Records is the number of records appended since the last checkpoint
 	// (including any replayed at open).
 	Records int64 `json:"records"`
@@ -178,13 +189,18 @@ type WAL struct {
 	err     error // sticky: first write/sync failure poisons the log
 	pending []*WALTicket
 	lsn     uint64
-	size    int64
+	base    uint64 // checkpoint floor: on-disk frames cover (base, lsn]
+	durable uint64 // highest LSN a completed fsync covers
 	records int64
+	size    int64
 	fsyncs  int64
 	ckpts   int64
 	replays int64
 	torn    int64
 	closed  bool
+	// tailWake is closed and replaced whenever the durable horizon moves
+	// (or the log closes), waking long-polling TailFrom callers.
+	tailWake chan struct{}
 
 	kick chan struct{}
 	quit chan struct{}
@@ -228,6 +244,7 @@ func OpenWAL(path string, opts WALOptions) (*WAL, []WALRecord, error) {
 		maxBatch: opts.MaxBatch,
 		f:        f,
 		lsn:      lastLSN,
+		durable:  lastLSN, // replayed frames are on disk by definition
 		size:     validLen,
 		records:  int64(len(recs)),
 		replays:  int64(len(recs)),
@@ -235,6 +252,12 @@ func OpenWAL(path string, opts WALOptions) (*WAL, []WALRecord, error) {
 		kick:     make(chan struct{}, 1),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+		tailWake: make(chan struct{}),
+	}
+	if len(recs) > 0 {
+		w.base = recs[0].LSN - 1
+	} else {
+		w.base = lastLSN
 	}
 	if validLen == 0 {
 		// Fresh (or reset) log: write the header through the seam so a
@@ -347,6 +370,7 @@ func (w *WAL) Append(payload []byte) (*WALTicket, error) {
 			err = w.err
 		} else {
 			w.fsyncs++
+			w.advanceDurableLocked(w.lsn)
 			mWALFsyncs.Inc()
 			mWALGroupSize.Observe(1)
 		}
@@ -411,6 +435,9 @@ func (w *WAL) flushOnce() {
 	w.pending = nil
 	err := w.err
 	f := w.f
+	// Frames written before the fsync starts are the ones it provably
+	// covers; anything appended during the sync waits for the next one.
+	syncedLSN := w.lsn
 	w.mu.Unlock()
 	if len(batch) == 0 {
 		return
@@ -426,6 +453,7 @@ func (w *WAL) flushOnce() {
 		} else {
 			w.mu.Lock()
 			w.fsyncs++
+			w.advanceDurableLocked(syncedLSN)
 			w.mu.Unlock()
 			mWALFsyncs.Inc()
 		}
@@ -486,6 +514,13 @@ func (w *WAL) Checkpoint() error {
 	w.size = int64(len(walMagic))
 	w.records = 0
 	w.ckpts++
+	// The log is empty again: the floor rises to the current LSN, and the
+	// durable horizon meets it (nothing below the floor is served).
+	w.base = w.lsn
+	w.durable = w.lsn
+	// Wake tailers so cursors below the new floor learn about the
+	// truncation now instead of long-polling to their deadline.
+	w.wakeTailersLocked()
 	return nil
 }
 
@@ -503,6 +538,8 @@ func (w *WAL) Stats() WALStats {
 	defer w.mu.Unlock()
 	return WALStats{
 		LastLSN:     w.lsn,
+		DurableLSN:  w.durable,
+		BaseLSN:     w.base,
 		Records:     w.records,
 		SizeBytes:   w.size,
 		Fsyncs:      w.fsyncs,
@@ -521,6 +558,7 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	w.wakeTailersLocked()
 	w.mu.Unlock()
 	close(w.quit)
 	<-w.done
@@ -542,6 +580,7 @@ func (w *WAL) Abandon() error {
 	}
 	batch := w.pending
 	w.pending = nil
+	w.wakeTailersLocked()
 	w.mu.Unlock()
 	for _, t := range batch {
 		t.err = ErrClosed
@@ -551,4 +590,134 @@ func (w *WAL) Abandon() error {
 	close(w.quit)
 	<-w.done
 	return w.f.Close()
+}
+
+// DefaultTailBatch caps the frames one TailFrom call returns when the
+// caller passes max <= 0.
+const DefaultTailBatch = 256
+
+// WALTailResult is one page of the replication stream.
+type WALTailResult struct {
+	// Frames are intact, fsync-durable records with LSN > the request
+	// cursor, in LSN order. Empty when the cursor is at (or past) the
+	// durable horizon and the wait expired.
+	Frames []WALRecord `json:"frames"`
+	// DurableLSN is the server's durable horizon when the page was cut —
+	// the number a follower subtracts its applied LSN from to get its lag.
+	DurableLSN uint64 `json:"durable_lsn"`
+	// BaseLSN is the checkpoint floor at the same instant.
+	BaseLSN uint64 `json:"base_lsn"`
+}
+
+// wakeTailersLocked releases every long-polling TailFrom caller. Callers
+// hold w.mu.
+func (w *WAL) wakeTailersLocked() {
+	close(w.tailWake)
+	w.tailWake = make(chan struct{})
+}
+
+// advanceDurableLocked raises the durable horizon after a successful fsync
+// and wakes tailers waiting for it. Callers hold w.mu.
+func (w *WAL) advanceDurableLocked(lsn uint64) {
+	if lsn > w.durable {
+		w.durable = lsn
+		w.wakeTailersLocked()
+	}
+}
+
+// TailFrom serves the replication stream: every durable frame with LSN in
+// (from, durable], up to max per call (DefaultTailBatch when max <= 0).
+// When the cursor is already at the durable horizon it long-polls up to
+// wait for new frames (wait <= 0 returns an empty page immediately); an
+// expired wait is an empty page, not an error. A cursor below the
+// checkpoint floor gets ErrWALTruncated — those frames are gone, the
+// follower must re-seed from a snapshot — and a cursor past the horizon
+// (a follower of a since-restarted log) just waits like an at-horizon one.
+//
+// Frames are re-read and re-verified from the file rather than served from
+// memory, so a tail can never ship bytes an fsync did not cover.
+func (w *WAL) TailFrom(ctx context.Context, from uint64, max int, wait time.Duration) (WALTailResult, error) {
+	if max <= 0 {
+		max = DefaultTailBatch
+	}
+	var deadline <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return WALTailResult{}, ErrClosed
+		}
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return WALTailResult{}, err
+		}
+		res := WALTailResult{DurableLSN: w.durable, BaseLSN: w.base}
+		wake := w.tailWake
+		w.mu.Unlock()
+		if from < res.BaseLSN {
+			return res, ErrWALTruncated
+		}
+		if res.DurableLSN > from {
+			frames, err := readTailFrames(w.path, from, res.DurableLSN, max)
+			if err != nil {
+				return res, err
+			}
+			if len(frames) > 0 {
+				res.Frames = frames
+				return res, nil
+			}
+			// A checkpoint raced between the snapshot and the file read:
+			// the frames we promised were truncated away. Loop to observe
+			// the new floor and report it properly.
+			continue
+		}
+		if wait <= 0 {
+			return res, nil
+		}
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-deadline:
+			return res, nil
+		case <-wake:
+		}
+	}
+}
+
+// readTailFrames scans the log file and returns up to max intact frames
+// with LSN in (from, durable]. The scan re-verifies every CRC from the
+// header forward, so concurrent appends past the durable horizon (or a
+// torn in-progress write) are simply not reached.
+func readTailFrames(path string, from, durable uint64, max int) ([]WALRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: wal tail read: %w", err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, nil
+	}
+	var out []WALRecord
+	off := int64(len(walMagic))
+	var prev uint64
+	for {
+		rec, next, ok := decodeWALFrame(data, off, prev)
+		if !ok || rec.LSN > durable {
+			break
+		}
+		prev = rec.LSN
+		off = next
+		if rec.LSN > from {
+			out = append(out, rec)
+			if len(out) >= max {
+				break
+			}
+		}
+	}
+	return out, nil
 }

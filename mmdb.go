@@ -150,6 +150,23 @@ func (db *DB) WALStats() (st WALStats, ok bool) { return db.inner.WALStats() }
 // under this name for operational tooling (`esidb wal checkpoint`).
 func (db *DB) WALCheckpoint() error { return db.inner.Sync() }
 
+// WALTail serves one page of the WAL replication stream: fsync-durable
+// records with LSN above the cursor, long-polling up to wait when the
+// cursor is already at the durable horizon. A cursor below the checkpoint
+// floor returns ErrWALTruncated, telling the follower to re-seed from a
+// snapshot. In-memory databases return an error (no log to ship).
+func (db *DB) WALTail(ctx context.Context, from uint64, max int, wait time.Duration) (WALTailResult, error) {
+	return db.inner.WALTail(ctx, from, max, wait)
+}
+
+// ApplyRedoRecord applies one shipped WAL record to this database — the
+// follower half of replication. Application is idempotent (the same redo
+// machinery crash recovery uses) and the record is re-logged locally so a
+// follower crash recovers from its own log.
+func (db *DB) ApplyRedoRecord(ctx context.Context, payload []byte) error {
+	return db.inner.ApplyRedoRecord(ctx, payload)
+}
+
 // Crash abandons the database without flushing anything: buffered store
 // pages and the group-commit queue are dropped exactly as a process kill
 // would drop them. The next Open recovers from the journal and write-ahead

@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# replication-smoke: end-to-end check of the replicated cluster.
+#
+# Stands up 2 shards × 2 replicas as `esidb serve` processes (each
+# follower started with -replica-of), loads a corpus through the
+# coordinator (writes are semi-synchronously acked by a follower), then:
+#   - asserts query parity with a single node holding all the data,
+#   - asserts the merged trace tree covers every shard,
+#   - kills one leader, promotes its follower, and asserts the cluster
+#     still answers whole queries and takes writes,
+#   - asserts the surviving replica's slow-query log is non-empty.
+# Exits nonzero on any failure. This is the CI replication-smoke job; it
+# needs nothing beyond a Go toolchain and a POSIX userland.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/replication-smoke.XXXXXX")"
+BIN="$WORK/bin"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cd "$ROOT"
+echo "== build"
+go build -o "$BIN/" ./cmd/esidb ./cmd/datagen
+
+ESIDB="$BIN/esidb"
+# s0 leader/follower, s1 leader/follower
+P_S0=8821 P_S0R1=8822 P_S1=8823 P_S1R1=8824
+
+echo "== corpus"
+"$BIN/datagen" -kind flag -n 10 -w 32 -h 24 -seed 11 -out "$WORK/imgs" >/dev/null
+"$ESIDB" create -db "$WORK/seed.esidb" >/dev/null
+for img in "$WORK"/imgs/*.ppm; do
+  "$ESIDB" insert -db "$WORK/seed.esidb" "$img" >/dev/null
+done
+for id in $(seq 1 10); do
+  "$ESIDB" augment -db "$WORK/seed.esidb" -id "$id" -per 2 -ops 4 \
+    -nonwidening 0.3 -seed "$id" >/dev/null
+done
+"$ESIDB" dump -db "$WORK/seed.esidb" -out "$WORK/dump" >/dev/null
+
+echo "== single node"
+"$ESIDB" create -db "$WORK/single.esidb" >/dev/null
+"$ESIDB" load -db "$WORK/single.esidb" -in "$WORK/dump" >/dev/null
+
+echo "== replicated cluster (2 shards x 2 replicas)"
+cat > "$WORK/map.json" <<EOF
+{"shards": [
+  {"id": "s0", "addr": "http://127.0.0.1:$P_S0",
+   "replicas": [{"id": "s0-r1", "addr": "http://127.0.0.1:$P_S0R1"}]},
+  {"id": "s1", "addr": "http://127.0.0.1:$P_S1",
+   "replicas": [{"id": "s1-r1", "addr": "http://127.0.0.1:$P_S1R1"}]}
+]}
+EOF
+S0_PID=""
+for node in "s0:$P_S0::" "s0-r1:$P_S0R1:http://127.0.0.1:$P_S0:" \
+            "s1:$P_S1::" "s1-r1:$P_S1R1:http://127.0.0.1:$P_S1:"; do
+  id="${node%%:*}"; rest="${node#*:}"
+  port="${rest%%:*}"; leader="${rest#*:}"; leader="${leader%:}"
+  "$ESIDB" create -db "$WORK/$id.esidb" >/dev/null
+  if [ -n "$leader" ]; then
+    "$ESIDB" serve -db "$WORK/$id.esidb" -addr "127.0.0.1:$port" \
+      -replica-id "$id" -replica-of "$leader" >"$WORK/$id.log" 2>&1 &
+  else
+    "$ESIDB" serve -db "$WORK/$id.esidb" -addr "127.0.0.1:$port" \
+      -replica-id "$id" >"$WORK/$id.log" 2>&1 &
+  fi
+  PIDS+=($!)
+  if [ "$id" = "s0" ]; then S0_PID=$!; fi
+done
+
+for attempt in $(seq 1 50); do
+  if "$ESIDB" cluster replicas -map "$WORK/map.json" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$attempt" -eq 50 ]; then
+    echo "FAIL: replicas never came up" >&2
+    cat "$WORK"/s*.log >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+"$ESIDB" cluster replicas -map "$WORK/map.json"
+
+echo "== load through the coordinator (semi-sync replicated writes)"
+"$ESIDB" cluster load -map "$WORK/map.json" -in "$WORK/dump"
+"$ESIDB" cluster stats -map "$WORK/map.json"
+
+echo "== differential queries (replicated cluster vs single node)"
+QUERIES=(
+  "at least 25% blue"
+  "between 10% and 60% green"
+  "at least 20% red and at least 10% blue"
+)
+fail=0
+for q in "${QUERIES[@]}"; do
+  for mode in bwm rbm; do
+    "$ESIDB" query -db "$WORK/single.esidb" -mode "$mode" -ids "$q" \
+      | sort -n > "$WORK/want.txt"
+    "$ESIDB" cluster query -map "$WORK/map.json" -mode "$mode" -ids "$q" \
+      | sort -n > "$WORK/got.txt"
+    if ! diff -u "$WORK/want.txt" "$WORK/got.txt"; then
+      echo "FAIL: [$mode] \"$q\" diverged" >&2
+      fail=1
+    else
+      echo "ok [$mode] \"$q\" ($(wc -l < "$WORK/want.txt") ids)"
+    fi
+  done
+done
+
+echo "== distributed trace over replica sets"
+# One merged tree: a single trace id, a shard:<id> span per shard, and a
+# replica:<id> leg under each shard span showing which member served it.
+"$ESIDB" cluster query -map "$WORK/map.json" -trace-json \
+  "at least 25% blue" > "$WORK/trace.json"
+sed -n '/"spans":/,$p' "$WORK/trace.json" > "$WORK/spans.json"
+trace_ids=$(grep -o '"trace_id": *"[0-9a-f]*"' "$WORK/trace.json" | sort -u | wc -l)
+shard_spans=$(grep -c '"name": *"shard:' "$WORK/spans.json" || true)
+replica_spans=$(grep -c '"name": *"replica:' "$WORK/spans.json" || true)
+if [ "$trace_ids" -ne 1 ]; then
+  echo "FAIL: merged trace carries $trace_ids distinct trace ids, want 1" >&2
+  fail=1
+elif [ "$shard_spans" -ne 2 ]; then
+  echo "FAIL: merged trace has $shard_spans shard spans, want 2" >&2
+  fail=1
+elif [ "$replica_spans" -lt 2 ]; then
+  echo "FAIL: merged trace has $replica_spans replica legs, want >= 2" >&2
+  fail=1
+else
+  echo "ok trace: 1 trace id, $shard_spans shard spans, $replica_spans replica legs"
+fi
+
+echo "== failover: kill s0's leader, promote its follower"
+kill "$S0_PID"
+wait "$S0_PID" 2>/dev/null || true
+"$ESIDB" cluster promote -map "$WORK/map.json" -shard s0
+grep -q "$P_S0R1" "$WORK/map.json" || {
+  echo "FAIL: promoted map does not route s0 at the follower" >&2
+  exit 1
+}
+
+echo "== post-failover queries and writes"
+for q in "${QUERIES[@]}"; do
+  "$ESIDB" query -db "$WORK/single.esidb" -mode bwm -ids "$q" \
+    | sort -n > "$WORK/want.txt"
+  "$ESIDB" cluster query -map "$WORK/map.json" -mode bwm -ids "$q" \
+    2>"$WORK/qerr.txt" | sort -n > "$WORK/got.txt"
+  if grep -q "partial" "$WORK/qerr.txt"; then
+    echo "FAIL: post-failover query \"$q\" was partial" >&2
+    cat "$WORK/qerr.txt" >&2
+    fail=1
+  elif ! diff -u "$WORK/want.txt" "$WORK/got.txt"; then
+    echo "FAIL: post-failover \"$q\" diverged" >&2
+    fail=1
+  else
+    echo "ok post-failover \"$q\" ($(wc -l < "$WORK/want.txt") ids)"
+  fi
+done
+# The promoted node takes writes again: reload the dump on top (ids
+# remap; this only needs inserts to succeed, parity was checked above).
+"$ESIDB" cluster load -map "$WORK/map.json" -in "$WORK/dump" >/dev/null
+echo "ok post-failover writes accepted"
+
+echo "== slow-query log on the promoted replica"
+qlog=$("$ESIDB" querylog -addr "http://127.0.0.1:$P_S0R1")
+if ! echo "$qlog" | grep -q "query"; then
+  echo "FAIL: promoted replica's query log is empty after the workload" >&2
+  echo "$qlog" >&2
+  fail=1
+else
+  echo "ok querylog: promoted replica recorded query events"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "replication-smoke: FAILED" >&2
+  exit 1
+fi
+echo "replication-smoke: OK"

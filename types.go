@@ -97,6 +97,14 @@ const (
 	MetricIntersection = query.MetricIntersection
 )
 
+// ErrWALTruncated reports a WAL tail cursor below the checkpoint floor:
+// the follower must re-seed from a snapshot (see DB.WALTail).
+var ErrWALTruncated = store.ErrWALTruncated
+
+// ErrNoWAL reports a WAL operation against a database without a
+// write-ahead log (in-memory databases).
+var ErrNoWAL = core.ErrNoWAL
+
 // Mode selects the range-query execution strategy.
 type Mode = core.Mode
 
@@ -152,6 +160,10 @@ type (
 	StoreCheck = store.CheckResult
 	// WALStats reports write-ahead-log activity (see DB.WALStats).
 	WALStats = store.WALStats
+	// WALFrame is one replicated write-ahead-log record (see DB.WALTail).
+	WALFrame = store.WALRecord
+	// WALTailResult is one page of the WAL replication stream.
+	WALTailResult = store.WALTailResult
 	// Plan is a range-query execution plan (see DB.Explain).
 	Plan = core.Plan
 )
