@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +10,9 @@ import (
 	"time"
 
 	mmdb "repro"
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/editops"
 	"repro/internal/obs"
 )
 
@@ -207,37 +211,73 @@ func (rs *ReplicaSet) members() []*rsMember {
 
 // InsertImage implements Shard.
 func (rs *ReplicaSet) InsertImage(ctx context.Context, id uint64, name string, img *mmdb.Image) error {
-	return rs.insert(ctx, id, func(leader ReplicaConn) error {
+	return rs.insert(ctx, func(leader ReplicaConn) error {
 		return leader.InsertImage(ctx, id, name, img)
+	}, func(leader ReplicaConn) (bool, error) {
+		meta, seq, err := leader.Object(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		if meta.Kind != "binary" || meta.Name != name || seq != nil {
+			return false, nil
+		}
+		got, err := leader.Image(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		return got.Equal(img), nil
 	})
 }
 
 // InsertSequence implements Shard.
 func (rs *ReplicaSet) InsertSequence(ctx context.Context, id uint64, name string, seq *mmdb.Sequence) error {
-	return rs.insert(ctx, id, func(leader ReplicaConn) error {
+	return rs.insert(ctx, func(leader ReplicaConn) error {
 		return leader.InsertSequence(ctx, id, name, seq)
+	}, func(leader ReplicaConn) (bool, error) {
+		meta, got, err := leader.Object(ctx, id)
+		if err != nil {
+			return false, err
+		}
+		if got == nil || meta.Name != name {
+			return false, nil
+		}
+		return bytes.Equal(editops.EncodeBinary(got), editops.EncodeBinary(seq)), nil
 	})
 }
 
 // insert is write plus retry absorption: when a previous attempt reached
-// the leader but missed its follower ack, the retry's insert fails as a
-// duplicate. If the leader already holds the id, the record is the one we
-// are retrying (ids are caller-allocated and never reused), so the retry
-// only needs to finish the ack.
-func (rs *ReplicaSet) insert(ctx context.Context, id uint64, op func(leader ReplicaConn) error) error {
+// the leader but missed its follower ack, the retry's insert fails with a
+// duplicate-id error. Absorption is deliberately narrow — the error must
+// be a duplicate-id specifically, and same must confirm the stored object
+// matches the one being inserted — so a retry finishes its ack, while an
+// accidental collision (same id, different content) surfaces the
+// duplicate-id error instead of silently dropping the caller's data.
+func (rs *ReplicaSet) insert(ctx context.Context, op func(leader ReplicaConn) error,
+	same func(leader ReplicaConn) (bool, error)) error {
 	leader, followers := rs.snapshot()
 	if leader == nil {
 		return ErrNoLeader
 	}
 	if err := op(leader.Conn); err != nil {
-		if !isQueryError(err) {
+		if !isDuplicateID(err) {
 			return err
 		}
-		if ok, herr := leader.Conn.HasObject(ctx, id); herr != nil || !ok {
+		if ok, serr := same(leader.Conn); serr != nil || !ok {
 			return err
 		}
 	}
 	return rs.ackWrite(ctx, leader, followers)
+}
+
+// isDuplicateID reports an insert that failed because the id is already
+// taken: catalog.ErrIDTaken in process, an HTTP 409 conflict over the
+// wire.
+func isDuplicateID(err error) bool {
+	if errors.Is(err, catalog.ErrIDTaken) {
+		return true
+	}
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Code == "conflict"
 }
 
 // Delete implements Shard (a write: it must replicate like one).
@@ -284,10 +324,21 @@ func (rs *ReplicaSet) ackWrite(ctx context.Context, leader *rsMember, followers 
 		f := f
 		go func() {
 			st, err := f.Conn.WaitApplied(ackCtx, lsn, rs.AckTimeout)
-			if err == nil {
-				f.noteStatus(st, nil)
+			if err != nil && ackCtx.Err() != nil {
+				// The ack race was settled elsewhere (or the caller gave
+				// up) and this wait was merely cancelled — that says
+				// nothing about the follower's health.
+				results <- ackResult{f, st, false}
+				return
 			}
-			results <- ackResult{f, st, err == nil && st.AppliedLSN >= lsn}
+			// Successes and failures both feed the health/lag view the
+			// read path routes on, so an unreachable follower degrades at
+			// write time, not a monitor tick later.
+			f.noteStatus(st, err)
+			// A member promoted mid-wait answers as a leader with its
+			// *own* durable LSN — a different LSN space from lsn — so its
+			// comparison is meaningless and must never count as an ack.
+			results <- ackResult{f, st, err == nil && st.Role == RoleFollower && st.AppliedLSN >= lsn}
 		}()
 	}
 	for range followers {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	mmdb "repro"
+	"repro/internal/catalog"
 	"repro/internal/dataset"
 	"repro/internal/obs"
 )
@@ -639,5 +641,252 @@ func TestReplicationResyncAfterCheckpoint(t *testing.T) {
 	}
 	if lids, fids := dbObjectIDs(ldb), dbObjectIDs(fdb); !sameUint64s(lids, fids) {
 		t.Fatalf("census diverged after resync: leader %v follower %v", lids, fids)
+	}
+}
+
+// TestReplicationLeaderRestartKeepsLSNSpace pins the cross-restart LSN
+// contract end to end: a leader that checkpoints (clean shutdown) and
+// reopens must continue its LSN space rather than restarting at 1, so a
+// follower cursor from before the restart still means what it meant —
+// semi-sync acks stay truthful and no frames are silently skipped.
+func TestReplicationLeaderRestartKeepsLSNSpace(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ldb, err := mmdb.Open(mmdb.WithPath(dir + "/leader.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := dataset.Flags(8, 16, 12, 33)
+	for _, f := range flags[:5] {
+		if _, err := ldb.InsertImage(f.Name, f.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wstBefore, ok := ldb.WALStats()
+	if !ok {
+		t.Fatal("leader has no WAL")
+	}
+	if err := ldb.Close(); err != nil { // clean shutdown checkpoints the log
+		t.Fatal(err)
+	}
+
+	ldb2, err := mmdb.Open(mmdb.WithPath(dir + "/leader.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldb2.Close()
+	for _, f := range flags[5:] {
+		if _, err := ldb2.InsertImage(f.Name, f.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wstAfter, _ := ldb2.WALStats()
+	if wstAfter.DurableLSN <= wstBefore.DurableLSN {
+		t.Fatalf("LSN space restarted: durable %d before close, %d after reopen",
+			wstBefore.DurableLSN, wstAfter.DurableLSN)
+	}
+	// A cursor parked at the old horizon (a follower that outlived the
+	// restart) sees only post-restart frames — never a replay of LSNs it
+	// already applied under different content.
+	res, err := ldb2.WALTail(ctx, wstBefore.DurableLSN, 0, 0)
+	if err != nil {
+		t.Fatalf("tail from pre-restart horizon: %v", err)
+	}
+	if len(res.Frames) == 0 {
+		t.Fatal("no frames above the pre-restart horizon")
+	}
+	for _, fr := range res.Frames {
+		if fr.LSN <= wstBefore.DurableLSN {
+			t.Fatalf("tail re-served pre-restart LSN %d (horizon %d)", fr.LSN, wstBefore.DurableLSN)
+		}
+	}
+	// And a fresh follower of the restarted leader still converges.
+	leader := NewReplicaNode(ctx, "L", ldb2)
+	fdb, err := mmdb.Open(mmdb.WithPath(dir + "/follower.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	follower := NewReplicaNode(ctx, "F", fdb)
+	fastTune(leader.Replicator())
+	fastTune(follower.Replicator())
+	if err := follower.Follow(ctx, "L", "", leader); err != nil {
+		t.Fatal(err)
+	}
+	st, err := follower.Replicator().WaitApplied(ctx, wstAfter.DurableLSN, 15*time.Second)
+	if err != nil || st.AppliedLSN < wstAfter.DurableLSN {
+		t.Fatalf("follower did not converge across leader restart: %+v err=%v", st, err)
+	}
+	if lids, fids := dbObjectIDs(ldb2), dbObjectIDs(fdb); !sameUint64s(lids, fids) {
+		t.Fatalf("census diverged: leader %v follower %v", lids, fids)
+	}
+}
+
+// TestResyncRetiredEpochDoesNotPublish pins the resync epoch guard: a
+// resync that finishes after its epoch was superseded by a Follow must not
+// publish the retired leader's counters into the new epoch — a stale floor
+// LSN in `applied` would falsely satisfy WaitApplied (and semi-sync acks)
+// against the new leader's log.
+func TestResyncRetiredEpochDoesNotPublish(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	adb, err := mmdb.Open(mmdb.WithPath(dir + "/a.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adb.Close()
+	bdb, err := mmdb.Open(mmdb.WithPath(dir + "/b.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bdb.Close()
+	fdb, err := mmdb.Open(mmdb.WithPath(dir + "/f.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	flags := dataset.Flags(6, 16, 12, 3)
+	for _, f := range flags {
+		if _, err := adb.InsertImage(f.Name, f.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint raises A's floor well above anything B will ever assign.
+	if err := adb.WALCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	nodeA := NewReplicaNode(ctx, "A", adb)
+	nodeB := NewReplicaNode(ctx, "B", bdb)
+	follower := NewReplicaNode(ctx, "F", fdb)
+	fastTune(follower.Replicator())
+	if err := follower.Follow(ctx, "A", "", nodeA); err != nil {
+		t.Fatal(err)
+	}
+	eOld := follower.Replicator().Status().Epoch
+	// Retarget at the (empty) leader B: the epoch bumps, counters reset.
+	if err := follower.Follow(ctx, "B", "", nodeB); err != nil {
+		t.Fatal(err)
+	}
+	wstA, err := nodeA.WALStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wstA.BaseLSN == 0 {
+		t.Fatal("precondition: A's checkpoint floor must be above zero")
+	}
+	// A resync for the retired epoch completes (or retires) without effect.
+	if err := follower.Replicator().resync(eOld, nodeA); err != nil {
+		t.Fatalf("stale resync: %v", err)
+	}
+	st := follower.Replicator().Status()
+	if st.AppliedLSN >= wstA.BaseLSN {
+		t.Fatalf("stale resync published retired-epoch counters: %+v (A floor %d)",
+			st, wstA.BaseLSN)
+	}
+}
+
+// newTwoNodeSet builds a bootstrapped leader/follower replica set over
+// persistent databases and seeds it with the first seedN flags, every
+// write fully acked.
+func newTwoNodeSet(t *testing.T, seedN int) (*ReplicaSet, *ReplicaNode, *ReplicaNode, []dataset.NamedImage) {
+	t.Helper()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	ldb, err := mmdb.Open(mmdb.WithPath(dir + "/l.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ldb.Close() })
+	fdb, err := mmdb.Open(mmdb.WithPath(dir + "/f.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fdb.Close() })
+	leader := NewReplicaNode(ctx, "L", ldb)
+	follower := NewReplicaNode(ctx, "F", fdb)
+	fastTune(leader.Replicator())
+	fastTune(follower.Replicator())
+	rs, err := NewReplicaSet("s0",
+		ReplicaMember{ID: "L", Conn: leader},
+		ReplicaMember{ID: "F", Conn: follower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	flags := dataset.Flags(6, 16, 12, 77)
+	for i := 0; i < seedN; i++ {
+		if err := rs.InsertImage(ctx, uint64(i+1), flags[i].Name, flags[i].Img); err != nil {
+			t.Fatalf("seed insert %d: %v", i+1, err)
+		}
+	}
+	return rs, leader, follower, flags
+}
+
+// TestAckWriteIgnoresPromotedFollower: a follower promoted mid-flight
+// answers WaitApplied as a leader, with an AppliedLSN from its *own* LSN
+// space. The write path must not compare that against the old leader's
+// LSN and record a false semi-sync ack.
+func TestAckWriteIgnoresPromotedFollower(t *testing.T) {
+	rs, _, follower, flags := newTwoNodeSet(t, 2)
+	ctx := context.Background()
+	follower.Replicator().Promote()
+	rs.AckTimeout = 300 * time.Millisecond
+	err := rs.InsertImage(ctx, 5, flags[4].Name, flags[4].Img)
+	if !errors.Is(err, ErrNoAck) {
+		t.Fatalf("insert with promoted follower = %v, want ErrNoAck", err)
+	}
+}
+
+// TestAckWriteErrorDegradesFollowerHealth: a failed semi-sync wait must
+// register on the follower's health view at write time — not a monitor
+// tick later — so the read path stops preferring an unreachable follower.
+func TestAckWriteErrorDegradesFollowerHealth(t *testing.T) {
+	rs, _, follower, flags := newTwoNodeSet(t, 1)
+	ctx := context.Background()
+	follower.Kill()
+	rs.AckTimeout = 300 * time.Millisecond
+	if err := rs.InsertImage(ctx, 3, flags[2].Name, flags[2].Img); !errors.Is(err, ErrNoAck) {
+		t.Fatalf("insert with dead follower = %v, want ErrNoAck", err)
+	}
+	_, followers := rs.snapshot()
+	if got := followers[0].sm.current(); got == StateUp {
+		t.Fatal("dead follower still StateUp after failed ack")
+	}
+}
+
+// TestInsertDuplicateIDNotSilentlyAbsorbed: retry absorption must be
+// narrow. An accidental collision — same id, different content — fails
+// loudly with the duplicate-id error; only a true retry (identical
+// content) finishes the ack and reports success.
+func TestInsertDuplicateIDNotSilentlyAbsorbed(t *testing.T) {
+	rs, _, _, flags := newTwoNodeSet(t, 2)
+	ctx := context.Background()
+	// Accidental collision on a binary id.
+	if err := rs.InsertImage(ctx, 1, flags[2].Name, flags[2].Img); !errors.Is(err, catalog.ErrIDTaken) {
+		t.Fatalf("conflicting image insert = %v, want ErrIDTaken", err)
+	}
+	// True retry: identical content is absorbed into an ack.
+	if err := rs.InsertImage(ctx, 1, flags[0].Name, flags[0].Img); err != nil {
+		t.Fatalf("identical image retry = %v, want success", err)
+	}
+
+	aug := dataset.NewAugmenter(dataset.AugmentConfig{PerBase: 1, OpsPerImage: 3, Seed: 9})
+	seqA := aug.ScriptsFor(1, flags[0].Img, []uint64{2})[0]
+	seqB := aug.ScriptsFor(2, flags[1].Img, []uint64{1})[0]
+	if err := rs.InsertSequence(ctx, 10, "edit", seqA.Clone()); err != nil {
+		t.Fatalf("sequence insert: %v", err)
+	}
+	// Accidental collision on an edited id.
+	if err := rs.InsertSequence(ctx, 10, "edit", seqB.Clone()); !errors.Is(err, catalog.ErrIDTaken) {
+		t.Fatalf("conflicting sequence insert = %v, want ErrIDTaken", err)
+	}
+	// True retry of the sequence.
+	if err := rs.InsertSequence(ctx, 10, "edit", seqA.Clone()); err != nil {
+		t.Fatalf("identical sequence retry = %v, want success", err)
 	}
 }

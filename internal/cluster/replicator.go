@@ -147,6 +147,7 @@ func (r *Replicator) Follow(leaderName string, conn LeaderConn) {
 	r.leader, r.leaderName = conn, leaderName
 	r.cursor = 0
 	r.applied.Store(0)
+	r.leaderLSN.Store(0) // the old leader's horizon means nothing here
 	r.roleGauge.Set(0)
 	r.mu.Unlock()
 	go r.tailLoop(e, conn)
@@ -219,9 +220,12 @@ func (r *Replicator) Status() ReplStatus {
 // WaitApplied blocks until the replica has applied at least lsn of its
 // leader's log, the wait elapses, or ctx is done. It returns the status at
 // return time; the caller checks AppliedLSN — an elapsed wait is not an
-// error. A leader returns immediately (its log *is* the reference). This
-// is the semi-synchronous ack seam: a replicated write is acknowledged
-// once some follower's WaitApplied(write LSN) returns satisfied.
+// error. A leader returns immediately, but its AppliedLSN is its *own*
+// durable LSN — a different LSN space from the lsn argument — so callers
+// comparing against another leader's LSN must check Role before trusting
+// the comparison (ReplicaSet.ackWrite does). This is the semi-synchronous
+// ack seam: a replicated write is acknowledged once some follower's
+// WaitApplied(write LSN) returns satisfied.
 func (r *Replicator) WaitApplied(ctx context.Context, lsn uint64, wait time.Duration) (ReplStatus, error) {
 	var deadline <-chan time.Time
 	if wait > 0 {
@@ -267,7 +271,9 @@ func (r *Replicator) tailLoop(e int64, leader LeaderConn) {
 			// Keep the lag view honest while applying is suspended: poll
 			// the leader's durable horizon without consuming frames.
 			if wst, err := leader.WALStatus(r.ctx); err == nil {
-				r.leaderLSN.Store(wst.DurableLSN)
+				if !r.storeLeaderLSN(e, wst.DurableLSN) {
+					return
+				}
 				r.publishLag()
 			}
 			r.sleep()
@@ -310,7 +316,9 @@ func (r *Replicator) tailLoop(e int64, leader LeaderConn) {
 // progress is kept — the cursor moves per frame, so a failure resumes (or
 // resyncs) from the exact frame that failed.
 func (r *Replicator) applyPage(e int64, res mmdb.WALTailResult) error {
-	r.leaderLSN.Store(res.DurableLSN)
+	if !r.storeLeaderLSN(e, res.DurableLSN) {
+		return nil
+	}
 	for _, fr := range res.Frames {
 		if !r.current(e) {
 			return nil
@@ -325,14 +333,41 @@ func (r *Replicator) applyPage(e int64, res mmdb.WALTailResult) error {
 			r.publishLag()
 			return err
 		}
-		r.mu.Lock()
-		r.cursor = fr.LSN
-		r.mu.Unlock()
-		r.applied.Store(fr.LSN)
+		if !r.advanceCursor(e, fr.LSN) {
+			return nil
+		}
 		r.notify()
 	}
 	r.publishLag()
 	return nil
+}
+
+// advanceCursor publishes one applied frame for epoch e. The epoch check
+// and the stores share the critical section, so a retired loop (or a
+// resync racing a Follow) can never publish its cursor or applied counter
+// into the next epoch's state. Reports whether the advance ran.
+func (r *Replicator) advanceCursor(e int64, lsn uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch != e {
+		return false
+	}
+	r.cursor = lsn
+	r.applied.Store(lsn)
+	return true
+}
+
+// storeLeaderLSN publishes the leader's durable horizon for epoch e under
+// the same guard (a retired loop must not overwrite the live epoch's lag
+// view). Reports whether the store ran.
+func (r *Replicator) storeLeaderLSN(e int64, lsn uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch != e {
+		return false
+	}
+	r.leaderLSN.Store(lsn)
+	return true
 }
 
 func (r *Replicator) publishLag() {
@@ -369,6 +404,9 @@ func (r *Replicator) sleep() {
 // to the copy or replayed from the log afterwards — both end in the same
 // state because records are idempotent and carry their full post-state.
 func (r *Replicator) resync(e int64, leader LeaderConn) error {
+	if !r.current(e) {
+		return nil
+	}
 	ctx := r.ctx
 	wst, err := leader.WALStatus(ctx)
 	if err != nil {
@@ -447,13 +485,12 @@ func (r *Replicator) resync(e int64, leader LeaderConn) error {
 			return fmt.Errorf("cluster: resync edited %d: %w", m.ID, err)
 		}
 	}
-	r.mu.Lock()
-	if r.epoch == e {
-		r.cursor = from
+	// A Follow or Promote superseding this resync mid-copy retires it here:
+	// publishing its counters would let the retired leader's floor LSN
+	// satisfy WaitApplied against the new epoch's log.
+	if !r.advanceCursor(e, from) || !r.storeLeaderLSN(e, wst.DurableLSN) {
+		return nil
 	}
-	r.mu.Unlock()
-	r.applied.Store(from)
-	r.leaderLSN.Store(wst.DurableLSN)
 	r.resyncs.Add(1)
 	mResyncs.Inc()
 	r.notify()

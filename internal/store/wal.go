@@ -26,6 +26,11 @@ import (
 //	header: magic "ESREDO1\x00"
 //	frame:  payloadLen u32 | lsn u64 | payload | crc u32 (over len+lsn+payload)
 //
+// A sidecar at <path>.lsn persists the checkpoint LSN floor so the LSN
+// space stays monotonic across checkpoint + restart (a replication
+// requirement: follower cursors are LSNs into this log and must never see
+// the sequence restart — see Checkpoint and OpenWAL).
+//
 // A frame is the unit of atomicity: replay stops at the first frame whose
 // length, LSN or checksum does not verify and truncates the file there, so
 // a torn append (crash mid-write) can lose the unacknowledged tail but can
@@ -40,6 +45,9 @@ import (
 // baseline).
 
 const walMagic = "ESREDO1\x00"
+
+// walSidecarMagic heads the checkpoint sidecar (see walSidecarPath).
+const walSidecarMagic = "ESCKPT1\x00"
 
 // walFrameOverhead is the per-frame byte cost beyond the payload.
 const walFrameOverhead = 4 + 8 + 4
@@ -226,6 +234,15 @@ func OpenWAL(path string, opts WALOptions) (*WAL, []WALRecord, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// LSN continuity across checkpoint + restart: Checkpoint empties the
+	// file, so the frames alone would restart the LSN space at 1 on the next
+	// open — and a still-running follower's old, larger cursor would then
+	// silently skip (or falsely ack) the new incarnation's frames. The
+	// sidecar carries the floor the last checkpoint established; seeding
+	// from the max of both keeps LSNs monotonic for the life of the path.
+	if side := readWALSidecar(walSidecarPath(path)); side > lastLSN {
+		lastLSN = side
+	}
 	if tornBytes > 0 {
 		// The tail never committed (or a header never finished): cut it off
 		// before the append handle opens so new frames follow intact ones.
@@ -271,6 +288,52 @@ func OpenWAL(path string, opts WALOptions) (*WAL, []WALRecord, error) {
 	mWALReplayed.Add(int64(len(recs)))
 	go w.flusher()
 	return w, recs, nil
+}
+
+// walSidecarPath is where a log at path persists its checkpoint LSN floor:
+// a fixed-size record of magic, floor LSN and a CRC over both.
+func walSidecarPath(path string) string { return path + ".lsn" }
+
+// readWALSidecar returns the LSN floor the last checkpoint persisted, or 0
+// when the sidecar is absent, foreign or torn. A torn sidecar is safe to
+// ignore: Checkpoint writes it *before* truncating the frames, so whenever
+// the sidecar is unreadable the frames still carry the larger LSN.
+func readWALSidecar(path string) uint64 {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) != len(walSidecarMagic)+12 {
+		return 0
+	}
+	if string(data[:len(walSidecarMagic)]) != walSidecarMagic {
+		return 0
+	}
+	want := binary.LittleEndian.Uint32(data[len(walSidecarMagic)+8:])
+	if crc32.ChecksumIEEE(data[:len(walSidecarMagic)+8]) != want {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(data[len(walSidecarMagic):])
+}
+
+// writeWALSidecar durably records lsn as the checkpoint floor (write plus
+// fsync; the CRC turns a torn overwrite into an ignored sidecar rather
+// than a wrong floor).
+func writeWALSidecar(path string, lsn uint64) error {
+	buf := make([]byte, len(walSidecarMagic)+12)
+	copy(buf, walSidecarMagic)
+	binary.LittleEndian.PutUint64(buf[len(walSidecarMagic):], lsn)
+	binary.LittleEndian.PutUint32(buf[len(walSidecarMagic)+8:], crc32.ChecksumIEEE(buf[:len(walSidecarMagic)+8]))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // readWALFrames parses the log file, returning the intact records, the
@@ -503,6 +566,15 @@ func (w *WAL) Checkpoint() error {
 	if w.err != nil {
 		return w.err
 	}
+	// Persist the LSN floor before the frames vanish. Ordering matters: if
+	// the floor is durable first, a crash anywhere in the checkpoint leaves
+	// either the frames (floor stale, frames carry the LSN) or the sidecar
+	// (frames gone, sidecar carries it) — never an empty log that would
+	// restart the LSN space and desynchronize follower cursors.
+	if err := writeWALSidecar(walSidecarPath(w.path), w.lsn); err != nil {
+		w.err = fmt.Errorf("store: wal checkpoint floor: %w", err)
+		return w.err
+	}
 	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
 		w.err = fmt.Errorf("store: wal checkpoint: %w", err)
 		return w.err
@@ -646,6 +718,8 @@ func (w *WAL) TailFrom(ctx context.Context, from uint64, max int, wait time.Dura
 		defer t.Stop()
 		deadline = t.C
 	}
+	var prevBase, prevDurable uint64
+	retried := false
 	for {
 		w.mu.Lock()
 		if w.closed {
@@ -674,7 +748,15 @@ func (w *WAL) TailFrom(ctx context.Context, from uint64, max int, wait time.Dura
 			}
 			// A checkpoint raced between the snapshot and the file read:
 			// the frames we promised were truncated away. Loop to observe
-			// the new floor and report it properly.
+			// the new floor and report it properly. If neither the floor
+			// nor the horizon moved, the frames are genuinely absent (a log
+			// whose file was replaced or reset behind the counters);
+			// report truncation so the follower re-seeds instead of
+			// spinning on a promise the file cannot keep.
+			if retried && prevBase == res.BaseLSN && prevDurable == res.DurableLSN {
+				return res, ErrWALTruncated
+			}
+			retried, prevBase, prevDurable = true, res.BaseLSN, res.DurableLSN
 			continue
 		}
 		if wait <= 0 {

@@ -284,6 +284,71 @@ func TestWALTicketWaitCancel(t *testing.T) {
 	}
 }
 
+// TestWALLSNMonotonicAcrossCheckpointRestart pins the replication LSN
+// contract: a checkpoint followed by a clean restart must not restart the
+// LSN space at 1 — follower cursors are LSNs into this log, and a
+// restarted sequence would let a stale cursor falsely satisfy semi-sync
+// acks and silently skip the new incarnation's frames.
+func TestWALLSNMonotonicAcrossCheckpointRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	w, _ := openTestWAL(t, path, WALOptions{})
+	for i := 0; i < 3; i++ {
+		appendWait(t, w, []byte{byte(i)})
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, recs := openTestWAL(t, path, WALOptions{})
+	defer w2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from a checkpointed log", len(recs))
+	}
+	st := w2.Stats()
+	if st.LastLSN != 3 || st.BaseLSN != 3 || st.DurableLSN != 3 {
+		t.Fatalf("restart lost the LSN floor: %+v", st)
+	}
+	appendWait(t, w2, []byte("after-restart"))
+	if got := w2.Stats().LastLSN; got != 4 {
+		t.Fatalf("post-restart LSN = %d, want 4", got)
+	}
+	// A follower parked at the pre-restart horizon resumes exactly there.
+	res, err := w2.TailFrom(context.Background(), 3, 0, 0)
+	if err != nil {
+		t.Fatalf("TailFrom(3): %v", err)
+	}
+	if len(res.Frames) != 1 || res.Frames[0].LSN != 4 {
+		t.Fatalf("tail from old horizon = %+v", res.Frames)
+	}
+	// A cursor below the checkpoint floor must re-seed, not silently match.
+	if _, err := w2.TailFrom(context.Background(), 1, 0, 0); !errors.Is(err, ErrWALTruncated) {
+		t.Fatalf("tail below floor = %v, want ErrWALTruncated", err)
+	}
+}
+
+// TestWALSidecarTornIgnored: an unreadable floor sidecar falls back to the
+// frames. Checkpoint writes the sidecar before truncating, so the two are
+// never unreadable together.
+func TestWALSidecarTornIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	w, _ := openTestWAL(t, path, WALOptions{})
+	appendWait(t, w, []byte("one"))
+	appendWait(t, w, []byte("two"))
+	w.Close()
+	// Right length, right magic, bad CRC — a torn overwrite.
+	if err := os.WriteFile(walSidecarPath(path), []byte(walSidecarMagic+"garbagebad12"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs := openTestWAL(t, path, WALOptions{})
+	defer w2.Close()
+	if len(recs) != 2 || w2.Stats().LastLSN != 2 {
+		t.Fatalf("torn sidecar corrupted recovery: recs=%d stats=%+v", len(recs), w2.Stats())
+	}
+}
+
 func TestWALBadHeaderResets(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.wal")
 	if err := os.WriteFile(path, []byte("BOGUS"), 0o644); err != nil {
