@@ -1,11 +1,13 @@
 GO ?= go
 
-# Pinned auxiliary linter versions; lint skips them (with a notice) when the
-# tools are not installed, so offline runs still lint with esidb-lint + vet.
+# Pinned auxiliary linter versions — the single source of truth; CI's
+# unconditional staticcheck/govulncheck steps and lint-deps both read them.
+# `make lint` skips the tools (with a notice) only when they are not
+# installed, so offline local runs still lint with esidb-lint + vet.
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet fmt-check lint lint-tool ci bench cluster-smoke replication-smoke crash-matrix obs-overhead-smoke clean
+.PHONY: all build test race vet fmt-check lint lint-tool lint-new lint-deps staticcheck govulncheck ci bench cluster-smoke replication-smoke crash-matrix obs-overhead-smoke clean
 
 all: build
 
@@ -29,6 +31,24 @@ fmt-check:
 
 lint-tool:
 	$(GO) build -o bin/esidb-lint ./cmd/esidb-lint
+
+# Fast inner loop while writing an analyzer: fixture tests + roster pin only,
+# no whole-tree load.
+lint-new:
+	$(GO) test ./internal/analysis/ -run 'Fixture|SuiteComplete' -count=1
+
+# Install the pinned auxiliary linters (network required; CI and one-time
+# developer setup, never part of an offline build).
+lint-deps:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# Unconditional pinned runs — what CI uses; fails hard if the tool cannot run.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 lint: fmt-check vet lint-tool
 	$(GO) vet -vettool=$(CURDIR)/bin/esidb-lint ./...

@@ -1,9 +1,12 @@
 // Command esidb-lint checks the project-specific invariants of the
 // edited-sequence image database: operation-taxonomy exhaustiveness
-// (opswitch), guarded-field lock discipline (lockguard), bound-interval
-// ordering (boundorder), context propagation into the worker pool
-// (ctxflow), and the nil-safe trace contract (tracenil). See
-// internal/analysis and the Linting section of DESIGN.md.
+// (opswitch), guarded-field lock discipline and package-wide lock ordering
+// (lockguard), bound-interval ordering (boundorder), context propagation
+// into the worker pool (ctxflow), the nil-safe trace contract (tracenil),
+// all-atomic-or-none field access (atomicguard), the replicator's
+// epoch-checked publication contract (epochguard), errors.Is/As discipline
+// (errcmp), and the /v1 error-envelope wire contract with approved code
+// slugs (errenvelope). See internal/analysis and DESIGN.md §8/§13.
 //
 // It runs in two modes:
 //

@@ -4,8 +4,13 @@
 // every editing operation, bounds are ordered [min, max] pairs derived from
 // the bin total, BWM's widening classification consults the same op
 // taxonomy as RBM, mutex-guarded state is only touched under its mutex, and
-// contexts thread through the internal/exec worker pool. Each invariant is
-// enforced by one analyzer; DESIGN.md §8 documents what every check
+// contexts thread through the internal/exec worker pool. The distributed
+// layer adds its own conventions: atomics are never mixed with plain
+// access, named mutexes keep one package-wide acquisition order, the
+// replicator publishes state only through epoch-checked helpers, every
+// HTTP failure ships the /v1 error envelope with an approved code, and
+// sentinel errors are matched with errors.Is/errors.As. Each invariant is
+// enforced by one analyzer; DESIGN.md §8 and §13 document what every check
 // protects in paper terms.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
@@ -72,7 +77,9 @@ type Diagnostic struct {
 	Message  string
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the original five
+// core-engine invariants, then the wave-2 concurrency and wire-contract
+// checks that patrol the distributed layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		OpSwitch,
@@ -80,6 +87,10 @@ func All() []*Analyzer {
 		BoundOrder,
 		CtxFlow,
 		TraceNil,
+		AtomicGuard,
+		EpochGuard,
+		ErrCmp,
+		ErrEnvelope,
 	}
 }
 

@@ -86,11 +86,34 @@ func checkFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 }
 
-func TestOpSwitchFixture(t *testing.T)   { checkFixture(t, OpSwitch, "opswitch") }
-func TestLockGuardFixture(t *testing.T)  { checkFixture(t, LockGuard, "lockguard") }
-func TestBoundOrderFixture(t *testing.T) { checkFixture(t, BoundOrder, "boundorder") }
-func TestCtxFlowFixture(t *testing.T)    { checkFixture(t, CtxFlow, "ctxflow") }
-func TestTraceNilFixture(t *testing.T)   { checkFixture(t, TraceNil, "tracenil") }
+func TestOpSwitchFixture(t *testing.T)    { checkFixture(t, OpSwitch, "opswitch") }
+func TestLockGuardFixture(t *testing.T)   { checkFixture(t, LockGuard, "lockguard") }
+func TestBoundOrderFixture(t *testing.T)  { checkFixture(t, BoundOrder, "boundorder") }
+func TestCtxFlowFixture(t *testing.T)     { checkFixture(t, CtxFlow, "ctxflow") }
+func TestTraceNilFixture(t *testing.T)    { checkFixture(t, TraceNil, "tracenil") }
+func TestAtomicGuardFixture(t *testing.T) { checkFixture(t, AtomicGuard, "atomicguard") }
+func TestEpochGuardFixture(t *testing.T)  { checkFixture(t, EpochGuard, "epochguard") }
+func TestErrCmpFixture(t *testing.T)      { checkFixture(t, ErrCmp, "errcmp") }
+func TestErrEnvelopeFixture(t *testing.T) { checkFixture(t, ErrEnvelope, "errenvelope") }
+
+// TestSuiteComplete pins the analyzer roster: the tree-clean gate below is
+// only as strong as the suite it runs, so a wave-2 analyzer silently
+// dropped from All() must fail loudly here.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"opswitch", "lockguard", "boundorder", "ctxflow", "tracenil",
+		"atomicguard", "epochguard", "errcmp", "errenvelope",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
 
 // TestSuiteCleanOnTree is the smoke test the acceptance criteria pin: the
 // full suite must exit clean over the production tree (testdata fixtures

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard bans mixed atomic/plain access to struct fields — the classic
+// latent race in the replication and observability layers, where counters
+// like the replicator's applied cursor or the WAL's durable horizon are
+// written on one goroutine and read lock-free on another. Once any access
+// to a field is atomic, every access must be: a single plain read racing an
+// atomic store is undefined behavior the race detector only catches when
+// the interleaving happens to occur.
+//
+// Two field shapes are patrolled. Fields of a sync/atomic type
+// (atomic.Uint64, atomic.Bool, ...) may only be used as method-call
+// receivers (.Load/.Store/.Add/...) or have their address taken — copying
+// one by value tears the protocol (and silently copies its internal
+// state). Plain-typed fields that are passed by address to a sync/atomic
+// function (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.lsn)) anywhere
+// in the package become atomic for the whole package: every other access
+// must also go through sync/atomic.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc: "fields of atomic.* type, or fields accessed via sync/atomic calls, " +
+		"must never be read or written non-atomically anywhere in the package",
+	Run: runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) {
+	// Pass 1: collect the sanctioned access sites — method calls and
+	// address-of on typed atomics, &field arguments to sync/atomic
+	// functions — and the set of plain fields used atomically anywhere.
+	allowed := make(map[*ast.SelectorExpr]bool)
+	viaFuncs := make(map[*types.Var]bool) // plain fields touched by sync/atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// receiver of a method call on a typed atomic: s.ctr.Add(1)
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+						if v, ok := atomicTypedField(pass, recv); ok && v != nil {
+							allowed[recv] = true
+						}
+					}
+				}
+				// &s.field argument to atomic.AddInt64 and friends
+				if pkg := pkgOfCall(pass.TypesInfo, n); pkg != nil && pkg.Path() == "sync/atomic" {
+					for _, arg := range n.Args {
+						if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+							if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+								if v := fieldVar(pass, sel); v != nil {
+									viaFuncs[v] = true
+									allowed[sel] = true
+								}
+							}
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				// &s.atomicField passes the atomic along by pointer — the
+				// receiving code still goes through its methods.
+				if n.Op == token.AND {
+					if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+						if _, ok := atomicTypedField(pass, sel); ok {
+							allowed[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every remaining access to an atomic field is a violation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			v := fieldVar(pass, sel)
+			if v == nil {
+				return true
+			}
+			if isAtomicType(v.Type()) {
+				pass.Reportf(sel.Pos(), "%s is an %s and may only be used through its methods; copying or assigning it by value tears the atomic protocol",
+					v.Name(), types.TypeString(v.Type(), relativeTo(pass.Pkg)))
+				return true
+			}
+			if viaFuncs[v] {
+				pass.Reportf(sel.Pos(), "%s is accessed with sync/atomic elsewhere in this package; a plain read/write here races with the atomic access — use the sync/atomic functions",
+					v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// fieldVar resolves sel to the struct field it selects, nil otherwise.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// atomicTypedField reports whether sel selects a field whose type lives in
+// sync/atomic.
+func atomicTypedField(pass *Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	v := fieldVar(pass, sel)
+	if v == nil || !isAtomicType(v.Type()) {
+		return nil, false
+	}
+	return v, true
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (atomic.Uint64, atomic.Bool, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	n, _ := types.Unalias(t).(*types.Named)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// relativeTo qualifies type names relative to pkg for diagnostics.
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}

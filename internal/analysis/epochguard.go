@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// EpochGuard enforces the replicator's publication contract (DESIGN.md
+// §12): state that concurrent readers consume — the applied cursor, the
+// leader's durable horizon, resync counters — may only be stored through
+// the epoch-checked helpers (`advanceCursor`, `storeLeaderLSN`, `resync`)
+// or the epoch-creating transitions (`Follow`, `Promote`). A raw
+// assignment from a tail-loop body bypasses the epoch check, so a retired
+// loop (superseded by a Follow or Promote) could publish a stale cursor
+// into the new epoch's state and satisfy a semi-sync ack against the wrong
+// leader's LSN space.
+//
+// The contract is annotated on the field:
+//
+//	cursor uint64 // guarded by mu; published via advanceCursor, Follow
+//
+// `published via` names the only functions (by name, comma-separated —
+// normally methods of the same type) allowed to assign the field or, for
+// atomic-typed fields, call its mutating methods
+// (Store/Add/Swap/CompareAndSwap). Every listed name must exist as a
+// method of the enclosing type; reads are unrestricted. Function literals
+// inherit the enclosing declaration's name — a helper closure inside an
+// allowed publisher may store on its behalf.
+var EpochGuard = &Analyzer{
+	Name: "epochguard",
+	Doc: "fields annotated `published via <fn>[, <fn>...]` may only be " +
+		"stored inside the named functions (epoch-checked publication helpers)",
+	Run: runEpochGuard,
+}
+
+var publishedRe = regexp.MustCompile(`published via ([A-Za-z_][A-Za-z0-9_]*(?:\s*,\s*[A-Za-z_][A-Za-z0-9_]*)*)`)
+
+// atomicMutators are the state-changing methods of the sync/atomic types;
+// calling one on an annotated field is a store.
+var atomicMutators = map[string]bool{
+	"Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+func runEpochGuard(pass *Pass) {
+	published := collectPublishedFields(pass)
+	if len(published) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPublications(pass, published, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+// collectPublishedFields finds `published via` annotations, validates the
+// named publishers against the enclosing type's method set, and returns
+// field object → allowed publisher names.
+func collectPublishedFields(pass *Pass) map[*types.Var][]string {
+	out := make(map[*types.Var][]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			methods := methodNames(pass, ts)
+			for _, fld := range st.Fields.List {
+				names := annotationPublishers(fld)
+				if names == nil {
+					continue
+				}
+				for _, pub := range names {
+					if !methods[pub] {
+						pass.Reportf(fld.Pos(), "published-via annotation names %q, which is not a method of %s", pub, ts.Name.Name)
+					}
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[obj] = names
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// methodNames returns the names of every method declared on the type (value
+// or pointer receiver).
+func methodNames(pass *Pass, ts *ast.TypeSpec) map[string]bool {
+	out := make(map[string]bool)
+	tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return out
+	}
+	named, ok := types.Unalias(tn.Type()).(*types.Named)
+	if !ok {
+		return out
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		out[named.Method(i).Name()] = true
+	}
+	return out
+}
+
+// annotationPublishers extracts the publisher list from a field's doc or
+// trailing comment, nil when unannotated.
+func annotationPublishers(fld *ast.Field) []string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		m := publishedRe.FindStringSubmatch(cg.Text())
+		if m == nil {
+			continue
+		}
+		var names []string
+		for _, n := range strings.Split(m[1], ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+		return names
+	}
+	return nil
+}
+
+// checkPublications reports stores to published fields outside their
+// allowed publishers. fnName is the enclosing declaration's name; function
+// literals inside it inherit it.
+func checkPublications(pass *Pass, published map[*types.Var][]string, fnName string, body *ast.BlockStmt) {
+	flag := func(sel *ast.SelectorExpr, how string) {
+		v := fieldVar(pass, sel)
+		if v == nil {
+			return
+		}
+		pubs, ok := published[v]
+		if !ok {
+			return
+		}
+		for _, p := range pubs {
+			if p == fnName {
+				return
+			}
+		}
+		pass.Reportf(sel.Pos(), "%s to %s outside its publishers (%s): the field is annotated `published via %s` so epoch-checked helpers are the only allowed store path",
+			how, v.Name(), strings.Join(pubs, ", "), strings.Join(pubs, ", "))
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					flag(sel, "raw assignment")
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				flag(sel, "raw "+n.Tok.String())
+			}
+		case *ast.CallExpr:
+			if method, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && atomicMutators[method.Sel.Name] {
+				if sel, ok := ast.Unparen(method.X).(*ast.SelectorExpr); ok {
+					flag(sel, "atomic "+method.Sel.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			// &s.field hands out a mutable alias nobody can track.
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					flag(sel, "address-of")
+				}
+			}
+		}
+		return true
+	})
+}

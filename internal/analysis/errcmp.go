@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp enforces wrap-tolerant error matching. The distributed layer
+// wraps errors at every hop — the client wraps envelope codes back into
+// sentinels (`fmt.Errorf("...: %w", store.ErrWALTruncated)`), the
+// replicator and replica set add context with %w, redo replay annotates
+// apply failures — so a direct `err == sentinel` comparison or a type
+// assertion on an error value silently stops matching the moment anyone in
+// the chain wraps. `errors.Is`/`errors.As` walk the Unwrap chain; this
+// analyzer makes them the only accepted way to match.
+//
+// Flagged: `==`/`!=` between an error value and a package-level error
+// sentinel (io.EOF, store.ErrWALTruncated, cluster.ErrNoAck, ...), and
+// type assertions `err.(*SomeError)` on values whose static type is an
+// error interface. Not flagged: comparisons against nil (the universal
+// "no error" test), and type switches (opswitch patrols their
+// exhaustiveness; converting them to errors.As chains is a judgment call).
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc: "error values must be matched with errors.Is/errors.As, not " +
+		"compared to sentinels with ==/!= or unpacked with type assertions",
+	Run: runErrCmp,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runErrCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkErrCompare(pass, n)
+				}
+			case *ast.TypeAssertExpr:
+				// n.Type == nil is the `.(type)` form inside a type switch,
+				// which is deliberately out of scope.
+				if n.Type != nil {
+					checkErrAssert(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrCompare flags x ==/!= y when one side is an error-typed value
+// and the other names a package-level error sentinel.
+func checkErrCompare(pass *Pass, cmp *ast.BinaryExpr) {
+	for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+		value, sentinel := pair[0], pair[1]
+		sv, ok := errorSentinel(pass, sentinel)
+		if !ok {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[value]; !ok || tv.IsNil() || !implementsError(tv.Type) {
+			continue
+		}
+		op := "errors.Is"
+		if cmp.Op == token.NEQ {
+			op = "!errors.Is"
+		}
+		pass.Reportf(cmp.Pos(), "comparing an error to %s with %s misses wrapped errors; use %s(err, %s)",
+			sv.Name(), cmp.Op, op, sv.Name())
+		return
+	}
+}
+
+// checkErrAssert flags err.(T) when err's static type is an error
+// interface: the assertion sees only the outermost error, never a wrapped
+// one.
+func checkErrAssert(pass *Pass, assert *ast.TypeAssertExpr) {
+	tv, ok := pass.TypesInfo.Types[assert.X]
+	if !ok {
+		return
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface || !implementsError(tv.Type) {
+		return
+	}
+	pass.Reportf(assert.Pos(), "type assertion on an error value misses wrapped errors; use errors.As")
+}
+
+// errorSentinel reports whether e names a package-level variable of an
+// error type — the sentinel shape (io.EOF, catalog.ErrNotFound, ...).
+func errorSentinel(pass *Pass, e ast.Expr) (*types.Var, bool) {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil, false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	if !implementsError(v.Type()) {
+		return nil, false
+	}
+	return v, true
+}
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}

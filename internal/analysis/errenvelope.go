@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/api"
+)
+
+// ErrEnvelope enforces the /v1 error contract on the HTTP surface: every
+// failure response is the uniform `{"error","code","request_id"}` envelope
+// with a code from the approved set in internal/api — the slugs the typed
+// client (client.APIError) and the replication layer key retry/fallback
+// logic on. A handler that answers a failure with http.Error or a raw
+// WriteHeader ships a body no client can decode; an envelope with an
+// unapproved code slug falls through every client-side switch.
+//
+// The analyzer activates in any package that defines the envelope (a
+// struct type named errorEnvelope — internal/server in this tree) and
+// checks four shapes: calls to http.Error; WriteHeader calls whose status
+// is a constant >= 400 (writeJSON's variable status is the sanctioned
+// path); constant strings assigned to the envelope's Code field or to a
+// `code` variable, which must be in the api.Codes() set; and writeJSON
+// calls with a constant failure status whose body is not an errorEnvelope.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc: "HTTP failure responses must flow through writeError/writeJSON with " +
+		"an errorEnvelope whose code is in the approved internal/api set",
+	Run: runErrEnvelope,
+}
+
+func runErrEnvelope(pass *Pass) {
+	envType := findEnvelopeType(pass)
+	if envType == nil {
+		return // not an enveloped package
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkEnvelopeCall(pass, envType, n)
+			case *ast.CompositeLit:
+				checkEnvelopeLit(pass, envType, n)
+			case *ast.AssignStmt:
+				checkCodeAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// findEnvelopeType locates the package's errorEnvelope struct; nil when the
+// package does not define one.
+func findEnvelopeType(pass *Pass) *types.Named {
+	obj := pass.Pkg.Scope().Lookup("errorEnvelope")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := types.Unalias(tn.Type()).(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+func checkEnvelopeCall(pass *Pass, envType *types.Named, call *ast.CallExpr) {
+	// http.Error writes a text/plain body no envelope-aware client decodes.
+	if pkg := pkgOfCall(pass.TypesInfo, call); pkg != nil && pkg.Path() == "net/http" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" {
+			pass.Reportf(call.Pos(), "http.Error bypasses the error envelope; route failures through writeError")
+			return
+		}
+	}
+	var callee string
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		callee = fn.Sel.Name
+	case *ast.Ident:
+		callee = fn.Name
+	}
+	switch callee {
+	case "WriteHeader":
+		if len(call.Args) != 1 {
+			return
+		}
+		if status, ok := constInt(pass, call.Args[0]); ok && status >= 400 {
+			pass.Reportf(call.Pos(), "raw WriteHeader(%d) for a failure bypasses the error envelope; use writeError (or writeJSON with an errorEnvelope)", status)
+		}
+	case "writeJSON":
+		// writeJSON(w, status, v): a failure status must carry the envelope.
+		if len(call.Args) != 3 {
+			return
+		}
+		status, ok := constInt(pass, call.Args[1])
+		if !ok || status < 400 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[2]]
+		if !ok || types.Identical(types.Unalias(tv.Type), envType) {
+			return
+		}
+		pass.Reportf(call.Args[2].Pos(), "failure status %d written with a %s body; failures must ship the errorEnvelope",
+			status, types.TypeString(tv.Type, relativeTo(pass.Pkg)))
+	}
+}
+
+// checkEnvelopeLit verifies the Code field of errorEnvelope literals:
+// constant values must be approved slugs (non-constant values are built
+// from checked `code =` assignments).
+func checkEnvelopeLit(pass *Pass, envType *types.Named, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !types.Identical(types.Unalias(tv.Type), envType) {
+		return
+	}
+	st := envType.Underlying().(*types.Struct)
+	for i, elt := range lit.Elts {
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Code" {
+				continue
+			}
+			value = kv.Value
+		} else {
+			if i >= st.NumFields() || st.Field(i).Name() != "Code" {
+				continue
+			}
+			value = elt
+		}
+		checkCodeValue(pass, value)
+	}
+}
+
+// checkCodeAssign verifies constant strings assigned to a variable named
+// `code` — the writeError switch shape `status, code = 404, "not_found"`.
+func checkCodeAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "code" {
+			continue
+		}
+		checkCodeValue(pass, assign.Rhs[i])
+	}
+}
+
+// checkCodeValue reports a constant string that is not an approved slug.
+// Non-constant expressions pass: they are assembled from constants checked
+// at their own assignment sites.
+func checkCodeValue(pass *Pass, e ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	s := constant.StringVal(tv.Value)
+	if api.IsCode(s) {
+		return
+	}
+	pass.Reportf(e.Pos(), "error code %q is not in the approved set shared with the client (internal/api); use an api.Code constant or extend internal/api first", s)
+}
+
+// constInt evaluates e as a constant integer.
+func constInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	i, exact := constant.Int64Val(v)
+	return i, exact
+}

@@ -24,10 +24,22 @@ import (
 // field access needs depth > 0 at its source position. Functions whose
 // names end in "Locked" are exempt by convention: their contract is that
 // the caller holds the mutex.
+//
+// The analyzer also records the acquisition *order* between named mutexes:
+// whenever mutex B is acquired while mutex A is held in the same function
+// body, the package-wide order graph gains the edge A → B. Two functions
+// that nest the same pair of mutexes in opposite orders deadlock the
+// moment their critical sections interleave, so any cycle in the graph is
+// reported as a potential deadlock. Mutex identity is the declared field
+// (or package-level variable), not the instance: a.mu held while locking
+// b.mu of a different struct value is the same edge — but edges from a
+// mutex field to itself (two instances of one field) are ignored, as
+// instance-level order cannot be judged structurally.
 var LockGuard = &Analyzer{
 	Name: "lockguard",
 	Doc: "fields annotated `// guarded by <mu>` may only be accessed with the " +
-		"named mutex held in the enclosing function",
+		"named mutex held, and named mutexes must be acquired in one " +
+		"consistent package-wide order",
 	Run: runLockGuard,
 }
 
@@ -40,17 +52,19 @@ type guardedField struct {
 
 func runLockGuard(pass *Pass) {
 	guarded := collectGuardedFields(pass)
-	if len(guarded) == 0 {
-		return
-	}
+	order := newLockOrder()
 	for _, f := range pass.Files {
 		funcScopes(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
-			if strings.HasSuffix(name, "Locked") {
-				return
+			// "…Locked" helpers hold an unknown caller-side mutex, so their
+			// guarded accesses are exempt — but the locks they acquire
+			// themselves still order against each other.
+			if len(guarded) > 0 && !strings.HasSuffix(name, "Locked") {
+				checkLockScope(pass, guarded, body)
 			}
-			checkLockScope(pass, guarded, body)
+			order.scan(pass, body)
 		})
 	}
+	order.report(pass)
 }
 
 // collectGuardedFields finds annotated fields, validates that the named

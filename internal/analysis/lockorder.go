@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lock-ordering half of lockguard. Each function body is scanned for the
+// acquisition order it exhibits between named mutexes (struct fields and
+// package-level variables of sync.Mutex/RWMutex type); the per-package
+// graph of "B acquired while A held" edges is then checked for cycles —
+// the structural signature of a potential deadlock.
+
+// lockOrder accumulates the package-wide acquisition-order graph.
+type lockOrder struct {
+	// edges[from][to] is the first position where `to` was acquired while
+	// `from` was held.
+	edges map[*types.Var]map[*types.Var]token.Pos
+}
+
+func newLockOrder() *lockOrder {
+	return &lockOrder{edges: make(map[*types.Var]map[*types.Var]token.Pos)}
+}
+
+func (lo *lockOrder) addEdge(from, to *types.Var, pos token.Pos) {
+	if from == to {
+		// Two instances of the same mutex field: instance order cannot be
+		// judged structurally, and self-loops on one instance are the
+		// (un-analyzed) recursive-lock bug, not an ordering bug.
+		return
+	}
+	m := lo.edges[from]
+	if m == nil {
+		m = make(map[*types.Var]token.Pos)
+		lo.edges[from] = m
+	}
+	if old, ok := m[to]; !ok || pos < old {
+		m[to] = pos
+	}
+}
+
+// scan walks one function body (literals excluded — funcScopes hands them
+// over separately) and records every acquisition made while another named
+// mutex is held. The flow approximation matches checkLockScope: positions
+// order the events, deferred unlocks never end a critical section.
+func (lo *lockOrder) scan(pass *Pass, body *ast.BlockStmt) {
+	type ev struct {
+		pos     token.Pos
+		key     string // instance chain, e.g. "rs.mu"
+		v       *types.Var
+		locking bool
+	}
+	var events []ev
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // separate scope
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				key, locking, ok := mutexOp(n)
+				if !ok {
+					return true
+				}
+				v := mutexVar(pass, n)
+				if v == nil {
+					return true
+				}
+				if locking {
+					events = append(events, ev{n.Pos(), key, v, true})
+				} else if !deferred {
+					events = append(events, ev{n.Pos(), key, v, false})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := make(map[string]int)
+	varOf := make(map[string]*types.Var)
+	for _, e := range events {
+		if !e.locking {
+			if depth[e.key] > 0 {
+				depth[e.key]--
+			}
+			continue
+		}
+		for key, d := range depth {
+			if d > 0 {
+				lo.addEdge(varOf[key], e.v, e.pos)
+			}
+		}
+		depth[e.key]++
+		varOf[e.key] = e.v
+	}
+}
+
+// mutexVar resolves the mutex a Lock/Unlock call operates on to its
+// declaration: a struct field or a package-level variable of mutex type.
+// Locals return nil — their ordering is instance-specific.
+func mutexVar(pass *Pass, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		v := fieldVar(pass, x)
+		if v != nil && isMutexType(v.Type()) {
+			return v
+		}
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+		if ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && isMutexType(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+// report finds cycles in the accumulated graph and emits one diagnostic per
+// strongly connected component, anchored at the latest-seen edge in the
+// cycle (the site that contradicts the order established earlier).
+func (lo *lockOrder) report(pass *Pass) {
+	// Deterministic node order for the SCC walk.
+	var nodes []*types.Var
+	seen := make(map[*types.Var]bool)
+	add := func(v *types.Var) {
+		if !seen[v] {
+			seen[v] = true
+			nodes = append(nodes, v)
+		}
+	}
+	for from, tos := range lo.edges {
+		add(from)
+		for to := range tos {
+			add(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+
+	for _, scc := range stronglyConnected(nodes, lo.edges) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[*types.Var]bool, len(scc))
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		// Every edge inside an SCC lies on a cycle. Anchor the diagnostic at
+		// the maximal edge position and point back at the minimal one.
+		type edge struct {
+			from, to *types.Var
+			pos      token.Pos
+		}
+		var edges []edge
+		for from, tos := range lo.edges {
+			if !inSCC[from] {
+				continue
+			}
+			for to, pos := range tos {
+				if inSCC[to] {
+					edges = append(edges, edge{from, to, pos})
+				}
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+		last, first := edges[len(edges)-1], edges[0]
+		names := make([]string, len(scc))
+		for i, v := range scc {
+			names[i] = v.Name()
+		}
+		sort.Strings(names)
+		pass.Reportf(last.pos,
+			"acquiring %s while holding %s conflicts with the acquisition order at %s (lock-order cycle through %s; potential deadlock)",
+			last.to.Name(), last.from.Name(), pass.Fset.Position(first.pos), strings.Join(names, ", "))
+	}
+}
+
+// stronglyConnected is Tarjan's algorithm over the order graph; components
+// are returned in a deterministic order.
+func stronglyConnected(nodes []*types.Var, edges map[*types.Var]map[*types.Var]token.Pos) [][]*types.Var {
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	var stack []*types.Var
+	var sccs [][]*types.Var
+	next := 0
+
+	succ := func(v *types.Var) []*types.Var {
+		var out []*types.Var
+		for to := range edges[v] {
+			out = append(out, to)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+		return out
+	}
+
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ(v) {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,65 @@
+// Package atomicguard holds fixtures for the atomicguard analyzer: once any
+// access to a field is atomic, every access must be — a plain read racing
+// an atomic store is undefined behavior.
+package atomicguard
+
+import "sync/atomic"
+
+type gauge struct {
+	// hits is a typed atomic: methods only.
+	hits atomic.Uint64
+	// n becomes atomic for the whole package because bump uses
+	// atomic.AddInt64 on it below.
+	n int64
+	// cold is never accessed atomically; plain reads and writes are fine.
+	cold int64
+}
+
+// good: typed atomics are used through their methods.
+func (g *gauge) hit() { g.hits.Add(1) }
+
+func (g *gauge) total() uint64 { return g.hits.Load() }
+
+// good: handing the atomic along by pointer keeps the protocol — the
+// callee still goes through its methods.
+func (g *gauge) expose() *atomic.Uint64 { return &g.hits }
+
+func observe(c *atomic.Uint64) uint64 { return c.Load() }
+
+// bad: copying a typed atomic by value tears it — the copy starts a second,
+// unsynchronized life of the counter.
+func (g *gauge) snapshot() atomic.Uint64 {
+	return g.hits // want "hits is an atomic.Uint64 and may only be used through its methods"
+}
+
+// bad: assigning over a typed atomic is a plain (non-atomic) store.
+func (g *gauge) reset() {
+	g.hits = atomic.Uint64{} // want "hits is an atomic.Uint64 and may only be used through its methods"
+}
+
+// good: these two calls are what make n atomic package-wide.
+func (g *gauge) bump(d int64) { atomic.AddInt64(&g.n, d) }
+
+func (g *gauge) level() int64 { return atomic.LoadInt64(&g.n) }
+
+// bad: a plain increment races with bump's atomic.AddInt64.
+func (g *gauge) bumpRacy() {
+	g.n++ // want "n is accessed with sync/atomic elsewhere in this package.*races with the atomic access"
+}
+
+// bad: so does a plain read.
+func (g *gauge) levelRacy() int64 {
+	return g.n // want "n is accessed with sync/atomic elsewhere in this package.*races with the atomic access"
+}
+
+// good: cold is plain everywhere, so plain access is consistent.
+func (g *gauge) warm() int64 {
+	g.cold++
+	return g.cold
+}
+
+// good: an intentional exception carries its justification.
+func (g *gauge) initRacy() {
+	//lint:ignore atomicguard constructor runs before the gauge is shared
+	g.n = 0
+}

@@ -1,0 +1,91 @@
+// Package epochguard holds fixtures for the epochguard analyzer: fields
+// annotated `published via <fn>[, <fn>...]` may only be stored inside the
+// named publisher functions, mirroring the replicator's epoch-checked
+// publication contract.
+package epochguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type repl struct {
+	mu    sync.Mutex
+	epoch int64
+
+	// cursor is the replica's replay position.
+	// published via advanceCursor, Follow
+	cursor uint64
+
+	// applied mirrors cursor for lock-free readers.
+	// published via advanceCursor, Follow
+	applied atomic.Uint64
+
+	// resyncs counts snapshot re-seeds. published via resync
+	resyncs atomic.Int64
+
+	// scratch has no annotation: stores are unrestricted.
+	scratch uint64
+}
+
+// good: the named publishers do the stores.
+func (r *repl) advanceCursor(epoch int64, n uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch != r.epoch {
+		return false // retired loop: refuse to publish into the new epoch
+	}
+	r.cursor = n
+	r.applied.Store(n)
+	return true
+}
+
+// good: the epoch-creating transition resets publication state; the
+// function literal inherits Follow's name, so its store is sanctioned.
+func (r *repl) Follow(n uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch++
+	reset := func() {
+		r.cursor = n
+	}
+	reset()
+	r.applied.Store(n)
+}
+
+func (r *repl) resync() {
+	r.resyncs.Add(1)
+}
+
+// good: reads are unrestricted; Load is not a mutator.
+func (r *repl) lag(leader uint64) uint64 {
+	return leader - r.applied.Load()
+}
+
+// bad: a tail loop bypassing the epoch check can publish a stale cursor
+// into the new epoch's state.
+func (r *repl) tailLoop(n uint64) {
+	r.cursor = n       // want "raw assignment to cursor outside its publishers .advanceCursor, Follow."
+	r.cursor++         // want "raw .. to cursor outside its publishers"
+	r.applied.Store(n) // want "atomic Store to applied outside its publishers"
+	r.applied.Add(1)   // want "atomic Add to applied outside its publishers"
+	r.resyncs.Add(1)   // want "atomic Add to resyncs outside its publishers .resync."
+	p := &r.cursor     // want "address-of to cursor outside its publishers"
+	_ = p
+	_ = r.cursor // reads stay fine even here
+	r.scratch = n
+}
+
+// good: an intentional exception carries its justification.
+func (r *repl) seedForTest(n uint64) {
+	//lint:ignore epochguard test-only seeding before any tail loop exists
+	r.cursor = n
+}
+
+type mislabeled struct {
+	// lsn names a publisher that does not exist on the type.
+	// published via storeLSN
+	lsn uint64 // want "published-via annotation names \"storeLSN\", which is not a method of mislabeled"
+}
+
+func (m *mislabeled) bump() { m.lsn = 1 } // want "raw assignment to lsn outside its publishers"

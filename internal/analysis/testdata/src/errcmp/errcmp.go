@@ -1,0 +1,106 @@
+// Package errcmp holds fixtures for the errcmp analyzer: error values are
+// matched with errors.Is/errors.As, never compared to sentinels with ==/!=
+// or unpacked with type assertions.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrStale is a package-level sentinel, like store.ErrWALTruncated.
+var ErrStale = errors.New("errcmp: stale cursor")
+
+// opError is a typed error, like client.APIError.
+type opError struct{ code string }
+
+func (e *opError) Error() string { return e.code }
+
+// bad: the direct comparison misses every wrapped io.EOF.
+func drainEq(r io.Reader) error {
+	buf := make([]byte, 16)
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF { // want "comparing an error to EOF with ==.*errors.Is"
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// bad: != against a local sentinel has the same blind spot.
+func retryable(err error) bool {
+	return err != ErrStale // want "comparing an error to ErrStale with !=.*!errors.Is"
+}
+
+// bad: the sentinel may sit on either side.
+func flipped(err error) bool {
+	return ErrStale == err // want "comparing an error to ErrStale with ==.*errors.Is"
+}
+
+// good: nil comparisons are the universal no-error test.
+func succeeded(err error) bool {
+	return err == nil && ErrStale != nil
+}
+
+// good: errors.Is walks the wrap chain.
+func drainIs(r io.Reader) error {
+	buf := make([]byte, 16)
+	for {
+		_, err := r.Read(buf)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// bad: a type assertion only sees the outermost error.
+func codeOfAssert(err error) string {
+	if oe, ok := err.(*opError); ok { // want "type assertion on an error value.*errors.As"
+		return oe.code
+	}
+	return ""
+}
+
+// good: errors.As finds a wrapped *opError too.
+func codeOfAs(err error) string {
+	var oe *opError
+	if errors.As(err, &oe) {
+		return oe.code
+	}
+	return ""
+}
+
+// good: type switches are out of scope (opswitch territory).
+func classify(err error) string {
+	switch err.(type) {
+	case *opError:
+		return "op"
+	default:
+		return "other"
+	}
+}
+
+// good: asserting a non-error interface is not this analyzer's business.
+func stringify(v any) string {
+	if s, ok := v.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return ""
+}
+
+// good: comparing two plain error variables is identity, not sentinel
+// matching; left to human judgment.
+func same(a, b error) bool { return a == b }
+
+// good: an intentional exception carries its justification.
+func exactEOF(err error) bool {
+	//lint:ignore errcmp bufio documents it returns io.EOF unwrapped and the caller needs the exact value
+	return err == io.EOF
+}

@@ -1,0 +1,95 @@
+// Package errenvelope holds fixtures for the errenvelope analyzer. The
+// analyzer activates because this package defines an errorEnvelope struct;
+// failure responses must then flow through writeError/writeJSON with the
+// envelope and an approved code slug.
+package errenvelope
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// errorEnvelope mirrors internal/server's uniform /v1 error body.
+type errorEnvelope struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	RequestID string `json:"request_id"`
+}
+
+type okBody struct {
+	Value string `json:"value"`
+}
+
+// writeJSON is the sanctioned response path: its own WriteHeader takes a
+// variable status, which the analyzer leaves alone.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError is the one place failures are shaped; its switch assigns only
+// approved code slugs.
+func writeError(w http.ResponseWriter, reqID string, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	if err != nil && err.Error() == "gone" {
+		status, code = http.StatusNotFound, "not_found"
+	}
+	writeJSON(w, status, errorEnvelope{Error: err.Error(), Code: code, RequestID: reqID})
+}
+
+// bad: http.Error ships a text/plain body no envelope-aware client decodes.
+func handlePlain(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "http.Error bypasses the error envelope; route failures through writeError"
+}
+
+// bad: a constant failure status through raw WriteHeader has no body
+// contract at all.
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want "raw WriteHeader.500. for a failure bypasses the error envelope"
+}
+
+// bad: a failure status with a non-envelope body falls through every
+// client-side decoder.
+func handleBareMap(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, map[string]string{"oops": "gone"}) // want "failure status 404 written with a map.string.string body; failures must ship the errorEnvelope"
+}
+
+// bad: an unapproved code slug falls through every client-side switch.
+func handleMadeUpCode(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusTeapot, errorEnvelope{
+		Error: "short and stout",
+		Code:  "teapot", // want "error code \"teapot\" is not in the approved set shared with the client"
+	})
+}
+
+// bad: the writeError switch shape is checked at the assignment too.
+func handleBadAssign(w http.ResponseWriter, reqID string, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	if err != nil {
+		status, code = http.StatusConflict, "version_clash" // want "error code \"version_clash\" is not in the approved set"
+	}
+	writeJSON(w, status, errorEnvelope{Error: "e", Code: code, RequestID: reqID})
+}
+
+// good: success statuses carry whatever body they like.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, okBody{Value: "fine"})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// good: a failure through the envelope with an approved slug.
+func handleNotFound(w http.ResponseWriter, reqID string) {
+	writeJSON(w, http.StatusNotFound, errorEnvelope{Error: "gone", Code: "not_found", RequestID: reqID})
+}
+
+// good: non-constant codes are assembled from checked assignment sites.
+func handleDerived(w http.ResponseWriter, reqID string, code string) {
+	writeJSON(w, http.StatusConflict, errorEnvelope{Error: "busy", Code: code, RequestID: reqID})
+}
+
+// good: an intentional exception carries its justification.
+func handleLegacy(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore errenvelope health probe contract predates the envelope
+	http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+}

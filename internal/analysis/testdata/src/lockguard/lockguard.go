@@ -84,3 +84,50 @@ func (s *shard) closure() func() int {
 		return s.m[0] // want "m is accessed without holding s.mu"
 	}
 }
+
+// Lock-ordering cases: named mutexes must be acquired in one consistent
+// package-wide order.
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+var registryMu sync.Mutex
+
+// good: establishes the package order a-then-b.
+func (p *pair) forward() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// good: nesting a package-level mutex outside a field mutex is an order
+// edge, not a cycle.
+func (p *pair) register() {
+	registryMu.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	registryMu.Unlock()
+}
+
+// good: taking only one of the two needs no order at all.
+func (p *pair) solo() {
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+}
+
+// bad: b-then-a contradicts forward's a-then-b — two goroutines running
+// forward and backward concurrently can deadlock.
+func (p *pair) backward() {
+	p.b.Lock()
+	p.a.Lock() // want "acquiring a while holding b conflicts with the acquisition order at .*lock-order cycle through a, b; potential deadlock"
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,32 @@
+package api
+
+import "testing"
+
+// The slugs are wire contract: the server writes them, the client switches
+// on them, and the errenvelope analyzer enforces them. Pin the exact set so
+// an accidental edit fails loudly here before it fails quietly in a client.
+func TestCodesPinned(t *testing.T) {
+	want := []string{
+		"internal", "bad_request", "not_found", "conflict",
+		"too_large", "wal_truncated", "no_wal",
+	}
+	got := Codes()
+	if len(got) != len(want) {
+		t.Fatalf("Codes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Codes()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, c := range want {
+		if !IsCode(c) {
+			t.Errorf("IsCode(%q) = false, want true", c)
+		}
+	}
+	for _, c := range []string{"", "internal ", "Conflict", "teapot"} {
+		if IsCode(c) {
+			t.Errorf("IsCode(%q) = true, want false", c)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	mmdb "repro"
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -73,9 +74,9 @@ type Match struct {
 }
 
 // APIError carries a non-2xx response, decoded from the server's uniform
-// error envelope. Code is the stable machine-readable slug ("not_found",
-// "conflict", "bad_request", "too_large", "internal"); RequestID correlates
-// the failure with the server's access log.
+// error envelope. Code is the stable machine-readable slug — one of the
+// approved set in internal/api (api.CodeNotFound, api.CodeConflict, ...);
+// RequestID correlates the failure with the server's access log.
 type APIError struct {
 	Status    int
 	Code      string
@@ -91,10 +92,10 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
 }
 
-// IsNotFound reports whether err is an APIError with code "not_found".
+// IsNotFound reports whether err is an APIError with code api.CodeNotFound.
 func IsNotFound(err error) bool {
 	var ae *APIError
-	return errors.As(err, &ae) && ae.Code == "not_found"
+	return errors.As(err, &ae) && ae.Code == api.CodeNotFound
 }
 
 // apiError decodes the error envelope from a non-2xx body, falling back to

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	mmdb "repro"
+	"repro/internal/api"
 	"repro/internal/store"
 )
 
@@ -49,7 +50,7 @@ func (c *Client) WALTail(ctx context.Context, from uint64, max int, wait time.Du
 	var out mmdb.WALTailResult
 	err := c.doCtx(ctx, "GET", "/v1/wal/tail?"+q.Encode(), nil, "", &out)
 	var ae *APIError
-	if errors.As(err, &ae) && ae.Code == "wal_truncated" {
+	if errors.As(err, &ae) && ae.Code == api.CodeWALTruncated {
 		return out, fmt.Errorf("client: %s: %w", ae.Message, store.ErrWALTruncated)
 	}
 	return out, err

@@ -458,19 +458,31 @@ func (c *Coordinator) ensureIDsLocked(ctx context.Context) error {
 func (c *Coordinator) InsertImage(ctx context.Context, name string, img *mmdb.Image) (uint64, string, error) {
 	c.insertMu.Lock()
 	defer c.insertMu.Unlock()
-	if err := c.ensureIDsLocked(ctx); err != nil {
-		return 0, "", err
+	for attempt := 0; ; attempt++ {
+		if err := c.ensureIDsLocked(ctx); err != nil {
+			return 0, "", err
+		}
+		id := c.lastID + 1
+		conn, home := c.connFor(RouteKey(id, 0))
+		_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+			return struct{}{}, conn.shard.InsertImage(actx, id, name, img)
+		})
+		if err != nil {
+			// A failed insert may still have applied (a replica leader can
+			// die after committing but before acking), so the cached
+			// watermark is no longer trustworthy; re-seed it from the
+			// shards before the next allocation. When the failure is a
+			// duplicate id, that stale watermark was the cause — re-sync
+			// and retry once with a fresh id.
+			c.idSynced = false
+			if isDuplicateID(err) && attempt == 0 {
+				continue
+			}
+			return 0, "", err
+		}
+		c.lastID = id
+		return id, home, nil
 	}
-	id := c.lastID + 1
-	conn, home := c.connFor(RouteKey(id, 0))
-	_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
-		return struct{}{}, conn.shard.InsertImage(actx, id, name, img)
-	})
-	if err != nil {
-		return 0, "", err
-	}
-	c.lastID = id
-	return id, home, nil
 }
 
 // InsertSequence stores an edited image on its base's home shard (the
@@ -490,11 +502,25 @@ func (c *Coordinator) InsertSequence(ctx context.Context, name string, seq *mmdb
 	if err := c.replicateTargets(ctx, conn, seq); err != nil {
 		return 0, "", err
 	}
-	id := c.lastID + 1
-	_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
-		return struct{}{}, conn.shard.InsertSequence(actx, id, name, seq)
-	})
-	if err != nil {
+	var id uint64
+	for attempt := 0; ; attempt++ {
+		id = c.lastID + 1
+		_, err := callShard(ctx, c.pol, false, func(actx context.Context) (struct{}, error) {
+			return struct{}{}, conn.shard.InsertSequence(actx, id, name, seq)
+		})
+		if err == nil {
+			break
+		}
+		// Same ambiguous-outcome rule as InsertImage: the watermark may be
+		// stale after any failure; a duplicate id gets one retry with a
+		// re-seeded allocator.
+		c.idSynced = false
+		if isDuplicateID(err) && attempt == 0 {
+			if serr := c.ensureIDsLocked(ctx); serr != nil {
+				return 0, "", serr
+			}
+			continue
+		}
 		return 0, "", err
 	}
 	c.lastID = id

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	mmdb "repro"
+	"repro/internal/api"
 	"repro/internal/catalog"
 	"repro/internal/client"
 	"repro/internal/editops"
@@ -105,9 +106,11 @@ type ReplicaSet struct {
 	AckTimeout time.Duration
 
 	mu        sync.RWMutex
-	leader    *rsMember
-	followers []*rsMember
+	leader    *rsMember   // guarded by mu
+	followers []*rsMember // guarded by mu
 	rr        atomic.Uint64
+	// promoteMu serializes promotions; it is always acquired before mu
+	// (PromoteNow), never inside it — lockguard's order graph pins that.
 	promoteMu sync.Mutex
 }
 
@@ -129,6 +132,7 @@ func NewReplicaSet(id string, members ...ReplicaMember) (*ReplicaSet, error) {
 		FreshnessBound: DefaultFreshnessBound,
 		AckTimeout:     DefaultAckTimeout,
 	}
+	rs.mu.Lock()
 	for i, m := range members {
 		mem := rs.newMember(m)
 		if i == 0 {
@@ -137,6 +141,7 @@ func NewReplicaSet(id string, members ...ReplicaMember) (*ReplicaSet, error) {
 			rs.followers = append(rs.followers, mem)
 		}
 	}
+	rs.mu.Unlock()
 	return rs, nil
 }
 
@@ -277,7 +282,7 @@ func isDuplicateID(err error) bool {
 		return true
 	}
 	var ae *client.APIError
-	return errors.As(err, &ae) && ae.Code == "conflict"
+	return errors.As(err, &ae) && ae.Code == api.CodeConflict
 }
 
 // Delete implements Shard (a write: it must replicate like one).

@@ -90,16 +90,22 @@ type Replicator struct {
 	cancel context.CancelFunc
 
 	mu         sync.Mutex
-	leader     LeaderConn // nil while leader
-	leaderName string     // guarded by mu
-	epoch      int64      // guarded by mu; bumps retire old loops
-	cursor     uint64     // guarded by mu; leader LSN applied up to
-	wake       chan struct{}
+	leader     LeaderConn    // guarded by mu; nil while leader
+	leaderName string        // guarded by mu
+	epoch      int64         // guarded by mu; bumps retire old loops
+	cursor     uint64        // guarded by mu; published via advanceCursor, Follow
+	wake       chan struct{} // guarded by mu
 
-	applied   atomic.Uint64 // mirror of cursor for lock-free readers
-	leaderLSN atomic.Uint64 // leader durable horizon from last tail page
-	resyncs   atomic.Int64
-	paused    atomic.Bool
+	// applied mirrors cursor for lock-free readers.
+	// published via advanceCursor, Follow
+	applied atomic.Uint64
+	// leaderLSN is the leader durable horizon from the last tail page.
+	// published via storeLeaderLSN, Follow
+	leaderLSN atomic.Uint64
+	// resyncs counts snapshot re-seeds.
+	// published via resync
+	resyncs atomic.Int64
+	paused  atomic.Bool
 
 	lagGauge  *obs.Gauge
 	roleGauge *obs.Gauge

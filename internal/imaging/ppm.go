@@ -178,7 +178,7 @@ digits:
 	var digits []byte
 	for {
 		b, err := br.ReadByte()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

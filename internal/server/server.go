@@ -62,6 +62,7 @@ import (
 	"time"
 
 	mmdb "repro"
+	"repro/internal/api"
 	"repro/internal/catalog"
 	"repro/internal/obs"
 )
@@ -156,7 +157,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.ContentLength > MaxUploadBytes {
 		s.writeJSON(rec, http.StatusRequestEntityTooLarge, errorEnvelope{
 			Error:     fmt.Sprintf("request body %d bytes exceeds limit %d", r.ContentLength, int64(MaxUploadBytes)),
-			Code:      "too_large",
+			Code:      api.CodeTooLarge,
 			RequestID: reqID,
 		})
 	} else {
@@ -326,25 +327,25 @@ type errorEnvelope struct {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, "internal"
+	status, code := http.StatusInternalServerError, api.CodeInternal
 	sr, _ := w.(*statusRecorder)
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &mbe), sr != nil && sr.limitHit:
-		status, code = http.StatusRequestEntityTooLarge, "too_large"
+		status, code = http.StatusRequestEntityTooLarge, api.CodeTooLarge
 	case errors.Is(err, catalog.ErrNotFound):
-		status, code = http.StatusNotFound, "not_found"
+		status, code = http.StatusNotFound, api.CodeNotFound
 	case errors.Is(err, catalog.ErrInUse), errors.Is(err, catalog.ErrIDTaken):
-		status, code = http.StatusConflict, "conflict"
+		status, code = http.StatusConflict, api.CodeConflict
 	case errors.Is(err, mmdb.ErrWALTruncated):
 		// The follower's tail cursor fell below the checkpoint floor; it
 		// must re-seed from a snapshot. A distinct code lets the client
 		// map this back to the sentinel.
-		status, code = http.StatusConflict, "wal_truncated"
+		status, code = http.StatusConflict, api.CodeWALTruncated
 	case errors.Is(err, mmdb.ErrNoWAL):
-		status, code = http.StatusNotFound, "no_wal"
+		status, code = http.StatusNotFound, api.CodeNoWAL
 	case isBadRequest(err):
-		status, code = http.StatusBadRequest, "bad_request"
+		status, code = http.StatusBadRequest, api.CodeBadRequest
 	}
 	s.writeJSON(w, status, errorEnvelope{
 		Error:     err.Error(),
