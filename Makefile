@@ -87,7 +87,7 @@ obs-overhead-smoke:
 # adds the replication legs: followers crashing mid-catch-up reopen and
 # converge back to leader parity.
 crash-matrix:
-	$(GO) test -race -count=1 -run 'Crash|Recovery|WAL|Compact|Drain' ./internal/core/ ./internal/store/ ./internal/server/ ./internal/cluster/
+	$(GO) test -race -count=1 -run 'Crash|Recovery|WAL|Compact|Drain' ./internal/core/ ./internal/store/ ./internal/store/segment/ ./internal/server/ ./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

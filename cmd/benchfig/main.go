@@ -8,7 +8,7 @@
 //	benchfig -exp table1|table2|fig3|fig4|summary
 //	benchfig -exp ablation-widening|ablation-ops|ablation-baseline|ablation-cache
 //	benchfig -exp ext-knn|ext-rtree|ext-bic
-//	benchfig -exp scale|cluster|commit|obsoverhead
+//	benchfig -exp scale|cluster|commit|obsoverhead|segment
 package main
 
 import (
@@ -171,6 +171,13 @@ func run(exp string) error {
 		}
 		bench.WriteCommit(out, pts)
 		return bench.WriteCommitJSON(out, pts)
+	case "segment":
+		res, err := bench.CompareSegment(400)
+		if err != nil {
+			return err
+		}
+		bench.WriteSegment(out, res)
+		return bench.WriteSegmentJSON(out, res)
 	case "cluster":
 		cfg := bench.FlagConfig()
 		cfg.Queries = 40

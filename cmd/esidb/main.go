@@ -42,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store/segment"
 )
 
 func main() {
@@ -82,6 +83,8 @@ func main() {
 		err = cmdCompact(args)
 	case "fsck":
 		err = cmdFsck(args)
+	case "store":
+		err = cmdStore(args)
 	case "stats":
 		err = cmdStats(args)
 	case "metrics":
@@ -128,6 +131,7 @@ commands:
   load     import a dump directory (ids remapped)
   compact  rewrite the database file, reclaiming deleted space
   fsck     verify the database file's structural integrity
+  store    storage-engine operations: segments (list the segment stack)
   wal      write-ahead-log operations: stats, checkpoint
   stats    print database statistics
   metrics  run a workload probe and print the process metrics registry
@@ -140,6 +144,12 @@ commands:
 func openDB(path string) (*mmdb.DB, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing -db flag")
+	}
+	// A database created with the segmented engine keeps its objects under
+	// <path>.segments; reopening it through the page-store path would see
+	// an empty store, so detect and route automatically.
+	if fi, err := os.Stat(path + ".segments"); err == nil && fi.IsDir() {
+		return mmdb.Open(mmdb.WithPath(path), mmdb.WithSegmentStore(mmdb.SegmentOptions{}))
 	}
 	return mmdb.Open(mmdb.WithPath(path))
 }
@@ -681,6 +691,50 @@ func cmdFsck(args []string) error {
 	return nil
 }
 
+// cmdStore inspects the storage engine. "segments" reads the segment
+// manifest directly off disk — no database open, no locks — so it works on
+// a store that is being served or that fails to open.
+func cmdStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: esidb store segments -db file")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+sub, flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(rest)
+	if *path == "" {
+		return fmt.Errorf("missing -db flag")
+	}
+	switch sub {
+	case "segments":
+		dir := *path + ".segments"
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("%s is not a segmented database (no %s)", *path, dir)
+		}
+		m, err := segment.ReadManifest(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generation: %d, %d live segments\n", m.Gen, len(m.Segments))
+		var totalBytes int64
+		var totalEntries int
+		for _, s := range m.Segments {
+			sketch := "full"
+			if !s.SketchCovered {
+				sketch = "partial"
+			}
+			fmt.Printf("  seg %-4d %-20s ids [%d..%d]  %d entries (%d puts, %d tombstones)  %d bytes  bloom %d bits  sketch %s/%d bins\n",
+				s.ID, s.File, s.MinID, s.MaxID, s.Entries, s.Puts, s.Tombstones, s.Bytes, s.BloomBits, sketch, s.SketchBins)
+			totalBytes += s.Bytes
+			totalEntries += s.Entries
+		}
+		fmt.Printf("total: %d entries, %d bytes\n", totalEntries, totalBytes)
+		return nil
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want segments)", sub)
+	}
+}
+
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	path := fs.String("db", "", "database file")
@@ -723,12 +777,31 @@ func cmdServe(args []string) error {
 	shardMap := fs.String("shard-map", "", "cluster shard-map file (JSON)")
 	replicaOf := fs.String("replica-of", "", "start as a follower tailing this leader's base URL")
 	replicaID := fs.String("replica-id", "", "this replica's name in status output (default: the listen addr)")
+	segments := fs.Bool("segments", false, "back the database with the segmented storage engine (background compaction)")
+	segmentSize := fs.Int64("segment-size", 0, "segmented engine: seal the memtable at this many bytes (0 = 4 MiB)")
+	compactionRate := fs.Int64("compaction-rate", 0, "segmented engine: cap compaction writes at this many bytes/sec (0 = unlimited)")
 	fs.Parse(args)
 	if *slowThreshold < 0 {
 		return fmt.Errorf("-slow-query-threshold must not be negative")
 	}
+	if (*segmentSize != 0 || *compactionRate != 0) && !*segments {
+		return fmt.Errorf("-segment-size and -compaction-rate require -segments")
+	}
 	obs.DefaultQueryLog().SetThreshold(*slowThreshold)
-	db, err := openDB(*path)
+	var db *mmdb.DB
+	var err error
+	if *segments {
+		if *path == "" {
+			return fmt.Errorf("missing -db flag")
+		}
+		db, err = mmdb.Open(mmdb.WithPath(*path), mmdb.WithSegmentStore(mmdb.SegmentOptions{
+			TargetBytes:     *segmentSize,
+			RateBytesPerSec: *compactionRate,
+			Background:      true,
+		}))
+	} else {
+		db, err = openDB(*path)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/store/segment"
+)
+
+// Segmented-engine comparison. Two experiments in one figure:
+//
+//  1. Write-path tail latency. The same insert+delete workload runs while
+//     a maintenance loop keeps calling Compact. On the page store Compact
+//     is a stop-the-world rewrite holding the database lock, so writers
+//     stall behind it and the insert p99 spikes; on the segmented engine
+//     Compact seals and merges in the background, so the write path keeps
+//     its p99 near its p50. That delta is the engine's reason to exist.
+//  2. Range-query throughput with the per-segment bound sketches on
+//     versus off — what segment skipping buys at query time.
+
+// SegmentWritePoint is one engine's write-latency measurement.
+type SegmentWritePoint struct {
+	// Engine names the arm: "pagestore-inline" or "segmented-background".
+	Engine string `json:"engine"`
+	// Inserts and Deletes count acknowledged workload operations.
+	Inserts int `json:"inserts"`
+	Deletes int `json:"deletes"`
+	// Compactions is how many maintenance compactions completed mid-run.
+	Compactions int `json:"compactions"`
+	// P50, P99 and Max summarize the per-insert latency distribution.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+	// Elapsed is the workload wall time; PerSec the insert throughput.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	PerSec  float64       `json:"inserts_per_sec"`
+}
+
+// SegmentQueryPoint is one sketch arm's query-throughput measurement.
+type SegmentQueryPoint struct {
+	// Workload names the query mix: "corpus" (the paper's mixed at-least /
+	// at-most / between ranges) or "selective" (high-threshold at-least
+	// queries, the regime segment skipping targets).
+	Workload string `json:"workload"`
+	// SketchSkip reports whether the bound-sketch filter was enabled.
+	SketchSkip bool `json:"sketch_skip"`
+	Queries    int  `json:"queries"`
+	// Elapsed is the best-of-repetitions workload time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	PerSec  float64       `json:"queries_per_sec"`
+	// EditedWalked is how many edited images paid a full rule walk.
+	EditedWalked int `json:"edited_walked"`
+	// SketchChecks and SketchSkips count filter consultations and the
+	// candidates it eliminated.
+	SketchChecks int64 `json:"sketch_checks"`
+	SketchSkips  int64 `json:"sketch_skips"`
+}
+
+// SegmentResult is the full experiment output.
+type SegmentResult struct {
+	Write []SegmentWritePoint `json:"write"`
+	Query []SegmentQueryPoint `json:"query"`
+}
+
+// CompareSegment runs both experiments. inserts sizes the write workload;
+// the query arm uses the flag corpus with every edited image stored as a
+// sequence. Results are published as gauges:
+//
+//	esidb_bench_segment_write_p99_seconds{engine="..."}
+//	esidb_bench_segment_query_per_sec{sketch="..."}
+func CompareSegment(inserts int) (*SegmentResult, error) {
+	if inserts <= 0 {
+		return nil, fmt.Errorf("bench: segment needs positive inserts (%d)", inserts)
+	}
+	res := &SegmentResult{}
+	for _, arm := range []string{"pagestore-inline", "segmented-background"} {
+		pt, err := timeSegmentWrites(arm, inserts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: segment writes %s: %w", arm, err)
+		}
+		res.Write = append(res.Write, pt)
+	}
+	qpts, err := timeSegmentQueries()
+	if err != nil {
+		return nil, fmt.Errorf("bench: segment queries: %w", err)
+	}
+	res.Query = qpts
+
+	reg := obs.Default()
+	for _, p := range res.Write {
+		label := fmt.Sprintf("{engine=%q}", p.Engine)
+		reg.Gauge("esidb_bench_segment_write_p99_seconds" + label).Set(p.P99.Seconds())
+		reg.Gauge("esidb_bench_segment_write_per_sec" + label).Set(p.PerSec)
+	}
+	for _, p := range res.Query {
+		label := fmt.Sprintf("{workload=%q,sketch=%q}", p.Workload, onOff(p.SketchSkip))
+		reg.Gauge("esidb_bench_segment_query_per_sec" + label).Set(p.PerSec)
+	}
+	return res, nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// timeSegmentWrites runs the insert+delete workload on one engine while a
+// maintenance loop compacts continuously, and summarizes insert latencies.
+func timeSegmentWrites(arm string, inserts int) (SegmentWritePoint, error) {
+	dir, err := os.MkdirTemp("", "esidb-segbench-")
+	if err != nil {
+		return SegmentWritePoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := core.Config{Path: filepath.Join(dir, "seg.db"), Quantizer: defaultQuantizer}
+	if arm == "segmented-background" {
+		cfg.Segment = &segment.Options{
+			TargetBytes:  128 << 10,
+			Background:   true,
+			CompactEvery: 5 * time.Millisecond,
+		}
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		return SegmentWritePoint{}, err
+	}
+	defer db.Close()
+
+	// Maintenance loop: what a server's housekeeping would do. Inline
+	// page-store compaction rewrites the whole file under the database
+	// lock; segmented compaction merges online.
+	stop := make(chan struct{})
+	maintDone := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				maintDone <- n
+				return
+			default:
+			}
+			if err := db.Compact(); err == nil {
+				n++
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	imgs := dataset.Flags(16, 48, 32, 77)
+	lat := make([]time.Duration, 0, inserts)
+	var ids []uint64
+	deletes := 0
+	start := time.Now()
+	for i := 0; i < inserts; i++ {
+		img := imgs[i%len(imgs)].Img
+		t0 := time.Now()
+		id, err := db.InsertImage(fmt.Sprintf("w-%d", i), img)
+		if err != nil {
+			close(stop)
+			<-maintDone
+			return SegmentWritePoint{}, err
+		}
+		lat = append(lat, time.Since(t0))
+		ids = append(ids, id)
+		// Delete a quarter of the ids as we go so compaction always has
+		// dead space to reclaim.
+		if i%4 == 3 {
+			victim := ids[len(ids)-2]
+			if err := db.Delete(victim); err == nil {
+				deletes++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	compactions := <-maintDone
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+	return SegmentWritePoint{
+		Engine:      arm,
+		Inserts:     inserts,
+		Deletes:     deletes,
+		Compactions: compactions,
+		P50:         pct(0.50),
+		P99:         pct(0.99),
+		Max:         lat[len(lat)-1],
+		Elapsed:     elapsed,
+		PerSec:      float64(inserts) / elapsed.Seconds(),
+	}, nil
+}
+
+// timeSegmentQueries builds a segmented flag corpus with every edited
+// image as a sequence, seals it, and times the range workload with the
+// bound-sketch filter on and off.
+func timeSegmentQueries() ([]SegmentQueryPoint, error) {
+	cfg := FlagConfig()
+	cfg.Queries = 60
+	cfg.Repetitions = 3
+	// Long scripts: the skip filter's value scales with the cost of the
+	// rule walk it avoids, and 5-op scripts are too cheap to show it.
+	cfg.OpsPerImage = 16
+	corpus, err := BuildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "esidb-segbench-q-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := buildSegmentedCorpusDB(corpus, filepath.Join(dir, "seg.db"))
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := db.Sync(); err != nil { // seal: candidates now live in segments
+		return nil, err
+	}
+
+	// The selective workload keeps the corpus bins but asks high-threshold
+	// at-least questions, where per-segment envelopes can prove misses.
+	rng := rand.New(rand.NewSource(cfg.Seed + 50))
+	selective := make([]query.Range, 0, len(corpus.Workload))
+	for _, q := range corpus.Workload {
+		selective = append(selective, query.Range{Bin: q.Bin, PctMin: 0.4 + 0.4*rng.Float64(), PctMax: 1})
+	}
+
+	var out []SegmentQueryPoint
+	for _, wl := range []struct {
+		name    string
+		queries []query.Range
+	}{{"corpus", corpus.Workload}, {"selective", selective}} {
+		for _, sketch := range []bool{true, false} {
+			db.SetSegmentSketchSkip(sketch)
+			before, _ := db.SegmentStats()
+			elapsed, walked, err := timeSegmentWorkload(db, wl.queries, cfg.Repetitions)
+			if err != nil {
+				return nil, err
+			}
+			after, _ := db.SegmentStats()
+			out = append(out, SegmentQueryPoint{
+				Workload:     wl.name,
+				SketchSkip:   sketch,
+				Queries:      len(wl.queries),
+				Elapsed:      elapsed,
+				PerSec:       float64(len(wl.queries)) / elapsed.Seconds(),
+				EditedWalked: walked,
+				SketchChecks: after.SketchChecks - before.SketchChecks,
+				SketchSkips:  after.SketchSkips - before.SketchSkips,
+			})
+		}
+	}
+	return out, nil
+}
+
+// timeSegmentWorkload runs the query list reps times in ModeRBM and
+// returns the minimum wall time plus one repetition's edited-walk count.
+func timeSegmentWorkload(db *core.DB, queries []query.Range, reps int) (time.Duration, int, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best time.Duration
+	var walked int
+	for r := 0; r < reps; r++ {
+		w := 0
+		start := time.Now()
+		for _, q := range queries {
+			res, err := db.RangeQuery(q, core.ModeRBM)
+			if err != nil {
+				return 0, 0, err
+			}
+			w += res.Stats.EditedWalked
+		}
+		d := time.Since(start)
+		if r == 0 || d < best {
+			best = d
+		}
+		walked = w
+	}
+	return best, walked, nil
+}
+
+// buildSegmentedCorpusDB is BuildDBAt(all sequences) against a segmented
+// file-backed database.
+func buildSegmentedCorpusDB(c *Corpus, path string) (*core.DB, error) {
+	db, err := core.Open(core.Config{
+		Path:      path,
+		Quantizer: defaultQuantizer,
+		// Without Background, seals happen only on Sync — the builder
+		// seals every few inserts so each per-bin envelope covers few
+		// entries, which is what gives the skip filter discriminating
+		// power. MaxSegments/FanIn are raised so tiering does not
+		// immediately merge the small segments back together.
+		Segment: &segment.Options{TargetBytes: -1, MaxSegments: 256, FanIn: 256},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range c.Originals {
+		if _, err := db.InsertImage(o.Name, o.Img); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	for i, seq := range c.Scripts {
+		if _, err := db.InsertEdited(fmt.Sprintf("%s-seq-%d", c.Config.Name, i), seq); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if i%8 == 7 {
+			if err := db.Sync(); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// WriteSegment renders the comparison as tables.
+func WriteSegment(w io.Writer, res *SegmentResult) {
+	fmt.Fprintln(w, "Write path under continuous compaction (insert latency):")
+	fmt.Fprintf(w, "  %-22s %8s %8s %10s %10s %10s %12s\n",
+		"engine", "inserts", "compacts", "p50", "p99", "max", "inserts/s")
+	for _, p := range res.Write {
+		fmt.Fprintf(w, "  %-22s %8d %8d %10s %10s %10s %12.1f\n",
+			p.Engine, p.Inserts, p.Compactions, p.P50, p.P99, p.Max, p.PerSec)
+	}
+	if len(res.Write) == 2 && res.Write[1].P99 > 0 {
+		fmt.Fprintf(w, "  p99 ratio (pagestore/segmented): %.2fx\n",
+			float64(res.Write[0].P99)/float64(res.Write[1].P99))
+	}
+	fmt.Fprintln(w, "Range throughput, bound-sketch segment skipping:")
+	fmt.Fprintf(w, "  %-10s %-8s %8s %12s %14s %14s %14s\n",
+		"workload", "sketch", "queries", "queries/s", "edited walked", "sketch checks", "sketch skips")
+	for _, p := range res.Query {
+		fmt.Fprintf(w, "  %-10s %-8s %8d %12.1f %14d %14d %14d\n",
+			p.Workload, onOff(p.SketchSkip), p.Queries, p.PerSec, p.EditedWalked, p.SketchChecks, p.SketchSkips)
+	}
+}
+
+// WriteSegmentJSON emits the comparison as one JSON document.
+func WriteSegmentJSON(w io.Writer, res *SegmentResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string         `json:"experiment"`
+		Result     *SegmentResult `json:"result"`
+	}{Experiment: "segment", Result: res})
+}

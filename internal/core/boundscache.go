@@ -189,6 +189,9 @@ func (db *DB) rangeCached(ctx context.Context, q query.Range, tr *obs.Trace) (*r
 	done()
 	done = tr.Phase("cached.interval-tests")
 	matched, st, err := db.filterEdited(ctx, db.cat.EditedIDs(), tr, func(id uint64, _ *rbm.Stats) (bool, error) {
+		if db.segPrune(q, id, tr) {
+			return false, nil // segment sketches prove the bounds miss
+		}
 		obj, err := db.cat.Edited(id)
 		if errors.Is(err, catalog.ErrNotFound) {
 			return false, nil

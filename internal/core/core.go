@@ -35,6 +35,7 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/store/segment"
 )
 
 // Mode selects the range-query execution strategy.
@@ -128,6 +129,13 @@ type Config struct {
 	// the flusher is free and batches up to store.DefaultWALMaxBatch
 	// commits per fsync.
 	WAL store.WALOptions
+	// Segment, when non-nil, backs the database with the segmented storage
+	// engine (immutable WAL-sealed segments with bloom filters, histogram
+	// sketches and background compaction; see internal/store/segment)
+	// instead of the single-file page store. The segment files live under
+	// Path+".segments/"; the WAL stays at Path+".wal". Ignored without
+	// Path. The pointed-to Options' zero value gets the engine defaults.
+	Segment *segment.Options
 }
 
 // DB is the augmented image database. All methods are safe for concurrent
@@ -146,8 +154,9 @@ type DB struct {
 	bwmProc *bwm.Processor
 	sig     *rtree.Tree
 
-	st         *store.Store // nil when in-memory
-	wal        *store.WAL   // nil when in-memory
+	st         *store.Store    // nil when in-memory or segmented
+	seg        *segment.Engine // nil unless the segmented backend is configured
+	wal        *store.WAL      // nil when in-memory
 	rasters    map[uint64]*imaging.Image
 	rasterRecs map[uint64]store.RecordID
 	bcache     *boundsCache
@@ -172,6 +181,9 @@ func Open(cfg Config) (*DB, error) {
 	db := newDB(cfg)
 	if cfg.Path == "" {
 		return db, nil
+	}
+	if cfg.Segment != nil {
+		return openSegmented(cfg, defaulted)
 	}
 	st, err := openOrCreate(cfg.Path, cfg.Store)
 	if err != nil {
@@ -217,6 +229,59 @@ func Open(cfg Config) (*DB, error) {
 	// Restore the observed-statistics distributions the last clean shutdown
 	// snapshotted, so the planner's input survives restarts. Best-effort: a
 	// missing or corrupt snapshot just starts the distributions cold.
+	_ = obs.DefaultStats().LoadFile(StatsSnapshotPath(cfg.Path))
+	return db, nil
+}
+
+// openSegmented opens a database backed by the segmented storage engine:
+// the object state is restored from the segment set, the quantizer is
+// verified (or adopted, when defaulted) against the store's meta entry,
+// and the write-ahead log is replayed over the result exactly as in
+// legacy mode.
+func openSegmented(cfg Config, defaulted bool) (*DB, error) {
+	seg, err := segment.Open(SegmentDir(cfg.Path), *cfg.Segment)
+	if err != nil {
+		return nil, err
+	}
+	db := newDB(cfg)
+	db.attachSegment(seg)
+	err = db.loadFromSegments()
+	if defaulted {
+		var mismatch *quantizerMismatchError
+		if errors.As(err, &mismatch) {
+			q, perr := colorspace.ParseQuantizer(mismatch.stored)
+			if perr != nil {
+				seg.Close()
+				return nil, fmt.Errorf("%w: %v", ErrIncompatible, perr)
+			}
+			cfg.Quantizer = q
+			db = newDB(cfg)
+			db.attachSegment(seg)
+			err = db.loadFromSegments()
+		}
+	}
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	wal, recs, err := store.OpenWAL(cfg.Path+".wal", cfg.WAL)
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	db.wal = wal
+	db, err = db.replayWAL(recs, defaulted)
+	if err == nil {
+		// Stage the configuration entry only after replay: a pre-replay
+		// meta would pin the defaulted quantizer before a logged config
+		// record had the chance to adopt the store's real one.
+		err = db.segEnsureMeta()
+	}
+	if err != nil {
+		wal.Abandon()
+		seg.Close()
+		return nil, err
+	}
 	_ = obs.DefaultStats().LoadFile(StatsSnapshotPath(cfg.Path))
 	return db, nil
 }
@@ -284,13 +349,10 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if db.st == nil {
+	if db.st == nil && db.seg == nil {
 		return nil
 	}
-	err := db.persistCatalogLocked()
-	if err == nil {
-		err = db.st.Sync()
-	}
+	err := db.persistDurableLocked()
 	if err == nil && db.wal != nil {
 		err = db.wal.Checkpoint()
 	}
@@ -299,8 +361,15 @@ func (db *DB) Close() error {
 			err = cerr
 		}
 	}
-	if cerr := db.st.Close(); cerr != nil && err == nil {
-		err = cerr
+	if db.st != nil {
+		if cerr := db.st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if db.seg != nil {
+		if cerr := db.seg.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	// A clean shutdown snapshots the observed statistics (a crash loses at
 	// most the distributions since the last Sync — they are advisory).
@@ -314,7 +383,7 @@ func (db *DB) Close() error {
 // one interval of observed distributions.
 func (db *DB) SaveQueryStats() error {
 	db.mu.RLock()
-	backed := db.st != nil && !db.closed
+	backed := (db.st != nil || db.seg != nil) && !db.closed
 	db.mu.RUnlock()
 	if !backed {
 		return nil
@@ -331,13 +400,10 @@ func (db *DB) Sync() error {
 	if db.closed {
 		return store.ErrClosed
 	}
-	if db.st == nil {
+	if db.st == nil && db.seg == nil {
 		return nil
 	}
-	if err := db.persistCatalogLocked(); err != nil {
-		return err
-	}
-	if err := db.st.Sync(); err != nil {
+	if err := db.persistDurableLocked(); err != nil {
 		return err
 	}
 	if err := db.walCheckpointLocked(); err != nil {
@@ -407,6 +473,11 @@ func (db *DB) applyInsertBinaryLocked(id uint64, name string, img *imaging.Image
 		}
 		db.rasterRecs[id] = rec
 	}
+	if db.seg != nil {
+		if err := db.segPutBinaryLocked(id, name, img, hist); err != nil {
+			return 0, err
+		}
+	}
 	db.idx.InsertBinary(id)
 	if err := db.sig.InsertPoint(hist.Normalized(), id); err != nil {
 		return 0, err
@@ -463,6 +534,11 @@ func (db *DB) applyInsertEditedLocked(id uint64, name string, seq *editops.Seque
 	id, err = db.cat.AddEditedWithID(id, name, seq.Clone(), widening)
 	if err != nil {
 		return 0, err
+	}
+	if db.seg != nil {
+		if err := db.segPutEditedLocked(id, name, widening, seq); err != nil {
+			return 0, err
+		}
 	}
 	db.idx.InsertEdited(id, seq.BaseID, widening)
 	return id, nil
@@ -521,6 +597,13 @@ func (db *DB) applySetSequenceLocked(id uint64, newSeq *editops.Sequence) error 
 	widening := rules.SequenceIsWideningFor(newSeq.Ops, base.W, base.H)
 	if err := db.cat.UpdateEdited(id, newSeq, widening); err != nil {
 		return err
+	}
+	if db.seg != nil {
+		// Re-stage with fresh bounds so the sketch skip keeps matching the
+		// object's current BOUNDS envelope.
+		if err := db.segPutEditedLocked(id, obj.Name, widening, newSeq); err != nil {
+			return err
+		}
 	}
 	if widening != oldWidening {
 		db.idx.DeleteEdited(id, newSeq.BaseID)
@@ -588,6 +671,11 @@ func (db *DB) applyDeleteLocked(id uint64) error {
 	default:
 		return fmt.Errorf("core: delete %d: unknown kind %d", id, obj.Kind)
 	}
+	if db.seg != nil {
+		if err := db.seg.Delete(id); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -613,10 +701,15 @@ func (db *DB) binaryRaster(id uint64) (*imaging.Image, error) {
 	if ok {
 		return img, nil
 	}
-	if !hasRec || db.st == nil {
+	var err error
+	switch {
+	case db.seg != nil:
+		img, err = db.segRaster(id)
+	case hasRec && db.st != nil:
+		img, err = db.getRaster(rec)
+	default:
 		return nil, fmt.Errorf("core: raster for image %d: %w", id, catalog.ErrNotFound)
 	}
-	img, err := db.getRaster(rec)
 	if err != nil {
 		return nil, err
 	}

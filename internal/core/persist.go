@@ -332,10 +332,26 @@ func (r *sliceReader) readString() (string, error) {
 // database remains usable afterwards.
 func (db *DB) Compact() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return store.ErrClosed
 	}
+	if db.seg != nil {
+		// Segmented stores compact online. Seal and advance the WAL
+		// checkpoint floor while holding db.mu — no writer can append a
+		// record between the seal and the truncation — then run the merge
+		// outside the lock so writes and queries proceed during it.
+		err := db.seg.Seal()
+		if err == nil {
+			err = db.walCheckpointLocked()
+		}
+		db.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return db.seg.Compact()
+	}
+	defer db.mu.Unlock()
 	if db.st == nil {
 		return nil
 	}

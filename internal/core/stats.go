@@ -4,6 +4,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/editops"
 	"repro/internal/store"
+	"repro/internal/store/segment"
 )
 
 // DBStats aggregates the database's occupancy statistics: the catalog
@@ -23,6 +24,9 @@ type DBStats struct {
 	// Store holds page-store statistics; zero-valued for in-memory
 	// databases.
 	Store store.Stats
+	// Segment holds segmented-engine statistics; nil unless the database
+	// uses the segmented backend.
+	Segment *segment.EngineStats `json:",omitempty"`
 	// Persistent reports whether the database is backed by a store file.
 	Persistent bool
 }
@@ -38,6 +42,11 @@ func (db *DB) Stats() (DBStats, error) {
 			return DBStats{}, err
 		}
 		st.Store = s
+	}
+	if db.seg != nil {
+		st.Persistent = true
+		s := db.seg.Stats()
+		st.Segment = &s
 	}
 	return st, nil
 }
@@ -65,8 +74,24 @@ func (db *DB) StorageFootprint() (binaryBytes, editedBytes int64, err error) {
 }
 
 // CheckStore runs the page-store integrity scan (fsck) on a persistent
-// database. In-memory databases return a clean empty result.
+// database. In-memory databases return a clean empty result. Segmented
+// databases verify every sealed segment (frame CRCs, footer, bloom/sketch
+// consistency) and map the result onto the page-store shape: Pages counts
+// segments, LiveCells counts live entries, UsedBytes is the on-disk segment
+// footprint.
 func (db *DB) CheckStore() (store.CheckResult, error) {
+	if db.seg != nil {
+		res, err := db.seg.Check()
+		if err != nil {
+			return store.CheckResult{}, err
+		}
+		return store.CheckResult{
+			Pages:     res.Segments,
+			LiveCells: res.Entries,
+			UsedBytes: int(res.Bytes),
+			Problems:  res.Problems,
+		}, nil
+	}
 	if db.st == nil {
 		return store.CheckResult{}, nil
 	}

@@ -179,10 +179,7 @@ func (db *DB) replayWAL(recs []store.WALRecord, defaulted bool) (*DB, error) {
 	}
 	if mutated {
 		db.mu.Lock()
-		err := db.persistCatalogLocked()
-		if err == nil {
-			err = db.st.Sync()
-		}
+		err := db.persistDurableLocked()
 		if err == nil {
 			err = db.walCheckpointLocked()
 		}
@@ -228,7 +225,15 @@ func (db *DB) applyWALRecord(payload []byte, defaulted bool) (bool, *DB, error) 
 			cfg.Background = bg
 			nd := newDB(cfg)
 			nd.st, nd.wal = db.st, db.wal
-			if err := nd.load(); err != nil {
+			if db.seg != nil {
+				nd.attachSegment(db.seg)
+				if err := nd.loadFromSegments(); err != nil {
+					return false, nil, err
+				}
+				if err := nd.segEnsureMeta(); err != nil {
+					return false, nil, err
+				}
+			} else if err := nd.load(); err != nil {
 				return false, nil, err
 			}
 			return false, nd, nil
@@ -427,6 +432,11 @@ func (db *DB) Crash() error {
 	}
 	if db.st != nil {
 		if err := db.st.Abandon(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if db.seg != nil {
+		if err := db.seg.Abandon(); err != nil && first == nil {
 			first = err
 		}
 	}

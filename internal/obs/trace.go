@@ -283,4 +283,9 @@ const (
 	// group-commit batch size the fsync wait rode on.
 	TWALRecords   = "wal_records"
 	TWALGroupSize = "wal_group_size"
+	// Segment-skip counters (segmented storage engine): candidates whose
+	// segment sketches were consulted, and candidates skipped outright
+	// because every segment that could hold them provably cannot match.
+	TSegmentSketchChecks = "segment_sketch_checks"
+	TSegmentSkipped      = "segment_skipped"
 )

@@ -822,6 +822,16 @@ func (s *Server) publishGauges() {
 	reg.Gauge("esidb_boundscache_entries").Set(float64(entries))
 	reg.Gauge("esidb_boundscache_bytes").Set(float64(bytes))
 	reg.Gauge("esidb_parallelism").Set(float64(s.db.Parallelism()))
+	if seg, ok := s.db.SegmentStats(); ok {
+		// Same gauge names the engine maintains on seal/compact — scrape
+		// time refresh also covers the memtable, which changes per write.
+		reg.Gauge("esidb_segment_count").Set(float64(seg.Segments))
+		reg.Gauge("esidb_segment_live_bytes").Set(float64(seg.LiveBytes))
+		reg.Gauge("esidb_segment_dead_bytes_estimate").Set(float64(seg.DeadBytesEstimate))
+		reg.Gauge("esidb_segment_compaction_backlog").Set(float64(seg.CompactionBacklog))
+		reg.Gauge("esidb_segment_memtable_entries").Set(float64(seg.MemtableEntries))
+		reg.Gauge("esidb_segment_memtable_bytes").Set(float64(seg.MemtableBytes))
+	}
 }
 
 // handleWALStats reports write-ahead-log activity; in-memory databases

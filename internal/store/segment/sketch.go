@@ -1,0 +1,115 @@
+package segment
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Sketch is a per-histogram-bin envelope over the RBM bound intervals of a
+// segment's put entries: for bin b it records the minimum lower bound and
+// maximum upper bound (as fractions, exactly the values rules.Bounds
+// .PctRange produces) across every sketched entry. A range query on bin b
+// with window [lo, hi] cannot match ANY entry in the segment when the
+// envelope misses the window — minLower[b] > hi means every entry's whole
+// interval lies above the window, maxUpper[b] < lo means every interval
+// lies below it. The test is conservative: it may answer "could match"
+// when no entry actually does, never the reverse, which is what keeps
+// segment skipping invisible to the differential oracle.
+type Sketch struct {
+	// minLo[b] / maxHi[b] bracket the union of entry intervals for bin b.
+	minLo, maxHi []float64
+	// sketched / puts track coverage: the envelope is only sound as a
+	// skip test when every put entry contributed bounds.
+	sketched, puts int
+}
+
+// NewSketch returns an empty sketch over the given bin count.
+func NewSketch(bins int) *Sketch {
+	s := &Sketch{minLo: make([]float64, bins), maxHi: make([]float64, bins)}
+	for i := range s.minLo {
+		s.minLo[i] = math.Inf(1)
+		s.maxHi[i] = math.Inf(-1)
+	}
+	return s
+}
+
+// AddPut folds one put entry into the envelope. lo/hi are the entry's
+// per-bin bound fractions (may be nil for an unsketched entry, which
+// poisons coverage and disables skipping for the whole segment). Vectors
+// shorter than the sketch also poison coverage.
+func (s *Sketch) AddPut(lo, hi []float64) {
+	s.puts++
+	if lo == nil || hi == nil || len(lo) < len(s.minLo) || len(hi) < len(s.maxHi) {
+		return
+	}
+	s.sketched++
+	for b := range s.minLo {
+		if lo[b] < s.minLo[b] {
+			s.minLo[b] = lo[b]
+		}
+		if hi[b] > s.maxHi[b] {
+			s.maxHi[b] = hi[b]
+		}
+	}
+}
+
+// Covered reports whether every put entry contributed bounds — the
+// precondition for using CanMatch as a skip test.
+func (s *Sketch) Covered() bool { return s.sketched == s.puts }
+
+// Bins returns the sketch width.
+func (s *Sketch) Bins() int { return len(s.minLo) }
+
+// CanMatch reports whether some entry's bound interval for bin could
+// overlap [lo, hi]. An uncovered sketch, or a bin outside the sketch
+// width, always reports true (never skip on incomplete information). A
+// covered sketch with zero puts reports false: the segment holds no object
+// versions at all, so nothing in it can match.
+func (s *Sketch) CanMatch(bin int, lo, hi float64) bool {
+	if !s.Covered() || bin < 0 || bin >= len(s.minLo) {
+		return true
+	}
+	if s.puts == 0 {
+		return false
+	}
+	return s.minLo[bin] <= hi && s.maxHi[bin] >= lo
+}
+
+// marshal appends the sketch little-endian: bins, sketched, puts, then the
+// per-bin envelope pairs.
+func (s *Sketch) marshal(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.minLo)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.sketched))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.puts))
+	for b := range s.minLo {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.minLo[b]))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.maxHi[b]))
+	}
+	return buf
+}
+
+// unmarshalSketch reads a sketch written by marshal, returning the rest of
+// the buffer.
+func unmarshalSketch(buf []byte) (*Sketch, []byte, error) {
+	if len(buf) < 12 {
+		return nil, nil, errTruncated("sketch header")
+	}
+	bins := int(binary.LittleEndian.Uint32(buf))
+	sketched := int(binary.LittleEndian.Uint32(buf[4:]))
+	puts := int(binary.LittleEndian.Uint32(buf[8:]))
+	buf = buf[12:]
+	if bins < 0 || bins > len(buf)/16 || sketched < 0 || puts < 0 || sketched > puts {
+		return nil, nil, errCorrupt("sketch shape bins=%d sketched=%d puts=%d", bins, sketched, puts)
+	}
+	s := &Sketch{
+		minLo:    make([]float64, bins),
+		maxHi:    make([]float64, bins),
+		sketched: sketched,
+		puts:     puts,
+	}
+	for b := 0; b < bins; b++ {
+		s.minLo[b] = math.Float64frombits(binary.LittleEndian.Uint64(buf[16*b:]))
+		s.maxHi[b] = math.Float64frombits(binary.LittleEndian.Uint64(buf[16*b+8:]))
+	}
+	return s, buf[16*bins:], nil
+}

@@ -103,6 +103,19 @@ func WithGroupCommit(window time.Duration, maxBatch int) Option {
 	}
 }
 
+// WithSegmentStore backs the database with the segmented storage engine
+// instead of the page store: objects live in immutable WAL-sealed segment
+// files with bloom filters and per-bin bound sketches, and space is
+// reclaimed by background compaction rather than the stop-the-world
+// Compact rewrite. Requires WithPath. The zero Options value selects the
+// engine defaults (4 MiB segments, 10 bloom bits/key, sketch skip on).
+func WithSegmentStore(opts SegmentOptions) Option {
+	return func(c *openConfig) {
+		o := opts
+		c.core.Segment = &o
+	}
+}
+
 // WithAutoAugment makes every InsertImage/InsertImageCtx automatically
 // generate edited versions of the new image per opts (the paper's database
 // augmentation, §2), unless the individual insert opts out with
@@ -173,14 +186,33 @@ func (db *DB) ApplyRedoRecord(ctx context.Context, payload []byte) error {
 // log. It exists for crash-recovery tests and durability drills.
 func (db *DB) Crash() error { return db.inner.Crash() }
 
-// Compact rewrites a persistent database into a fresh file, reclaiming the
-// space of deleted objects and catalog churn. No-op for in-memory
-// databases.
+// Compact reclaims the space of deleted objects and catalog churn. Page
+// store databases are rewritten stop-the-world into a fresh file; segmented
+// databases seal the memtable and merge segments online, with writes and
+// queries proceeding during the merge. No-op for in-memory databases.
 func (db *DB) Compact() error { return db.inner.Compact() }
 
-// CheckStore runs the page-store integrity scan (fsck). In-memory
-// databases return a clean empty result.
+// CheckStore runs the storage integrity scan (fsck). Page-store databases
+// scan pages and slots; segmented databases verify every segment's frame
+// CRCs, footer and filter metadata (Pages then counts segments and
+// LiveCells live entries). In-memory databases return a clean empty
+// result.
 func (db *DB) CheckStore() (StoreCheck, error) { return db.inner.CheckStore() }
+
+// SegmentStats reports segmented-engine activity: live segments, memtable
+// occupancy, seal/compaction counts, bloom and sketch hit rates. ok is
+// false unless the database was opened with WithSegmentStore.
+func (db *DB) SegmentStats() (st SegmentStats, ok bool) { return db.inner.SegmentStats() }
+
+// SegmentManifest lists the live segments of a segmented database (newest
+// last): id ranges, entry counts, bytes, filter sizes. ok is false unless
+// the database was opened with WithSegmentStore.
+func (db *DB) SegmentManifest() (m SegmentManifest, ok bool) { return db.inner.SegmentManifest() }
+
+// SetSegmentSketchSkip toggles the per-segment bound-sketch skip filter at
+// runtime (the bench's on/off arms). Reports whether the database is
+// segmented; non-segmented databases ignore the call.
+func (db *DB) SetSegmentSketchSkip(enabled bool) bool { return db.inner.SetSegmentSketchSkip(enabled) }
 
 // SetParallelism retunes the candidate-evaluation worker count at runtime
 // (0 = GOMAXPROCS, 1 = serial, n > 1 = exactly n). Safe to call while

@@ -127,6 +127,72 @@ func TestPersistentFacade(t *testing.T) {
 	}
 }
 
+func TestSegmentedFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "segfacade.esidb")
+	db, err := mmdb.Open(mmdb.WithPath(path), mmdb.WithSegmentStore(mmdb.SegmentOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := db.InsertImage("x", mmdb.NewFilledImage(12, 12, red))
+	base, _ := db.InsertImage("base", mmdb.NewFilledImage(6, 6, blue))
+	seq := &mmdb.Sequence{BaseID: base, Ops: mmdb.Recolor(mmdb.R(0, 0, 6, 6), [2]mmdb.RGB{blue, red})}
+	eid, err := db.InsertEdited("e", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.SetSegmentSketchSkip(true) {
+		t.Fatal("segmented store should accept sketch-skip toggle")
+	}
+	if _, ok := db.SegmentStats(); !ok {
+		t.Fatal("segmented store should expose engine stats")
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := mmdb.Open(mmdb.WithPath(path), mmdb.WithSegmentStore(mmdb.SegmentOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	img, err := db2.Image(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.CountColor(red) != 144 {
+		t.Fatal("raster lost across reopen")
+	}
+	res, err := db2.Query("at least 90% red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rid := range res.IDs {
+		if rid == eid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("edited image missing from query after reopen: %v", res.IDs)
+	}
+	man, ok := db2.SegmentManifest()
+	if !ok {
+		t.Fatal("segmented store should expose its manifest")
+	}
+	if len(man.Segments) == 0 {
+		t.Fatal("sync should have sealed at least one segment")
+	}
+	chk, err := db2.CheckStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chk.Problems) != 0 {
+		t.Fatalf("store check problems: %v", chk.Problems)
+	}
+}
+
 func TestExpandToBases(t *testing.T) {
 	db := openMem(t)
 	base, _ := db.InsertImage("base", mmdb.NewFilledImage(6, 6, blue))

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/signature"
 	"repro/internal/store"
+	"repro/internal/store/segment"
 )
 
 // Curated public surface: the library's value types are defined in internal
@@ -160,6 +161,13 @@ type (
 	StoreCheck = store.CheckResult
 	// WALStats reports write-ahead-log activity (see DB.WALStats).
 	WALStats = store.WALStats
+	// SegmentOptions tunes the segmented storage engine (see
+	// WithSegmentStore).
+	SegmentOptions = segment.Options
+	// SegmentStats reports segmented-engine activity (see DB.SegmentStats).
+	SegmentStats = segment.EngineStats
+	// SegmentManifest lists a segmented database's live segments.
+	SegmentManifest = segment.Manifest
 	// WALFrame is one replicated write-ahead-log record (see DB.WALTail).
 	WALFrame = store.WALRecord
 	// WALTailResult is one page of the WAL replication stream.
