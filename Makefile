@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race vet fmt-check lint lint-tool lint-new lint-deps staticcheck govulncheck ci bench cluster-smoke replication-smoke crash-matrix obs-overhead-smoke clean
+.PHONY: all build test race vet fmt-check lint lint-tool lint-new lint-deps staticcheck govulncheck ci bench cluster-smoke replication-smoke crash-matrix obs-overhead-smoke index-smoke clean
 
 all: build
 
@@ -63,7 +63,7 @@ lint: fmt-check vet lint-tool
 		echo "govulncheck not installed; skipping (pin: golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
-ci: lint build race cluster-smoke replication-smoke crash-matrix obs-overhead-smoke
+ci: lint build race cluster-smoke replication-smoke crash-matrix obs-overhead-smoke index-smoke
 
 # End-to-end differential check: a 3-shard loopback HTTP cluster must
 # answer range, compound and k-NN queries identically to a single node.
@@ -80,6 +80,11 @@ replication-smoke:
 # cost the range-query hot path less than 3%.
 obs-overhead-smoke:
 	bash scripts/obs-overhead-smoke.sh
+
+# S-tree sublinearity gate: on selective workloads the indexed mode must
+# visit strictly fewer tree nodes per query than there are candidates.
+index-smoke:
+	bash scripts/index-smoke.sh
 
 # Durability fault matrix: kill the store at every write/fsync budget,
 # recover, and assert no acked write is lost, no unacked write half-applies,

@@ -8,7 +8,7 @@
 //	benchfig -exp table1|table2|fig3|fig4|summary
 //	benchfig -exp ablation-widening|ablation-ops|ablation-baseline|ablation-cache
 //	benchfig -exp ext-knn|ext-rtree|ext-bic
-//	benchfig -exp scale|cluster|commit|obsoverhead|segment
+//	benchfig -exp scale|cluster|commit|obsoverhead|segment|index
 package main
 
 import (
@@ -178,6 +178,13 @@ func run(exp string) error {
 		}
 		bench.WriteSegment(out, res)
 		return bench.WriteSegmentJSON(out, res)
+	case "index":
+		res, err := bench.CompareIndex(nil)
+		if err != nil {
+			return err
+		}
+		bench.WriteIndex(out, res)
+		return bench.WriteIndexJSON(out, res)
 	case "cluster":
 		cfg := bench.FlagConfig()
 		cfg.Queries = 40

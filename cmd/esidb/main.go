@@ -9,7 +9,7 @@
 //	esidb insert  -db file -name label image.(ppm|png)
 //	esidb edit    -db file -name label script.txt
 //	esidb augment -db file -id N [-per 3] [-ops 4] [-nonwidening 0.2] [-seed 1]
-//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate|cached-bounds] [-bases] [-trace] [-parallelism N] "at least 25% blue"
+//	esidb query   -db file [-mode bwm|rbm|bwm-indexed|instantiate|cached-bounds|indexed] [-bases] [-trace] [-parallelism N] "at least 25% blue"
 //	              (compound: "at least 20% red and at most 10% blue")
 //	esidb similar -db file [-k 5] [-metric l1|l2|intersection] probe.(ppm|png)
 //	esidb delete  -db file -id N
@@ -303,27 +303,24 @@ func cmdAugment(args []string) error {
 	return nil
 }
 
+// parseMode delegates to the core mode registry; a mode registered there
+// (see core.AllModes) is immediately usable from every CLI command, and
+// the error lists every valid name.
 func parseMode(s string) (mmdb.Mode, error) {
-	switch s {
-	case "bwm", "":
-		return mmdb.ModeBWM, nil
-	case "rbm":
-		return mmdb.ModeRBM, nil
-	case "bwm-indexed":
-		return mmdb.ModeBWMIndexed, nil
-	case "instantiate":
-		return mmdb.ModeInstantiate, nil
-	case "cached-bounds":
-		return mmdb.ModeCachedBounds, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q", s)
+	m, err := mmdb.ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown mode %q (valid: %s)", s, strings.Join(mmdb.ModeNames(), ", "))
 	}
+	return m, nil
 }
+
+// modeFlagHelp is the -mode flag usage string, derived from the registry.
+func modeFlagHelp() string { return strings.Join(mmdb.ModeNames(), " | ") }
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	path := fs.String("db", "", "database file")
-	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
+	modeStr := fs.String("mode", "bwm", modeFlagHelp())
 	bases := fs.Bool("bases", false, "also return the base image of each edited match")
 	trace := fs.Bool("trace", false, "print per-phase timings and decision counts")
 	idsOnly := fs.Bool("ids", false, "print bare matching ids, one per line")
@@ -855,7 +852,7 @@ func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	path := fs.String("db", "", "database file")
 	queryText := fs.String("q", "", "optional query to run before printing")
-	modeStr := fs.String("mode", "bwm", "bwm | rbm | bwm-indexed | instantiate | cached-bounds")
+	modeStr := fs.String("mode", "bwm", modeFlagHelp())
 	asJSON := fs.Bool("json", false, "print JSON instead of Prometheus text")
 	fs.Parse(args)
 	db, err := openDB(*path)

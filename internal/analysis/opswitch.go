@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -21,10 +23,17 @@ import (
 //     declares (Define, Combine, Modify, Mutate, Merge). The covered set is
 //     derived from the package, so adding a sixth operation makes every
 //     rule-bearing switch in the tree fail until it gains a rule.
+//  3. An expression switch over an execution-strategy enum (core.Mode) must
+//     carry a default arm AND name every declared constant. The required
+//     set is derived from the defining package, so registering a new mode
+//     (in core.allModes) makes every mode-dispatch switch in the tree fail
+//     until it gains an arm — code that merely renders a mode should call
+//     Mode.String() instead of enumerating.
 var OpSwitch = &Analyzer{
 	Name: "opswitch",
-	Doc: "op-kind switches must reject unknown kinds (default arm) and op type " +
-		"switches must cover every editing operation or carry a default",
+	Doc: "op-kind switches must reject unknown kinds (default arm), op type " +
+		"switches must cover every editing operation or carry a default, and " +
+		"mode switches must cover every execution mode and carry a default",
 	Run: runOpSwitch,
 }
 
@@ -35,18 +44,109 @@ var opKindEnums = [][2]string{
 	{"catalog", "Kind"},
 }
 
+// exhaustiveEnums lists the enums rule 3 applies to: a switch must both
+// cover every declared constant and carry a rejecting default.
+var exhaustiveEnums = [][2]string{
+	{"core", "Mode"},
+}
+
 func runOpSwitch(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch sw := n.(type) {
 			case *ast.SwitchStmt:
-				checkKindSwitch(pass, sw)
+				if !checkExhaustiveEnumSwitch(pass, sw) {
+					checkKindSwitch(pass, sw)
+				}
 			case *ast.TypeSwitchStmt:
 				checkOpTypeSwitch(pass, sw)
 			}
 			return true
 		})
 	}
+}
+
+// checkExhaustiveEnumSwitch applies rule 3 to expression switches whose tag
+// is an exhaustive enum (core.Mode). It reports a missing default arm and
+// any declared constant no case names, and returns whether the switch was
+// one it owns.
+func checkExhaustiveEnumSwitch(pass *Pass, sw *ast.SwitchStmt) bool {
+	if sw.Tag == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return false
+	}
+	var enum string
+	for _, e := range exhaustiveEnums {
+		if isNamed(tv.Type, e[0], e[1]) {
+			enum = e[0] + "." + e[1]
+			break
+		}
+	}
+	if enum == "" {
+		return false
+	}
+	named := namedType(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	// Every constant of the enum type declared in its defining package is
+	// one execution strategy and needs an arm; coverage is matched by
+	// constant value so local aliases still count.
+	scope := named.Obj().Pkg().Scope()
+	type enumConst struct {
+		name string
+		val  constant.Value
+	}
+	var declared []enumConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		declared = append(declared, enumConst{name, c.Val()})
+	}
+	hasDefault := false
+	var caseVals []constant.Value
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if ct, ok := pass.TypesInfo.Types[e]; ok && ct.Value != nil {
+				caseVals = append(caseVals, ct.Value)
+			}
+		}
+	}
+	var missing []string
+	for _, d := range declared {
+		covered := false
+		for _, v := range caseVals {
+			if constant.Compare(d.val, token.EQL, v) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			missing = append(missing, d.name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch, "switch over %s misses mode(s) %s: every registered execution mode needs an arm (render with Mode.String() instead of enumerating)",
+			enum, strings.Join(missing, ", "))
+	}
+	if !hasDefault {
+		pass.Reportf(sw.Switch, "switch over %s has no default arm: unknown modes (wire or CLI input) must be rejected explicitly", enum)
+	}
+	return true
 }
 
 // checkKindSwitch applies rule 1 to expression switches whose tag is an

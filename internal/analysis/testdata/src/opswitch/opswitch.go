@@ -5,6 +5,7 @@ package opswitch
 
 import (
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/editops"
 )
 
@@ -87,4 +88,48 @@ func unrelated(s string) int {
 		return 1
 	}
 	return 0
+}
+
+// bad: mode switch with a default but missing registered modes — a new
+// execution mode would fall into the default silently.
+func modePartial(m core.Mode) string {
+	switch m { // want "switch over core.Mode misses mode\(s\) ModeBWMIndexed, ModeCachedBounds, ModeIndexed, ModeInstantiate"
+	case core.ModeBWM:
+		return "bwm"
+	case core.ModeRBM:
+		return "rbm"
+	default:
+		return "?"
+	}
+}
+
+// bad: every mode covered but no rejecting default for unknown values
+// decoded from the wire.
+func modeNoDefault(m core.Mode) bool {
+	switch m { // want "switch over core.Mode has no default arm"
+	case core.ModeBWM, core.ModeRBM, core.ModeBWMIndexed,
+		core.ModeInstantiate, core.ModeCachedBounds, core.ModeIndexed:
+		return true
+	}
+	return false
+}
+
+// good: every registered mode named plus a rejecting default.
+func modeExhaustive(m core.Mode) string {
+	switch m {
+	case core.ModeBWM:
+		return "bwm"
+	case core.ModeRBM:
+		return "rbm"
+	case core.ModeBWMIndexed:
+		return "bwm-indexed"
+	case core.ModeInstantiate:
+		return "instantiate"
+	case core.ModeCachedBounds:
+		return "cached-bounds"
+	case core.ModeIndexed:
+		return "indexed"
+	default:
+		return "unknown"
+	}
 }

@@ -83,20 +83,8 @@ func (c *Corpus) CompareParallel(db *core.DB, mode core.Mode, workers int) (*Par
 	return r, nil
 }
 
-// modeLabel renders a mode as a metrics label value.
+// modeLabel renders a mode as a metrics label value, derived from the mode
+// registry so new modes label themselves.
 func modeLabel(mode core.Mode) string {
-	switch mode {
-	case core.ModeRBM:
-		return "\"rbm\""
-	case core.ModeBWM:
-		return "\"bwm\""
-	case core.ModeBWMIndexed:
-		return "\"bwm-indexed\""
-	case core.ModeInstantiate:
-		return "\"instantiate\""
-	case core.ModeCachedBounds:
-		return "\"cached-bounds\""
-	default:
-		return "\"unknown\""
-	}
+	return "\"" + mode.String() + "\""
 }

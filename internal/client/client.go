@@ -286,15 +286,30 @@ func (c *Client) DeleteCtx(ctx context.Context, id uint64) error {
 	return c.doCtx(ctx, "DELETE", fmt.Sprintf("/v1/objects/%d", id), nil, "", nil)
 }
 
+// Param adds one URL query parameter to a query call — the client-side
+// mirror of the library's QueryOption surface.
+type Param func(url.Values)
+
+// Limit asks the server to truncate the result to the first n ids
+// (?limit=n). Zero or negative means unlimited.
+func Limit(n int) Param {
+	return func(v url.Values) {
+		if n > 0 {
+			v.Set("limit", strconv.Itoa(n))
+		}
+	}
+}
+
 // Query runs a textual (possibly compound) range query. mode may be empty
-// for BWM; expandBases adds each match's base image.
+// for BWM ("indexed" selects the bounds S-tree strategy); expandBases adds
+// each match's base image.
 func (c *Client) Query(text, mode string, expandBases bool) (*QueryResult, error) {
 	return c.QueryCtx(context.Background(), text, mode, expandBases)
 }
 
 // QueryCtx is Query with a context. A span in the ctx upgrades the call to
 // a traced one: the server returns its span tree in QueryResult.Trace.
-func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bool) (*QueryResult, error) {
+func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bool, params ...Param) (*QueryResult, error) {
 	q := url.Values{}
 	q.Set("q", text)
 	if mode != "" {
@@ -306,6 +321,11 @@ func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bo
 	if obs.SpanFromContext(ctx) != nil {
 		q.Set("trace", "1")
 	}
+	for _, p := range params {
+		if p != nil {
+			p(q)
+		}
+	}
 	var out QueryResult
 	if err := c.doCtx(ctx, "GET", "/v1/query?"+q.Encode(), nil, "", &out); err != nil {
 		return nil, err
@@ -316,7 +336,7 @@ func (c *Client) QueryCtx(ctx context.Context, text, mode string, expandBases bo
 // MultiRangeCtx runs a structured multi-range query (sum of the given bins'
 // percentages within [pctMin, pctMax]) via GET /multirange. MultiRange has
 // no text form, so unlike Query this endpoint takes the bins directly.
-func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax float64, mode string) (*QueryResult, error) {
+func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax float64, mode string, params ...Param) (*QueryResult, error) {
 	q := url.Values{}
 	strs := make([]string, len(bins))
 	for i, b := range bins {
@@ -330,6 +350,11 @@ func (c *Client) MultiRangeCtx(ctx context.Context, bins []int, pctMin, pctMax f
 	}
 	if obs.SpanFromContext(ctx) != nil {
 		q.Set("trace", "1")
+	}
+	for _, p := range params {
+		if p != nil {
+			p(q)
+		}
 	}
 	var out QueryResult
 	if err := c.doCtx(ctx, "GET", "/v1/multirange?"+q.Encode(), nil, "", &out); err != nil {

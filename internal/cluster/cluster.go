@@ -29,6 +29,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	mmdb "repro"
 	"repro/internal/obs"
@@ -62,24 +63,16 @@ type KNNResult struct {
 	Missed  []string
 }
 
-// ParseMode maps the wire mode string to an execution mode — the same
-// table the HTTP server uses, exposed here for the in-process transport
-// and the CLI.
+// ParseMode maps the wire mode string to an execution mode by delegating
+// to the core mode registry — the same table the HTTP server uses, exposed
+// here for the in-process transport and the CLI. The error enumerates
+// every valid name.
 func ParseMode(s string) (mmdb.Mode, error) {
-	switch s {
-	case "", "bwm":
-		return mmdb.ModeBWM, nil
-	case "rbm":
-		return mmdb.ModeRBM, nil
-	case "bwm-indexed":
-		return mmdb.ModeBWMIndexed, nil
-	case "instantiate":
-		return mmdb.ModeInstantiate, nil
-	case "cached-bounds":
-		return mmdb.ModeCachedBounds, nil
-	default:
-		return 0, fmt.Errorf("cluster: unknown mode %q", s)
+	m, err := mmdb.ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: unknown mode %q (valid: %s)", s, strings.Join(mmdb.ModeNames(), ", "))
 	}
+	return m, nil
 }
 
 // ParseMetric maps the wire metric string to a distance metric.

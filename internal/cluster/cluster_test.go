@@ -141,7 +141,7 @@ func TestClusterQueryParity(t *testing.T) {
 	c.seedCluster(t, coord)
 	ctx := context.Background()
 
-	for _, mode := range []string{"bwm", "rbm"} {
+	for _, mode := range []string{"bwm", "rbm", "indexed"} {
 		m, _ := ParseMode(mode)
 		for _, q := range parityQueries {
 			want, err := single.QueryCompound(q.text, m)
@@ -539,6 +539,16 @@ func TestClusterHTTPParity(t *testing.T) {
 	}
 	if got.Partial || !reflect.DeepEqual(got.IDs, want.IDs) {
 		t.Fatalf("http cluster %v (partial=%v) != single %v", got.IDs, got.Partial, want.IDs)
+	}
+
+	// The indexed mode string must flow through the /v1 wire unchanged and
+	// answer identically (the S-tree is exact).
+	gotIdx, err := coord.Query(ctx, "at least 5% red and at most 90% blue", "indexed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIdx.Partial || !reflect.DeepEqual(gotIdx.IDs, want.IDs) {
+		t.Fatalf("http cluster indexed %v (partial=%v) != single %v", gotIdx.IDs, gotIdx.Partial, want.IDs)
 	}
 
 	wantKNN, _, err := single.QueryByExample(c.flags[1].Img, 7, mmdb.MetricL1)

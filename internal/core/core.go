@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/store"
 	"repro/internal/store/segment"
+	"repro/internal/stree"
 )
 
 // Mode selects the range-query execution strategy.
@@ -58,6 +60,13 @@ const (
 	// the memory-heavy end of the design space (ablation G). Results are
 	// identical to RBM/BWM.
 	ModeCachedBounds
+	// ModeIndexed answers from the bounds S-tree (internal/stree): a
+	// bulk-loaded tree over per-candidate [min,max] percentage boxes whose
+	// inner nodes hold their subtree's union box, so a query descends only
+	// into intersecting nodes and admits fully contained subtrees without
+	// per-candidate rule walks — the sublinear strategy. Results are
+	// identical to RBM/BWM.
+	ModeIndexed
 )
 
 // String names the mode.
@@ -73,16 +82,54 @@ func (m Mode) String() string {
 		return "instantiate"
 	case ModeCachedBounds:
 		return "cached-bounds"
+	case ModeIndexed:
+		return "indexed"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}
+}
+
+// AllModes returns every execution mode in declaration order. This is the
+// single registration point new modes must join (the per-mode metric maps,
+// ParseMode, and the CLI/server mode lists all derive from it), so adding a
+// mode here is what makes it reachable everywhere.
+func AllModes() []Mode {
+	out := make([]Mode, len(allModes))
+	copy(out, allModes)
+	return out
+}
+
+// ModeNames returns the parseable mode strings in declaration order — the
+// list CLI help and error messages should print.
+func ModeNames() []string {
+	out := make([]string, len(allModes))
+	for i, m := range allModes {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// ParseMode resolves a mode string ("bwm", "rbm", "bwm-indexed",
+// "instantiate", "cached-bounds", "indexed") to its Mode. The empty string
+// means the default, ModeBWM. Unknown strings fail with an error that
+// enumerates every valid name, so callers never hand-maintain the list.
+func ParseMode(s string) (Mode, error) {
+	if s == "" {
+		return ModeBWM, nil
+	}
+	for _, m := range allModes {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (valid: %s)", s, strings.Join(ModeNames(), ", "))
 }
 
 // Process-wide per-mode query metrics: a latency histogram and a count per
 // execution mode, resolved once at package init so the query path does one
 // map read plus atomics.
 var (
-	allModes  = []Mode{ModeBWM, ModeRBM, ModeBWMIndexed, ModeInstantiate, ModeCachedBounds}
+	allModes  = []Mode{ModeBWM, ModeRBM, ModeBWMIndexed, ModeInstantiate, ModeCachedBounds, ModeIndexed}
 	mQueryDur = func() map[Mode]*obs.Histogram {
 		out := make(map[Mode]*obs.Histogram, len(allModes))
 		for _, m := range allModes {
@@ -153,6 +200,14 @@ type DB struct {
 	rbmProc *rbm.Processor
 	bwmProc *bwm.Processor
 	sig     *rtree.Tree
+
+	// sidx is the bounds S-tree behind ModeIndexed. It is built lazily by
+	// the first indexed query (sidxReady flips true under db.mu) and from
+	// then on maintained incrementally by every write path; reads are
+	// lock-free snapshots, mutations happen under db.mu like every other
+	// index. See indexed.go.
+	sidx      *stree.Tree
+	sidxReady atomic.Bool
 
 	st         *store.Store    // nil when in-memory or segmented
 	seg        *segment.Engine // nil unless the segmented backend is configured
@@ -303,6 +358,7 @@ func newDB(cfg Config) *DB {
 		rasterRecs: make(map[uint64]store.RecordID),
 		bcache:     newBoundsCache(),
 		sig:        rtree.New(cfg.Quantizer.Bins(), cfg.RTreeFanout),
+		sidx:       stree.New(cfg.Quantizer.Bins(), cfg.RTreeFanout),
 	}
 	db.engine = rules.NewEngine(cfg.Quantizer, cfg.Background, db.cat)
 	db.rbmProc = rbm.New(db.cat, db.engine)
@@ -482,6 +538,7 @@ func (db *DB) applyInsertBinaryLocked(id uint64, name string, img *imaging.Image
 	if err := db.sig.InsertPoint(hist.Normalized(), id); err != nil {
 		return 0, err
 	}
+	db.sidxInsertBinaryLocked(id, hist)
 	return id, nil
 }
 
@@ -541,6 +598,7 @@ func (db *DB) applyInsertEditedLocked(id uint64, name string, seq *editops.Seque
 		}
 	}
 	db.idx.InsertEdited(id, seq.BaseID, widening)
+	db.sidxUpsertEditedLocked(id)
 	return id, nil
 }
 
@@ -610,6 +668,7 @@ func (db *DB) applySetSequenceLocked(id uint64, newSeq *editops.Sequence) error 
 		db.idx.InsertEdited(id, newSeq.BaseID, widening)
 	}
 	db.bcache.drop(id)
+	db.sidxUpsertEditedLocked(id)
 	return nil
 }
 
@@ -671,6 +730,7 @@ func (db *DB) applyDeleteLocked(id uint64) error {
 	default:
 		return fmt.Errorf("core: delete %d: unknown kind %d", id, obj.Kind)
 	}
+	db.sidxDeleteLocked(id)
 	if db.seg != nil {
 		if err := db.seg.Delete(id); err != nil {
 			return err
@@ -757,15 +817,23 @@ func (db *DB) Bounds(id uint64, bin int) (rules.Bounds, error) {
 }
 
 // RangeQuery answers a color range query in the given execution mode.
+//
+// Deprecated: use RangeQueryCtx.
 func (db *DB) RangeQuery(q query.Range, mode Mode) (*rbm.Result, error) {
-	return db.RangeQueryTraced(q, mode, nil)
+	return db.RangeQueryCtx(context.Background(), q, mode)
 }
 
-// RangeQueryCtx is RangeQuery with the caller's ctx propagated into the
-// candidate-evaluation worker pool, so cancelling the request stops the
-// walk.
-func (db *DB) RangeQueryCtx(ctx context.Context, q query.Range, mode Mode) (*rbm.Result, error) {
-	return db.RangeQueryTracedCtx(ctx, q, mode, nil)
+// RangeQueryCtx is the canonical range-query entry point: ctx flows into
+// the candidate walk (cancellation stops it), and options select the
+// execution mode, tracing, and result limit (a bare Mode value is itself an
+// option).
+func (db *DB) RangeQueryCtx(ctx context.Context, q query.Range, opts ...QueryOption) (*rbm.Result, error) {
+	cfg := buildQueryConfig(opts)
+	res, err := db.rangeDispatch(ctx, q, cfg.Mode, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(res, cfg.Limit), nil
 }
 
 // RangeQueryTraced is RangeQuery with per-phase timings and decision counts
@@ -773,13 +841,21 @@ func (db *DB) RangeQueryCtx(ctx context.Context, q query.Range, mode Mode) (*rbm
 // metrics are always recorded into the process registry. The trace's
 // pages_read counter is the process-wide store-read delta across the query,
 // so concurrent queries' page reads can bleed into each other's traces.
+//
+// Deprecated: use RangeQueryCtx with WithTrace.
 func (db *DB) RangeQueryTraced(q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
-	return db.RangeQueryTracedCtx(context.Background(), q, mode, tr)
+	return db.RangeQueryCtx(context.Background(), q, mode, WithTrace(tr))
 }
 
-// RangeQueryTracedCtx is the canonical range-query entry point: traced,
-// mode-dispatched, and ctx-aware.
+// RangeQueryTracedCtx is RangeQueryCtx with a positional mode and trace.
+//
+// Deprecated: use RangeQueryCtx with WithTrace.
 func (db *DB) RangeQueryTracedCtx(ctx context.Context, q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	return db.RangeQueryCtx(ctx, q, mode, WithTrace(tr))
+}
+
+// rangeDispatch is the mode switch behind every range-query entry point.
+func (db *DB) rangeDispatch(ctx context.Context, q query.Range, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	pagesBefore := mPagesRead.Value()
 	start := time.Now()
 	if err := db.walQueryBarrier(ctx, tr); err != nil {
@@ -798,6 +874,8 @@ func (db *DB) RangeQueryTracedCtx(ctx context.Context, q query.Range, mode Mode,
 		res, err = db.rangeInstantiate(ctx, q, tr)
 	case ModeCachedBounds:
 		res, err = db.rangeCached(ctx, q, tr)
+	case ModeIndexed:
+		res, err = db.rangeSTree(ctx, q, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
 	}
@@ -842,21 +920,20 @@ func (db *DB) recordQueryStats(strategy string, elapsed time.Duration, res *rbm.
 
 // RangeQueryText parses a textual range query ("at least 25% blue") and
 // executes it.
+//
+// Deprecated: use RangeQueryTextCtx.
 func (db *DB) RangeQueryText(text string, mode Mode) (*rbm.Result, error) {
-	q, err := query.ParseRange(text, db.cfg.Quantizer)
-	if err != nil {
-		return nil, err
-	}
-	return db.RangeQuery(q, mode)
+	return db.RangeQueryTextCtx(context.Background(), text, mode)
 }
 
-// RangeQueryTextCtx parses and executes a textual range query under ctx.
-func (db *DB) RangeQueryTextCtx(ctx context.Context, text string, mode Mode) (*rbm.Result, error) {
+// RangeQueryTextCtx parses and executes a textual range query under ctx;
+// options select the execution mode, tracing, and result limit.
+func (db *DB) RangeQueryTextCtx(ctx context.Context, text string, opts ...QueryOption) (*rbm.Result, error) {
 	q, err := query.ParseRange(text, db.cfg.Quantizer)
 	if err != nil {
 		return nil, err
 	}
-	return db.RangeQueryCtx(ctx, q, mode)
+	return db.RangeQueryCtx(ctx, q, opts...)
 }
 
 // rangeInstantiate is the ground-truth baseline: every edited image is
@@ -998,24 +1075,42 @@ func (db *DB) rangeIndexed(ctx context.Context, q query.Range, tr *obs.Trace) (*
 // given mode, then the id sets are intersected (And) or unioned (Or).
 // Per-term statistics accumulate into the result's Stats. Because every
 // term's set is mode-equivalent (BWM ≡ RBM), the combined sets are too.
+//
+// Deprecated: use CompoundQueryCtx.
 func (db *DB) CompoundQuery(c query.Compound, mode Mode) (*rbm.Result, error) {
-	return db.CompoundQueryTraced(c, mode, nil)
+	return db.CompoundQueryCtx(context.Background(), c, mode)
 }
 
 // CompoundQueryTraced is CompoundQuery with tracing: each term's execution
 // records into the same trace, and the set combination gets its own phase.
+//
+// Deprecated: use CompoundQueryCtx with WithTrace.
 func (db *DB) CompoundQueryTraced(c query.Compound, mode Mode, trace *obs.Trace) (*rbm.Result, error) {
-	return db.CompoundQueryTracedCtx(context.Background(), c, mode, trace)
+	return db.CompoundQueryCtx(context.Background(), c, mode, WithTrace(trace))
 }
 
-// CompoundQueryCtx is CompoundQuery under the caller's ctx.
-func (db *DB) CompoundQueryCtx(ctx context.Context, c query.Compound, mode Mode) (*rbm.Result, error) {
-	return db.CompoundQueryTracedCtx(ctx, c, mode, nil)
+// CompoundQueryCtx is the canonical compound entry point: ctx flows into
+// the term fan-out and each term's own candidate walk; options select the
+// execution mode, tracing, and result limit.
+func (db *DB) CompoundQueryCtx(ctx context.Context, c query.Compound, opts ...QueryOption) (*rbm.Result, error) {
+	cfg := buildQueryConfig(opts)
+	res, err := db.compoundDispatch(ctx, c, cfg.Mode, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(res, cfg.Limit), nil
 }
 
-// CompoundQueryTracedCtx is the canonical compound entry point: ctx flows
-// into the term fan-out and each term's own candidate walk.
+// CompoundQueryTracedCtx is CompoundQueryCtx with a positional mode and
+// trace.
+//
+// Deprecated: use CompoundQueryCtx with WithTrace.
 func (db *DB) CompoundQueryTracedCtx(ctx context.Context, c query.Compound, mode Mode, trace *obs.Trace) (*rbm.Result, error) {
+	return db.CompoundQueryCtx(ctx, c, mode, WithTrace(trace))
+}
+
+// compoundDispatch runs the terms and combines their id sets.
+func (db *DB) compoundDispatch(ctx context.Context, c query.Compound, mode Mode, trace *obs.Trace) (*rbm.Result, error) {
 	if err := c.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -1026,7 +1121,7 @@ func (db *DB) CompoundQueryTracedCtx(ctx context.Context, c query.Compound, mode
 	// set and accumulated statistics identical to a serial evaluation.
 	results := make([]*rbm.Result, len(c.Terms))
 	pst, err := exec.ForEach(ctx, db.workers(), len(c.Terms), func(w, i int) error {
-		r, terr := db.RangeQueryTracedCtx(ctx, c.Terms[i], mode, trace)
+		r, terr := db.rangeDispatch(ctx, c.Terms[i], mode, trace)
 		if terr != nil {
 			return terr
 		}
@@ -1073,26 +1168,39 @@ func (db *DB) CompoundQueryTracedCtx(ctx context.Context, c query.Compound, mode
 
 // CompoundQueryText parses and evaluates a textual compound query
 // ("at least 20% red and at most 10% blue").
+//
+// Deprecated: use CompoundQueryTextCtx.
 func (db *DB) CompoundQueryText(text string, mode Mode) (*rbm.Result, error) {
-	return db.CompoundQueryTextTraced(text, mode, nil)
+	return db.CompoundQueryTextCtx(context.Background(), text, mode)
 }
 
 // CompoundQueryTextTraced parses and evaluates a textual compound query
 // with tracing, recording the parse as its own phase.
+//
+// Deprecated: use CompoundQueryTextCtx with WithTrace.
 func (db *DB) CompoundQueryTextTraced(text string, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
-	return db.CompoundQueryTextTracedCtx(context.Background(), text, mode, tr)
+	return db.CompoundQueryTextCtx(context.Background(), text, mode, WithTrace(tr))
 }
 
 // CompoundQueryTextTracedCtx parses and evaluates a textual compound query
 // with tracing under the caller's ctx.
+//
+// Deprecated: use CompoundQueryTextCtx with WithTrace.
 func (db *DB) CompoundQueryTextTracedCtx(ctx context.Context, text string, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
-	done := tr.Phase("parse")
+	return db.CompoundQueryTextCtx(ctx, text, mode, WithTrace(tr))
+}
+
+// CompoundQueryTextCtx parses and evaluates a textual compound query under
+// ctx, recording the parse as its own phase when tracing.
+func (db *DB) CompoundQueryTextCtx(ctx context.Context, text string, opts ...QueryOption) (*rbm.Result, error) {
+	cfg := buildQueryConfig(opts)
+	done := cfg.Trace.Phase("parse")
 	c, err := query.ParseCompound(text, db.cfg.Quantizer)
 	done()
 	if err != nil {
 		return nil, err
 	}
-	return db.CompoundQueryTracedCtx(ctx, c, mode, tr)
+	return db.CompoundQueryCtx(ctx, c, opts...)
 }
 
 // ExpandToBases augments a result id set with the base image of every

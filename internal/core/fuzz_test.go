@@ -20,8 +20,9 @@ func fuzzDB(f *testing.F) *DB {
 }
 
 // FuzzRangeQueryText feeds arbitrary text through the range-query parser
-// and, when it parses, through both BWM and RBM: the parser must never
-// panic, a parsed query must execute, and the two methods must agree.
+// and, when it parses, through BWM, RBM and the S-tree index: the parser
+// must never panic, a parsed query must execute, and all three methods
+// must agree.
 func FuzzRangeQueryText(f *testing.F) {
 	db := fuzzDB(f)
 	f.Add("at least 25% blue")
@@ -43,6 +44,13 @@ func FuzzRangeQueryText(f *testing.F) {
 		}
 		if !sameIDs(bwm.IDs, rbm.IDs) {
 			t.Fatalf("BWM %v != RBM %v for %q", bwm.IDs, rbm.IDs, text)
+		}
+		idx, err := db.RangeQueryText(text, ModeIndexed)
+		if err != nil {
+			t.Fatalf("parsed under BWM but failed under indexed: %v", err)
+		}
+		if !sameIDs(bwm.IDs, idx.IDs) {
+			t.Fatalf("BWM %v != indexed %v for %q", bwm.IDs, idx.IDs, text)
 		}
 		for i := 1; i < len(bwm.IDs); i++ {
 			if bwm.IDs[i-1] >= bwm.IDs[i] {
@@ -73,6 +81,13 @@ func FuzzCompoundQueryText(f *testing.F) {
 		}
 		if !sameIDs(bwm.IDs, rbm.IDs) {
 			t.Fatalf("BWM %v != RBM %v for %q", bwm.IDs, rbm.IDs, text)
+		}
+		idx, err := db.CompoundQueryText(text, ModeIndexed)
+		if err != nil {
+			t.Fatalf("parsed under BWM but failed under indexed: %v", err)
+		}
+		if !sameIDs(bwm.IDs, idx.IDs) {
+			t.Fatalf("BWM %v != indexed %v for %q", bwm.IDs, idx.IDs, text)
 		}
 		for i := 1; i < len(bwm.IDs); i++ {
 			if bwm.IDs[i-1] >= bwm.IDs[i] {

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/rbm"
+	"repro/internal/rules"
+	"repro/internal/stree"
+)
+
+// ModeIndexed — the bounds S-tree strategy. Every other mode evaluates all
+// n candidates (parallelized, but O(n)); this one descends a bulk-loaded
+// tree whose inner nodes hold the union [min,max] percentage box of their
+// subtree, so a range query visits only intersecting nodes, a node box
+// fully inside the query admits its whole subtree without per-candidate
+// rule walks, and k-NN runs best-first branch-and-bound over node boxes
+// against the same threshold discipline the scan uses.
+//
+// Exactness is what makes the mode oracle-equivalent to RBM/BWM rather
+// than approximate:
+//
+//   - A binary image's box is the degenerate point of its normalized
+//     histogram, and histogram.Pct and histogram.Normalized divide the
+//     same ints by the same total — the floats are bit-identical, so a
+//     box-vs-slab test IS query.Range.MatchesExact.
+//   - An edited image's box is rules.Bounds.PctRange per bin — the same
+//     floats Bounds.Overlaps compares — so the single-bin leaf test is the
+//     RBM admission test itself.
+//   - Multi-bin (summed) classifications use float sums with an epsilon of
+//     slack on the Full/None margins; partially overlapping leaves re-check
+//     exactly (integer-summed bounds for edited, catalog histograms for
+//     binary), so float drift can cost a node descent, never a wrong answer.
+//
+// The tree is built lazily: the first indexed query bulk-loads it from the
+// catalog under db.mu (boxes come through the bounds cache, so a warmed
+// cache makes the build cheap and the build warms the cache for everyone
+// else). After that every write maintains it incrementally — writers never
+// invalidate it, so a concurrent query's snapshot is always a complete
+// published version — and once update/delete debt passes the tree's
+// threshold the next indexed query rebuilds it in bulk, restoring packing
+// quality. Queries read lock-free snapshots; an object deleted after the
+// snapshot was taken may still be returned (the same read-committed window
+// every scan mode has between taking its id-list snapshot and testing an
+// id).
+var (
+	mIndexNodesVisited    = obs.Default().Counter("esidb_index_nodes_visited_total")
+	mIndexSubtreeAdmitted = obs.Default().Counter("esidb_index_subtree_admitted_total")
+	mIndexLeafChecks      = obs.Default().Counter("esidb_index_leaf_checks_total")
+	mIndexRebuilds        = obs.Default().Counter("esidb_index_rebuilds_total")
+)
+
+// sidxSumEps is the slack on multi-bin Full/None margins. Summing ≤ bins
+// float terms keeps the error under ~1e-13; 1e-9 is comfortably past it
+// while far below any meaningful percentage difference.
+const sidxSumEps = 1e-9
+
+// sidxEntry is the per-item payload stored in the S-tree.
+type sidxEntry struct {
+	edited bool
+	// bounds is the edited image's full per-bin bounds vector — the exact
+	// integers behind the item's float box, used by multi-bin leaf tests.
+	// nil for binary images, and for edited images whose bounds computation
+	// failed at insert time (those get the never-prunable universal box and
+	// are decided exactly at the leaf).
+	bounds []rules.Bounds
+}
+
+// sidxBinaryItem builds the S-tree item for a binary image: a point box at
+// its normalized histogram.
+func sidxBinaryItem(id uint64, hist *histogram.Histogram) stree.Item {
+	p := hist.Normalized()
+	return stree.Item{ID: id, Lo: p, Hi: p, Data: &sidxEntry{}}
+}
+
+// sidxEditedItem builds the S-tree item for an edited image: its per-bin
+// bounds box, read through the bounds cache. If the bounds cannot be
+// computed the item gets the universal box — never pruned, never admitted
+// geometrically, always decided exactly at the leaf — so index maintenance
+// can't lose a candidate.
+func (db *DB) sidxEditedItem(id uint64) stree.Item {
+	bins := db.cfg.Quantizer.Bins()
+	obj, err := db.cat.Edited(id)
+	var bounds []rules.Bounds
+	if err == nil {
+		bounds, err = db.cachedBoundsFor(obj, nil)
+	}
+	lo := make([]float64, bins)
+	hi := make([]float64, bins)
+	if err != nil || len(bounds) != bins {
+		for i := range hi {
+			hi[i] = 1
+		}
+		return stree.Item{ID: id, Lo: lo, Hi: hi, Data: &sidxEntry{edited: true}}
+	}
+	for i, b := range bounds {
+		lo[i], hi[i] = b.PctRange()
+	}
+	return stree.Item{ID: id, Lo: lo, Hi: hi, Data: &sidxEntry{edited: true, bounds: bounds}}
+}
+
+// sidxInsertBinaryLocked maintains the index across a binary insert.
+// Caller holds db.mu; a no-op until the first indexed query builds the
+// tree.
+func (db *DB) sidxInsertBinaryLocked(id uint64, hist *histogram.Histogram) {
+	if !db.sidxReady.Load() {
+		return
+	}
+	// The item is freshly validated (dims come from the same quantizer), so
+	// the only insert error is a dimension mismatch that cannot happen.
+	_ = db.sidx.Insert(sidxBinaryItem(id, hist))
+}
+
+// sidxUpsertEditedLocked maintains the index across an edited insert or a
+// sequence update (Update counts maintenance debt toward the lazy rebuild).
+// Caller holds db.mu.
+func (db *DB) sidxUpsertEditedLocked(id uint64) {
+	if !db.sidxReady.Load() {
+		return
+	}
+	_ = db.sidx.Update(db.sidxEditedItem(id))
+}
+
+// sidxDeleteLocked maintains the index across a delete. Caller holds db.mu.
+func (db *DB) sidxDeleteLocked(id uint64) {
+	if !db.sidxReady.Load() {
+		return
+	}
+	db.sidx.Delete(id)
+}
+
+// ensureSearchIndex makes the S-tree queryable: the first call bulk-loads
+// it from the catalog, later calls rebuild it once incremental maintenance
+// debt passes the tree's threshold. Runs under db.mu, so writers are paused
+// during a (re)build and the loaded item set is a consistent catalog
+// snapshot. Indexed query paths call this before taking their tree
+// snapshot.
+func (db *DB) ensureSearchIndex(tr *obs.Trace) error {
+	if db.sidxReady.Load() && !db.sidx.NeedsRebuild() {
+		return nil
+	}
+	done := tr.Phase("indexed.build")
+	defer done()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("core: database is closed")
+	}
+	if db.sidxReady.Load() && !db.sidx.NeedsRebuild() {
+		return nil // another query (re)built it while we waited
+	}
+	nBin, nEd := db.cat.Len()
+	items := make([]stree.Item, 0, nBin+nEd)
+	for _, id := range db.cat.Binaries() {
+		obj, err := db.cat.Binary(id)
+		if errors.Is(err, catalog.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		items = append(items, sidxBinaryItem(id, obj.Hist))
+	}
+	for _, id := range db.cat.EditedIDs() {
+		items = append(items, db.sidxEditedItem(id))
+	}
+	if err := db.sidx.Bulk(items); err != nil {
+		return err
+	}
+	db.sidxReady.Store(true)
+	mIndexRebuilds.Inc()
+	return nil
+}
+
+// SearchIndexStats reports the S-tree's state — whether it has been built,
+// how many boxes it holds, and whether maintenance debt has passed the
+// rebuild threshold — the inspection surface for tests and tooling.
+func (db *DB) SearchIndexStats() (ready bool, items int, needsRebuild bool) {
+	return db.sidxReady.Load(), db.sidx.Len(), db.sidx.NeedsRebuild()
+}
+
+// recordIndexVisit folds one traversal's work counters into the trace and
+// the process registry.
+func recordIndexVisit(tr *obs.Trace, st stree.VisitStats) {
+	tr.Count(obs.TIndexNodesVisited, st.NodesVisited)
+	tr.Count(obs.TIndexSubtreeAdmitted, st.SubtreeAdmitted)
+	tr.Count(obs.TIndexLeafChecks, st.LeafChecks)
+	mIndexNodesVisited.Add(st.NodesVisited)
+	mIndexSubtreeAdmitted.Add(st.SubtreeAdmitted)
+	mIndexLeafChecks.Add(st.LeafChecks)
+}
+
+// ctxEvery is how many leaf deliveries pass between cancellation checks on
+// the serial tree descent (the scan modes poll at the same grain through
+// the worker pool's chunking).
+const ctxEvery = 256
+
+// rangeSTree answers a single-bin range query from the S-tree. For this
+// query shape the leaf geometry test is exact (see the package comment), so
+// every delivered item is a match: binary point boxes reproduce
+// MatchesExact, edited bounds boxes reproduce Bounds.Overlaps. Only items
+// carrying the universal fallback box pay a rule walk — and those first
+// consult the segment sketches, composing the segmented engine's skip into
+// the indexed path.
+func (db *DB) rangeSTree(ctx context.Context, q query.Range, tr *obs.Trace) (*rbm.Result, error) {
+	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
+		return nil, err
+	}
+	if err := db.ensureSearchIndex(tr); err != nil {
+		return nil, err
+	}
+	res := &rbm.Result{}
+	done := tr.Phase("indexed.stree-descend")
+	snap := db.sidx.Snapshot()
+	var vst stree.VisitStats
+	classify := func(lo, hi []float64) stree.Overlap {
+		if lo[q.Bin] > q.PctMax || hi[q.Bin] < q.PctMin {
+			return stree.OverlapNone
+		}
+		if lo[q.Bin] >= q.PctMin && hi[q.Bin] <= q.PctMax {
+			return stree.OverlapFull
+		}
+		return stree.OverlapPartial
+	}
+	seen := 0
+	err := snap.Visit(classify, func(it *stree.Item, ov stree.Overlap) error {
+		seen++
+		if seen%ctxEvery == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		e := it.Data.(*sidxEntry)
+		switch {
+		case !e.edited:
+			// Point box: any non-None verdict means the exact histogram
+			// percentage is inside the query range.
+			res.Stats.BinariesChecked++
+			tr.Count(obs.TBaseMatches, 1)
+		case e.bounds != nil:
+			// Bounds box: a non-None verdict on the queried bin's slab is
+			// exactly Bounds.Overlaps. Full admissions (node- or item-level)
+			// skipped the rule walk outright.
+			if ov == stree.OverlapFull {
+				res.Stats.EditedSkipped++
+			}
+		default:
+			// Universal fallback box: never decidable geometrically.
+			if db.segPrune(q, it.ID, tr) {
+				return nil
+			}
+			obj, err := db.cat.Edited(it.ID)
+			if errors.Is(err, catalog.ErrNotFound) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			b, err := db.cachedBoundsFor(obj, tr)
+			if errors.Is(err, catalog.ErrNotFound) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			res.Stats.EditedWalked++
+			if !b[q.Bin].Overlaps(q.PctMin, q.PctMax) {
+				return nil
+			}
+		}
+		res.IDs = append(res.IDs, it.ID)
+		return nil
+	}, &vst)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	recordIndexVisit(tr, vst)
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// multiSTree answers a multi-bin (summed) range query from the S-tree.
+// Nodes are classified by the float sum of their union box over the query's
+// bins with sidxSumEps of slack on the Full/None margins; partially
+// overlapping leaves re-check exactly (integer-summed bounds for edited
+// images, catalog histograms for binary).
+func (db *DB) multiSTree(ctx context.Context, q query.MultiRange, tr *obs.Trace) (*rbm.Result, error) {
+	if err := db.ensureSearchIndex(tr); err != nil {
+		return nil, err
+	}
+	res := &rbm.Result{}
+	done := tr.Phase("indexed.stree-descend")
+	snap := db.sidx.Snapshot()
+	var vst stree.VisitStats
+	classify := func(lo, hi []float64) stree.Overlap {
+		var sLo, sHi float64
+		for _, b := range q.Bins {
+			sLo += lo[b]
+			sHi += hi[b]
+		}
+		if sLo > q.PctMax+sidxSumEps || sHi < q.PctMin-sidxSumEps {
+			return stree.OverlapNone
+		}
+		if sHi <= q.PctMax-sidxSumEps && sLo >= q.PctMin+sidxSumEps {
+			return stree.OverlapFull
+		}
+		return stree.OverlapPartial
+	}
+	seen := 0
+	err := snap.Visit(classify, func(it *stree.Item, ov stree.Overlap) error {
+		seen++
+		if seen%ctxEvery == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		e := it.Data.(*sidxEntry)
+		switch {
+		case ov == stree.OverlapFull:
+			// Geometrically proven in; no exact re-check needed.
+			if e.edited {
+				res.Stats.EditedSkipped++
+			} else {
+				res.Stats.BinariesChecked++
+				tr.Count(obs.TBaseMatches, 1)
+			}
+		case !e.edited:
+			obj, err := db.cat.Binary(it.ID)
+			if errors.Is(err, catalog.ErrNotFound) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			res.Stats.BinariesChecked++
+			if !q.MatchesExact(obj.Hist) {
+				return nil
+			}
+			tr.Count(obs.TBaseMatches, 1)
+		case e.bounds != nil:
+			lo, hi := sumBounds(e.bounds, q.Bins)
+			if !(lo <= q.PctMax && hi >= q.PctMin) {
+				return nil
+			}
+		default:
+			obj, err := db.cat.Edited(it.ID)
+			if errors.Is(err, catalog.ErrNotFound) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			b, err := db.cachedBoundsFor(obj, tr)
+			if errors.Is(err, catalog.ErrNotFound) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			res.Stats.EditedWalked++
+			lo, hi := sumBounds(b, q.Bins)
+			if !(lo <= q.PctMax && hi >= q.PctMin) {
+				return nil
+			}
+		}
+		res.IDs = append(res.IDs, it.ID)
+		return nil
+	}, &vst)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	recordIndexVisit(tr, vst)
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	return res, nil
+}
+
+// boxLowerBound generalizes distanceLowerBound from a per-bin Bounds vector
+// to a raw [lo,hi] box — the S-tree's node geometry. For L1/L2 it is the
+// point-to-box distance. For Intersection it is 1 − Σ min(t_i, hi_i),
+// deliberately left unclamped at zero: the exact metric is never negative,
+// so a negative bound prunes nothing extra, and skipping the clamp keeps
+// the node bound a plain monotone function of the box. Pruning decisions on
+// item boxes are identical to distanceLowerBound's because the threshold
+// they compare against is never negative.
+func boxLowerBound(tn []float64, lo, hi []float64, metric query.Metric) float64 {
+	switch metric {
+	case query.MetricL1, query.MetricL2:
+		sum := 0.0
+		for i := range tn {
+			d := 0.0
+			switch {
+			case tn[i] < lo[i]:
+				d = lo[i] - tn[i]
+			case tn[i] > hi[i]:
+				d = tn[i] - hi[i]
+			}
+			if metric == query.MetricL1 {
+				sum += d
+			} else {
+				sum += d * d
+			}
+		}
+		if metric == query.MetricL1 {
+			return sum
+		}
+		return math.Sqrt(sum)
+	case query.MetricIntersection:
+		s := 0.0
+		for i := range tn {
+			s += math.Min(tn[i], hi[i])
+		}
+		return 1 - s
+	default:
+		return 0
+	}
+}
+
+// matches extracts the tracker's current best-k, ordered by (dist, id)
+// ascending — the same total order every kNN path sorts by.
+func (t *thresholdTracker) matches() []Match {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Match, t.h.Len())
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// knnSTree answers a k-NN query with best-first branch-and-bound over the
+// S-tree: subtrees expand in ascending order of their union box's distance
+// lower bound and the search stops as soon as the best remaining subtree
+// cannot beat the current k-th best exact distance — the same
+// thresholdTracker discipline the parallel scan uses, so pruning never
+// discards a true neighbor and the returned top-k is identical to the
+// scan's (the k-minimum of the (dist, id) total order is unique).
+func (db *DB) knnSTree(ctx context.Context, q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if q.Target.Bins() != db.cfg.Quantizer.Bins() {
+		return nil, nil, fmt.Errorf("core: knn target has %d bins, database uses %d", q.Target.Bins(), db.cfg.Quantizer.Bins())
+	}
+	if err := db.ensureSearchIndex(tr); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	st := &KNNStats{}
+	tracker := newThresholdTracker(q.K, nil)
+	tn := q.Target.Normalized()
+	env := db.env()
+	snap := db.sidx.Snapshot()
+	var vst stree.VisitStats
+	done := tr.Phase("indexed.knn-best-first")
+	seen := 0
+	err := snap.BestFirst(
+		func(lo, hi []float64) float64 { return boxLowerBound(tn, lo, hi, q.Metric) },
+		tracker.threshold,
+		func(it *stree.Item) error {
+			seen++
+			if seen%ctxEvery == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			e := it.Data.(*sidxEntry)
+			if boxLowerBound(tn, it.Lo, it.Hi, q.Metric) > tracker.threshold() {
+				if e.edited {
+					st.EditedPruned++
+					mKNNPruned.Inc()
+					tr.Count(obs.TImagesPruned, 1)
+				}
+				return nil
+			}
+			if !e.edited {
+				obj, err := db.cat.Binary(it.ID)
+				if errors.Is(err, catalog.ErrNotFound) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				st.BinariesScored++
+				mKNNScored.Inc()
+				tr.Count(obs.TCandidatesExamined, 1)
+				tracker.record(it.ID, q.Metric.Distance(q.Target, obj.Hist))
+				return nil
+			}
+			obj, err := db.cat.Edited(it.ID)
+			if errors.Is(err, catalog.ErrNotFound) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			tr.Count(obs.TCandidatesExamined, 1)
+			img, err := editops.ApplySequence(obj.Seq, env)
+			if err != nil {
+				return fmt.Errorf("core: knn instantiate %d: %w", it.ID, err)
+			}
+			st.EditedInstantiated++
+			mKNNInstantiated.Inc()
+			tr.Count(obs.TEditedInstantiated, 1)
+			if img.Size() == 0 {
+				return nil
+			}
+			tracker.record(it.ID, q.Metric.Distance(q.Target, histogram.Extract(img, db.cfg.Quantizer)))
+			return nil
+		}, &vst)
+	done()
+	if err != nil {
+		return nil, nil, err
+	}
+	recordIndexVisit(tr, vst)
+	out := tracker.matches()
+	tr.Count(obs.TImagesReturned, int64(len(out)))
+	db.recordKNNStats("knn-indexed:"+q.Metric.String(), time.Since(start), len(out), st)
+	return out, st, nil
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/editops"
+	"repro/internal/histogram"
+	"repro/internal/imaging"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/stree"
+)
+
+// TestModeRegistryComplete pins the mode registry's internal consistency:
+// every registered mode round-trips through String/ParseMode, names are
+// unique and parseable, the per-mode metric maps are fully populated, and
+// the unknown-mode error enumerates every valid name. A new mode added to
+// allModes passes automatically; one added anywhere else fails here.
+func TestModeRegistryComplete(t *testing.T) {
+	modes := AllModes()
+	if len(modes) == 0 {
+		t.Fatal("AllModes is empty")
+	}
+	seen := make(map[string]bool)
+	for _, m := range modes {
+		name := m.String()
+		if strings.HasPrefix(name, "mode(") {
+			t.Fatalf("mode %d has no String name", uint8(m))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate mode name %q", name)
+		}
+		seen[name] = true
+		got, err := ParseMode(name)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", name, err)
+		}
+		if got != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", name, got, m)
+		}
+		if mQueryDur[m] == nil || mQueryCount[m] == nil {
+			t.Fatalf("mode %s missing from per-mode metric maps", name)
+		}
+	}
+	if got, err := ParseMode(""); err != nil || got != ModeBWM {
+		t.Fatalf("ParseMode(\"\") = %v, %v; want ModeBWM", got, err)
+	}
+	if _, err := ParseMode("no-such-mode"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	} else {
+		for _, name := range ModeNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("unknown-mode error %q does not enumerate %q", err, name)
+			}
+		}
+	}
+	if names := ModeNames(); len(names) != len(modes) {
+		t.Fatalf("ModeNames has %d entries, AllModes has %d", len(names), len(modes))
+	}
+}
+
+// indexedMutate applies a deterministic mutation storm: deletes a spread of
+// edited images, appends ops to survivors, deletes one base (cascading),
+// and inserts a fresh wave of images — every write path the S-tree
+// maintains incrementally.
+func indexedMutate(t testing.TB, db *DB, seed int64) {
+	t.Helper()
+	edited := db.EditedIDs()
+	for i := 0; i < len(edited); i += 4 {
+		if err := db.Delete(edited[i]); err != nil {
+			t.Fatalf("delete edited %d: %v", edited[i], err)
+		}
+	}
+	bases := db.Binaries()
+	if len(bases) == 0 {
+		return
+	}
+	appended := 0
+	for _, id := range db.EditedIDs() {
+		if appended == 3 {
+			break
+		}
+		ops := editops.PasteOnto(imaging.Rect{X0: 0, Y0: 0, X1: 3, Y1: 3}, bases[0], 0, 0)
+		if err := db.AppendOps(id, ops); err != nil {
+			t.Fatalf("append ops to %d: %v", id, err)
+		}
+		appended++
+	}
+	if len(bases) > 1 {
+		victim := bases[len(bases)-1]
+		for _, id := range db.EditedOf(victim) {
+			if err := db.Delete(id); err != nil {
+				t.Fatalf("delete dependent %d: %v", id, err)
+			}
+		}
+		// Other sequences may still Merge-reference the base; the catalog
+		// rejects that delete, which is fine — the dependent deletes above
+		// already exercised the index's delete path.
+		_ = db.Delete(victim)
+	}
+	populate(t, db, 2, 2, 0.5, seed)
+}
+
+// resetSearchIndex discards the incrementally-maintained S-tree so the next
+// indexed query bulk-rebuilds from the catalog.
+func resetSearchIndex(db *DB) {
+	db.mu.Lock()
+	db.sidxReady.Store(false)
+	db.sidx = stree.New(db.cfg.Quantizer.Bins(), db.cfg.RTreeFanout)
+	db.mu.Unlock()
+}
+
+// TestIndexedIncrementalEqualsRebuild is the index-maintenance property
+// test: after an arbitrary interleaving of inserts, appends and deletes,
+// the incrementally-maintained tree must answer every query identically to
+// a tree bulk-rebuilt from scratch — and both identically to the RBM scan.
+func TestIndexedIncrementalEqualsRebuild(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 5, 3, 0.4, 21)
+
+	// First indexed query builds the tree; everything after is maintained
+	// incrementally by the write paths.
+	if _, err := db.RangeQuery(query.Range{Bin: 0, PctMin: 0, PctMax: 1}, ModeIndexed); err != nil {
+		t.Fatal(err)
+	}
+	if ready, items, _ := db.SearchIndexStats(); !ready || items == 0 {
+		t.Fatalf("index not built: ready=%v items=%d", ready, items)
+	}
+
+	for round := 0; round < 3; round++ {
+		indexedMutate(t, db, int64(1000+round))
+		rng := rand.New(rand.NewSource(int64(31 * (round + 1))))
+		queries := randomRanges(rng, db.cfg.Quantizer.Bins(), 25)
+
+		incremental := make([]*rbmResultIDs, len(queries))
+		for qi, q := range queries {
+			res, err := db.RangeQuery(q, ModeIndexed)
+			if err != nil {
+				t.Fatalf("round %d query %d incremental: %v", round, qi, err)
+			}
+			incremental[qi] = &rbmResultIDs{ids: res.IDs}
+		}
+
+		resetSearchIndex(db)
+		for qi, q := range queries {
+			rebuilt, err := db.RangeQuery(q, ModeIndexed)
+			if err != nil {
+				t.Fatalf("round %d query %d rebuilt: %v", round, qi, err)
+			}
+			if !sameIDs(incremental[qi].ids, rebuilt.IDs) {
+				t.Fatalf("round %d query %d %+v: incremental %v != rebuilt %v",
+					round, qi, queries[qi], incremental[qi].ids, rebuilt.IDs)
+			}
+			scan, err := db.RangeQuery(q, ModeRBM)
+			if err != nil {
+				t.Fatalf("round %d query %d scan: %v", round, qi, err)
+			}
+			if !sameIDs(rebuilt.IDs, scan.IDs) {
+				t.Fatalf("round %d query %d %+v: indexed %v != scan %v",
+					round, qi, queries[qi], rebuilt.IDs, scan.IDs)
+			}
+		}
+	}
+}
+
+// TestIndexedKNNMatchesScan proves the best-first branch-and-bound search
+// returns exactly the scan's k nearest neighbors for every metric and k.
+func TestIndexedKNNMatchesScan(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 6, 4, 0.4, 33)
+	targetImg := dataset.Flags(1, 32, 24, 77)[0].Img
+	target := histogram.Extract(targetImg, db.cfg.Quantizer)
+	ctx := context.Background()
+	for _, metric := range []query.Metric{query.MetricL1, query.MetricL2, query.MetricIntersection} {
+		for _, k := range []int{1, 5, 50} {
+			q := query.KNN{Target: target, K: k, Metric: metric}
+			scan, _, err := db.KNNCtx(ctx, q)
+			if err != nil {
+				t.Fatalf("%s k=%d scan: %v", metric, k, err)
+			}
+			idx, _, err := db.KNNCtx(ctx, q, ModeIndexed)
+			if err != nil {
+				t.Fatalf("%s k=%d indexed: %v", metric, k, err)
+			}
+			if len(scan) != len(idx) {
+				t.Fatalf("%s k=%d: scan %d matches, indexed %d", metric, k, len(scan), len(idx))
+			}
+			for i := range scan {
+				if scan[i] != idx[i] {
+					t.Fatalf("%s k=%d match %d: scan %+v, indexed %+v", metric, k, i, scan[i], idx[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedTraceCounters asserts the descent instrumentation fires: node
+// visits are counted, an all-of-space query admits whole subtrees without
+// leaf checks, and a selective query visits fewer leaves than the catalog
+// holds candidates.
+func TestIndexedTraceCounters(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 6, 4, 0.3, 55)
+	candidates := int64(len(db.Binaries()) + len(db.EditedIDs()))
+
+	tr := obs.NewTrace()
+	if _, err := db.RangeQueryCtx(context.Background(), query.Range{Bin: 0, PctMin: 0, PctMax: 1}, ModeIndexed, WithTrace(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Get(obs.TIndexNodesVisited) == 0 {
+		t.Fatal("all-of-space query visited no index nodes")
+	}
+	if tr.Get(obs.TIndexSubtreeAdmitted) == 0 {
+		t.Fatal("all-of-space query admitted no subtrees wholesale")
+	}
+	if lc := tr.Get(obs.TIndexLeafChecks); lc != 0 {
+		t.Fatalf("all-of-space query should admit geometrically, made %d leaf checks", lc)
+	}
+
+	tr = obs.NewTrace()
+	if _, err := db.RangeQueryCtx(context.Background(), query.Range{Bin: 0, PctMin: 0.999, PctMax: 1}, ModeIndexed, WithTrace(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Get(obs.TIndexNodesVisited); v == 0 {
+		t.Fatal("selective query visited no index nodes")
+	} else if v > candidates {
+		t.Fatalf("selective query visited %d nodes over %d candidates: no pruning", v, candidates)
+	}
+}
+
+// TestIndexedConcurrentMutations hammers the read-committed contract under
+// -race: indexed queries run against frozen snapshots while writers churn,
+// so every result must be well-formed (strictly ascending ids), and once
+// the storm quiesces the index must agree with the scan exactly.
+func TestIndexedConcurrentMutations(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 5, 3, 0.4, 88)
+	if _, err := db.RangeQuery(query.Range{Bin: 1, PctMin: 0, PctMax: 1}, ModeIndexed); err != nil {
+		t.Fatal(err)
+	}
+
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randomRanges(rng, db.cfg.Quantizer.Bins(), 1)[0]
+				res, err := db.RangeQuery(q, ModeIndexed)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				for i := 1; i < len(res.IDs); i++ {
+					if res.IDs[i-1] >= res.IDs[i] {
+						t.Errorf("ids not strictly ascending: %v", res.IDs)
+						return
+					}
+				}
+			}
+		}(int64(300 + r))
+	}
+
+	flags := dataset.Flags(4, 16, 12, 99)
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(worker int) {
+			defer writers.Done()
+			for i := 0; i < 20; i++ {
+				id, err := db.InsertImage(fmt.Sprintf("churn-%d-%d", worker, i), flags[i%len(flags)].Img)
+				if err != nil {
+					t.Errorf("writer insert: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					if err := db.Delete(id); err != nil {
+						t.Errorf("writer delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	rng := rand.New(rand.NewSource(123))
+	for qi, q := range randomRanges(rng, db.cfg.Quantizer.Bins(), 30) {
+		idx, err := db.RangeQuery(q, ModeIndexed)
+		if err != nil {
+			t.Fatalf("query %d indexed: %v", qi, err)
+		}
+		scan, err := db.RangeQuery(q, ModeRBM)
+		if err != nil {
+			t.Fatalf("query %d scan: %v", qi, err)
+		}
+		if !sameIDs(idx.IDs, scan.IDs) {
+			t.Fatalf("query %d %+v: indexed %v != scan %v", qi, q, idx.IDs, scan.IDs)
+		}
+	}
+}
+
+// TestQueryOptionsLimit covers the WithLimit option on the canonical
+// entry points: the limit is a stable prefix of the sorted result.
+func TestQueryOptionsLimit(t *testing.T) {
+	db := memDB(t)
+	populate(t, db, 4, 3, 0.3, 66)
+	ctx := context.Background()
+	q := query.Range{Bin: 0, PctMin: 0, PctMax: 1}
+	full, err := db.RangeQueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.IDs) < 3 {
+		t.Fatalf("want at least 3 matches, got %d", len(full.IDs))
+	}
+	limited, err := db.RangeQueryCtx(ctx, q, WithLimit(2), WithMode(ModeIndexed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.IDs) != 2 || !sameIDs(limited.IDs, full.IDs[:2]) {
+		t.Fatalf("limit 2: got %v, want %v", limited.IDs, full.IDs[:2])
+	}
+	// Zero limit means unlimited; later options win over earlier ones.
+	unlimited, err := db.RangeQueryCtx(ctx, q, WithLimit(2), WithLimit(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(unlimited.IDs, full.IDs) {
+		t.Fatalf("limit 0: got %v, want %v", unlimited.IDs, full.IDs)
+	}
+}

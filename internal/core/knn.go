@@ -58,24 +58,56 @@ type KNNStats struct {
 
 // KNN returns the k objects most similar to the query histogram, across
 // binary and edited images, with bound-based pruning for the latter.
+//
+// Deprecated: use KNNCtx.
 func (db *DB) KNN(q query.KNN) ([]Match, *KNNStats, error) {
-	return db.KNNTraced(q, nil)
+	return db.KNNCtx(context.Background(), q)
 }
 
-// KNNCtx is KNN under the caller's ctx: cancellation stops the parallel
-// prune-and-instantiate pass.
-func (db *DB) KNNCtx(ctx context.Context, q query.KNN) ([]Match, *KNNStats, error) {
-	return db.KNNTracedCtx(ctx, q, nil)
+// KNNCtx is the canonical k-NN entry point: ctx cancellation stops the
+// candidate pass, and options select the strategy. Every scan mode runs the
+// same algorithm (exact binary pass, bound-pruned edited pass);
+// ModeIndexed switches to best-first branch-and-bound over the S-tree. The
+// returned top-k is identical either way.
+func (db *DB) KNNCtx(ctx context.Context, q query.KNN, opts ...QueryOption) ([]Match, *KNNStats, error) {
+	cfg := buildQueryConfig(opts)
+	var (
+		out []Match
+		st  *KNNStats
+		err error
+	)
+	if cfg.Mode == ModeIndexed {
+		out, st, err = db.knnSTree(ctx, q, cfg.Trace)
+	} else {
+		out, st, err = db.knnScan(ctx, q, cfg.Trace)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Limit > 0 && len(out) > cfg.Limit {
+		out = out[:cfg.Limit:cfg.Limit]
+	}
+	return out, st, nil
 }
 
 // KNNTraced is KNN with phase timings and pruning decisions recorded into
 // tr (nil disables tracing).
+//
+// Deprecated: use KNNCtx with WithTrace.
 func (db *DB) KNNTraced(q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
-	return db.KNNTracedCtx(context.Background(), q, tr)
+	return db.KNNCtx(context.Background(), q, WithTrace(tr))
 }
 
-// KNNTracedCtx is the canonical k-NN entry point: traced and ctx-aware.
+// KNNTracedCtx is KNNCtx with a positional trace.
+//
+// Deprecated: use KNNCtx with WithTrace.
 func (db *DB) KNNTracedCtx(ctx context.Context, q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
+	return db.KNNCtx(ctx, q, WithTrace(tr))
+}
+
+// knnScan is the scan strategy: exact distances for every binary image,
+// then a bound-pruned pass over edited images.
+func (db *DB) knnScan(ctx context.Context, q query.KNN, tr *obs.Trace) ([]Match, *KNNStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}

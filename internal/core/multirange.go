@@ -53,26 +53,44 @@ func sumBounds(bs []rules.Bounds, bins []int) (lo, hi float64) {
 // RangeQueryMulti answers a multi-bin range query. Modes: ModeRBM walks
 // every edited sequence once (all bins share one BoundsAll walk), ModeBWM
 // applies the cluster skip, ModeInstantiate materializes, ModeCachedBounds
-// reads the cache. ModeBWMIndexed falls back to ModeBWM (the R-tree window
+// reads the cache, ModeIndexed prunes subtrees whose summed union box
+// provably misses. ModeBWMIndexed falls back to ModeBWM (the R-tree window
 // cannot express a sum constraint).
+//
+// Deprecated: use RangeQueryMultiCtx.
 func (db *DB) RangeQueryMulti(q query.MultiRange, mode Mode) (*rbm.Result, error) {
-	return db.RangeQueryMultiTraced(q, mode, nil)
+	return db.RangeQueryMultiCtx(context.Background(), q, mode)
 }
 
-// RangeQueryMultiCtx is RangeQueryMulti under the caller's ctx.
-func (db *DB) RangeQueryMultiCtx(ctx context.Context, q query.MultiRange, mode Mode) (*rbm.Result, error) {
-	return db.RangeQueryMultiTracedCtx(ctx, q, mode, nil)
+// RangeQueryMultiCtx is the canonical multi-bin entry point: ctx-aware,
+// with options selecting the execution mode, tracing, and result limit.
+func (db *DB) RangeQueryMultiCtx(ctx context.Context, q query.MultiRange, opts ...QueryOption) (*rbm.Result, error) {
+	cfg := buildQueryConfig(opts)
+	res, err := db.multiDispatch(ctx, q, cfg.Mode, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(res, cfg.Limit), nil
 }
 
 // RangeQueryMultiTraced is RangeQueryMulti with decision counts and phase
 // timings recorded into tr (nil disables tracing).
+//
+// Deprecated: use RangeQueryMultiCtx with WithTrace.
 func (db *DB) RangeQueryMultiTraced(q query.MultiRange, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
-	return db.RangeQueryMultiTracedCtx(context.Background(), q, mode, tr)
+	return db.RangeQueryMultiCtx(context.Background(), q, mode, WithTrace(tr))
 }
 
-// RangeQueryMultiTracedCtx is the canonical multi-bin entry point: traced,
-// mode-dispatched, and ctx-aware.
+// RangeQueryMultiTracedCtx is RangeQueryMultiCtx with a positional mode and
+// trace.
+//
+// Deprecated: use RangeQueryMultiCtx with WithTrace.
 func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q query.MultiRange, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
+	return db.RangeQueryMultiCtx(ctx, q, mode, WithTrace(tr))
+}
+
+// multiDispatch is the mode switch behind every multi-bin entry point.
+func (db *DB) multiDispatch(ctx context.Context, q query.MultiRange, mode Mode, tr *obs.Trace) (*rbm.Result, error) {
 	if err := q.Validate(db.cfg.Quantizer.Bins()); err != nil {
 		return nil, err
 	}
@@ -93,6 +111,8 @@ func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q query.MultiRange, 
 		res, err = db.multiWalk(ctx, q, func(obj *catalog.Object) ([]rules.Bounds, error) {
 			return db.cachedBoundsFor(obj, tr)
 		}, tr)
+	case ModeIndexed:
+		res, err = db.multiSTree(ctx, q, tr)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", uint8(mode))
 	}
@@ -105,17 +125,20 @@ func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q query.MultiRange, 
 
 // RangeQueryColorFamily resolves a named color's bin family and runs the
 // multi-bin query: "at least 25% blue-ish".
+//
+// Deprecated: use RangeQueryColorFamilyCtx.
 func (db *DB) RangeQueryColorFamily(name string, pctMin, pctMax float64, mode Mode) (*rbm.Result, error) {
 	return db.RangeQueryColorFamilyCtx(context.Background(), name, pctMin, pctMax, mode)
 }
 
-// RangeQueryColorFamilyCtx is RangeQueryColorFamily under the caller's ctx.
-func (db *DB) RangeQueryColorFamilyCtx(ctx context.Context, name string, pctMin, pctMax float64, mode Mode) (*rbm.Result, error) {
+// RangeQueryColorFamilyCtx is RangeQueryColorFamily under the caller's ctx;
+// options select the execution mode, tracing, and result limit.
+func (db *DB) RangeQueryColorFamilyCtx(ctx context.Context, name string, pctMin, pctMax float64, opts ...QueryOption) (*rbm.Result, error) {
 	bins, err := colorspace.FamilyForName(name, db.cfg.Quantizer)
 	if err != nil {
 		return nil, err
 	}
-	return db.RangeQueryMultiCtx(ctx, query.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode)
+	return db.RangeQueryMultiCtx(ctx, query.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, opts...)
 }
 
 // multiWalk is the RBM-shaped scan; boundsFn overrides the bounds source

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/rbm"
+)
+
+// Query options — the canonical query surface. The historical API grew a
+// combinatorial method grid (plain × Traced × Ctx, each taking a positional
+// Mode); the *Ctx methods now take variadic QueryOption instead, mirroring
+// the insert path's InsertOption:
+//
+//	db.RangeQueryCtx(ctx, q)                                  // default mode
+//	db.RangeQueryCtx(ctx, q, core.ModeIndexed)                // Mode is an option
+//	db.RangeQueryCtx(ctx, q, core.WithMode(m), core.WithTrace(tr), core.WithLimit(10))
+//
+// Mode implements QueryOption directly, which is also what kept every
+// pre-redesign call site of the form RangeQueryCtx(ctx, q, mode) compiling
+// unchanged. The Traced method variants survive as thin deprecated
+// wrappers.
+
+// QueryConfig is the resolved set of query options.
+type QueryConfig struct {
+	// Mode selects the execution strategy; the zero value is ModeBWM, the
+	// default.
+	Mode Mode
+	// Trace, when non-nil, receives per-phase timings and decision counts.
+	Trace *obs.Trace
+	// Limit, when positive, truncates the result to the first Limit ids
+	// (after the deterministic sort, so it is a stable prefix).
+	Limit int
+}
+
+// QueryOption configures one query execution.
+type QueryOption interface {
+	ApplyQuery(*QueryConfig)
+}
+
+// queryOptionFunc adapts a function to the QueryOption interface.
+type queryOptionFunc func(*QueryConfig)
+
+func (f queryOptionFunc) ApplyQuery(c *QueryConfig) { f(c) }
+
+// ApplyQuery makes Mode itself a QueryOption: passing a Mode value selects
+// the execution strategy.
+func (m Mode) ApplyQuery(c *QueryConfig) { c.Mode = m }
+
+// WithMode selects the execution strategy.
+func WithMode(m Mode) QueryOption {
+	return queryOptionFunc(func(c *QueryConfig) { c.Mode = m })
+}
+
+// WithTrace records per-phase timings and decision counts into tr. A nil tr
+// is valid and disables tracing (every trace method is nil-safe).
+func WithTrace(tr *obs.Trace) QueryOption {
+	return queryOptionFunc(func(c *QueryConfig) { c.Trace = tr })
+}
+
+// WithLimit truncates the result id list to the first n ids after the
+// deterministic sort. Zero or negative means unlimited. For k-NN queries
+// the limit applies on top of K (the smaller wins).
+func WithLimit(n int) QueryOption {
+	return queryOptionFunc(func(c *QueryConfig) { c.Limit = n })
+}
+
+// buildQueryConfig resolves options in order; later options win.
+func buildQueryConfig(opts []QueryOption) QueryConfig {
+	var c QueryConfig
+	for _, o := range opts {
+		if o != nil {
+			o.ApplyQuery(&c)
+		}
+	}
+	return c
+}
+
+// applyLimit enforces QueryConfig.Limit on a sorted result.
+func applyLimit(res *rbm.Result, limit int) *rbm.Result {
+	if limit > 0 && len(res.IDs) > limit {
+		res.IDs = res.IDs[:limit:limit]
+	}
+	return res
+}

@@ -25,25 +25,12 @@ import (
 //     results and statistics at Parallelism 1, 2 and 8.
 
 // oracleBoundModes are the modes that answer from rule bounds; they must
-// agree with each other and contain the instantiation oracle.
-var oracleBoundModes = []Mode{ModeRBM, ModeBWM, ModeBWMIndexed, ModeCachedBounds}
+// agree with each other and contain the instantiation oracle. ModeIndexed
+// rides along: the S-tree is only a candidate filter over the same bounds,
+// so it must answer identically to the scans.
+var oracleBoundModes = []Mode{ModeRBM, ModeBWM, ModeBWMIndexed, ModeCachedBounds, ModeIndexed}
 
-func modeName(m Mode) string {
-	switch m {
-	case ModeRBM:
-		return "rbm"
-	case ModeBWM:
-		return "bwm"
-	case ModeBWMIndexed:
-		return "bwm-indexed"
-	case ModeInstantiate:
-		return "instantiate"
-	case ModeCachedBounds:
-		return "cached-bounds"
-	default:
-		return fmt.Sprintf("mode-%d", uint8(m))
-	}
-}
+func modeName(m Mode) string { return m.String() }
 
 // oracleConfigs are the randomized database shapes: varying sizes, edit
 // depths and widening/non-widening mixes, each under its own seed.
@@ -195,7 +182,7 @@ func TestOracleParallelCompoundMultiKNN(t *testing.T) {
 			}
 			s.compound = append(s.compound, &rbmResultIDs{ids: res.IDs})
 		}
-		for _, mode := range []Mode{ModeRBM, ModeBWM, ModeInstantiate, ModeCachedBounds} {
+		for _, mode := range []Mode{ModeRBM, ModeBWM, ModeInstantiate, ModeCachedBounds, ModeIndexed} {
 			mq := query.MultiRange{Bins: []int{0, 1, 5}, PctMin: 0.05, PctMax: 0.9}
 			res, err := db.RangeQueryMulti(mq, mode)
 			if err != nil {

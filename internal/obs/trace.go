@@ -288,4 +288,12 @@ const (
 	// because every segment that could hold them provably cannot match.
 	TSegmentSketchChecks = "segment_sketch_checks"
 	TSegmentSkipped      = "segment_skipped"
+	// Bounds-S-tree counters (ModeIndexed): union boxes classified during
+	// the descent, candidates admitted through a fully contained ancestor
+	// without individual checks, and candidate boxes tested individually in
+	// partially overlapping leaves. nodes_visited growing sublinearly in the
+	// catalog size on selective queries is the index's reason to exist.
+	TIndexNodesVisited    = "index_nodes_visited"
+	TIndexSubtreeAdmitted = "index_subtree_admitted"
+	TIndexLeafChecks      = "index_leaf_checks"
 )

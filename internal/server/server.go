@@ -13,8 +13,8 @@
 //	GET    /v1/objects/{id}/image   materialized raster (?format=ppm|png)
 //	POST   /v1/objects/{id}/augment generate edited versions
 //	DELETE /v1/objects/{id}         delete an object
-//	GET    /v1/query?q=...&mode=... color range query (compound supported; &trace=1 adds a trace)
-//	GET    /v1/multirange?bins=...  structured multi-range query (bins=0,3,7&min=..&max=..; no text form exists)
+//	GET    /v1/query?q=...&mode=... color range query (compound supported; &trace=1 adds a trace, &limit=N truncates)
+//	GET    /v1/multirange?bins=...  structured multi-range query (bins=0,3,7&min=..&max=..&limit=N; no text form exists)
 //	GET    /v1/explain?q=...        query plan without execution (&trace=1 also runs it and returns the measured trace)
 //	POST   /v1/similar?k=...        query by example (body: image)
 //	GET    /v1/stats                database statistics
@@ -572,9 +572,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	limit, err := parseLimit(r.URL.Query().Get("limit"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	tr := edgeTrace(r)
 	start := time.Now()
-	res, err := s.db.QueryCompoundTracedCtx(r.Context(), text, mode, tr)
+	res, err := s.db.QueryCompoundCtx(r.Context(), text, mode, mmdb.WithTrace(tr), mmdb.WithLimit(limit))
 	if err != nil {
 		logQuery(r, start, "query", r.URL.Query().Get("mode"), text, tr, 0, err)
 		s.writeError(w, badRequest("%v", err))
@@ -638,9 +643,14 @@ func (s *Server) handleMultiRange(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	limit, err := parseLimit(q.Get("limit"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	tr := edgeTrace(r)
 	start := time.Now()
-	res, err := s.db.RangeQueryMultiTracedCtx(r.Context(), mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode, tr)
+	res, err := s.db.RangeQueryMultiCtx(r.Context(), mmdb.MultiRange{Bins: bins, PctMin: pctMin, PctMax: pctMax}, mode, mmdb.WithTrace(tr), mmdb.WithLimit(limit))
 	if err != nil {
 		logQuery(r, start, "multirange", q.Get("mode"), q.Get("bins"), tr, 0, err)
 		s.writeError(w, badRequest("%v", err))
@@ -704,7 +714,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := mmdb.NewTrace()
-	if _, err := s.db.QueryCompoundTracedCtx(r.Context(), text, mode, tr); err != nil {
+	if _, err := s.db.QueryCompoundCtx(r.Context(), text, mode, mmdb.WithTrace(tr)); err != nil {
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
@@ -870,21 +880,27 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// parseMode delegates to the core mode registry, so a mode added there is
+// immediately reachable over the wire; the error enumerates every valid
+// name.
 func parseMode(s string) (mmdb.Mode, error) {
-	switch s {
-	case "", "bwm":
-		return mmdb.ModeBWM, nil
-	case "rbm":
-		return mmdb.ModeRBM, nil
-	case "bwm-indexed":
-		return mmdb.ModeBWMIndexed, nil
-	case "instantiate":
-		return mmdb.ModeInstantiate, nil
-	case "cached-bounds":
-		return mmdb.ModeCachedBounds, nil
-	default:
-		return 0, badRequest("unknown mode %q", s)
+	m, err := mmdb.ParseMode(s)
+	if err != nil {
+		return 0, badRequest("unknown mode %q (valid: %s)", s, strings.Join(mmdb.ModeNames(), ", "))
 	}
+	return m, nil
+}
+
+// parseLimit reads an optional ?limit= parameter (0 = unlimited).
+func parseLimit(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, badRequest("invalid limit %q", s)
+	}
+	return n, nil
 }
 
 func parseMetric(s string) (mmdb.Metric, error) {

@@ -418,58 +418,70 @@ func (db *DB) AugmentCtx(ctx context.Context, baseID uint64, opts AugmentOptions
 }
 
 // QueryCtx parses a textual range query ("at least 25% blue", "between 10%
-// and 30% red") and answers it with the Bound-Widening Method. Cancelling
-// ctx stops the candidate walk.
-func (db *DB) QueryCtx(ctx context.Context, text string) (*Result, error) {
-	return db.inner.RangeQueryTextCtx(ctx, text, core.ModeBWM)
+// and 30% red") and answers it; the Bound-Widening Method is the default.
+// Options select the execution mode, tracing, and a result limit: a Mode
+// value is itself an option, so db.QueryCtx(ctx, text, mmdb.ModeIndexed)
+// works, as does db.QueryCtx(ctx, text, mmdb.WithTrace(tr)). Cancelling ctx
+// stops the candidate walk.
+func (db *DB) QueryCtx(ctx context.Context, text string, opts ...QueryOption) (*Result, error) {
+	return db.inner.RangeQueryTextCtx(ctx, text, opts...)
 }
 
-// QueryModeCtx is QueryCtx with an explicit execution mode.
+// QueryModeCtx is QueryCtx with a positional execution mode.
+//
+// Deprecated: use QueryCtx; Mode is a QueryOption.
 func (db *DB) QueryModeCtx(ctx context.Context, text string, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryTextCtx(ctx, text, mode)
+	return db.QueryCtx(ctx, text, mode)
 }
 
-// RangeQueryCtx answers a structured range query in the given mode.
-func (db *DB) RangeQueryCtx(ctx context.Context, q Range, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryCtx(ctx, q, mode)
+// RangeQueryCtx answers a structured range query; options select the
+// execution mode, tracing, and result limit.
+func (db *DB) RangeQueryCtx(ctx context.Context, q Range, opts ...QueryOption) (*Result, error) {
+	return db.inner.RangeQueryCtx(ctx, q, opts...)
 }
 
 // QueryCompoundCtx parses and evaluates a multi-predicate query joined by a
 // single connective: "at least 20% red and at most 10% blue", or "at least
-// 40% green or at least 40% teal".
-func (db *DB) QueryCompoundCtx(ctx context.Context, text string, mode Mode) (*Result, error) {
-	return db.inner.CompoundQueryTextTracedCtx(ctx, text, mode, nil)
+// 40% green or at least 40% teal". Options select the execution mode,
+// tracing, and result limit.
+func (db *DB) QueryCompoundCtx(ctx context.Context, text string, opts ...QueryOption) (*Result, error) {
+	return db.inner.CompoundQueryTextCtx(ctx, text, opts...)
 }
 
-// QueryCompoundTracedCtx is QueryCompoundCtx with per-phase timings and
-// decision counts recorded into tr (see NewTrace); tr may be nil, which
-// disables tracing at zero cost.
+// QueryCompoundTracedCtx is QueryCompoundCtx with a positional mode and
+// trace.
+//
+// Deprecated: use QueryCompoundCtx with WithTrace.
 func (db *DB) QueryCompoundTracedCtx(ctx context.Context, text string, mode Mode, tr *Trace) (*Result, error) {
-	return db.inner.CompoundQueryTextTracedCtx(ctx, text, mode, tr)
+	return db.QueryCompoundCtx(ctx, text, mode, WithTrace(tr))
 }
 
-// CompoundQueryCtx evaluates a structured compound query.
-func (db *DB) CompoundQueryCtx(ctx context.Context, c Compound, mode Mode) (*Result, error) {
-	return db.inner.CompoundQueryCtx(ctx, c, mode)
+// CompoundQueryCtx evaluates a structured compound query; options select
+// the execution mode, tracing, and result limit.
+func (db *DB) CompoundQueryCtx(ctx context.Context, c Compound, opts ...QueryOption) (*Result, error) {
+	return db.inner.CompoundQueryCtx(ctx, c, opts...)
 }
 
 // QueryColorFamilyCtx runs a multi-bin range query over a named color's
 // whole bin family ("blue-ish"): under fine quantizers a perceptual color
 // spans several bins, and the family query constrains their summed
-// percentage.
-func (db *DB) QueryColorFamilyCtx(ctx context.Context, name string, pctMin, pctMax float64, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryColorFamilyCtx(ctx, name, pctMin, pctMax, mode)
+// percentage. Options select the execution mode, tracing, and result limit.
+func (db *DB) QueryColorFamilyCtx(ctx context.Context, name string, pctMin, pctMax float64, opts ...QueryOption) (*Result, error) {
+	return db.inner.RangeQueryColorFamilyCtx(ctx, name, pctMin, pctMax, opts...)
 }
 
-// RangeQueryMultiCtx evaluates a structured multi-bin range query.
-func (db *DB) RangeQueryMultiCtx(ctx context.Context, q MultiRange, mode Mode) (*Result, error) {
-	return db.inner.RangeQueryMultiCtx(ctx, q, mode)
+// RangeQueryMultiCtx evaluates a structured multi-bin range query; options
+// select the execution mode, tracing, and result limit.
+func (db *DB) RangeQueryMultiCtx(ctx context.Context, q MultiRange, opts ...QueryOption) (*Result, error) {
+	return db.inner.RangeQueryMultiCtx(ctx, q, opts...)
 }
 
-// RangeQueryMultiTracedCtx is RangeQueryMultiCtx with per-phase timings and
-// decision counts recorded into tr (nil disables tracing).
+// RangeQueryMultiTracedCtx is RangeQueryMultiCtx with a positional mode and
+// trace.
+//
+// Deprecated: use RangeQueryMultiCtx with WithTrace.
 func (db *DB) RangeQueryMultiTracedCtx(ctx context.Context, q MultiRange, mode Mode, tr *Trace) (*Result, error) {
-	return db.inner.RangeQueryMultiTracedCtx(ctx, q, mode, tr)
+	return db.RangeQueryMultiCtx(ctx, q, mode, WithTrace(tr))
 }
 
 // Query answers a textual range query with the Bound-Widening Method.
@@ -547,22 +559,24 @@ func (db *DB) Explain(text string) (*Plan, error) { return db.inner.ExplainText(
 
 // QueryByExampleCtx runs a k-nearest-neighbor search using a probe image:
 // "find the K images most similar to this one". Edited images participate
-// via bound-based pruning.
-func (db *DB) QueryByExampleCtx(ctx context.Context, probe *Image, k int, metric Metric) ([]Match, *KNNStats, error) {
+// via bound-based pruning. Options select the execution strategy
+// (ModeIndexed searches best-first over the bounds S-tree) and tracing.
+func (db *DB) QueryByExampleCtx(ctx context.Context, probe *Image, k int, metric Metric, opts ...QueryOption) ([]Match, *KNNStats, error) {
 	target := ExtractHistogram(probe, db.inner.Quantizer())
-	return db.inner.KNNCtx(ctx, query.KNN{Target: target, K: k, Metric: metric})
+	return db.inner.KNNCtx(ctx, query.KNN{Target: target, K: k, Metric: metric}, opts...)
 }
 
-// KNNCtx runs a k-nearest-neighbor search from a histogram target.
-func (db *DB) KNNCtx(ctx context.Context, q KNN) ([]Match, *KNNStats, error) {
-	return db.inner.KNNCtx(ctx, q)
+// KNNCtx runs a k-nearest-neighbor search from a histogram target; options
+// select the execution strategy and tracing.
+func (db *DB) KNNCtx(ctx context.Context, q KNN, opts ...QueryOption) ([]Match, *KNNStats, error) {
+	return db.inner.KNNCtx(ctx, q, opts...)
 }
 
-// QueryByExampleTracedCtx is QueryByExampleCtx with per-phase timings and
-// decision counts recorded into tr (nil disables tracing).
+// QueryByExampleTracedCtx is QueryByExampleCtx with a positional trace.
+//
+// Deprecated: use QueryByExampleCtx with WithTrace.
 func (db *DB) QueryByExampleTracedCtx(ctx context.Context, probe *Image, k int, metric Metric, tr *Trace) ([]Match, *KNNStats, error) {
-	target := ExtractHistogram(probe, db.inner.Quantizer())
-	return db.inner.KNNTracedCtx(ctx, query.KNN{Target: target, K: k, Metric: metric}, tr)
+	return db.QueryByExampleCtx(ctx, probe, k, metric, WithTrace(tr))
 }
 
 // QueryByExamplesCtx is the multiple-query-image technique the paper

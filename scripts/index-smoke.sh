@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# S-tree index gate: on the selective workloads ("medium" and "narrow"),
+# the indexed mode's per-query node-visit count must be strictly below the
+# candidate count — the whole point of the bounds tree is to not look at
+# every candidate — and above zero (proof the tree actually ran). Runs
+# `benchfig -exp index` and asserts every selective indexed point in the
+# JSON document it emits. Wall-clock is deliberately not gated: timings are
+# runner-dependent, node visits are deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go run ./cmd/benchfig -exp index)
+echo "$out" | sed -n '1,20p'
+
+echo "$out" | awk '
+    function val(s) { gsub(/[^0-9.eE+-]/, "", s); return s + 0 }
+    /"candidates"/  { cand = val($2) }
+    /"selectivity"/ { sel = $2; gsub(/[",]/, "", sel) }
+    /"mode"/        { mode = $2; gsub(/[",]/, "", mode) }
+    /"nodes_visited"/ {
+        if (mode == "indexed" && sel != "broad") {
+            checked++
+            nodes = val($2)
+            printf "indexed %s @ %d candidates: %d nodes/query\n", sel, cand, nodes
+            if (nodes <= 0 || nodes >= cand) {
+                printf "FAIL: nodes/query %d not in (0, %d) for %s workload\n", nodes, cand, sel
+                bad = 1
+            }
+        }
+    }
+    END {
+        if (checked == 0) { print "FAIL: no selective indexed points found in output"; exit 1 }
+        if (bad) exit 1
+        printf "PASS: %d selective indexed points all visit fewer nodes than candidates\n", checked
+    }
+'

@@ -122,6 +122,42 @@ const (
 	// ModeCachedBounds answers from precomputed bounds vectors (memory for
 	// speed; identical results to RBM/BWM).
 	ModeCachedBounds = core.ModeCachedBounds
+	// ModeIndexed answers from the bounds S-tree: a spatial index over
+	// per-candidate histogram bound boxes that prunes whole subtrees whose
+	// union box provably misses the query (identical results to a scan).
+	ModeIndexed = core.ModeIndexed
+)
+
+// Mode registry helpers.
+var (
+	// AllModes lists every execution mode in a stable order.
+	AllModes = core.AllModes
+	// ModeNames lists every execution mode's string form, for CLI help and
+	// error messages.
+	ModeNames = core.ModeNames
+	// ParseMode resolves a mode name ("bwm", "rbm", "bwm-indexed",
+	// "instantiate", "cached", "indexed"); the empty string selects the
+	// default (ModeBWM). Unknown names get an error enumerating the valid
+	// set.
+	ParseMode = core.ParseMode
+)
+
+// QueryOption configures one query execution on the canonical *Ctx query
+// methods. A Mode value is itself a QueryOption selecting the execution
+// strategy; see also WithMode, WithTrace, and WithLimit.
+type QueryOption = core.QueryOption
+
+// Query option constructors.
+var (
+	// WithMode selects the execution strategy (equivalent to passing the
+	// Mode value directly).
+	WithMode = core.WithMode
+	// WithTrace records per-phase timings and decision counts into a Trace
+	// (nil disables tracing).
+	WithTrace = core.WithTrace
+	// WithLimit truncates the result id list to the first n ids after the
+	// deterministic sort.
+	WithLimit = core.WithLimit
 )
 
 // Trace records per-phase timings and decision counts for one query. All
